@@ -1,0 +1,69 @@
+//! E7 — §5.1 "column-based systems such as MonetDB are well suited for
+//! Charles' workloads": the same advisor workload on the columnar engine
+//! vs the row-store baseline, plus the two primitive operations (counts
+//! over predicates, medians) in isolation.
+
+use charles_core::Advisor;
+use charles_datagen::voc_table;
+use charles_sdl::eval;
+use charles_store::{Backend, RowTable};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_backend(c: &mut Criterion) {
+    let col = voc_table(100_000, 7);
+    let rowstore = RowTable::from_table(&col);
+    let context = "(type_of_boat: , tonnage: , departure_harbour: , built: )";
+
+    let mut group = c.benchmark_group("backend_advise");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+    group.bench_function(BenchmarkId::new("advise", "columnar"), |b| {
+        let advisor = Advisor::new(&col);
+        b.iter(|| advisor.advise_str(context).unwrap().ranked.len())
+    });
+    group.bench_function(BenchmarkId::new("advise", "rowstore"), |b| {
+        let advisor = Advisor::new(&rowstore);
+        b.iter(|| advisor.advise_str(context).unwrap().ranked.len())
+    });
+    group.finish();
+
+    let mut ops = c.benchmark_group("backend_ops");
+    ops.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    let q = charles_sdl::parse_query("(tonnage: [300,700])", col.schema()).unwrap();
+    let pred = eval::lower(&q);
+    let sel_col = col.eval(&pred).unwrap();
+    let sel_row = rowstore.eval(&pred).unwrap();
+    ops.bench_function(BenchmarkId::new("count", "columnar"), |b| {
+        b.iter(|| col.count(&pred).unwrap())
+    });
+    ops.bench_function(BenchmarkId::new("count", "rowstore"), |b| {
+        b.iter(|| rowstore.count(&pred).unwrap())
+    });
+    ops.bench_function(BenchmarkId::new("median", "columnar"), |b| {
+        b.iter(|| col.median("tonnage", &sel_col).unwrap())
+    });
+    ops.bench_function(BenchmarkId::new("median", "rowstore"), |b| {
+        b.iter(|| rowstore.median("tonnage", &sel_row).unwrap())
+    });
+    ops.bench_function(BenchmarkId::new("frequencies", "columnar"), |b| {
+        b.iter(|| col.frequencies("departure_harbour", &sel_col).unwrap().0.total())
+    });
+    ops.bench_function(BenchmarkId::new("frequencies", "rowstore"), |b| {
+        b.iter(|| {
+            rowstore
+                .frequencies("departure_harbour", &sel_row)
+                .unwrap()
+                .0
+                .total()
+        })
+    });
+    ops.finish();
+}
+
+criterion_group!(benches, bench_backend);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! E5 — §5.1 horizontal scalability: HB-cuts runtime as the number of
+//! context attributes grows, with the INDEP/selection memoization
+//! ablation ("the calculations of SDL products and entropy can be reused
+//! from one iteration to the next").
+
+use charles_bench::explorer_over;
+use charles_core::{hb_cuts, Config};
+use charles_datagen::sweep_table;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_horizontal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("horizontal");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+    for k in [2usize, 4, 6, 8] {
+        let t = sweep_table(20_000, k, 5);
+        group.bench_with_input(BenchmarkId::new("memoized", k), &k, |b, &k| {
+            b.iter(|| {
+                let ex = explorer_over(&t, Config::default(), k);
+                hb_cuts(&ex).unwrap().ranked.len()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("no_memo", k), &k, |b, &k| {
+            b.iter(|| {
+                let ex = explorer_over(&t, Config::default().with_memoize(false), k);
+                hb_cuts(&ex).unwrap().ranked.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_horizontal);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! E11 — §5.2 lazy generation: time-to-first-answer vs the full eager
+//! enumeration, as the attribute count grows.
+
+use charles_bench::{context_over, explorer_over};
+use charles_core::{hb_cuts, Config, Explorer, LazyGenerator};
+use charles_datagen::sweep_table;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_lazy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lazy");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+    for k in [4usize, 6, 8] {
+        let t = sweep_table(20_000, k, 8);
+        group.bench_with_input(BenchmarkId::new("first_answer", k), &k, |b, &k| {
+            b.iter(|| {
+                let ex =
+                    Explorer::new(&t, Config::default(), context_over(&t, k)).unwrap();
+                let mut gen = LazyGenerator::new(&ex);
+                gen.next_segmentation().unwrap().is_some()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("full_run", k), &k, |b, &k| {
+            b.iter(|| {
+                let ex = explorer_over(&t, Config::default(), k);
+                hb_cuts(&ex).unwrap().ranked.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lazy);
+criterion_main!(benches);

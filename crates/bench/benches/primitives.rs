@@ -1,0 +1,88 @@
+//! E1 (timed side) — microbenchmarks of the §4.1 primitives and metrics:
+//! CUT (numeric + nominal), COMPOSE, PRODUCT, entropy, INDEP.
+
+use charles_bench::explorer_over;
+use charles_core::{
+    compose, cut_segmentation, entropy, indep, product, Config, Explorer,
+};
+use charles_datagen::voc_table;
+use charles_sdl::Segmentation;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench_primitives(c: &mut Criterion) {
+    let t = voc_table(50_000, 99);
+    let mut group = c.benchmark_group("primitives");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    group.bench_function("cut_numeric_50k", |b| {
+        b.iter(|| {
+            // Fresh explorer per iteration: measured work includes the
+            // median scan, not the cache hit.
+            let ex = explorer_over(&t, Config::default().with_memoize(false), 5);
+            let base = Segmentation::singleton(ex.context().clone());
+            cut_segmentation(&ex, &base, "tonnage").unwrap().unwrap()
+        })
+    });
+
+    group.bench_function("cut_nominal_50k", |b| {
+        b.iter(|| {
+            let ex = explorer_over(&t, Config::default().with_memoize(false), 5);
+            let base = Segmentation::singleton(ex.context().clone());
+            cut_segmentation(&ex, &base, "type_of_boat").unwrap().unwrap()
+        })
+    });
+
+    // Compose / product / indep over prepared halves, memoized selections.
+    let ex = explorer_over(&t, Config::default(), 5);
+    let base = Segmentation::singleton(ex.context().clone());
+    let s_type = cut_segmentation(&ex, &base, "type_of_boat").unwrap().unwrap();
+    let s_ton = cut_segmentation(&ex, &base, "tonnage").unwrap().unwrap();
+
+    group.bench_function("compose_2x2_50k", |b| {
+        b.iter(|| compose(&ex, &s_type, &s_ton).unwrap().unwrap())
+    });
+    group.bench_function("product_2x2_50k", |b| {
+        b.iter(|| product(&ex, &s_type, &s_ton).unwrap())
+    });
+    group.bench_function("entropy_50k", |b| {
+        b.iter(|| entropy(&ex, &s_type).unwrap())
+    });
+    group.bench_function("indep_cold_50k", |b| {
+        b.iter(|| {
+            let ex = explorer_over(&t, Config::default().with_memoize(false), 5);
+            let base = Segmentation::singleton(ex.context().clone());
+            let s1 = cut_segmentation(&ex, &base, "type_of_boat").unwrap().unwrap();
+            let s2 = cut_segmentation(&ex, &base, "tonnage").unwrap().unwrap();
+            indep(&ex, &s1, &s2).unwrap()
+        })
+    });
+    group.bench_function("indep_memoized_50k", |b| {
+        // After the first call this is a pure cache hit: the §5.1 reuse.
+        let _ = indep(&ex, &s_type, &s_ton).unwrap();
+        b.iter(|| indep(&ex, &s_type, &s_ton).unwrap())
+    });
+    group.finish();
+
+    let mut sel_group = c.benchmark_group("selection");
+    sel_group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    sel_group.bench_function("eval_conjunction_50k", |b| {
+        let q = charles_sdl::parse_query(
+            "(type_of_boat: {fluit, jacht}, tonnage: [200,600])",
+            t.schema(),
+        )
+        .unwrap();
+        let ex = Explorer::new(&t, Config::default().with_memoize(false), q.clone()).unwrap();
+        b.iter(|| ex.selection(&q).unwrap().count_ones())
+    });
+    sel_group.finish();
+}
+
+criterion_group!(benches, bench_primitives);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! E9 — method comparison: the runtime cost of HB-cuts vs the related-work
+//! baselines (facets, random, adaptive per-piece cuts, exhaustive
+//! enumeration, CLIQUE-style grids) on the VOC dataset. Quality numbers
+//! (entropy / breadth / simplicity) are reported by the `experiments`
+//! binary; here we measure time.
+
+use charles_bench::explorer_over;
+use charles_core::baselines::{
+    clique_clusters, exhaustive_segmentations, facet_segmentations, random_segmentations,
+    CliqueOptions, ExhaustiveOptions, RandomOptions,
+};
+use charles_core::{adaptive_segmentations, hb_cuts, AdaptiveOptions, Config};
+use charles_datagen::voc_table;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench_quality(c: &mut Criterion) {
+    let t = voc_table(20_000, 21);
+    let mut group = c.benchmark_group("methods_voc20k");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+
+    group.bench_function("hb_cuts", |b| {
+        b.iter(|| {
+            let ex = explorer_over(&t, Config::default(), 5);
+            hb_cuts(&ex).unwrap().ranked.len()
+        })
+    });
+    group.bench_function("facets", |b| {
+        b.iter(|| {
+            let ex = explorer_over(&t, Config::default(), 5);
+            facet_segmentations(&ex, 8).unwrap().len()
+        })
+    });
+    group.bench_function("random", |b| {
+        b.iter(|| {
+            let ex = explorer_over(&t, Config::default(), 5);
+            random_segmentations(
+                &ex,
+                RandomOptions {
+                    count: 8,
+                    target_depth: 8,
+                    seed: 3,
+                },
+            )
+            .unwrap()
+            .len()
+        })
+    });
+    group.bench_function("adaptive", |b| {
+        b.iter(|| {
+            let ex = explorer_over(&t, Config::default(), 5);
+            adaptive_segmentations(
+                &ex,
+                AdaptiveOptions {
+                    restarts: 8,
+                    target_depth: 8,
+                    exploration: 0.9,
+                    seed: 4,
+                },
+            )
+            .unwrap()
+            .len()
+        })
+    });
+    group.bench_function("exhaustive_subset3", |b| {
+        b.iter(|| {
+            let ex = explorer_over(&t, Config::default(), 5);
+            exhaustive_segmentations(
+                &ex,
+                ExhaustiveOptions {
+                    max_subset: 3,
+                    max_depth: 16,
+                },
+            )
+            .unwrap()
+            .len()
+        })
+    });
+    group.bench_function("clique", |b| {
+        b.iter(|| {
+            let ex = explorer_over(&t, Config::default(), 5);
+            clique_clusters(&ex, CliqueOptions::default()).unwrap().len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_quality);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! E10 — §5.2 quantile cuts: the cost of a k-way quantile cut vs iterated
+//! median cuts reaching the same piece count, on a skewed column.
+
+use charles_core::{cut_segmentation, quantile_cut_query, Config, Explorer};
+use charles_datagen::weblog_table;
+use charles_sdl::{Query, Segmentation};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_quantile(c: &mut Criterion) {
+    let t = weblog_table(50_000, 31);
+    let mut group = c.benchmark_group("quantile_latency50k");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    for k in [2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("quantile_cut", k), &k, |b, &k| {
+            b.iter(|| {
+                let ex = Explorer::new(
+                    &t,
+                    Config::default().with_memoize(false),
+                    Query::wildcard(&["latency_ms"]),
+                )
+                .unwrap();
+                quantile_cut_query(&ex, ex.context(), "latency_ms", k)
+                    .unwrap()
+                    .unwrap()
+                    .len()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("iterated_median", k), &k, |b, &k| {
+            b.iter(|| {
+                let ex = Explorer::new(
+                    &t,
+                    Config::default().with_memoize(false),
+                    Query::wildcard(&["latency_ms"]),
+                )
+                .unwrap();
+                let mut seg = Segmentation::singleton(ex.context().clone());
+                while seg.depth() < k {
+                    match cut_segmentation(&ex, &seg, "latency_ms").unwrap() {
+                        Some(next) => seg = next,
+                        None => break,
+                    }
+                }
+                seg.depth()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_quantile);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! E6 — §5.1 vertical scalability: HB-cuts runtime as the table grows,
+//! exact medians vs the §5.2 reservoir-sampled medians ("the calculation
+//! of medians is a major bottleneck … not all tuples are necessary").
+
+use charles_bench::explorer_over;
+use charles_core::{hb_cuts, Config, MedianStrategy};
+use charles_datagen::sweep_table;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
+
+fn bench_vertical(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vertical");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+    for n in [1_000usize, 10_000, 100_000] {
+        let t = sweep_table(n, 4, 6);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("exact_median", n), &n, |b, _| {
+            b.iter(|| {
+                let ex = explorer_over(&t, Config::default(), 4);
+                hb_cuts(&ex).unwrap().ranked.len()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("sampled_median", n), &n, |b, _| {
+            b.iter(|| {
+                let ex = explorer_over(
+                    &t,
+                    Config::default().with_median(MedianStrategy::Sampled {
+                        size: 1024,
+                        seed: 9,
+                    }),
+                    4,
+                );
+                hb_cuts(&ex).unwrap().ranked.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_vertical);
+criterion_main!(benches);

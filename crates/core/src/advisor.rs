@@ -1,0 +1,183 @@
+//! The user-facing facade: ask Charles for advice.
+//!
+//! An [`Advisor`] wraps a backend plus a [`Config`]; each call to
+//! [`Advisor::advise`] pins a context, runs HB-cuts and returns the ranked
+//! answer list of Figure 1's top panel together with the execution trace
+//! and backend operation counts.
+
+use crate::config::Config;
+use crate::engine::{CacheStats, Explorer};
+use crate::error::CoreResult;
+use crate::hbcuts::{hb_cuts, Trace};
+use crate::ranking::Ranked;
+use charles_sdl::{parse_query, Query};
+use charles_store::{Backend, BackendStats};
+
+/// The advisor: owns nothing but a reference to the data and the tuning.
+pub struct Advisor<'a> {
+    backend: &'a dyn Backend,
+    config: Config,
+}
+
+/// A full answer to one context query.
+#[derive(Debug, Clone)]
+pub struct Advice {
+    /// The context that was advised on.
+    pub context: Query,
+    /// Number of rows in the context extent.
+    pub context_size: usize,
+    /// Ranked segmentations, best first.
+    pub ranked: Vec<Ranked>,
+    /// HB-cuts execution trace (the Figure 3 tree).
+    pub trace: Trace,
+    /// Backend operations performed while answering.
+    pub backend_ops: BackendStats,
+    /// Cache effectiveness while answering.
+    pub cache: CacheStats,
+}
+
+impl<'a> Advisor<'a> {
+    /// Advisor with the paper-default configuration.
+    pub fn new(backend: &'a dyn Backend) -> Advisor<'a> {
+        Advisor {
+            backend,
+            config: Config::default(),
+        }
+    }
+
+    /// Advisor with an explicit configuration.
+    pub fn with_config(backend: &'a dyn Backend, config: Config) -> Advisor<'a> {
+        Advisor { backend, config }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &Config {
+        &self.config
+    }
+
+    /// The backend this advisor consults.
+    pub fn backend(&self) -> &'a dyn Backend {
+        self.backend
+    }
+
+    /// Advise on a context given as an SDL query.
+    pub fn advise(&self, context: Query) -> CoreResult<Advice> {
+        self.backend.reset_stats();
+        let ex = Explorer::new(self.backend, self.config.clone(), context.clone())?;
+        let out = hb_cuts(&ex)?;
+        Ok(Advice {
+            context,
+            context_size: ex.context_size(),
+            ranked: out.ranked,
+            trace: out.trace,
+            backend_ops: self.backend.stats(),
+            cache: ex.cache_stats(),
+        })
+    }
+
+    /// Advise on a context given in SDL's textual syntax, e.g.
+    /// `"(type: , tonnage: [1000,5000])"`.
+    pub fn advise_str(&self, sdl: &str) -> CoreResult<Advice> {
+        let context = parse_query(sdl, self.backend.schema())?;
+        self.advise(context)
+    }
+}
+
+impl Advice {
+    /// The query of segment `seg_idx` of answer `rank_idx` — what the user
+    /// clicks to drill down.
+    pub fn segment(&self, rank_idx: usize, seg_idx: usize) -> Option<&Query> {
+        self.ranked
+            .get(rank_idx)
+            .and_then(|r| r.segmentation.queries().get(seg_idx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use charles_store::{DataType, TableBuilder, Value};
+
+    fn voc_like() -> charles_store::Table {
+        let mut b = TableBuilder::new("boats");
+        b.add_column("type", DataType::Str)
+            .add_column("tonnage", DataType::Int)
+            .add_column("harbour", DataType::Str);
+        let rows = [
+            ("fluit", 1000, "Bantam"),
+            ("fluit", 1050, "Bantam"),
+            ("fluit", 1100, "Rammekens"),
+            ("fluit", 1150, "Rammekens"),
+            ("jacht", 2400, "Surat"),
+            ("jacht", 2500, "Surat"),
+            ("jacht", 2600, "Zeeland"),
+            ("jacht", 2700, "Zeeland"),
+        ];
+        for (ty, t, h) in rows {
+            b.push_row(vec![Value::str(ty), Value::Int(t), Value::str(h)])
+                .unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn advise_returns_ranked_answers() {
+        let t = voc_like();
+        let advisor = Advisor::new(&t);
+        let advice = advisor
+            .advise_str("(type: , tonnage: , harbour: )")
+            .unwrap();
+        assert_eq!(advice.context_size, 8);
+        assert!(!advice.ranked.is_empty());
+        // Entropy-descending order.
+        for w in advice.ranked.windows(2) {
+            assert!(w[0].score.entropy >= w[1].score.entropy - 1e-12);
+        }
+        // Backend actually worked.
+        assert!(advice.backend_ops.scans > 0);
+        assert!(advice.backend_ops.medians > 0);
+    }
+
+    #[test]
+    fn advise_with_constrained_context() {
+        let t = voc_like();
+        let advisor = Advisor::new(&t);
+        let advice = advisor
+            .advise_str("(type: {fluit}, tonnage: )")
+            .unwrap();
+        assert_eq!(advice.context_size, 4);
+        // All proposed segments stay within the fluit context.
+        for r in &advice.ranked {
+            for q in r.segmentation.queries() {
+                let p = q.constraint("type");
+                assert!(p.is_some(), "{q} lost the context constraint");
+            }
+        }
+    }
+
+    #[test]
+    fn advise_bad_sdl_errors() {
+        let t = voc_like();
+        let advisor = Advisor::new(&t);
+        assert!(advisor.advise_str("(nope: )").is_err());
+        assert!(advisor.advise_str("garbage").is_err());
+    }
+
+    #[test]
+    fn segment_accessor() {
+        let t = voc_like();
+        let advisor = Advisor::new(&t);
+        let advice = advisor.advise_str("(type: , tonnage: )").unwrap();
+        assert!(advice.segment(0, 0).is_some());
+        assert!(advice.segment(999, 0).is_none());
+    }
+
+    #[test]
+    fn config_flows_through() {
+        let t = voc_like();
+        let advisor = Advisor::with_config(&t, Config::default().with_max_results(1));
+        let advice = advisor.advise_str("(type: , tonnage: )").unwrap();
+        assert_eq!(advice.ranked.len(), 1);
+        assert_eq!(advisor.config().max_results, 1);
+    }
+}

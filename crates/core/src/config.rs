@@ -1,0 +1,156 @@
+//! Advisor configuration.
+
+use crate::error::{CoreError, CoreResult};
+
+/// How CUT chooses split points on numeric attributes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MedianStrategy {
+    /// Exact median over the full segment extent (the paper's default).
+    Exact,
+    /// Median of a reservoir sample of the given size (§5.2 "sampling
+    /// strategies"; "not all tuples are necessary to give good results").
+    /// Deterministic for a fixed seed.
+    Sampled {
+        /// Reservoir size.
+        size: usize,
+        /// RNG seed, so experiments are reproducible.
+        seed: u64,
+    },
+}
+
+/// Tuning knobs for segmentation generation.
+///
+/// The defaults mirror the paper: `max_indep = 0.99` ("a threshold of 0.99
+/// gave satisfying results with most data sets"), `max_depth = 12` ("a pie
+/// chart with more than a dozen slices is hard to read"), and nominal
+/// columns are frequency-ordered up to 20 distinct values ("we choose to
+/// sort the values by order of occurrence for columns with low
+/// cardinality, and alphabetically otherwise").
+#[derive(Debug, Clone, PartialEq)]
+pub struct Config {
+    /// Stop composing once the most dependent pair has `INDEP ≥ max_indep`.
+    pub max_indep: f64,
+    /// Stop composing once a composition would reach this many queries.
+    pub max_depth: usize,
+    /// Nominal columns with at most this many distinct values are ordered
+    /// by descending frequency for cutting; larger ones alphabetically.
+    pub nominal_freq_sort_limit: usize,
+    /// Split-point strategy for numeric cuts.
+    pub median: MedianStrategy,
+    /// Drop provably/actually empty cells when *returning* products as
+    /// segmentations (Definition 8 keeps them; they never affect entropy).
+    pub prune_empty_products: bool,
+    /// Upper bound on the number of segmentations returned to the user
+    /// ("a large number of candidates is overwhelming", §5.1).
+    pub max_results: usize,
+    /// Reuse selections, entropies and INDEP values across iterations —
+    /// the §5.1 optimization ("the calculations of SDL products and
+    /// entropy can be reused from one iteration to the next"). Disabling
+    /// this is the ablation measured by experiment E5.
+    pub memoize: bool,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            max_indep: 0.99,
+            max_depth: 12,
+            nominal_freq_sort_limit: 20,
+            median: MedianStrategy::Exact,
+            prune_empty_products: true,
+            max_results: 64,
+            memoize: true,
+        }
+    }
+}
+
+impl Config {
+    /// Validate the configuration before use.
+    pub fn validate(&self) -> CoreResult<()> {
+        if !(0.0..=1.0).contains(&self.max_indep) {
+            return Err(CoreError::BadConfig(format!(
+                "max_indep must lie in [0,1], got {}",
+                self.max_indep
+            )));
+        }
+        if self.max_depth < 2 {
+            return Err(CoreError::BadConfig(
+                "max_depth must be at least 2 (a segmentation needs two pieces)".into(),
+            ));
+        }
+        if let MedianStrategy::Sampled { size, .. } = self.median {
+            if size == 0 {
+                return Err(CoreError::BadConfig("sample size must be positive".into()));
+            }
+        }
+        if self.max_results == 0 {
+            return Err(CoreError::BadConfig("max_results must be positive".into()));
+        }
+        Ok(())
+    }
+
+    /// Builder-style setter for the INDEP stopping threshold.
+    pub fn with_max_indep(mut self, v: f64) -> Config {
+        self.max_indep = v;
+        self
+    }
+
+    /// Builder-style setter for the depth bound.
+    pub fn with_max_depth(mut self, v: usize) -> Config {
+        self.max_depth = v;
+        self
+    }
+
+    /// Builder-style setter for the median strategy.
+    pub fn with_median(mut self, m: MedianStrategy) -> Config {
+        self.median = m;
+        self
+    }
+
+    /// Builder-style setter for the result cap.
+    pub fn with_max_results(mut self, v: usize) -> Config {
+        self.max_results = v;
+        self
+    }
+
+    /// Builder-style setter for memoization (E5 ablation switch).
+    pub fn with_memoize(mut self, v: bool) -> Config {
+        self.memoize = v;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = Config::default();
+        assert_eq!(c.max_indep, 0.99);
+        assert_eq!(c.max_depth, 12);
+        assert_eq!(c.nominal_freq_sort_limit, 20);
+        assert_eq!(c.median, MedianStrategy::Exact);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_bad_values() {
+        assert!(Config::default().with_max_indep(1.5).validate().is_err());
+        assert!(Config::default().with_max_depth(1).validate().is_err());
+        assert!(Config::default()
+            .with_median(MedianStrategy::Sampled { size: 0, seed: 0 })
+            .validate()
+            .is_err());
+        assert!(Config::default().with_max_results(0).validate().is_err());
+    }
+
+    #[test]
+    fn builder_chain() {
+        let c = Config::default()
+            .with_max_depth(8)
+            .with_median(MedianStrategy::Sampled { size: 256, seed: 1 });
+        assert_eq!(c.max_depth, 8);
+        assert!(matches!(c.median, MedianStrategy::Sampled { size: 256, .. }));
+    }
+}

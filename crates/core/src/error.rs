@@ -1,0 +1,85 @@
+//! Error type for the advisor core.
+
+use charles_sdl::SdlError;
+use charles_store::StoreError;
+use std::fmt;
+
+/// Errors produced while generating or evaluating segmentations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// The underlying store failed.
+    Store(StoreError),
+    /// The SDL layer failed.
+    Sdl(SdlError),
+    /// The requested context selects no rows — nothing to segment.
+    EmptyContext,
+    /// The context mentions no attribute that can be cut.
+    NoCuttableAttribute,
+    /// Invalid configuration (e.g. `max_depth < 2`).
+    BadConfig(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Store(e) => write!(f, "store error: {e}"),
+            CoreError::Sdl(e) => write!(f, "SDL error: {e}"),
+            CoreError::EmptyContext => write!(f, "context query selects no rows"),
+            CoreError::NoCuttableAttribute => {
+                write!(f, "no attribute of the context can be cut (all constant?)")
+            }
+            CoreError::BadConfig(msg) => write!(f, "bad configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Store(e) => Some(e),
+            CoreError::Sdl(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StoreError> for CoreError {
+    fn from(e: StoreError) -> Self {
+        CoreError::Store(e)
+    }
+}
+
+impl From<SdlError> for CoreError {
+    fn from(e: SdlError) -> Self {
+        match e {
+            SdlError::Store(inner) => CoreError::Store(inner),
+            other => CoreError::Sdl(other),
+        }
+    }
+}
+
+/// Result alias for core operations.
+pub type CoreResult<T> = Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: CoreError = StoreError::UnknownColumn("x".into()).into();
+        assert!(e.to_string().contains('x'));
+        let e: CoreError = SdlError::Malformed("bad".into()).into();
+        assert!(matches!(e, CoreError::Sdl(_)));
+        // Store errors nested in SDL errors unwrap to Store.
+        let e: CoreError = SdlError::Store(StoreError::Empty("m".into())).into();
+        assert!(matches!(e, CoreError::Store(_)));
+    }
+
+    #[test]
+    fn display_variants() {
+        assert!(CoreError::EmptyContext.to_string().contains("no rows"));
+        assert!(CoreError::NoCuttableAttribute.to_string().contains("cut"));
+        assert!(CoreError::BadConfig("x".into()).to_string().contains('x'));
+    }
+}

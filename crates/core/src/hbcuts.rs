@@ -1,0 +1,400 @@
+//! HB-cuts — Hierarchical Binary cuts (paper §4, Figure 4).
+//!
+//! The heuristic: seed one binary segmentation per context attribute, then
+//! repeatedly find the *most dependent* pair of candidates (minimum
+//! INDEP), replace the pair by their composition, and stop when the best
+//! pair is practically independent (`ind ≥ maxIndep`) or the composition
+//! grows past the legibility bound (`dep ≥ maxDepth`). Every segmentation
+//! ever created is returned, sorted by entropy.
+//!
+//! ```text
+//! 1  function HB-CUTS(query, maxIndep, maxDepth)
+//! 2      cand ← {}
+//! 3      for i ← 0, nbAttributes(query) do
+//! 4          cand ← cand ∪ {CUT_attri(query)}
+//! 5      end for
+//! 10     while true do
+//! 11         {S1*, S2*} ← argmin_{S1,S2 ∈ cand} INDEP(S1, S2)
+//! 12         newSeg ← COMPOSE(S1*, S2*)
+//! 15         if ind ≥ maxIndep ∥ dep ≥ maxDepth then break
+//! 18         cand ← cand ∪ {newSeg} − {S1*, S2*}
+//! 20         output ← output ∪ {S1*, S2*}
+//! 23     output ← output ∪ cand
+//! 25     return sort(output)
+//! ```
+//!
+//! The [`Trace`] records every seed and composition step so the execution
+//! tree of Figure 3 can be checked and displayed.
+
+use crate::engine::Explorer;
+use crate::error::{CoreError, CoreResult};
+use crate::indep::indep;
+use crate::metrics::{score, Score};
+use crate::primitives::{compose, cut_segmentation};
+use crate::ranking::{rank, Ranked};
+use charles_sdl::Segmentation;
+
+/// Why the composition loop ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// Best pair had `INDEP ≥ max_indep` — remaining candidates are
+    /// practically independent.
+    IndependenceThreshold,
+    /// The composition would exceed `max_depth` queries.
+    DepthLimit,
+    /// Fewer than two candidates remain — no pair to compose.
+    ExhaustedCandidates,
+    /// The best pair could not be composed (no attribute was cuttable).
+    ComposeFailed,
+}
+
+/// One composition step considered by the loop.
+#[derive(Debug, Clone)]
+pub struct ComposeStep {
+    /// Attributes of the first operand.
+    pub left_attrs: Vec<String>,
+    /// Attributes of the second operand.
+    pub right_attrs: Vec<String>,
+    /// INDEP of the chosen pair.
+    pub indep: f64,
+    /// Depth of the composition result.
+    pub depth: usize,
+    /// Whether the step was accepted (false = it triggered the stop).
+    pub accepted: bool,
+}
+
+/// Record of an HB-cuts execution (the Figure 3 tree).
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// Attributes successfully seeded (line 4 of Figure 4).
+    pub seeds: Vec<String>,
+    /// Attributes that could not be cut (constant in the context).
+    pub skipped: Vec<String>,
+    /// Composition steps in order.
+    pub steps: Vec<ComposeStep>,
+    /// Why the loop stopped.
+    pub stop: Option<StopReason>,
+}
+
+/// The advisor's answer: ranked segmentations plus the execution trace.
+#[derive(Debug, Clone)]
+pub struct HbCutsOutput {
+    /// All generated segmentations with scores, ranked best-first.
+    pub ranked: Vec<Ranked>,
+    /// Execution record.
+    pub trace: Trace,
+}
+
+impl HbCutsOutput {
+    /// The segmentations alone, best-first.
+    pub fn segmentations(&self) -> impl Iterator<Item = &Segmentation> {
+        self.ranked.iter().map(|r| &r.segmentation)
+    }
+
+    /// Best segmentation, if any.
+    pub fn best(&self) -> Option<&Ranked> {
+        self.ranked.first()
+    }
+}
+
+/// Run HB-cuts over an explorer's context (Figure 4, lines 1–26).
+pub fn hb_cuts(ex: &Explorer<'_>) -> CoreResult<HbCutsOutput> {
+    let mut trace = Trace::default();
+
+    // Lines 2–5: seed with one binary cut per attribute.
+    let base = Segmentation::singleton(ex.context().clone());
+    let mut cand: Vec<Segmentation> = Vec::new();
+    for attr in ex.attributes() {
+        match cut_segmentation(ex, &base, attr)? {
+            Some(seg) => {
+                trace.seeds.push(attr.to_string());
+                cand.push(seg);
+            }
+            None => trace.skipped.push(attr.to_string()),
+        }
+    }
+    if cand.is_empty() {
+        return Err(CoreError::NoCuttableAttribute);
+    }
+
+    let mut output: Vec<Segmentation> = Vec::new();
+    let max_indep = ex.config().max_indep;
+    let max_depth = ex.config().max_depth;
+
+    // Lines 10–22: compose the most dependent pair until a stop fires.
+    loop {
+        if cand.len() < 2 {
+            trace.stop = Some(StopReason::ExhaustedCandidates);
+            break;
+        }
+        // Line 11: argmin over unordered candidate pairs, first-wins ties
+        // for determinism.
+        let mut best: Option<(usize, usize, f64)> = None;
+        for i in 0..cand.len() {
+            for j in (i + 1)..cand.len() {
+                let v = indep(ex, &cand[i], &cand[j])?;
+                if best.map(|(_, _, b)| v < b).unwrap_or(true) {
+                    best = Some((i, j, v));
+                }
+            }
+        }
+        let (i, j, ind) = best.expect("cand.len() >= 2");
+
+        // Line 12: compose.
+        let Some(new_seg) = compose(ex, &cand[i], &cand[j])? else {
+            trace.stop = Some(StopReason::ComposeFailed);
+            break;
+        };
+        let dep = new_seg.depth();
+        let step = ComposeStep {
+            left_attrs: cand[i].attributes().iter().map(|s| s.to_string()).collect(),
+            right_attrs: cand[j].attributes().iter().map(|s| s.to_string()).collect(),
+            indep: ind,
+            depth: dep,
+            accepted: false,
+        };
+
+        // Lines 15–16: stopping criteria.
+        if ind >= max_indep {
+            trace.steps.push(step);
+            trace.stop = Some(StopReason::IndependenceThreshold);
+            break;
+        }
+        if dep >= max_depth {
+            trace.steps.push(step);
+            trace.stop = Some(StopReason::DepthLimit);
+            break;
+        }
+
+        // Lines 18–20: accept — replace the pair by the composition.
+        trace.steps.push(ComposeStep {
+            accepted: true,
+            ..step
+        });
+        // Remove j first (j > i) so indices stay valid.
+        let s2 = cand.swap_remove(j);
+        let s1 = cand.swap_remove(i);
+        output.push(s1);
+        output.push(s2);
+        cand.push(new_seg);
+    }
+
+    // Line 23: everything still in cand is also returned.
+    output.extend(cand);
+
+    // Line 25: sort by entropy (descending), with deterministic tie-breaks.
+    let mut scored: Vec<(Segmentation, Score)> = Vec::with_capacity(output.len());
+    for seg in output {
+        let s = score(ex, &seg)?;
+        scored.push((seg, s));
+    }
+    let mut ranked = rank(scored);
+    ranked.truncate(ex.config().max_results);
+    Ok(HbCutsOutput { ranked, trace })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+    use charles_sdl::Query;
+    use charles_store::{DataType, TableBuilder, Value};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Five attributes with the Figure 3 dependency structure:
+    /// att2 ↔ att3 strongly dependent, att4 ↔ att5 strongly dependent,
+    /// att1 dependent on (att2, att3); everything else independent.
+    fn figure3_table(n: usize) -> charles_store::Table {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut b = TableBuilder::new("t");
+        for name in ["att1", "att2", "att3", "att4", "att5"] {
+            b.add_column(name, DataType::Int);
+        }
+        for _ in 0..n {
+            let a2: i64 = rng.gen_range(0..100);
+            let a3 = a2 + rng.gen_range(-3..=3); // tight function of a2
+            let a1 = a2 / 2 + rng.gen_range(-2..=2); // depends on a2 (hence a3)
+            let a4: i64 = rng.gen_range(0..100);
+            let a5 = a4 + rng.gen_range(-3..=3); // tight function of a4
+            b.push_row(vec![
+                Value::Int(a1),
+                Value::Int(a2),
+                Value::Int(a3),
+                Value::Int(a4),
+                Value::Int(a5),
+            ])
+            .unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn figure3_execution_produces_eight_segmentations() {
+        let t = figure3_table(2000);
+        let ctx = Query::wildcard(&["att1", "att2", "att3", "att4", "att5"]);
+        // Depth 12 lets {att1,att2,att3} (8 pieces) form but not 16-piece sets.
+        let ex = Explorer::new(&t, Config::default(), ctx).unwrap();
+        let out = hb_cuts(&ex).unwrap();
+        // Figure 3: 5 seeds + 3 accepted compositions = 8 segmentations.
+        assert_eq!(out.trace.seeds.len(), 5);
+        let accepted = out.trace.steps.iter().filter(|s| s.accepted).count();
+        assert_eq!(accepted, 3, "trace: {:?}", out.trace.steps);
+        assert_eq!(out.ranked.len(), 8);
+    }
+
+    #[test]
+    fn figure3_composition_tree_shape() {
+        let t = figure3_table(2000);
+        let ctx = Query::wildcard(&["att1", "att2", "att3", "att4", "att5"]);
+        let ex = Explorer::new(&t, Config::default(), ctx).unwrap();
+        let out = hb_cuts(&ex).unwrap();
+        let accepted: Vec<&ComposeStep> =
+            out.trace.steps.iter().filter(|s| s.accepted).collect();
+        // The two tight pairs must be composed (in some order) before the
+        // looser att1–{att2,att3} link.
+        let pairs: Vec<(Vec<String>, Vec<String>)> = accepted
+            .iter()
+            .map(|s| (s.left_attrs.clone(), s.right_attrs.clone()))
+            .collect();
+        let has_23 = pairs.iter().take(2).any(|(l, r)| {
+            let mut all: Vec<&str> = l.iter().chain(r).map(|s| s.as_str()).collect();
+            all.sort();
+            all == ["att2", "att3"]
+        });
+        let has_45 = pairs.iter().take(2).any(|(l, r)| {
+            let mut all: Vec<&str> = l.iter().chain(r).map(|s| s.as_str()).collect();
+            all.sort();
+            all == ["att4", "att5"]
+        });
+        assert!(has_23 && has_45, "first two compositions: {pairs:?}");
+        // Third composition joins att1 with the {att2, att3} block.
+        let (l, r) = &pairs[2];
+        let mut third: Vec<&str> = l.iter().chain(r).map(|s| s.as_str()).collect();
+        third.sort();
+        assert_eq!(third, ["att1", "att2", "att3"]);
+    }
+
+    #[test]
+    fn every_result_is_a_partition() {
+        let t = figure3_table(500);
+        let ctx = Query::wildcard(&["att1", "att2", "att3", "att4", "att5"]);
+        let ex = Explorer::new(&t, Config::default(), ctx).unwrap();
+        let out = hb_cuts(&ex).unwrap();
+        for r in &out.ranked {
+            let report = r
+                .segmentation
+                .check_partition(ex.backend(), ex.context_selection())
+                .unwrap();
+            assert!(report.is_partition(), "{}: {report:?}", r.segmentation);
+        }
+    }
+
+    #[test]
+    fn results_sorted_by_entropy_descending() {
+        let t = figure3_table(500);
+        let ctx = Query::wildcard(&["att1", "att2", "att3", "att4", "att5"]);
+        let ex = Explorer::new(&t, Config::default(), ctx).unwrap();
+        let out = hb_cuts(&ex).unwrap();
+        let entropies: Vec<f64> = out.ranked.iter().map(|r| r.score.entropy).collect();
+        for w in entropies.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12, "not sorted: {entropies:?}");
+        }
+    }
+
+    #[test]
+    fn independent_attributes_stop_immediately() {
+        // Two independent attributes: the only pair has INDEP ≈ 1 ≥ 0.99,
+        // so no composition is accepted and we get exactly the two seeds.
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut b = TableBuilder::new("t");
+        b.add_column("a", DataType::Int).add_column("b", DataType::Int);
+        for _ in 0..4000 {
+            b.push_row(vec![
+                Value::Int(rng.gen_range(0..1000)),
+                Value::Int(rng.gen_range(0..1000)),
+            ])
+            .unwrap();
+        }
+        let t = b.finish();
+        let ex = Explorer::new(&t, Config::default(), Query::wildcard(&["a", "b"])).unwrap();
+        let out = hb_cuts(&ex).unwrap();
+        assert_eq!(out.ranked.len(), 2);
+        assert_eq!(out.trace.stop, Some(StopReason::IndependenceThreshold));
+    }
+
+    #[test]
+    fn depth_limit_respected() {
+        // Strongly dependent attributes with a tiny depth bound: the loop
+        // must stop on DepthLimit and never emit a segmentation deeper
+        // than the bound.
+        let t = figure3_table(500);
+        let ctx = Query::wildcard(&["att2", "att3"]);
+        let cfg = Config::default().with_max_depth(3);
+        let ex = Explorer::new(&t, cfg, ctx).unwrap();
+        let out = hb_cuts(&ex).unwrap();
+        assert_eq!(out.trace.stop, Some(StopReason::DepthLimit));
+        for r in &out.ranked {
+            assert!(r.segmentation.depth() < 3 + 4, "depth {}", r.segmentation.depth());
+        }
+        // Only the two seeds are returned (the composition was rejected).
+        assert_eq!(out.ranked.len(), 2);
+    }
+
+    #[test]
+    fn constant_attribute_is_skipped() {
+        let mut b = TableBuilder::new("t");
+        b.add_column("x", DataType::Int).add_column("c", DataType::Int);
+        for i in 0..100 {
+            b.push_row(vec![Value::Int(i), Value::Int(1)]).unwrap();
+        }
+        let t = b.finish();
+        let ex = Explorer::new(&t, Config::default(), Query::wildcard(&["x", "c"])).unwrap();
+        let out = hb_cuts(&ex).unwrap();
+        assert_eq!(out.trace.seeds, vec!["x"]);
+        assert_eq!(out.trace.skipped, vec!["c"]);
+        assert_eq!(out.trace.stop, Some(StopReason::ExhaustedCandidates));
+        assert_eq!(out.ranked.len(), 1);
+    }
+
+    #[test]
+    fn all_constant_errors() {
+        let mut b = TableBuilder::new("t");
+        b.add_column("c", DataType::Int);
+        for _ in 0..10 {
+            b.push_row(vec![Value::Int(1)]).unwrap();
+        }
+        let t = b.finish();
+        let ex = Explorer::new(&t, Config::default(), Query::wildcard(&["c"])).unwrap();
+        assert!(matches!(
+            hb_cuts(&ex),
+            Err(CoreError::NoCuttableAttribute)
+        ));
+    }
+
+    #[test]
+    fn max_results_truncates() {
+        let t = figure3_table(500);
+        let ctx = Query::wildcard(&["att1", "att2", "att3", "att4", "att5"]);
+        let cfg = Config::default().with_max_results(3);
+        let ex = Explorer::new(&t, cfg, ctx).unwrap();
+        let out = hb_cuts(&ex).unwrap();
+        assert_eq!(out.ranked.len(), 3);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let t = figure3_table(800);
+        let ctx = Query::wildcard(&["att1", "att2", "att3", "att4", "att5"]);
+        let run = || {
+            let ex = Explorer::new(&t, Config::default(), ctx.clone()).unwrap();
+            hb_cuts(&ex)
+                .unwrap()
+                .ranked
+                .iter()
+                .map(|r| r.segmentation.to_string())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,421 @@
+//! CUT (Definitions 5 & 6): split a query — and by extension a whole
+//! segmentation — in two halves along one attribute.
+//!
+//! * numeric attributes: split at the (exact or sampled) median —
+//!   `CUT_att(Q) = {(Q, att: [min, med[), (Q, att: [med, max])}`;
+//! * nominal attributes: order the values by descending frequency (low
+//!   cardinality) or alphabetically (high cardinality), then split where
+//!   the accumulated frequency is closest to 50%.
+//!
+//! Degenerate pieces are never produced: if a segment cannot be split into
+//! two non-empty halves on the attribute (constant column, single
+//! category), the cut reports `None` for that query. When cutting a whole
+//! segmentation, un-cuttable queries are carried over unchanged so the
+//! result remains a partition; if *no* query could be cut the segmentation
+//! cut as a whole is `None`.
+
+use crate::engine::Explorer;
+use crate::error::CoreResult;
+use charles_sdl::{Constraint, Query, Segmentation};
+use charles_store::{DataType, FrequencyTable, Value};
+
+/// Cut one query in two along `attr`. Returns `None` when no valid binary
+/// split exists.
+pub fn cut_query(
+    ex: &Explorer<'_>,
+    q: &Query,
+    attr: &str,
+) -> CoreResult<Option<(Query, Query)>> {
+    let sel = ex.selection(q)?;
+    if sel.none() {
+        return Ok(None);
+    }
+    let ty = ex.backend().schema().type_of(attr)?;
+    let pieces = if ty.is_numeric() {
+        numeric_pieces(ex, attr, &sel)?
+    } else {
+        nominal_pieces(ex, attr, ty, &sel)?
+    };
+    let Some((left, right)) = pieces else {
+        return Ok(None);
+    };
+    // Refine the query with each piece; both refinements must stay
+    // satisfiable (they do by construction — the split points come from
+    // values inside the segment).
+    match (q.refined(attr, left), q.refined(attr, right)) {
+        (Some(l), Some(r)) => Ok(Some((l, r))),
+        _ => Ok(None),
+    }
+}
+
+/// Cut every query of a segmentation along `attr` (Definition 6):
+/// `CUT_att(S) = CUT_att(Q_0) ∪ … ∪ CUT_att(Q_L)`.
+///
+/// Queries with no valid split are kept unchanged (keeps the partition
+/// property); `None` when not a single query could be cut.
+pub fn cut_segmentation(
+    ex: &Explorer<'_>,
+    seg: &Segmentation,
+    attr: &str,
+) -> CoreResult<Option<Segmentation>> {
+    let mut out = Vec::with_capacity(seg.depth() * 2);
+    let mut any = false;
+    for q in seg.queries() {
+        match cut_query(ex, q, attr)? {
+            Some((l, r)) => {
+                any = true;
+                out.push(l);
+                out.push(r);
+            }
+            None => out.push(q.clone()),
+        }
+    }
+    Ok(if any { Some(Segmentation::new(out)) } else { None })
+}
+
+/// Median-based pieces for a numeric attribute.
+fn numeric_pieces(
+    ex: &Explorer<'_>,
+    attr: &str,
+    sel: &charles_store::Bitmap,
+) -> CoreResult<Option<(Constraint, Constraint)>> {
+    let Some((min, max)) = ex.backend().min_max(attr, sel)? else {
+        return Ok(None);
+    };
+    if matches!(min.try_cmp(&max), Ok(std::cmp::Ordering::Equal)) {
+        return Ok(None); // constant within the segment
+    }
+    let Some(med) = ex.split_point(attr, sel)? else {
+        return Ok(None);
+    };
+
+    // Discrete columns (Int/Date): closed integer pieces
+    // [min, s] / [s+1, max] with s = clamp(⌊med⌋, min, max−1). Both pieces
+    // are guaranteed non-empty: min ≤ s and s+1 ≤ max.
+    if let (Value::Int(lo), Value::Int(hi)) = (&min, &max) {
+        let s = (med.as_f64().expect("numeric median").floor() as i64).clamp(*lo, *hi - 1);
+        let left = Constraint::range(Value::Int(*lo), Value::Int(s)).expect("lo ≤ s");
+        let right = Constraint::range(Value::Int(s + 1), Value::Int(*hi)).expect("s+1 ≤ hi");
+        return Ok(Some((left, right)));
+    }
+    if let (Value::Date(lo), Value::Date(hi)) = (&min, &max) {
+        let s = (med.as_f64().expect("numeric median").floor() as i64).clamp(*lo, *hi - 1);
+        let left = Constraint::range(Value::Date(*lo), Value::Date(s)).expect("lo ≤ s");
+        let right = Constraint::range(Value::Date(s + 1), Value::Date(*hi)).expect("s+1 ≤ hi");
+        return Ok(Some((left, right)));
+    }
+
+    // Continuous columns: the paper's half-open split [min, med[ / [med, max].
+    // When duplicates drag the median down to the minimum the left piece
+    // would be empty; fall back to the smallest value above the minimum.
+    let med_f = med.as_f64().expect("numeric median");
+    let min_f = min.as_f64().expect("numeric bound");
+    let split = if med_f <= min_f {
+        match ex.backend().next_above(attr, sel, &min)? {
+            Some(v) => v,
+            None => return Ok(None), // single distinct value
+        }
+    } else {
+        med
+    };
+    let left = Constraint::range_with(min.clone(), split.clone(), false);
+    let right = Constraint::range_with(split, max, true);
+    match (left, right) {
+        (Ok(l), Ok(r)) => Ok(Some((l, r))),
+        _ => Ok(None),
+    }
+}
+
+/// Frequency-ordered pieces for a nominal attribute.
+fn nominal_pieces(
+    ex: &Explorer<'_>,
+    attr: &str,
+    ty: DataType,
+    sel: &charles_store::Bitmap,
+) -> CoreResult<Option<(Constraint, Constraint)>> {
+    let (ft, dict) = ex.backend().frequencies(attr, sel)?;
+    if ft.cardinality() < 2 {
+        return Ok(None);
+    }
+    // "We choose to sort the values by order of occurrence for columns
+    // with low cardinality, and alphabetically otherwise."
+    let ordered = if ft.cardinality() <= ex.config().nominal_freq_sort_limit {
+        ft.by_frequency()
+    } else {
+        ft.alphabetical(&dict)
+    };
+    let Some((split_idx, _)) = FrequencyTable::half_split(&ordered) else {
+        return Ok(None);
+    };
+    let decode = |code: u32| -> Value {
+        let s = &dict[code as usize];
+        match ty {
+            DataType::Bool => Value::Bool(s == "true"),
+            _ => Value::str(s.clone()),
+        }
+    };
+    let left: Vec<Value> = ordered[..split_idx].iter().map(|&(c, _)| decode(c)).collect();
+    let right: Vec<Value> = ordered[split_idx..].iter().map(|&(c, _)| decode(c)).collect();
+    match (Constraint::set(left), Constraint::set(right)) {
+        (Ok(l), Ok(r)) => Ok(Some((l, r))),
+        _ => Ok(None),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Config, MedianStrategy};
+    use charles_store::{DataType, TableBuilder};
+
+    /// The Figure 2 boats: 4 fluits (1000–2000, 2000–5000 tonnage) and 4
+    /// jachts, with departure years correlated with the type.
+    fn boats() -> charles_store::Table {
+        let mut b = TableBuilder::new("boats");
+        b.add_column("type", DataType::Str)
+            .add_column("tonnage", DataType::Int)
+            .add_column("year", DataType::Int);
+        let rows = [
+            ("fluit", 1200, 1710),
+            ("fluit", 1800, 1730),
+            ("fluit", 2500, 1745),
+            ("fluit", 4000, 1760),
+            ("jacht", 1500, 1755),
+            ("jacht", 2800, 1765),
+            ("jacht", 3500, 1772),
+            ("jacht", 4800, 1779),
+        ];
+        for (ty, t, y) in rows {
+            b.push_row(vec![Value::str(ty), Value::Int(t), Value::Int(y)])
+                .unwrap();
+        }
+        b.finish()
+    }
+
+    fn explorer(t: &charles_store::Table) -> Explorer<'_> {
+        Explorer::new(
+            t,
+            Config::default(),
+            Query::wildcard(&["type", "tonnage", "year"]),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn numeric_cut_splits_at_median() {
+        let t = boats();
+        let ex = explorer(&t);
+        let ctx = ex.context().clone();
+        let (l, r) = cut_query(&ex, &ctx, "tonnage").unwrap().unwrap();
+        // 8 values; both halves must have 4 rows.
+        assert_eq!(ex.count(&l).unwrap(), 4);
+        assert_eq!(ex.count(&r).unwrap(), 4);
+        // Pieces partition the context.
+        let seg = Segmentation::new(vec![l, r]);
+        let report = seg
+            .check_partition(ex.backend(), ex.context_selection())
+            .unwrap();
+        assert!(report.is_partition(), "{report:?}");
+    }
+
+    #[test]
+    fn nominal_cut_splits_categories() {
+        let t = boats();
+        let ex = explorer(&t);
+        let (l, r) = cut_query(&ex, &ex.context().clone(), "type").unwrap().unwrap();
+        assert_eq!(ex.count(&l).unwrap(), 4);
+        assert_eq!(ex.count(&r).unwrap(), 4);
+        let cs = l.constraint("type").unwrap();
+        assert!(matches!(cs, Constraint::Set(v) if v.len() == 1));
+    }
+
+    #[test]
+    fn cut_on_constant_column_is_none() {
+        let mut b = TableBuilder::new("t");
+        b.add_column("x", DataType::Int).add_column("c", DataType::Int);
+        for i in 0..4 {
+            b.push_row(vec![Value::Int(i), Value::Int(7)]).unwrap();
+        }
+        let t = b.finish();
+        let ex = Explorer::new(&t, Config::default(), Query::wildcard(&["x", "c"])).unwrap();
+        assert!(cut_query(&ex, &ex.context().clone(), "c").unwrap().is_none());
+    }
+
+    #[test]
+    fn cut_on_single_category_is_none() {
+        let mut b = TableBuilder::new("t");
+        b.add_column("k", DataType::Str);
+        for _ in 0..4 {
+            b.push_row(vec![Value::str("only")]).unwrap();
+        }
+        let t = b.finish();
+        let ex = Explorer::new(&t, Config::default(), Query::wildcard(&["k"])).unwrap();
+        assert!(cut_query(&ex, &ex.context().clone(), "k").unwrap().is_none());
+    }
+
+    #[test]
+    fn skewed_duplicates_still_split_nonempty() {
+        // Median equals the minimum: 1,1,1,9 — both halves must be non-empty.
+        let mut b = TableBuilder::new("t");
+        b.add_column("x", DataType::Float);
+        for v in [1.0, 1.0, 1.0, 9.0] {
+            b.push_row(vec![Value::Float(v)]).unwrap();
+        }
+        let t = b.finish();
+        let ex = Explorer::new(&t, Config::default(), Query::wildcard(&["x"])).unwrap();
+        let (l, r) = cut_query(&ex, &ex.context().clone(), "x").unwrap().unwrap();
+        assert_eq!(ex.count(&l).unwrap(), 3);
+        assert_eq!(ex.count(&r).unwrap(), 1);
+    }
+
+    #[test]
+    fn integer_duplicates_skewed_high() {
+        // 1,5,5,5: median 5 = max → clamp to s = 4.
+        let mut b = TableBuilder::new("t");
+        b.add_column("x", DataType::Int);
+        for v in [1, 5, 5, 5] {
+            b.push_row(vec![Value::Int(v)]).unwrap();
+        }
+        let t = b.finish();
+        let ex = Explorer::new(&t, Config::default(), Query::wildcard(&["x"])).unwrap();
+        let (l, r) = cut_query(&ex, &ex.context().clone(), "x").unwrap().unwrap();
+        assert_eq!(ex.count(&l).unwrap(), 1);
+        assert_eq!(ex.count(&r).unwrap(), 3);
+    }
+
+    #[test]
+    fn cut_of_segmentation_doubles_pieces() {
+        let t = boats();
+        let ex = explorer(&t);
+        let ctx = Segmentation::singleton(ex.context().clone());
+        let s1 = cut_segmentation(&ex, &ctx, "type").unwrap().unwrap();
+        assert_eq!(s1.depth(), 2);
+        let s2 = cut_segmentation(&ex, &s1, "tonnage").unwrap().unwrap();
+        assert_eq!(s2.depth(), 4);
+        let report = s2
+            .check_partition(ex.backend(), ex.context_selection())
+            .unwrap();
+        assert!(report.is_partition(), "{report:?}");
+        // Each type-half is cut at its own median, so all four pieces hold
+        // two boats ("this creates semantically coherent segmentations").
+        for q in s2.queries() {
+            assert_eq!(ex.count(q).unwrap(), 2);
+        }
+    }
+
+    #[test]
+    fn cut_segmentation_keeps_uncuttable_pieces() {
+        // One piece is constant on the cut attribute; it must survive
+        // unchanged while the other is split.
+        let mut b = TableBuilder::new("t");
+        b.add_column("k", DataType::Str).add_column("x", DataType::Int);
+        for (k, x) in [("a", 1), ("a", 1), ("b", 1), ("b", 9)] {
+            b.push_row(vec![Value::str(k), Value::Int(x)]).unwrap();
+        }
+        let t = b.finish();
+        let ex = Explorer::new(&t, Config::default(), Query::wildcard(&["k", "x"])).unwrap();
+        let by_k = cut_segmentation(
+            &ex,
+            &Segmentation::singleton(ex.context().clone()),
+            "k",
+        )
+        .unwrap()
+        .unwrap();
+        let by_kx = cut_segmentation(&ex, &by_k, "x").unwrap().unwrap();
+        // "a" piece is constant on x → kept; "b" piece splits → 3 total.
+        assert_eq!(by_kx.depth(), 3);
+        let report = by_kx
+            .check_partition(ex.backend(), ex.context_selection())
+            .unwrap();
+        assert!(report.is_partition(), "{report:?}");
+    }
+
+    #[test]
+    fn cut_with_sampled_median_still_partitions() {
+        let mut b = TableBuilder::new("t");
+        b.add_column("x", DataType::Int);
+        for i in 0..1000 {
+            b.push_row(vec![Value::Int(i % 97)]).unwrap();
+        }
+        let t = b.finish();
+        let ex = Explorer::new(
+            &t,
+            Config::default().with_median(MedianStrategy::Sampled { size: 64, seed: 3 }),
+            Query::wildcard(&["x"]),
+        )
+        .unwrap();
+        let (l, r) = cut_query(&ex, &ex.context().clone(), "x").unwrap().unwrap();
+        let seg = Segmentation::new(vec![l.clone(), r]);
+        assert!(seg
+            .check_partition(ex.backend(), ex.context_selection())
+            .unwrap()
+            .is_partition());
+        // Sampled split should still be roughly balanced.
+        let c = ex.cover(&l).unwrap();
+        assert!((0.25..=0.75).contains(&c), "cover {c}");
+    }
+
+    #[test]
+    fn cut_respects_existing_constraint() {
+        let t = boats();
+        let ex = explorer(&t);
+        // Restrict to fluits first, then cut on tonnage: pieces must stay
+        // within the fluit subset.
+        let fluits = ex
+            .context()
+            .refined(
+                "type",
+                Constraint::set(vec![Value::str("fluit")]).unwrap(),
+            )
+            .unwrap();
+        let (l, r) = cut_query(&ex, &fluits, "tonnage").unwrap().unwrap();
+        assert_eq!(ex.count(&l).unwrap() + ex.count(&r).unwrap(), 4);
+        for q in [&l, &r] {
+            assert_eq!(
+                q.constraint("type"),
+                Some(&Constraint::Set(vec![Value::str("fluit")]))
+            );
+        }
+    }
+
+    #[test]
+    fn bool_columns_cut_into_true_false() {
+        let mut b = TableBuilder::new("t");
+        b.add_column("armed", DataType::Bool);
+        for v in [true, true, false, true] {
+            b.push_row(vec![Value::Bool(v)]).unwrap();
+        }
+        let t = b.finish();
+        let ex = Explorer::new(&t, Config::default(), Query::wildcard(&["armed"])).unwrap();
+        let (l, r) = cut_query(&ex, &ex.context().clone(), "armed").unwrap().unwrap();
+        // Frequency order puts `true` (3 rows) first.
+        assert_eq!(
+            l.constraint("armed"),
+            Some(&Constraint::Set(vec![Value::Bool(true)]))
+        );
+        assert_eq!(ex.count(&l).unwrap(), 3);
+        assert_eq!(ex.count(&r).unwrap(), 1);
+    }
+
+    #[test]
+    fn alphabetical_ordering_beyond_cardinality_limit() {
+        let mut b = TableBuilder::new("t");
+        b.add_column("k", DataType::Str);
+        // Three categories, limit forced to 2 → alphabetical ordering.
+        for k in ["zeta", "alpha", "alpha", "mid"] {
+            b.push_row(vec![Value::str(k)]).unwrap();
+        }
+        let t = b.finish();
+        let cfg = Config {
+            nominal_freq_sort_limit: 2,
+            ..Config::default()
+        };
+        let ex = Explorer::new(&t, cfg, Query::wildcard(&["k"])).unwrap();
+        let (l, _r) = cut_query(&ex, &ex.context().clone(), "k").unwrap().unwrap();
+        // Alphabetical: alpha(2), mid(1), zeta(1) → left = {alpha} (closest to 50%).
+        assert_eq!(
+            l.constraint("k"),
+            Some(&Constraint::Set(vec![Value::str("alpha")]))
+        );
+    }
+}

@@ -1,0 +1,179 @@
+//! Drill-down exploration sessions.
+//!
+//! The paper's interaction loop (§2): "the user specifies a population he
+//! is interested in … The system then generates several segmentations and
+//! presents them in a ranked list … The user can then select one SDL
+//! query, and submit it for further exploration." A [`Session`] keeps the
+//! breadcrumb trail of contexts so the user can drill in and back out.
+
+use crate::advisor::{Advice, Advisor};
+use crate::config::Config;
+use crate::error::{CoreError, CoreResult};
+use charles_sdl::{parse_query, Query};
+use charles_store::Backend;
+
+/// An interactive exploration session over one backend.
+pub struct Session<'a> {
+    advisor: Advisor<'a>,
+    /// Breadcrumbs: every context visited, current one last. Invariant:
+    /// `history` and `advice` are non-empty and aligned after `start`.
+    history: Vec<Query>,
+    advice: Vec<Advice>,
+}
+
+impl<'a> Session<'a> {
+    /// Open a session with the paper-default configuration.
+    pub fn new(backend: &'a dyn Backend) -> Session<'a> {
+        Session {
+            advisor: Advisor::new(backend),
+            history: Vec::new(),
+            advice: Vec::new(),
+        }
+    }
+
+    /// Open a session with an explicit configuration.
+    pub fn with_config(backend: &'a dyn Backend, config: Config) -> Session<'a> {
+        Session {
+            advisor: Advisor::with_config(backend, config),
+            history: Vec::new(),
+            advice: Vec::new(),
+        }
+    }
+
+    /// Enter the initial context (SDL text) and get the first advice.
+    pub fn start(&mut self, sdl: &str) -> CoreResult<&Advice> {
+        let q = parse_query(sdl, self.backend().schema())?;
+        self.start_query(q)
+    }
+
+    /// Enter the initial context (parsed query).
+    pub fn start_query(&mut self, context: Query) -> CoreResult<&Advice> {
+        let advice = self.advisor.advise(context.clone())?;
+        self.history.clear();
+        self.advice.clear();
+        self.history.push(context);
+        self.advice.push(advice);
+        Ok(self.current().expect("just pushed"))
+    }
+
+    /// The advice for the current context.
+    pub fn current(&self) -> Option<&Advice> {
+        self.advice.last()
+    }
+
+    /// The current context query.
+    pub fn context(&self) -> Option<&Query> {
+        self.history.last()
+    }
+
+    /// Depth of the breadcrumb trail (1 = initial context).
+    pub fn depth(&self) -> usize {
+        self.history.len()
+    }
+
+    /// Drill into segment `seg_idx` of ranked answer `rank_idx`: that
+    /// segment's query becomes the new context.
+    pub fn drill(&mut self, rank_idx: usize, seg_idx: usize) -> CoreResult<&Advice> {
+        let current = self
+            .current()
+            .ok_or_else(|| CoreError::BadConfig("session not started".into()))?;
+        let target = current
+            .segment(rank_idx, seg_idx)
+            .ok_or_else(|| {
+                CoreError::BadConfig(format!(
+                    "no segment ({rank_idx}, {seg_idx}) in current advice"
+                ))
+            })?
+            .clone();
+        let advice = self.advisor.advise(target.clone())?;
+        self.history.push(target);
+        self.advice.push(advice);
+        Ok(self.current().expect("just pushed"))
+    }
+
+    /// Go back one level. Returns the advice of the restored context, or
+    /// `None` when already at the root.
+    pub fn back(&mut self) -> Option<&Advice> {
+        if self.history.len() <= 1 {
+            return None;
+        }
+        self.history.pop();
+        self.advice.pop();
+        self.current()
+    }
+
+    /// The full breadcrumb trail, oldest first.
+    pub fn breadcrumbs(&self) -> &[Query] {
+        &self.history
+    }
+
+    /// The backend being explored.
+    pub fn backend(&self) -> &'a dyn Backend {
+        self.advisor.backend()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use charles_store::{DataType, TableBuilder, Value};
+
+    fn table() -> charles_store::Table {
+        let mut b = TableBuilder::new("t");
+        b.add_column("kind", DataType::Str).add_column("size", DataType::Int);
+        for i in 0..64i64 {
+            let kind = if i % 2 == 0 { "even" } else { "odd" };
+            b.push_row(vec![Value::str(kind), Value::Int(i)]).unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn start_drill_back_loop() {
+        let t = table();
+        let mut s = Session::new(&t);
+        let first = s.start("(kind: , size: )").unwrap();
+        assert_eq!(first.context_size, 64);
+        assert_eq!(s.depth(), 1);
+
+        let drilled = s.drill(0, 0).unwrap();
+        assert!(drilled.context_size < 64);
+        assert_eq!(s.depth(), 2);
+        assert_eq!(s.breadcrumbs().len(), 2);
+
+        let restored = s.back().unwrap();
+        assert_eq!(restored.context_size, 64);
+        assert_eq!(s.depth(), 1);
+        // Back at the root: no further back.
+        assert!(s.back().is_none());
+    }
+
+    #[test]
+    fn drill_out_of_range_errors() {
+        let t = table();
+        let mut s = Session::new(&t);
+        s.start("(kind: , size: )").unwrap();
+        assert!(s.drill(99, 0).is_err());
+        // Session state unchanged after a failed drill.
+        assert_eq!(s.depth(), 1);
+    }
+
+    #[test]
+    fn drill_before_start_errors() {
+        let t = table();
+        let mut s = Session::new(&t);
+        assert!(s.drill(0, 0).is_err());
+        assert!(s.current().is_none());
+        assert!(s.context().is_none());
+    }
+
+    #[test]
+    fn restart_resets_history() {
+        let t = table();
+        let mut s = Session::new(&t);
+        s.start("(kind: , size: )").unwrap();
+        s.drill(0, 0).unwrap();
+        s.start("(size: )").unwrap();
+        assert_eq!(s.depth(), 1);
+    }
+}

@@ -1,0 +1,33 @@
+//! `charles-datagen` — synthetic datasets for the Charles experiments.
+//!
+//! The paper demonstrates Charles on domain databases we cannot
+//! redistribute: the Dutch-Asiatic Shipping (VOC) archive of Figure 1, an
+//! astronomy catalogue (demo proposal), and the web logs of the
+//! introduction. Each generator here synthesises a dataset with the same
+//! schema *and the same dependency structure* — which is all the advisor
+//! ever observes (see DESIGN.md §2 for the substitution argument).
+//!
+//! All generators are deterministic for a fixed seed.
+//!
+//! * [`voc::voc_table`] — nine-column VOC shipping relation with
+//!   boat-type↔tonnage, route↔harbour and era↔yard dependencies;
+//! * [`astro::astro_table`] — sky-survey catalogue with class-conditional
+//!   magnitude/redshift distributions;
+//! * [`weblog::weblog_table`] — sessionised web log with Zipfian paths
+//!   and heavy-tailed latencies;
+//! * [`synthetic`] — parametric tables with *controlled* pairwise
+//!   dependency for calibrating INDEP (experiment E8) and scalability
+//!   sweeps (E5/E6);
+//! * [`zipf`] — a small Zipf sampler shared by the generators.
+
+pub mod astro;
+pub mod synthetic;
+pub mod voc;
+pub mod weblog;
+pub mod zipf;
+
+pub use astro::astro_table;
+pub use synthetic::{correlated_pair_table, sweep_table, DependencyKind};
+pub use voc::voc_table;
+pub use weblog::weblog_table;
+pub use zipf::Zipf;

@@ -1,0 +1,71 @@
+//! Error type for SDL parsing and evaluation.
+
+use charles_store::StoreError;
+use std::fmt;
+
+/// Errors produced by the SDL layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SdlError {
+    /// Syntax error at a byte offset of the input.
+    Syntax {
+        /// Byte position where the error was detected.
+        position: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// A constraint mixes incompatible value types (e.g. `[1, 'abc']`).
+    Malformed(String),
+    /// The underlying store rejected an operation.
+    Store(StoreError),
+}
+
+impl fmt::Display for SdlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SdlError::Syntax { position, message } => {
+                write!(f, "SDL syntax error at byte {position}: {message}")
+            }
+            SdlError::Malformed(msg) => write!(f, "malformed SDL: {msg}"),
+            SdlError::Store(e) => write!(f, "store error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SdlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SdlError::Store(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StoreError> for SdlError {
+    fn from(e: StoreError) -> Self {
+        SdlError::Store(e)
+    }
+}
+
+/// Result alias for SDL operations.
+pub type SdlResult<T> = Result<T, SdlError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_syntax_error_mentions_position() {
+        let e = SdlError::Syntax {
+            position: 7,
+            message: "expected ':'".into(),
+        };
+        assert!(e.to_string().contains("byte 7"));
+    }
+
+    #[test]
+    fn store_error_converts_and_sources() {
+        use std::error::Error;
+        let e: SdlError = StoreError::UnknownColumn("x".into()).into();
+        assert!(e.source().is_some());
+    }
+}

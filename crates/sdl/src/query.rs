@@ -1,0 +1,223 @@
+//! SDL queries (paper Definition 2): conjunctions of predicates.
+
+use crate::error::{SdlError, SdlResult};
+use crate::predicate::{Constraint, Predicate};
+
+/// An SDL query `Q = (C0, C1, …, CN)`.
+///
+/// Attribute order is preserved (it is how the user framed the context and
+/// how the paper prints queries). Each attribute appears at most once;
+/// refining an attribute's constraint goes through [`Query::refined`],
+/// which intersects with any existing constraint — exactly what the CUT
+/// primitive needs when it narrows a piece that is already constrained.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    predicates: Vec<Predicate>,
+}
+
+impl Query {
+    /// Query over the given attributes with no constraints — the typical
+    /// starting context ("the whole database, these columns").
+    pub fn wildcard(attrs: &[&str]) -> Query {
+        Query {
+            predicates: attrs.iter().map(|a| Predicate::any(*a)).collect(),
+        }
+    }
+
+    /// Build from explicit predicates. Rejects duplicate attributes.
+    pub fn new(predicates: Vec<Predicate>) -> SdlResult<Query> {
+        for (i, p) in predicates.iter().enumerate() {
+            if predicates[..i].iter().any(|q| q.attr == p.attr) {
+                return Err(SdlError::Malformed(format!(
+                    "attribute {:?} appears twice in query",
+                    p.attr
+                )));
+            }
+        }
+        Ok(Query { predicates })
+    }
+
+    /// The predicates in declaration order.
+    pub fn predicates(&self) -> &[Predicate] {
+        &self.predicates
+    }
+
+    /// All attributes mentioned by the query (constrained or not). This is
+    /// the exploration scope: "we choose to restrict the exploration to
+    /// the columns mentioned by the user" (§2).
+    pub fn attributes(&self) -> Vec<&str> {
+        self.predicates.iter().map(|p| p.attr.as_str()).collect()
+    }
+
+    /// Only the attributes that carry an actual constraint.
+    pub fn constrained_attributes(&self) -> Vec<&str> {
+        self.predicates
+            .iter()
+            .filter(|p| p.is_constraining())
+            .map(|p| p.attr.as_str())
+            .collect()
+    }
+
+    /// Number of constraining predicates — the per-query complexity that
+    /// the simplicity metric maximises over (§3 SIMPLICITY).
+    pub fn constraint_count(&self) -> usize {
+        self.predicates.iter().filter(|p| p.is_constraining()).count()
+    }
+
+    /// The constraint on an attribute, if the attribute is mentioned.
+    pub fn constraint(&self, attr: &str) -> Option<&Constraint> {
+        self.predicates
+            .iter()
+            .find(|p| p.attr == attr)
+            .map(|p| &p.constraint)
+    }
+
+    /// Whether the query mentions an attribute at all.
+    pub fn mentions(&self, attr: &str) -> bool {
+        self.predicates.iter().any(|p| p.attr == attr)
+    }
+
+    /// Refine the query with an additional constraint on `attr` — the
+    /// `(Q, attk: […])` notation of Definition 5. If the attribute already
+    /// carries a constraint the two are intersected; `None` is returned
+    /// when the intersection is provably empty. Attributes not yet
+    /// mentioned are appended (keeps PRODUCT general).
+    pub fn refined(&self, attr: &str, constraint: Constraint) -> Option<Query> {
+        let mut predicates = self.predicates.clone();
+        match predicates.iter_mut().find(|p| p.attr == attr) {
+            Some(p) => {
+                let merged = p.constraint.intersect(&constraint)?;
+                p.constraint = merged;
+            }
+            None => predicates.push(Predicate::new(attr, constraint)),
+        }
+        Some(Query { predicates })
+    }
+
+    /// Conjunction of two whole queries — the cell `(Qi, Qj)` of the SDL
+    /// product (Definition 8). `None` when provably empty.
+    pub fn conjoin(&self, other: &Query) -> Option<Query> {
+        let mut out = self.clone();
+        for p in &other.predicates {
+            out = out.refined(&p.attr, p.constraint.clone())?;
+        }
+        Some(out)
+    }
+
+    /// Whether a full tuple (attribute, value) assignment satisfies the
+    /// query. Used by tests and the row-level fallback paths; bulk
+    /// evaluation goes through [`crate::eval`].
+    pub fn matches_row(
+        &self,
+        lookup: impl Fn(&str) -> Option<charles_store::Value>,
+    ) -> bool {
+        self.predicates.iter().all(|p| {
+            if !p.is_constraining() {
+                return true;
+            }
+            match lookup(&p.attr) {
+                Some(v) => p.constraint.matches(&v),
+                None => false, // nulls never match a constraint
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use charles_store::Value;
+
+    fn set(vals: &[&str]) -> Constraint {
+        Constraint::set(vals.iter().map(|v| Value::str(*v)).collect()).unwrap()
+    }
+
+    #[test]
+    fn wildcard_mentions_but_does_not_constrain() {
+        let q = Query::wildcard(&["a", "b"]);
+        assert_eq!(q.attributes(), vec!["a", "b"]);
+        assert!(q.constrained_attributes().is_empty());
+        assert_eq!(q.constraint_count(), 0);
+    }
+
+    #[test]
+    fn duplicate_attributes_rejected() {
+        let err = Query::new(vec![Predicate::any("a"), Predicate::any("a")]).unwrap_err();
+        assert!(matches!(err, SdlError::Malformed(_)));
+    }
+
+    #[test]
+    fn refined_replaces_any() {
+        let q = Query::wildcard(&["type", "tonnage"]);
+        let q2 = q.refined("type", set(&["jacht"])).unwrap();
+        assert_eq!(q2.constrained_attributes(), vec!["type"]);
+        assert_eq!(q2.constraint_count(), 1);
+        // original untouched
+        assert_eq!(q.constraint_count(), 0);
+    }
+
+    #[test]
+    fn refined_intersects_existing() {
+        let q = Query::wildcard(&["type"])
+            .refined("type", set(&["jacht", "fluit"]))
+            .unwrap();
+        let q2 = q.refined("type", set(&["fluit", "pinas"])).unwrap();
+        assert_eq!(
+            q2.constraint("type"),
+            Some(&Constraint::Set(vec![Value::str("fluit")]))
+        );
+        assert!(q.refined("type", set(&["galjoen"])).is_none());
+    }
+
+    #[test]
+    fn refined_appends_new_attribute() {
+        let q = Query::wildcard(&["a"]);
+        let q2 = q
+            .refined("b", Constraint::range(Value::Int(0), Value::Int(1)).unwrap())
+            .unwrap();
+        assert_eq!(q2.attributes(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn conjoin_merges_attribute_wise() {
+        let q1 = Query::wildcard(&["a", "b"])
+            .refined("a", Constraint::range(Value::Int(0), Value::Int(10)).unwrap())
+            .unwrap();
+        let q2 = Query::wildcard(&["a", "b"])
+            .refined("a", Constraint::range(Value::Int(5), Value::Int(20)).unwrap())
+            .unwrap()
+            .refined("b", set(&["x"]))
+            .unwrap();
+        let c = q1.conjoin(&q2).unwrap();
+        assert!(c.constraint("a").unwrap().matches(&Value::Int(7)));
+        assert!(!c.constraint("a").unwrap().matches(&Value::Int(3)));
+        assert_eq!(c.constrained_attributes(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn conjoin_detects_empty() {
+        let q1 = Query::wildcard(&["a"])
+            .refined("a", Constraint::range(Value::Int(0), Value::Int(1)).unwrap())
+            .unwrap();
+        let q2 = Query::wildcard(&["a"])
+            .refined("a", Constraint::range(Value::Int(5), Value::Int(6)).unwrap())
+            .unwrap();
+        assert!(q1.conjoin(&q2).is_none());
+    }
+
+    #[test]
+    fn matches_row_with_nulls() {
+        let q = Query::wildcard(&["a", "b"])
+            .refined("a", Constraint::range(Value::Int(0), Value::Int(10)).unwrap())
+            .unwrap();
+        assert!(q.matches_row(|attr| match attr {
+            "a" => Some(Value::Int(5)),
+            _ => None,
+        }));
+        // Null on a constrained attribute → no match.
+        assert!(!q.matches_row(|_| None));
+        // Null on an unconstrained attribute is fine.
+        let w = Query::wildcard(&["a", "b"]);
+        assert!(w.matches_row(|_| None));
+    }
+}

@@ -1,0 +1,91 @@
+//! The `Backend` trait: what Charles requires from its database.
+//!
+//! The paper positions Charles as "a front-end for SQL systems" (§1) and
+//! enumerates the operations its workload issues: counts over predicates
+//! and median calculations (§5.1), plus the frequency histograms implied
+//! by nominal cuts (§4.1). Abstracting them behind a trait lets the same
+//! advisor code run against the columnar engine ([`crate::Table`]) and the
+//! row-store baseline ([`crate::RowTable`]) — which is exactly the
+//! comparison the paper's "column-based systems such as MonetDB are well
+//! suited for Charles' workloads" claim calls for (experiment E7).
+
+use crate::bitmap::Bitmap;
+use crate::error::StoreResult;
+use crate::predicate::StorePredicate;
+use crate::schema::Schema;
+use crate::stats::FrequencyTable;
+use crate::value::Value;
+
+/// Operation counters exposed by a backend, for the experiment harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BackendStats {
+    /// Number of predicate scans executed.
+    pub scans: u64,
+    /// Number of median/quantile computations executed.
+    pub medians: u64,
+}
+
+/// The database operations the advisor needs.
+pub trait Backend {
+    /// Total number of rows in the relation.
+    fn row_count(&self) -> usize;
+
+    /// The relation's schema.
+    fn schema(&self) -> &Schema;
+
+    /// Evaluate a predicate into a selection bitmap.
+    fn eval(&self, pred: &StorePredicate) -> StoreResult<Bitmap>;
+
+    /// Selection of the rows where `column` is not null
+    /// (`WHERE col IS NOT NULL`). The advisor restricts its context to the
+    /// non-null extent of the explored attributes so that cut pieces
+    /// partition the context exactly.
+    fn not_null(&self, column: &str) -> StoreResult<Bitmap>;
+
+    /// Count rows matching a predicate (`|R(Q)|` in the paper).
+    fn count(&self, pred: &StorePredicate) -> StoreResult<usize>;
+
+    /// Exact median of a numeric column over a selection.
+    /// `None` when the selection holds no non-null value.
+    fn median(&self, column: &str, sel: &Bitmap) -> StoreResult<Option<Value>>;
+
+    /// Approximate median from a reservoir sample of `sample_size` rows
+    /// (§5.2 sampling strategies). Deterministic for a fixed `seed`.
+    fn sampled_median(
+        &self,
+        column: &str,
+        sel: &Bitmap,
+        sample_size: usize,
+        seed: u64,
+    ) -> StoreResult<Option<Value>>;
+
+    /// Value at an arbitrary quantile `q ∈ [0,1]` (§5.2 "support for other
+    /// quantiles").
+    fn quantile(&self, column: &str, sel: &Bitmap, q: f64) -> StoreResult<Option<Value>>;
+
+    /// Minimum and maximum of a column over a selection.
+    fn min_max(&self, column: &str, sel: &Bitmap) -> StoreResult<Option<(Value, Value)>>;
+
+    /// Smallest value strictly greater than `v` within a selection
+    /// (`SELECT MIN(col) WHERE col > v`): the fallback split point for
+    /// degenerate cuts where the median equals the minimum.
+    fn next_above(&self, column: &str, sel: &Bitmap, v: &Value) -> StoreResult<Option<Value>>;
+
+    /// Mean and population variance of a numeric column over a selection
+    /// (`SELECT AVG(col), VAR_POP(col)`). `None` when no non-null value is
+    /// selected. Feeds the homogeneity diagnostics and surprise scoring.
+    fn mean_and_var(&self, column: &str, sel: &Bitmap) -> StoreResult<Option<(f64, f64)>>;
+
+    /// Frequency histogram of a nominal column over a selection; returns
+    /// the table plus the dictionary used to decode its codes.
+    fn frequencies(&self, column: &str, sel: &Bitmap) -> StoreResult<(FrequencyTable, Vec<String>)>;
+
+    /// Number of distinct non-null values of a column over a selection.
+    fn distinct_count(&self, column: &str, sel: &Bitmap) -> StoreResult<usize>;
+
+    /// Operation counters accumulated since the last reset.
+    fn stats(&self) -> BackendStats;
+
+    /// Reset the operation counters.
+    fn reset_stats(&self);
+}

@@ -1,0 +1,318 @@
+//! Selection bitmaps: the vectorised "selection vector" of the engine.
+//!
+//! Every predicate evaluation produces a [`Bitmap`] with one bit per row of
+//! the table. Conjunctions are bitwise ANDs, segment disjointness checks
+//! are AND + count, covers are popcounts. Keeping selections as bitmaps is
+//! what makes the advisor's inner loop (thousands of intersection counts
+//! during INDEP search) cheap.
+
+use std::fmt;
+
+const WORD_BITS: usize = 64;
+
+/// A fixed-length bitmap over row indices `0..len`.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitmap {
+    /// All-zeros bitmap of the given length.
+    pub fn new(len: usize) -> Bitmap {
+        Bitmap {
+            words: vec![0; len.div_ceil(WORD_BITS)],
+            len,
+        }
+    }
+
+    /// All-ones bitmap of the given length.
+    pub fn ones(len: usize) -> Bitmap {
+        let mut bm = Bitmap {
+            words: vec![u64::MAX; len.div_ceil(WORD_BITS)],
+            len,
+        };
+        bm.clear_tail();
+        bm
+    }
+
+    /// Build from an iterator of row indices (need not be sorted).
+    pub fn from_indices(len: usize, indices: impl IntoIterator<Item = usize>) -> Bitmap {
+        let mut bm = Bitmap::new(len);
+        for i in indices {
+            bm.set(i);
+        }
+        bm
+    }
+
+    /// Number of addressable rows.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the bitmap addresses zero rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Set bit `i`. Panics if out of range (programming error).
+    pub fn set(&mut self, i: usize) {
+        assert!(i < self.len, "bit {i} out of range {}", self.len);
+        self.words[i / WORD_BITS] |= 1u64 << (i % WORD_BITS);
+    }
+
+    /// Clear bit `i`.
+    pub fn unset(&mut self, i: usize) {
+        assert!(i < self.len, "bit {i} out of range {}", self.len);
+        self.words[i / WORD_BITS] &= !(1u64 << (i % WORD_BITS));
+    }
+
+    /// Read bit `i`.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit {i} out of range {}", self.len);
+        self.words[i / WORD_BITS] >> (i % WORD_BITS) & 1 == 1
+    }
+
+    /// Number of set bits (the *count over a predicate* of the paper).
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True if no bit is set.
+    pub fn none(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// In-place intersection with another bitmap of the same length.
+    pub fn and_inplace(&mut self, other: &Bitmap) {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= *b;
+        }
+    }
+
+    /// New bitmap: `self ∩ other`.
+    pub fn and(&self, other: &Bitmap) -> Bitmap {
+        let mut out = self.clone();
+        out.and_inplace(other);
+        out
+    }
+
+    /// New bitmap: `self ∪ other`.
+    pub fn or(&self, other: &Bitmap) -> Bitmap {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        let mut out = self.clone();
+        for (a, b) in out.words.iter_mut().zip(&other.words) {
+            *a |= *b;
+        }
+        out
+    }
+
+    /// New bitmap: `self \ other`.
+    pub fn and_not(&self, other: &Bitmap) -> Bitmap {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        let mut out = self.clone();
+        for (a, b) in out.words.iter_mut().zip(&other.words) {
+            *a &= !*b;
+        }
+        out
+    }
+
+    /// New bitmap: complement within `0..len`.
+    pub fn not(&self) -> Bitmap {
+        let mut out = Bitmap {
+            words: self.words.iter().map(|w| !w).collect(),
+            len: self.len,
+        };
+        out.clear_tail();
+        out
+    }
+
+    /// `|self ∩ other|` without materialising the intersection — the hot
+    /// operation of INDEP search (pairwise product cell counts).
+    pub fn and_count(&self, other: &Bitmap) -> usize {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// True if the two bitmaps share no set bit (segment disjointness).
+    pub fn is_disjoint(&self, other: &Bitmap) -> bool {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        self.words.iter().zip(&other.words).all(|(a, b)| a & b == 0)
+    }
+
+    /// True if every set bit of `self` is set in `other`.
+    pub fn is_subset_of(&self, other: &Bitmap) -> bool {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    /// Append one bit, growing the bitmap by one row (amortized O(1)).
+    /// Used by load paths that build validity masks incrementally.
+    pub fn push(&mut self, value: bool) {
+        let i = self.len;
+        self.len += 1;
+        if self.words.len() * WORD_BITS < self.len {
+            self.words.push(0);
+        }
+        if value {
+            self.words[i / WORD_BITS] |= 1u64 << (i % WORD_BITS);
+        }
+    }
+
+    /// Iterator over the indices of set bits, ascending.
+    pub fn iter_ones(&self) -> OnesIter<'_> {
+        OnesIter {
+            bitmap: self,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Zero out the bits beyond `len` in the last word so popcounts and
+    /// complements stay correct.
+    fn clear_tail(&mut self) {
+        let tail = self.len % WORD_BITS;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Bitmap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bitmap[{}/{}]", self.count_ones(), self.len)
+    }
+}
+
+/// Iterator over set-bit indices of a [`Bitmap`].
+pub struct OnesIter<'a> {
+    bitmap: &'a Bitmap,
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for OnesIter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        while self.current == 0 {
+            self.word_idx += 1;
+            if self.word_idx >= self.bitmap.words.len() {
+                return None;
+            }
+            self.current = self.bitmap.words[self.word_idx];
+        }
+        let bit = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1; // clear lowest set bit
+        Some(self.word_idx * WORD_BITS + bit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_is_all_zero_ones_is_all_one() {
+        let z = Bitmap::new(130);
+        assert_eq!(z.count_ones(), 0);
+        let o = Bitmap::ones(130);
+        assert_eq!(o.count_ones(), 130);
+    }
+
+    #[test]
+    fn ones_tail_is_clean() {
+        // 70 bits spans two words; second word must only have 6 bits set.
+        let o = Bitmap::ones(70);
+        assert_eq!(o.count_ones(), 70);
+        assert_eq!(o.not().count_ones(), 0);
+    }
+
+    #[test]
+    fn set_get_unset() {
+        let mut bm = Bitmap::new(100);
+        bm.set(0);
+        bm.set(63);
+        bm.set(64);
+        bm.set(99);
+        assert!(bm.get(0) && bm.get(63) && bm.get(64) && bm.get(99));
+        assert!(!bm.get(1));
+        bm.unset(64);
+        assert!(!bm.get(64));
+        assert_eq!(bm.count_ones(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        Bitmap::new(10).get(10);
+    }
+
+    #[test]
+    fn boolean_algebra() {
+        let a = Bitmap::from_indices(10, [0, 1, 2, 3]);
+        let b = Bitmap::from_indices(10, [2, 3, 4, 5]);
+        assert_eq!(a.and(&b).iter_ones().collect::<Vec<_>>(), vec![2, 3]);
+        assert_eq!(
+            a.or(&b).iter_ones().collect::<Vec<_>>(),
+            vec![0, 1, 2, 3, 4, 5]
+        );
+        assert_eq!(a.and_not(&b).iter_ones().collect::<Vec<_>>(), vec![0, 1]);
+        assert_eq!(a.and_count(&b), 2);
+        assert!(!a.is_disjoint(&b));
+        assert!(a.and_not(&b).is_disjoint(&b));
+    }
+
+    #[test]
+    fn complement_partitions_universe() {
+        let a = Bitmap::from_indices(77, [0, 10, 76]);
+        let c = a.not();
+        assert_eq!(a.count_ones() + c.count_ones(), 77);
+        assert!(a.is_disjoint(&c));
+        assert_eq!(a.or(&c).count_ones(), 77);
+    }
+
+    #[test]
+    fn subset_checks() {
+        let a = Bitmap::from_indices(20, [1, 2]);
+        let b = Bitmap::from_indices(20, [1, 2, 3]);
+        assert!(a.is_subset_of(&b));
+        assert!(!b.is_subset_of(&a));
+        assert!(Bitmap::new(20).is_subset_of(&a));
+    }
+
+    #[test]
+    fn iter_ones_crosses_word_boundaries() {
+        let idx = vec![0usize, 63, 64, 65, 127, 128];
+        let bm = Bitmap::from_indices(200, idx.clone());
+        assert_eq!(bm.iter_ones().collect::<Vec<_>>(), idx);
+    }
+
+    #[test]
+    fn iter_ones_empty() {
+        assert_eq!(Bitmap::new(0).iter_ones().count(), 0);
+        assert_eq!(Bitmap::new(64).iter_ones().count(), 0);
+    }
+
+    #[test]
+    fn none_detects_empty_selection() {
+        assert!(Bitmap::new(100).none());
+        assert!(!Bitmap::from_indices(100, [50]).none());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn and_length_mismatch_panics() {
+        let _ = Bitmap::new(10).and(&Bitmap::new(11));
+    }
+}

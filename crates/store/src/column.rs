@@ -1,0 +1,372 @@
+//! Columnar storage: one [`Column`] per attribute, stored contiguously.
+//!
+//! Strings are dictionary-encoded (`u32` codes + a sorted-on-demand
+//! dictionary), the natural representation for the nominal attributes that
+//! Charles' frequency-based cuts operate on. Nulls are tracked with a
+//! validity [`Bitmap`]; predicates never match null (SQL semantics), and
+//! medians/frequencies are computed over valid rows only.
+
+use crate::bitmap::Bitmap;
+use crate::datatype::DataType;
+use crate::error::{StoreError, StoreResult};
+use crate::value::Value;
+
+/// Physical storage for a column's values.
+#[derive(Debug, Clone)]
+pub enum ColumnData {
+    /// 64-bit integers.
+    Int(Vec<i64>),
+    /// Finite 64-bit floats.
+    Float(Vec<f64>),
+    /// Dictionary codes into [`Column::dict`].
+    Str(Vec<u32>),
+    /// Days since epoch.
+    Date(Vec<i64>),
+    /// Booleans.
+    Bool(Vec<bool>),
+}
+
+impl ColumnData {
+    fn len(&self) -> usize {
+        match self {
+            ColumnData::Int(v) => v.len(),
+            ColumnData::Float(v) => v.len(),
+            ColumnData::Str(v) => v.len(),
+            ColumnData::Date(v) => v.len(),
+            ColumnData::Bool(v) => v.len(),
+        }
+    }
+}
+
+/// A named, typed column with optional nulls.
+#[derive(Debug, Clone)]
+pub struct Column {
+    name: String,
+    data: ColumnData,
+    /// Bit set ⇔ row holds a valid (non-null) value.
+    validity: Bitmap,
+    /// String dictionary; empty for non-string columns. Codes index into it.
+    dict: Vec<String>,
+}
+
+impl Column {
+    /// Create an empty column of the given type.
+    pub fn new(name: impl Into<String>, ty: DataType) -> Column {
+        let data = match ty {
+            DataType::Int => ColumnData::Int(Vec::new()),
+            DataType::Float => ColumnData::Float(Vec::new()),
+            DataType::Str => ColumnData::Str(Vec::new()),
+            DataType::Date => ColumnData::Date(Vec::new()),
+            DataType::Bool => ColumnData::Bool(Vec::new()),
+        };
+        Column {
+            name: name.into(),
+            data,
+            validity: Bitmap::new(0),
+            dict: Vec::new(),
+        }
+    }
+
+    /// Column name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Logical type.
+    pub fn data_type(&self) -> DataType {
+        match self.data {
+            ColumnData::Int(_) => DataType::Int,
+            ColumnData::Float(_) => DataType::Float,
+            ColumnData::Str(_) => DataType::Str,
+            ColumnData::Date(_) => DataType::Date,
+            ColumnData::Bool(_) => DataType::Bool,
+        }
+    }
+
+    /// Number of rows (including nulls).
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Validity bitmap (bit set ⇔ non-null).
+    pub fn validity(&self) -> &Bitmap {
+        &self.validity
+    }
+
+    /// Number of null rows.
+    pub fn null_count(&self) -> usize {
+        self.len() - self.validity.count_ones()
+    }
+
+    /// Raw physical data.
+    pub fn data(&self) -> &ColumnData {
+        &self.data
+    }
+
+    /// The string dictionary (string columns only).
+    pub fn dict(&self) -> &[String] {
+        &self.dict
+    }
+
+    /// Append a value. `None` appends a null.
+    pub fn push(&mut self, value: Option<Value>) -> StoreResult<()> {
+        match value {
+            None => {
+                self.push_physical_default();
+                self.validity.push(false);
+            }
+            Some(v) => {
+                if v.data_type() != self.data_type() {
+                    return Err(StoreError::TypeMismatch {
+                        column: self.name.clone(),
+                        expected: self.data_type().name().into(),
+                        found: v.data_type().name().into(),
+                    });
+                }
+                match (&mut self.data, v) {
+                    (ColumnData::Int(vec), Value::Int(x)) => vec.push(x),
+                    (ColumnData::Float(vec), Value::Float(x)) => {
+                        if x.is_nan() {
+                            return Err(StoreError::Parse(format!(
+                                "NaN rejected in column {:?}",
+                                self.name
+                            )));
+                        }
+                        vec.push(x)
+                    }
+                    (ColumnData::Date(vec), Value::Date(x)) => vec.push(x),
+                    (ColumnData::Bool(vec), Value::Bool(x)) => vec.push(x),
+                    (ColumnData::Str(vec), Value::Str(s)) => {
+                        let code = Self::intern(&mut self.dict, s);
+                        vec.push(code);
+                    }
+                    _ => unreachable!("type checked above"),
+                }
+                self.validity.push(true);
+            }
+        }
+        Ok(())
+    }
+
+    /// Value at row `i`, or `None` when null. Panics if out of range.
+    pub fn get(&self, i: usize) -> Option<Value> {
+        if !self.validity.get(i) {
+            return None;
+        }
+        Some(match &self.data {
+            ColumnData::Int(v) => Value::Int(v[i]),
+            ColumnData::Float(v) => Value::Float(v[i]),
+            ColumnData::Date(v) => Value::Date(v[i]),
+            ColumnData::Bool(v) => Value::Bool(v[i]),
+            ColumnData::Str(v) => Value::Str(self.dict[v[i] as usize].clone()),
+        })
+    }
+
+    /// Dictionary code at row `i` (string columns), or `None` when null.
+    pub fn code(&self, i: usize) -> Option<u32> {
+        match &self.data {
+            ColumnData::Str(v) if self.validity.get(i) => Some(v[i]),
+            _ => None,
+        }
+    }
+
+    /// Look up the dictionary code for a string, if it occurs.
+    pub fn code_of(&self, s: &str) -> Option<u32> {
+        self.dict.iter().position(|d| d == s).map(|p| p as u32)
+    }
+
+    /// Intern a string into the dictionary and return its code.
+    fn intern(dict: &mut Vec<String>, s: String) -> u32 {
+        // Linear scan is fine: dictionaries for nominal columns are small
+        // by definition (the paper treats ≲20 distinct values as the common
+        // case) and interning happens only at load time.
+        if let Some(pos) = dict.iter().position(|d| *d == s) {
+            pos as u32
+        } else {
+            dict.push(s);
+            (dict.len() - 1) as u32
+        }
+    }
+
+    fn push_physical_default(&mut self) {
+        match &mut self.data {
+            ColumnData::Int(v) => v.push(0),
+            ColumnData::Float(v) => v.push(0.0),
+            ColumnData::Date(v) => v.push(0),
+            ColumnData::Bool(v) => v.push(false),
+            ColumnData::Str(v) => v.push(0),
+        }
+    }
+
+    /// Gather the numeric values of the rows selected by `sel` (skipping
+    /// nulls) into `out`. The workhorse behind medians and quantiles.
+    pub fn gather_f64(&self, sel: &Bitmap, out: &mut Vec<f64>) -> StoreResult<()> {
+        out.clear();
+        match &self.data {
+            ColumnData::Int(v) => {
+                for i in sel.iter_ones() {
+                    if self.validity.get(i) {
+                        out.push(v[i] as f64);
+                    }
+                }
+            }
+            ColumnData::Float(v) => {
+                for i in sel.iter_ones() {
+                    if self.validity.get(i) {
+                        out.push(v[i]);
+                    }
+                }
+            }
+            ColumnData::Date(v) => {
+                for i in sel.iter_ones() {
+                    if self.validity.get(i) {
+                        out.push(v[i] as f64);
+                    }
+                }
+            }
+            _ => {
+                return Err(StoreError::TypeMismatch {
+                    column: self.name.clone(),
+                    expected: "numeric".into(),
+                    found: self.data_type().name().into(),
+                })
+            }
+        }
+        Ok(())
+    }
+
+    /// Minimum and maximum value among the selected, non-null rows.
+    pub fn min_max(&self, sel: &Bitmap) -> Option<(Value, Value)> {
+        let mut min: Option<Value> = None;
+        let mut max: Option<Value> = None;
+        for i in sel.iter_ones() {
+            let Some(v) = self.get(i) else { continue };
+            match &min {
+                None => {
+                    min = Some(v.clone());
+                    max = Some(v);
+                }
+                Some(m) => {
+                    if v.try_cmp(m).map(|o| o.is_lt()).unwrap_or(false) {
+                        min = Some(v.clone());
+                    }
+                    if let Some(mx) = &max {
+                        if v.try_cmp(mx).map(|o| o.is_gt()).unwrap_or(false) {
+                            max = Some(v);
+                        }
+                    }
+                }
+            }
+        }
+        min.zip(max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn int_col(values: &[i64]) -> Column {
+        let mut c = Column::new("x", DataType::Int);
+        for &v in values {
+            c.push(Some(Value::Int(v))).unwrap();
+        }
+        c
+    }
+
+    #[test]
+    fn push_and_get_round_trip() {
+        let c = int_col(&[5, 3, 9]);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.get(1), Some(Value::Int(3)));
+        assert_eq!(c.null_count(), 0);
+    }
+
+    #[test]
+    fn nulls_are_tracked() {
+        let mut c = Column::new("x", DataType::Int);
+        c.push(Some(Value::Int(1))).unwrap();
+        c.push(None).unwrap();
+        c.push(Some(Value::Int(3))).unwrap();
+        assert_eq!(c.null_count(), 1);
+        assert_eq!(c.get(1), None);
+        assert_eq!(c.get(2), Some(Value::Int(3)));
+    }
+
+    #[test]
+    fn type_mismatch_rejected() {
+        let mut c = Column::new("x", DataType::Int);
+        let err = c.push(Some(Value::str("oops"))).unwrap_err();
+        assert!(matches!(err, StoreError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn nan_rejected_on_push() {
+        let mut c = Column::new("x", DataType::Float);
+        assert!(c.push(Some(Value::Float(f64::NAN))).is_err());
+    }
+
+    #[test]
+    fn string_dictionary_interns() {
+        let mut c = Column::new("kind", DataType::Str);
+        for s in ["fluit", "jacht", "fluit", "pinas", "fluit"] {
+            c.push(Some(Value::str(s))).unwrap();
+        }
+        assert_eq!(c.dict().len(), 3);
+        assert_eq!(c.code(0), c.code(2));
+        assert_eq!(c.code_of("pinas"), Some(2));
+        assert_eq!(c.code_of("galjoen"), None);
+        assert_eq!(c.get(3), Some(Value::str("pinas")));
+    }
+
+    #[test]
+    fn gather_skips_nulls_and_unselected() {
+        let mut c = Column::new("x", DataType::Int);
+        for v in [Some(10), None, Some(30), Some(40)] {
+            c.push(v.map(Value::Int)).unwrap();
+        }
+        let sel = Bitmap::from_indices(4, [0, 1, 2]);
+        let mut out = Vec::new();
+        c.gather_f64(&sel, &mut out).unwrap();
+        assert_eq!(out, vec![10.0, 30.0]);
+    }
+
+    #[test]
+    fn gather_rejects_nominal() {
+        let mut c = Column::new("kind", DataType::Str);
+        c.push(Some(Value::str("a"))).unwrap();
+        let mut out = Vec::new();
+        assert!(c.gather_f64(&Bitmap::ones(1), &mut out).is_err());
+    }
+
+    #[test]
+    fn min_max_over_selection() {
+        let c = int_col(&[5, 1, 9, 7]);
+        let sel = Bitmap::from_indices(4, [0, 2, 3]);
+        let (min, max) = c.min_max(&sel).unwrap();
+        assert_eq!(min, Value::Int(5));
+        assert_eq!(max, Value::Int(9));
+    }
+
+    #[test]
+    fn min_max_empty_selection_is_none() {
+        let c = int_col(&[1, 2]);
+        assert!(c.min_max(&Bitmap::new(2)).is_none());
+    }
+
+    #[test]
+    fn min_max_string_is_lexicographic() {
+        let mut c = Column::new("kind", DataType::Str);
+        for s in ["jacht", "fluit", "pinas"] {
+            c.push(Some(Value::str(s))).unwrap();
+        }
+        let (min, max) = c.min_max(&Bitmap::ones(3)).unwrap();
+        assert_eq!(min, Value::str("fluit"));
+        assert_eq!(max, Value::str("pinas"));
+    }
+}

@@ -1,0 +1,222 @@
+//! Minimal CSV import/export with a typed header.
+//!
+//! Format: the header row is `name:type` pairs (types from
+//! [`DataType::name`]); empty fields are NULL. Quoting supports the common
+//! double-quote convention. This is enough to round-trip the synthetic
+//! datasets and to let users feed their own extracts to the examples.
+
+use crate::builder::TableBuilder;
+use crate::datatype::DataType;
+use crate::error::{StoreError, StoreResult};
+use crate::table::Table;
+use crate::value::Value;
+
+/// Parse a CSV document (with `name:type` header) into a [`Table`].
+pub fn read_csv_str(name: &str, text: &str) -> StoreResult<Table> {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let header = lines
+        .next()
+        .ok_or_else(|| StoreError::Parse("empty CSV document".into()))?;
+    let mut builder = TableBuilder::new(name);
+    let mut types = Vec::new();
+    for (field, _) in split_csv_line(header)? {
+        let (col, ty) = field
+            .rsplit_once(':')
+            .ok_or_else(|| StoreError::Parse(format!("header field {field:?} lacks :type")))?;
+        let ty = DataType::parse(ty)
+            .ok_or_else(|| StoreError::Parse(format!("unknown type in header: {ty:?}")))?;
+        builder.add_column(col.trim(), ty);
+        types.push(ty);
+    }
+    for (lineno, line) in lines.enumerate() {
+        let fields = split_csv_line(line)?;
+        if fields.len() != types.len() {
+            return Err(StoreError::Parse(format!(
+                "line {}: expected {} fields, found {}",
+                lineno + 2,
+                types.len(),
+                fields.len()
+            )));
+        }
+        let mut row: Vec<Option<Value>> = Vec::with_capacity(fields.len());
+        for ((field, quoted), ty) in fields.iter().zip(&types) {
+            // A bare empty field is NULL; a quoted empty field ("") is the
+            // empty string (only meaningful for string columns).
+            if field.is_empty() && !quoted {
+                row.push(None);
+            } else {
+                row.push(Some(Value::parse_typed(field, *ty)?));
+            }
+        }
+        builder.push_row_opt(row)?;
+    }
+    Ok(builder.finish())
+}
+
+/// Serialise a table back to the same CSV format.
+pub fn write_csv_string(table: &Table) -> String {
+    let mut out = String::new();
+    let header: Vec<String> = table
+        .schema()
+        .columns()
+        .iter()
+        .map(|c| quote_field(&format!("{}:{}", c.name, c.ty)))
+        .collect();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    let names = table.schema().names();
+    for i in 0..table.len() {
+        let fields: Vec<String> = names
+            .iter()
+            .map(|n| match table.value(i, n).expect("valid column") {
+                None => String::new(),
+                Some(v) => quote_field(&v.render()),
+            })
+            .collect();
+        out.push_str(&fields.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Split one CSV line honouring double quotes (with `""` escapes).
+/// Returns each field together with whether it was quoted — needed to
+/// distinguish the empty string (`""`) from NULL (bare empty field).
+fn split_csv_line(line: &str) -> StoreResult<Vec<(String, bool)>> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut was_quoted = false;
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if in_quotes => {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    cur.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            }
+            '"' if cur.is_empty() && !was_quoted => {
+                in_quotes = true;
+                was_quoted = true;
+            }
+            '"' => return Err(StoreError::Parse(format!("stray quote in line {line:?}"))),
+            ',' if !in_quotes => {
+                fields.push((std::mem::take(&mut cur), was_quoted));
+                was_quoted = false;
+            }
+            _ => cur.push(c),
+        }
+    }
+    if in_quotes {
+        return Err(StoreError::Parse(format!("unterminated quote in {line:?}")));
+    }
+    fields.push((cur, was_quoted));
+    Ok(fields)
+}
+
+fn quote_field(s: &str) -> String {
+    if s.is_empty() || s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::Backend;
+    use crate::predicate::StorePredicate;
+
+    const DOC: &str = "\
+tonnage:int,kind:str,built:date,score:float
+1000,fluit,1700-01-01,0.5
+1100,jacht,1710-06-15,
+,\"de, lange\",1720-01-01,2.25
+";
+
+    #[test]
+    fn read_basic_document() {
+        let t = read_csv_str("boats", DOC).unwrap();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.schema().arity(), 4);
+        assert_eq!(t.value(0, "kind").unwrap(), Some(Value::str("fluit")));
+        assert_eq!(t.value(1, "score").unwrap(), None);
+        assert_eq!(t.value(2, "tonnage").unwrap(), None);
+        assert_eq!(t.value(2, "kind").unwrap(), Some(Value::str("de, lange")));
+    }
+
+    #[test]
+    fn round_trip() {
+        let t = read_csv_str("boats", DOC).unwrap();
+        let text = write_csv_string(&t);
+        let t2 = read_csv_str("boats2", &text).unwrap();
+        assert_eq!(t.len(), t2.len());
+        for i in 0..t.len() {
+            for name in t.schema().names() {
+                assert_eq!(
+                    t.value(i, name).unwrap(),
+                    t2.value(i, name).unwrap(),
+                    "row {i}, column {name}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn loaded_table_is_queryable() {
+        let t = read_csv_str("boats", DOC).unwrap();
+        let n = t
+            .count(&StorePredicate::range(
+                "tonnage",
+                Value::Int(1050),
+                Value::Int(1200),
+                true,
+            ))
+            .unwrap();
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn bad_inputs_are_rejected() {
+        assert!(read_csv_str("t", "").is_err());
+        assert!(read_csv_str("t", "a,b\n1,2\n").is_err()); // header lacks types
+        assert!(read_csv_str("t", "a:int\n1,2\n").is_err()); // arity
+        assert!(read_csv_str("t", "a:int\nxyz\n").is_err()); // bad literal
+        assert!(read_csv_str("t", "a:blob\n1\n").is_err()); // unknown type
+        assert!(read_csv_str("t", "a:str\n\"unterminated\n").is_err());
+    }
+
+    #[test]
+    fn quotes_with_escapes() {
+        let doc = "s:str\n\"say \"\"hi\"\"\"\n";
+        let t = read_csv_str("t", doc).unwrap();
+        assert_eq!(t.value(0, "s").unwrap(), Some(Value::str("say \"hi\"")));
+    }
+
+    #[test]
+    fn empty_string_is_distinct_from_null() {
+        let doc = "s:str\n\"\"\n\n"; // quoted empty, then blank line (skipped)
+        let t = read_csv_str("t", doc).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.value(0, "s").unwrap(), Some(Value::str("")));
+        // And a bare empty field is NULL.
+        let doc = "s:str,x:int\n,1\n";
+        let t = read_csv_str("t", doc).unwrap();
+        assert_eq!(t.value(0, "s").unwrap(), None);
+        // Round trip preserves the distinction.
+        let text = write_csv_string(&t);
+        let t2 = read_csv_str("t2", &text).unwrap();
+        assert_eq!(t2.value(0, "s").unwrap(), None);
+    }
+
+    #[test]
+    fn blank_lines_skipped() {
+        let doc = "a:int\n\n1\n\n2\n";
+        let t = read_csv_str("t", doc).unwrap();
+        assert_eq!(t.len(), 2);
+    }
+}

@@ -1,0 +1,110 @@
+//! Error type shared by all storage operations.
+
+use std::fmt;
+
+/// Errors reported by the storage layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// A referenced column does not exist in the schema.
+    UnknownColumn(String),
+    /// A value had a different type than the column it was destined for.
+    TypeMismatch {
+        /// Column involved in the operation.
+        column: String,
+        /// Type declared by the schema.
+        expected: String,
+        /// Type actually supplied.
+        found: String,
+    },
+    /// A row had the wrong number of fields for the schema.
+    ArityMismatch {
+        /// Number of columns in the schema.
+        expected: usize,
+        /// Number of fields supplied.
+        found: usize,
+    },
+    /// Two columns that must be aligned have different lengths.
+    LengthMismatch {
+        /// Length of the first operand.
+        left: usize,
+        /// Length of the second operand.
+        right: usize,
+    },
+    /// An operation that requires a non-empty input got an empty one.
+    Empty(String),
+    /// CSV or value parsing failure.
+    Parse(String),
+    /// A column name was used twice when building a schema.
+    DuplicateColumn(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::UnknownColumn(name) => write!(f, "unknown column: {name:?}"),
+            StoreError::TypeMismatch {
+                column,
+                expected,
+                found,
+            } => write!(
+                f,
+                "type mismatch on column {column:?}: expected {expected}, found {found}"
+            ),
+            StoreError::ArityMismatch { expected, found } => {
+                write!(f, "row arity mismatch: schema has {expected} columns, row has {found}")
+            }
+            StoreError::LengthMismatch { left, right } => {
+                write!(f, "length mismatch: {left} vs {right}")
+            }
+            StoreError::Empty(what) => write!(f, "operation requires non-empty input: {what}"),
+            StoreError::Parse(msg) => write!(f, "parse error: {msg}"),
+            StoreError::DuplicateColumn(name) => write!(f, "duplicate column name: {name:?}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// Convenient result alias used across the crate.
+pub type StoreResult<T> = Result<T, StoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_unknown_column() {
+        let e = StoreError::UnknownColumn("tonnage".into());
+        assert!(e.to_string().contains("tonnage"));
+    }
+
+    #[test]
+    fn display_type_mismatch_mentions_both_types() {
+        let e = StoreError::TypeMismatch {
+            column: "x".into(),
+            expected: "Int".into(),
+            found: "Str".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("Int") && s.contains("Str"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&StoreError::Empty("median".into()));
+    }
+
+    #[test]
+    fn display_arity_and_length() {
+        assert!(StoreError::ArityMismatch {
+            expected: 3,
+            found: 2
+        }
+        .to_string()
+        .contains('3'));
+        assert!(StoreError::LengthMismatch { left: 1, right: 2 }
+            .to_string()
+            .contains("1 vs 2"));
+    }
+}

@@ -1,0 +1,457 @@
+//! Storage-level predicates.
+//!
+//! These are the *physical* counterparts of SDL constraints: a range scan,
+//! a set-membership scan, or a conjunction of those. The SDL crate lowers
+//! its language-level predicates into [`StorePredicate`]s; the table
+//! evaluates them into selection [`Bitmap`]s.
+
+use crate::bitmap::Bitmap;
+use crate::column::{Column, ColumnData};
+use crate::error::{StoreError, StoreResult};
+use crate::value::Value;
+
+/// A range constraint `lo ≤ x ≤ hi` (or `lo ≤ x < hi` when
+/// `hi_inclusive == false`, the paper's `[min, med[` cut pieces).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RangePred {
+    /// Column the constraint applies to.
+    pub column: String,
+    /// Lower bound (always inclusive, per SDL Definition 1).
+    pub lo: Value,
+    /// Upper bound.
+    pub hi: Value,
+    /// Whether the upper bound is inclusive.
+    pub hi_inclusive: bool,
+}
+
+/// A set constraint `x ∈ {a0, …, aK}`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SetPred {
+    /// Column the constraint applies to.
+    pub column: String,
+    /// Accepted values.
+    pub values: Vec<Value>,
+}
+
+/// A physical predicate tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StorePredicate {
+    /// Matches every row.
+    True,
+    /// Range scan.
+    Range(RangePred),
+    /// Set-membership scan.
+    Set(SetPred),
+    /// Conjunction of sub-predicates.
+    And(Vec<StorePredicate>),
+}
+
+impl StorePredicate {
+    /// Convenience constructor for a range predicate.
+    pub fn range(column: impl Into<String>, lo: Value, hi: Value, hi_inclusive: bool) -> Self {
+        StorePredicate::Range(RangePred {
+            column: column.into(),
+            lo,
+            hi,
+            hi_inclusive,
+        })
+    }
+
+    /// Convenience constructor for a set predicate.
+    pub fn set(column: impl Into<String>, values: Vec<Value>) -> Self {
+        StorePredicate::Set(SetPred {
+            column: column.into(),
+            values,
+        })
+    }
+
+    /// Conjunction, flattening nested `And`s and dropping `True`s.
+    pub fn and(preds: Vec<StorePredicate>) -> Self {
+        let mut flat = Vec::new();
+        for p in preds {
+            match p {
+                StorePredicate::True => {}
+                StorePredicate::And(inner) => flat.extend(inner),
+                other => flat.push(other),
+            }
+        }
+        match flat.len() {
+            0 => StorePredicate::True,
+            1 => flat.pop().expect("len checked"),
+            _ => StorePredicate::And(flat),
+        }
+    }
+
+    /// Column names referenced by the predicate, in first-occurrence order.
+    pub fn columns(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_columns(&mut out);
+        out
+    }
+
+    fn collect_columns<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            StorePredicate::True => {}
+            StorePredicate::Range(r) => {
+                if !out.contains(&r.column.as_str()) {
+                    out.push(&r.column);
+                }
+            }
+            StorePredicate::Set(s) => {
+                if !out.contains(&s.column.as_str()) {
+                    out.push(&s.column);
+                }
+            }
+            StorePredicate::And(ps) => {
+                for p in ps {
+                    p.collect_columns(out);
+                }
+            }
+        }
+    }
+}
+
+/// Evaluate a range scan over a column, producing a fresh selection bitmap.
+///
+/// The scan is specialised per physical type so the hot loop works on the
+/// native vector without per-row `Value` boxing.
+pub fn eval_range(col: &Column, pred: &RangePred) -> StoreResult<Bitmap> {
+    let n = col.len();
+    let mut out = Bitmap::new(n);
+    let validity = col.validity();
+    match col.data() {
+        ColumnData::Int(vals) => {
+            let (lo, hi) = numeric_bounds(col, pred)?;
+            scan_numeric(vals.iter().map(|&v| v as f64), lo, hi, pred.hi_inclusive, validity, &mut out);
+        }
+        ColumnData::Date(vals) => {
+            let (lo, hi) = numeric_bounds(col, pred)?;
+            scan_numeric(vals.iter().map(|&v| v as f64), lo, hi, pred.hi_inclusive, validity, &mut out);
+        }
+        ColumnData::Float(vals) => {
+            let (lo, hi) = numeric_bounds(col, pred)?;
+            scan_numeric(vals.iter().copied(), lo, hi, pred.hi_inclusive, validity, &mut out);
+        }
+        ColumnData::Str(codes) => {
+            // Lexicographic range over strings: precompute per-code verdicts
+            // so the row loop is a table lookup.
+            let lo = pred.lo.as_str().ok_or_else(|| type_err(col, &pred.lo))?;
+            let hi = pred.hi.as_str().ok_or_else(|| type_err(col, &pred.hi))?;
+            let verdict: Vec<bool> = col
+                .dict()
+                .iter()
+                .map(|s| {
+                    let s = s.as_str();
+                    s >= lo && if pred.hi_inclusive { s <= hi } else { s < hi }
+                })
+                .collect();
+            for (i, &code) in codes.iter().enumerate() {
+                if validity.get(i) && verdict[code as usize] {
+                    out.set(i);
+                }
+            }
+        }
+        ColumnData::Bool(vals) => {
+            let lo = bool_of(col, &pred.lo)?;
+            let hi = bool_of(col, &pred.hi)?;
+            for (i, &v) in vals.iter().enumerate() {
+                let upper_ok = if pred.hi_inclusive { v <= hi } else { !v & hi };
+                if validity.get(i) && v >= lo && upper_ok {
+                    out.set(i);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Evaluate a set-membership scan over a column.
+pub fn eval_set(col: &Column, pred: &SetPred) -> StoreResult<Bitmap> {
+    let n = col.len();
+    let mut out = Bitmap::new(n);
+    let validity = col.validity();
+    match col.data() {
+        ColumnData::Str(codes) => {
+            // Translate wanted strings into dictionary codes once; rows then
+            // test codes, not strings.
+            let mut wanted = vec![false; col.dict().len()];
+            for v in &pred.values {
+                let s = v.as_str().ok_or_else(|| type_err(col, v))?;
+                if let Some(code) = col.code_of(s) {
+                    wanted[code as usize] = true;
+                }
+            }
+            for (i, &code) in codes.iter().enumerate() {
+                if validity.get(i) && wanted[code as usize] {
+                    out.set(i);
+                }
+            }
+        }
+        ColumnData::Int(vals) => {
+            let wanted = int_set(col, &pred.values)?;
+            for (i, v) in vals.iter().enumerate() {
+                if validity.get(i) && wanted.binary_search(v).is_ok() {
+                    out.set(i);
+                }
+            }
+        }
+        ColumnData::Date(vals) => {
+            let wanted = int_set(col, &pred.values)?;
+            for (i, v) in vals.iter().enumerate() {
+                if validity.get(i) && wanted.binary_search(v).is_ok() {
+                    out.set(i);
+                }
+            }
+        }
+        ColumnData::Float(vals) => {
+            let mut wanted: Vec<f64> = Vec::with_capacity(pred.values.len());
+            for v in &pred.values {
+                wanted.push(v.as_f64().ok_or_else(|| type_err(col, v))?);
+            }
+            wanted.sort_by(f64::total_cmp);
+            for (i, v) in vals.iter().enumerate() {
+                if validity.get(i) && wanted.binary_search_by(|w| w.total_cmp(v)).is_ok() {
+                    out.set(i);
+                }
+            }
+        }
+        ColumnData::Bool(vals) => {
+            let mut want_true = false;
+            let mut want_false = false;
+            for v in &pred.values {
+                match v {
+                    Value::Bool(true) => want_true = true,
+                    Value::Bool(false) => want_false = true,
+                    other => return Err(type_err(col, other)),
+                }
+            }
+            for (i, &v) in vals.iter().enumerate() {
+                if validity.get(i) && ((v && want_true) || (!v && want_false)) {
+                    out.set(i);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn scan_numeric(
+    values: impl Iterator<Item = f64>,
+    lo: f64,
+    hi: f64,
+    hi_inclusive: bool,
+    validity: &Bitmap,
+    out: &mut Bitmap,
+) {
+    for (i, v) in values.enumerate() {
+        let upper_ok = if hi_inclusive { v <= hi } else { v < hi };
+        if v >= lo && upper_ok && validity.get(i) {
+            out.set(i);
+        }
+    }
+}
+
+fn bool_of(col: &Column, v: &Value) -> StoreResult<bool> {
+    match v {
+        Value::Bool(b) => Ok(*b),
+        other => Err(type_err(col, other)),
+    }
+}
+
+fn numeric_bounds(col: &Column, pred: &RangePred) -> StoreResult<(f64, f64)> {
+    let lo = pred.lo.as_f64().ok_or_else(|| type_err(col, &pred.lo))?;
+    let hi = pred.hi.as_f64().ok_or_else(|| type_err(col, &pred.hi))?;
+    Ok((lo, hi))
+}
+
+fn int_set(col: &Column, values: &[Value]) -> StoreResult<Vec<i64>> {
+    let mut out = Vec::with_capacity(values.len());
+    for v in values {
+        let x = match v {
+            Value::Int(x) | Value::Date(x) => *x,
+            other => return Err(type_err(col, other)),
+        };
+        out.push(x);
+    }
+    out.sort_unstable();
+    out.dedup();
+    Ok(out)
+}
+
+fn type_err(col: &Column, v: &Value) -> StoreError {
+    StoreError::TypeMismatch {
+        column: col.name().to_string(),
+        expected: col.data_type().name().into(),
+        found: v.data_type().name().into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datatype::DataType;
+
+    fn int_col(values: &[i64]) -> Column {
+        let mut c = Column::new("x", DataType::Int);
+        for &v in values {
+            c.push(Some(Value::Int(v))).unwrap();
+        }
+        c
+    }
+
+    fn str_col(values: &[&str]) -> Column {
+        let mut c = Column::new("s", DataType::Str);
+        for &v in values {
+            c.push(Some(Value::str(v))).unwrap();
+        }
+        c
+    }
+
+    #[test]
+    fn range_inclusive_and_half_open() {
+        let c = int_col(&[1, 2, 3, 4, 5]);
+        let closed = RangePred {
+            column: "x".into(),
+            lo: Value::Int(2),
+            hi: Value::Int(4),
+            hi_inclusive: true,
+        };
+        assert_eq!(eval_range(&c, &closed).unwrap().count_ones(), 3);
+        let open = RangePred {
+            hi_inclusive: false,
+            ..closed
+        };
+        assert_eq!(eval_range(&c, &open).unwrap().count_ones(), 2);
+    }
+
+    #[test]
+    fn range_skips_nulls() {
+        let mut c = Column::new("x", DataType::Int);
+        c.push(Some(Value::Int(1))).unwrap();
+        c.push(None).unwrap();
+        c.push(Some(Value::Int(3))).unwrap();
+        let p = RangePred {
+            column: "x".into(),
+            lo: Value::Int(0),
+            hi: Value::Int(10),
+            hi_inclusive: true,
+        };
+        assert_eq!(eval_range(&c, &p).unwrap().count_ones(), 2);
+    }
+
+    #[test]
+    fn range_cross_type_numeric_bounds() {
+        let c = int_col(&[10, 20, 30]);
+        let p = RangePred {
+            column: "x".into(),
+            lo: Value::Float(15.0),
+            hi: Value::Float(30.0),
+            hi_inclusive: true,
+        };
+        assert_eq!(eval_range(&c, &p).unwrap().count_ones(), 2);
+    }
+
+    #[test]
+    fn range_on_strings_is_lexicographic() {
+        let c = str_col(&["amsterdam", "bantam", "surat", "zeeland"]);
+        let p = RangePred {
+            column: "s".into(),
+            lo: Value::str("b"),
+            hi: Value::str("t"),
+            hi_inclusive: false,
+        };
+        let sel = eval_range(&c, &p).unwrap();
+        assert_eq!(sel.iter_ones().collect::<Vec<_>>(), vec![1, 2]);
+    }
+
+    #[test]
+    fn range_type_error_on_string_column_with_int_bounds() {
+        let c = str_col(&["a"]);
+        let p = RangePred {
+            column: "s".into(),
+            lo: Value::Int(1),
+            hi: Value::Int(2),
+            hi_inclusive: true,
+        };
+        assert!(eval_range(&c, &p).is_err());
+    }
+
+    #[test]
+    fn set_on_strings_uses_dictionary() {
+        let c = str_col(&["fluit", "jacht", "fluit", "pinas"]);
+        let p = SetPred {
+            column: "s".into(),
+            values: vec![Value::str("fluit"), Value::str("pinas"), Value::str("nope")],
+        };
+        let sel = eval_set(&c, &p).unwrap();
+        assert_eq!(sel.iter_ones().collect::<Vec<_>>(), vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn set_on_ints_and_floats() {
+        let c = int_col(&[1, 2, 3, 2]);
+        let p = SetPred {
+            column: "x".into(),
+            values: vec![Value::Int(2), Value::Int(3)],
+        };
+        assert_eq!(eval_set(&c, &p).unwrap().count_ones(), 3);
+
+        let mut f = Column::new("f", DataType::Float);
+        for v in [1.5, 2.5, 3.5] {
+            f.push(Some(Value::Float(v))).unwrap();
+        }
+        let p = SetPred {
+            column: "f".into(),
+            values: vec![Value::Float(2.5)],
+        };
+        assert_eq!(eval_set(&f, &p).unwrap().count_ones(), 1);
+    }
+
+    #[test]
+    fn set_on_bool() {
+        let mut c = Column::new("b", DataType::Bool);
+        for v in [true, false, true] {
+            c.push(Some(Value::Bool(v))).unwrap();
+        }
+        let p = SetPred {
+            column: "b".into(),
+            values: vec![Value::Bool(true)],
+        };
+        assert_eq!(eval_set(&c, &p).unwrap().count_ones(), 2);
+    }
+
+    #[test]
+    fn and_flattens_and_drops_true() {
+        let p = StorePredicate::and(vec![
+            StorePredicate::True,
+            StorePredicate::and(vec![
+                StorePredicate::range("a", Value::Int(0), Value::Int(1), true),
+                StorePredicate::True,
+            ]),
+            StorePredicate::set("b", vec![Value::Int(1)]),
+        ]);
+        match &p {
+            StorePredicate::And(ps) => assert_eq!(ps.len(), 2),
+            other => panic!("expected And, got {other:?}"),
+        }
+        assert_eq!(p.columns(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn and_of_nothing_is_true() {
+        assert_eq!(
+            StorePredicate::and(vec![StorePredicate::True]),
+            StorePredicate::True
+        );
+    }
+
+    #[test]
+    fn empty_set_predicate_matches_nothing() {
+        let c = str_col(&["a", "b"]);
+        let p = SetPred {
+            column: "s".into(),
+            values: vec![],
+        };
+        assert_eq!(eval_set(&c, &p).unwrap().count_ones(), 0);
+    }
+}

@@ -1,0 +1,443 @@
+//! Row-oriented baseline engine.
+//!
+//! Implements the same [`Backend`] contract as the columnar [`Table`], but
+//! stores tuples as `Vec<Row>` — each row an owned vector of values. Every
+//! predicate scan therefore touches entire tuples (all attributes), while
+//! the columnar engine touches only the attribute under scan. This is the
+//! textbook access-pattern argument behind the paper's §5.1 claim that
+//! column stores suit Charles' workload; experiment E7 measures it.
+
+use crate::backend::{Backend, BackendStats};
+use crate::bitmap::Bitmap;
+use crate::error::{StoreError, StoreResult};
+use crate::predicate::{RangePred, SetPred, StorePredicate};
+use crate::sample::reservoir_sample;
+use crate::schema::Schema;
+use crate::stats::{exact_median, quantile_value, FrequencyTable};
+use crate::table::Table;
+use crate::value::Value;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::cell::Cell;
+use std::cmp::Ordering;
+
+/// One tuple; `None` encodes SQL NULL.
+pub type Row = Vec<Option<Value>>;
+
+/// A row-major relation.
+#[derive(Debug, Clone)]
+pub struct RowTable {
+    name: String,
+    schema: Schema,
+    rows: Vec<Row>,
+    scans: Cell<u64>,
+    medians: Cell<u64>,
+}
+
+impl RowTable {
+    /// Build directly from a schema and rows (validated).
+    pub fn new(name: impl Into<String>, schema: Schema, rows: Vec<Row>) -> StoreResult<RowTable> {
+        for row in &rows {
+            if row.len() != schema.arity() {
+                return Err(StoreError::ArityMismatch {
+                    expected: schema.arity(),
+                    found: row.len(),
+                });
+            }
+            for (meta, v) in schema.columns().iter().zip(row) {
+                if let Some(v) = v {
+                    if v.data_type() != meta.ty {
+                        return Err(StoreError::TypeMismatch {
+                            column: meta.name.clone(),
+                            expected: meta.ty.name().into(),
+                            found: v.data_type().name().into(),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(RowTable {
+            name: name.into(),
+            schema,
+            rows,
+            scans: Cell::new(0),
+            medians: Cell::new(0),
+        })
+    }
+
+    /// Materialise a row-store copy of a columnar table — used by the
+    /// backend-comparison experiments so both engines hold identical data.
+    pub fn from_table(table: &Table) -> RowTable {
+        let schema = table.schema().clone();
+        let names: Vec<String> = schema.names().iter().map(|s| s.to_string()).collect();
+        let mut rows = Vec::with_capacity(table.len());
+        for i in 0..table.len() {
+            let mut row = Vec::with_capacity(schema.arity());
+            for name in &names {
+                row.push(table.value(i, name).expect("column exists"));
+            }
+            rows.push(row);
+        }
+        RowTable {
+            name: format!("{}_rowstore", table.name()),
+            schema,
+            rows,
+            scans: Cell::new(0),
+            medians: Cell::new(0),
+        }
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn col_index(&self, name: &str) -> StoreResult<usize> {
+        self.schema
+            .index_of(name)
+            .ok_or_else(|| StoreError::UnknownColumn(name.to_string()))
+    }
+
+    fn match_range(&self, row: &Row, idx: usize, pred: &RangePred) -> bool {
+        let Some(v) = &row[idx] else { return false };
+        let ge_lo = matches!(v.try_cmp(&pred.lo), Ok(Ordering::Greater | Ordering::Equal));
+        let le_hi = match v.try_cmp(&pred.hi) {
+            Ok(Ordering::Less) => true,
+            Ok(Ordering::Equal) => pred.hi_inclusive,
+            _ => false,
+        };
+        ge_lo && le_hi
+    }
+
+    fn match_set(&self, row: &Row, idx: usize, pred: &SetPred) -> bool {
+        let Some(v) = &row[idx] else { return false };
+        pred.values
+            .iter()
+            .any(|w| matches!(v.try_cmp(w), Ok(Ordering::Equal)))
+    }
+
+    fn matches(&self, row: &Row, pred: &StorePredicate) -> StoreResult<bool> {
+        Ok(match pred {
+            StorePredicate::True => true,
+            StorePredicate::Range(r) => self.match_range(row, self.col_index(&r.column)?, r),
+            StorePredicate::Set(s) => self.match_set(row, self.col_index(&s.column)?, s),
+            StorePredicate::And(ps) => {
+                for p in ps {
+                    if !self.matches(row, p)? {
+                        return Ok(false);
+                    }
+                }
+                true
+            }
+        })
+    }
+
+    fn gather_f64(&self, column: &str, sel: &Bitmap) -> StoreResult<Vec<f64>> {
+        let idx = self.col_index(column)?;
+        let ty = self.schema.columns()[idx].ty;
+        if !ty.is_numeric() {
+            return Err(StoreError::TypeMismatch {
+                column: column.to_string(),
+                expected: "numeric".into(),
+                found: ty.name().into(),
+            });
+        }
+        let mut out = Vec::new();
+        for i in sel.iter_ones() {
+            if let Some(v) = &self.rows[i][idx] {
+                if let Some(x) = v.as_f64() {
+                    out.push(x);
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl Backend for RowTable {
+    fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn eval(&self, pred: &StorePredicate) -> StoreResult<Bitmap> {
+        self.scans.set(self.scans.get() + 1);
+        let mut out = Bitmap::new(self.rows.len());
+        for (i, row) in self.rows.iter().enumerate() {
+            if self.matches(row, pred)? {
+                out.set(i);
+            }
+        }
+        Ok(out)
+    }
+
+    fn count(&self, pred: &StorePredicate) -> StoreResult<usize> {
+        Ok(self.eval(pred)?.count_ones())
+    }
+
+    fn not_null(&self, column: &str) -> StoreResult<Bitmap> {
+        let idx = self.col_index(column)?;
+        let mut out = Bitmap::new(self.rows.len());
+        for (i, row) in self.rows.iter().enumerate() {
+            if row[idx].is_some() {
+                out.set(i);
+            }
+        }
+        Ok(out)
+    }
+
+    fn median(&self, column: &str, sel: &Bitmap) -> StoreResult<Option<Value>> {
+        self.medians.set(self.medians.get() + 1);
+        let mut buf = self.gather_f64(column, sel)?;
+        if buf.is_empty() {
+            return Ok(None);
+        }
+        Ok(Some(Value::Float(exact_median(&mut buf)?)))
+    }
+
+    fn sampled_median(
+        &self,
+        column: &str,
+        sel: &Bitmap,
+        sample_size: usize,
+        seed: u64,
+    ) -> StoreResult<Option<Value>> {
+        self.medians.set(self.medians.get() + 1);
+        let idx = self.col_index(column)?;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rows = reservoir_sample(sel, sample_size, &mut rng);
+        let mut buf = Vec::with_capacity(rows.len());
+        for i in rows {
+            if let Some(v) = self.rows[i][idx].as_ref().and_then(Value::as_f64) {
+                buf.push(v);
+            }
+        }
+        if buf.is_empty() {
+            return Ok(None);
+        }
+        Ok(Some(Value::Float(exact_median(&mut buf)?)))
+    }
+
+    fn quantile(&self, column: &str, sel: &Bitmap, q: f64) -> StoreResult<Option<Value>> {
+        self.medians.set(self.medians.get() + 1);
+        let mut buf = self.gather_f64(column, sel)?;
+        if buf.is_empty() {
+            return Ok(None);
+        }
+        Ok(Some(Value::Float(quantile_value(&mut buf, q)?)))
+    }
+
+    fn min_max(&self, column: &str, sel: &Bitmap) -> StoreResult<Option<(Value, Value)>> {
+        let idx = self.col_index(column)?;
+        let mut min: Option<Value> = None;
+        let mut max: Option<Value> = None;
+        for i in sel.iter_ones() {
+            let Some(v) = &self.rows[i][idx] else { continue };
+            if min
+                .as_ref()
+                .map(|m| matches!(v.try_cmp(m), Ok(Ordering::Less)))
+                .unwrap_or(true)
+            {
+                min = Some(v.clone());
+            }
+            if max
+                .as_ref()
+                .map(|m| matches!(v.try_cmp(m), Ok(Ordering::Greater)))
+                .unwrap_or(true)
+            {
+                max = Some(v.clone());
+            }
+        }
+        Ok(min.zip(max))
+    }
+
+    fn mean_and_var(&self, column: &str, sel: &Bitmap) -> StoreResult<Option<(f64, f64)>> {
+        let buf = self.gather_f64(column, sel)?;
+        if buf.is_empty() {
+            return Ok(None);
+        }
+        let n = buf.len() as f64;
+        let mean = buf.iter().sum::<f64>() / n;
+        let var = buf.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        Ok(Some((mean, var)))
+    }
+
+    fn next_above(&self, column: &str, sel: &Bitmap, v: &Value) -> StoreResult<Option<Value>> {
+        let idx = self.col_index(column)?;
+        let mut best: Option<Value> = None;
+        for i in sel.iter_ones() {
+            let Some(x) = &self.rows[i][idx] else { continue };
+            if !matches!(x.try_cmp(v), Ok(Ordering::Greater)) {
+                continue;
+            }
+            if best
+                .as_ref()
+                .map(|b| matches!(x.try_cmp(b), Ok(Ordering::Less)))
+                .unwrap_or(true)
+            {
+                best = Some(x.clone());
+            }
+        }
+        Ok(best)
+    }
+
+    fn frequencies(&self, column: &str, sel: &Bitmap) -> StoreResult<(FrequencyTable, Vec<String>)> {
+        self.scans.set(self.scans.get() + 1);
+        let idx = self.col_index(column)?;
+        let ty = self.schema.columns()[idx].ty;
+        if ty.is_numeric() {
+            return Err(StoreError::TypeMismatch {
+                column: column.to_string(),
+                expected: "nominal".into(),
+                found: ty.name().into(),
+            });
+        }
+        // Build an ad-hoc dictionary in first-occurrence order (mirrors the
+        // columnar engine's interning order for identical data).
+        let mut dict: Vec<String> = Vec::new();
+        let mut counts: Vec<usize> = Vec::new();
+        for i in sel.iter_ones() {
+            let Some(v) = &self.rows[i][idx] else { continue };
+            let key = v.render();
+            match dict.iter().position(|d| *d == key) {
+                Some(p) => counts[p] += 1,
+                None => {
+                    dict.push(key);
+                    counts.push(1);
+                }
+            }
+        }
+        Ok((FrequencyTable::from_counts(counts), dict))
+    }
+
+    fn distinct_count(&self, column: &str, sel: &Bitmap) -> StoreResult<usize> {
+        let idx = self.col_index(column)?;
+        let ty = self.schema.columns()[idx].ty;
+        if ty.is_numeric() {
+            let mut buf = self.gather_f64(column, sel)?;
+            buf.sort_by(f64::total_cmp);
+            buf.dedup();
+            Ok(buf.len())
+        } else {
+            let (ft, _) = self.frequencies(column, sel)?;
+            Ok(ft.cardinality())
+        }
+    }
+
+    fn stats(&self) -> BackendStats {
+        BackendStats {
+            scans: self.scans.get(),
+            medians: self.medians.get(),
+        }
+    }
+
+    fn reset_stats(&self) {
+        self.scans.set(0);
+        self.medians.set(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TableBuilder;
+    use crate::datatype::DataType;
+
+    fn sample_table() -> Table {
+        let mut b = TableBuilder::new("t");
+        b.add_column("x", DataType::Int).add_column("k", DataType::Str);
+        for (x, k) in [(1, "a"), (2, "b"), (3, "a"), (4, "c"), (5, "a")] {
+            b.push_row(vec![Value::Int(x), Value::str(k)]).unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn row_and_column_engines_agree_on_counts() {
+        let col = sample_table();
+        let row = RowTable::from_table(&col);
+        for pred in [
+            StorePredicate::True,
+            StorePredicate::range("x", Value::Int(2), Value::Int(4), true),
+            StorePredicate::range("x", Value::Int(2), Value::Int(4), false),
+            StorePredicate::set("k", vec![Value::str("a")]),
+            StorePredicate::and(vec![
+                StorePredicate::range("x", Value::Int(1), Value::Int(4), true),
+                StorePredicate::set("k", vec![Value::str("a")]),
+            ]),
+        ] {
+            assert_eq!(
+                col.count(&pred).unwrap(),
+                row.count(&pred).unwrap(),
+                "pred: {pred:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn row_and_column_engines_agree_on_medians() {
+        let col = sample_table();
+        let row = RowTable::from_table(&col);
+        let sel_c = col
+            .eval(&StorePredicate::set("k", vec![Value::str("a")]))
+            .unwrap();
+        let sel_r = row
+            .eval(&StorePredicate::set("k", vec![Value::str("a")]))
+            .unwrap();
+        let mc = col.median("x", &sel_c).unwrap().unwrap().as_f64().unwrap();
+        let mr = row.median("x", &sel_r).unwrap().unwrap().as_f64().unwrap();
+        assert_eq!(mc, mr);
+    }
+
+    #[test]
+    fn row_and_column_engines_agree_on_frequencies() {
+        let col = sample_table();
+        let row = RowTable::from_table(&col);
+        let (fc, dc) = col.frequencies("k", &col.all_rows()).unwrap();
+        let (fr, dr) = row.frequencies("k", &Bitmap::ones(row.row_count())).unwrap();
+        let mut c: Vec<(String, usize)> = fc
+            .entries()
+            .iter()
+            .map(|&(code, n)| (dc[code as usize].clone(), n))
+            .collect();
+        let mut r: Vec<(String, usize)> = fr
+            .entries()
+            .iter()
+            .map(|&(code, n)| (dr[code as usize].clone(), n))
+            .collect();
+        c.sort();
+        r.sort();
+        assert_eq!(c, r);
+    }
+
+    #[test]
+    fn nulls_never_match() {
+        let schema = Schema::from_pairs(&[("x", DataType::Int)]).unwrap();
+        let t = RowTable::new("t", schema, vec![vec![Some(Value::Int(1))], vec![None]]).unwrap();
+        let sel = t
+            .eval(&StorePredicate::range("x", Value::Int(0), Value::Int(9), true))
+            .unwrap();
+        assert_eq!(sel.count_ones(), 1);
+    }
+
+    #[test]
+    fn constructor_validates_rows() {
+        let schema = Schema::from_pairs(&[("x", DataType::Int)]).unwrap();
+        assert!(RowTable::new("t", schema.clone(), vec![vec![Some(Value::str("bad"))]]).is_err());
+        assert!(RowTable::new("t", schema, vec![vec![]]).is_err());
+    }
+
+    #[test]
+    fn min_max_and_distinct() {
+        let col = sample_table();
+        let row = RowTable::from_table(&col);
+        let all = Bitmap::ones(row.row_count());
+        let (lo, hi) = row.min_max("x", &all).unwrap().unwrap();
+        assert_eq!((lo, hi), (Value::Int(1), Value::Int(5)));
+        assert_eq!(row.distinct_count("k", &all).unwrap(), 3);
+        assert_eq!(row.distinct_count("x", &all).unwrap(), 5);
+    }
+}

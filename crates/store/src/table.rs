@@ -1,0 +1,556 @@
+//! The columnar relation: schema + columns + the `Backend` operations.
+
+use crate::backend::{Backend, BackendStats};
+use crate::bitmap::Bitmap;
+use crate::column::{Column, ColumnData};
+use crate::datatype::DataType;
+use crate::error::{StoreError, StoreResult};
+use crate::predicate::{eval_range, eval_set, StorePredicate};
+use crate::sample::reservoir_sample;
+use crate::schema::Schema;
+use crate::stats::{exact_median, quantile_value, FrequencyTable};
+use crate::value::Value;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::cell::Cell;
+
+/// An immutable, in-memory columnar table.
+///
+/// Built via [`crate::TableBuilder`]; once finished it only serves reads,
+/// which keeps the advisor loop free of interior mutability concerns.
+#[derive(Debug, Clone)]
+pub struct Table {
+    name: String,
+    schema: Schema,
+    columns: Vec<Column>,
+    rows: usize,
+    /// Operation counters for the experiments (scans / medians issued).
+    scans: Cell<u64>,
+    medians: Cell<u64>,
+}
+
+impl Table {
+    pub(crate) fn from_parts(name: String, schema: Schema, columns: Vec<Column>) -> Table {
+        let rows = columns.first().map_or(0, Column::len);
+        debug_assert!(columns.iter().all(|c| c.len() == rows));
+        Table {
+            name,
+            schema,
+            columns,
+            rows,
+            scans: Cell::new(0),
+            medians: Cell::new(0),
+        }
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// True when the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Column accessor by name.
+    pub fn column(&self, name: &str) -> StoreResult<&Column> {
+        self.schema
+            .index_of(name)
+            .map(|i| &self.columns[i])
+            .ok_or_else(|| StoreError::UnknownColumn(name.to_string()))
+    }
+
+    /// All columns in declaration order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Cell value at (`row`, `column`); `None` for nulls.
+    pub fn value(&self, row: usize, column: &str) -> StoreResult<Option<Value>> {
+        Ok(self.column(column)?.get(row))
+    }
+
+    /// Selection of all rows.
+    pub fn all_rows(&self) -> Bitmap {
+        Bitmap::ones(self.rows)
+    }
+}
+
+impl Backend for Table {
+    fn row_count(&self) -> usize {
+        self.rows
+    }
+
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn eval(&self, pred: &StorePredicate) -> StoreResult<Bitmap> {
+        match pred {
+            StorePredicate::True => Ok(self.all_rows()),
+            StorePredicate::Range(r) => {
+                self.scans.set(self.scans.get() + 1);
+                eval_range(self.column(&r.column)?, r)
+            }
+            StorePredicate::Set(s) => {
+                self.scans.set(self.scans.get() + 1);
+                eval_set(self.column(&s.column)?, s)
+            }
+            StorePredicate::And(ps) => {
+                let mut acc: Option<Bitmap> = None;
+                for p in ps {
+                    let sel = self.eval(p)?;
+                    acc = Some(match acc {
+                        None => sel,
+                        Some(mut a) => {
+                            a.and_inplace(&sel);
+                            a
+                        }
+                    });
+                    // Early exit on empty intermediate selections: common in
+                    // product cells of nearly dependent segmentations.
+                    if acc.as_ref().map(Bitmap::none).unwrap_or(false) {
+                        break;
+                    }
+                }
+                Ok(acc.unwrap_or_else(|| self.all_rows()))
+            }
+        }
+    }
+
+    fn count(&self, pred: &StorePredicate) -> StoreResult<usize> {
+        Ok(self.eval(pred)?.count_ones())
+    }
+
+    fn not_null(&self, column: &str) -> StoreResult<Bitmap> {
+        Ok(self.column(column)?.validity().clone())
+    }
+
+    fn median(&self, column: &str, sel: &Bitmap) -> StoreResult<Option<Value>> {
+        self.medians.set(self.medians.get() + 1);
+        let col = self.column(column)?;
+        if !col.data_type().is_numeric() {
+            return Err(StoreError::TypeMismatch {
+                column: column.to_string(),
+                expected: "numeric".into(),
+                found: col.data_type().name().into(),
+            });
+        }
+        let mut buf = Vec::new();
+        col.gather_f64(sel, &mut buf)?;
+        if buf.is_empty() {
+            return Ok(None);
+        }
+        let med = exact_median(&mut buf)?;
+        Ok(Some(self.numeric_value(col.data_type(), med)))
+    }
+
+    fn sampled_median(
+        &self,
+        column: &str,
+        sel: &Bitmap,
+        sample_size: usize,
+        seed: u64,
+    ) -> StoreResult<Option<Value>> {
+        self.medians.set(self.medians.get() + 1);
+        let col = self.column(column)?;
+        if !col.data_type().is_numeric() {
+            return Err(StoreError::TypeMismatch {
+                column: column.to_string(),
+                expected: "numeric".into(),
+                found: col.data_type().name().into(),
+            });
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rows = reservoir_sample(sel, sample_size, &mut rng);
+        let mut buf = Vec::with_capacity(rows.len());
+        for i in rows {
+            if let Some(v) = col.get(i).and_then(|v| v.as_f64()) {
+                buf.push(v);
+            }
+        }
+        if buf.is_empty() {
+            return Ok(None);
+        }
+        let med = exact_median(&mut buf)?;
+        Ok(Some(self.numeric_value(col.data_type(), med)))
+    }
+
+    fn quantile(&self, column: &str, sel: &Bitmap, q: f64) -> StoreResult<Option<Value>> {
+        self.medians.set(self.medians.get() + 1);
+        let col = self.column(column)?;
+        let mut buf = Vec::new();
+        col.gather_f64(sel, &mut buf)?;
+        if buf.is_empty() {
+            return Ok(None);
+        }
+        let v = quantile_value(&mut buf, q)?;
+        Ok(Some(self.numeric_value(col.data_type(), v)))
+    }
+
+    fn min_max(&self, column: &str, sel: &Bitmap) -> StoreResult<Option<(Value, Value)>> {
+        Ok(self.column(column)?.min_max(sel))
+    }
+
+    fn mean_and_var(&self, column: &str, sel: &Bitmap) -> StoreResult<Option<(f64, f64)>> {
+        let col = self.column(column)?;
+        let mut buf = Vec::new();
+        col.gather_f64(sel, &mut buf)?;
+        if buf.is_empty() {
+            return Ok(None);
+        }
+        let n = buf.len() as f64;
+        let mean = buf.iter().sum::<f64>() / n;
+        let var = buf.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        Ok(Some((mean, var)))
+    }
+
+    fn next_above(&self, column: &str, sel: &Bitmap, v: &Value) -> StoreResult<Option<Value>> {
+        let col = self.column(column)?;
+        let mut best: Option<Value> = None;
+        for i in sel.iter_ones() {
+            let Some(x) = col.get(i) else { continue };
+            if !matches!(x.try_cmp(v), Ok(std::cmp::Ordering::Greater)) {
+                continue;
+            }
+            if best
+                .as_ref()
+                .map(|b| matches!(x.try_cmp(b), Ok(std::cmp::Ordering::Less)))
+                .unwrap_or(true)
+            {
+                best = Some(x);
+            }
+        }
+        Ok(best)
+    }
+
+    fn frequencies(&self, column: &str, sel: &Bitmap) -> StoreResult<(FrequencyTable, Vec<String>)> {
+        self.scans.set(self.scans.get() + 1);
+        let col = self.column(column)?;
+        match col.data() {
+            ColumnData::Str(codes) => {
+                let mut counts = vec![0usize; col.dict().len()];
+                for i in sel.iter_ones() {
+                    if col.validity().get(i) {
+                        counts[codes[i] as usize] += 1;
+                    }
+                }
+                Ok((FrequencyTable::from_counts(counts), col.dict().to_vec()))
+            }
+            ColumnData::Bool(vals) => {
+                // Treat booleans as a two-entry dictionary {false, true}.
+                let mut counts = vec![0usize; 2];
+                for i in sel.iter_ones() {
+                    if col.validity().get(i) {
+                        counts[vals[i] as usize] += 1;
+                    }
+                }
+                Ok((
+                    FrequencyTable::from_counts(counts),
+                    vec!["false".into(), "true".into()],
+                ))
+            }
+            _ => Err(StoreError::TypeMismatch {
+                column: column.to_string(),
+                expected: "nominal".into(),
+                found: col.data_type().name().into(),
+            }),
+        }
+    }
+
+    fn distinct_count(&self, column: &str, sel: &Bitmap) -> StoreResult<usize> {
+        let col = self.column(column)?;
+        match col.data() {
+            ColumnData::Str(_) | ColumnData::Bool(_) => {
+                let (ft, _) = self.frequencies(column, sel)?;
+                Ok(ft.cardinality())
+            }
+            _ => {
+                let mut buf = Vec::new();
+                col.gather_f64(sel, &mut buf)?;
+                buf.sort_by(f64::total_cmp);
+                buf.dedup();
+                Ok(buf.len())
+            }
+        }
+    }
+
+    fn stats(&self) -> BackendStats {
+        BackendStats {
+            scans: self.scans.get(),
+            medians: self.medians.get(),
+        }
+    }
+
+    fn reset_stats(&self) {
+        self.scans.set(0);
+        self.medians.set(0);
+    }
+}
+
+impl Table {
+    /// Wrap a raw f64 statistic back into the column's value space.
+    /// Medians of integer/date columns are reported as floats when they
+    /// fall between two values (e.g. Figure 1's `tonnage: 1100,1150`
+    /// boundaries come from integral medians).
+    fn numeric_value(&self, ty: DataType, v: f64) -> Value {
+        match ty {
+            DataType::Int | DataType::Date if v.fract() == 0.0 => match ty {
+                DataType::Int => Value::Int(v as i64),
+                _ => Value::Date(v as i64),
+            },
+            _ => Value::Float(v),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TableBuilder;
+
+    fn boats() -> Table {
+        let mut b = TableBuilder::new("boats");
+        b.add_column("tonnage", DataType::Int);
+        b.add_column("kind", DataType::Str);
+        b.add_column("built", DataType::Date);
+        let rows: Vec<(i64, &str, &str)> = vec![
+            (1000, "fluit", "1700"),
+            (1100, "fluit", "1710"),
+            (1200, "fluit", "1720"),
+            (2500, "jacht", "1730"),
+            (2600, "jacht", "1740"),
+            (900, "pinas", "1750"),
+        ];
+        for (t, k, y) in rows {
+            b.push_row(vec![
+                Value::Int(t),
+                Value::str(k),
+                Value::parse_typed(y, DataType::Date).unwrap(),
+            ])
+            .unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn eval_true_selects_everything() {
+        let t = boats();
+        assert_eq!(t.eval(&StorePredicate::True).unwrap().count_ones(), 6);
+    }
+
+    #[test]
+    fn eval_conjunction() {
+        let t = boats();
+        let p = StorePredicate::and(vec![
+            StorePredicate::range("tonnage", Value::Int(1000), Value::Int(3000), true),
+            StorePredicate::set("kind", vec![Value::str("fluit")]),
+        ]);
+        assert_eq!(t.count(&p).unwrap(), 3);
+    }
+
+    #[test]
+    fn eval_unknown_column_errors() {
+        let t = boats();
+        let p = StorePredicate::range("nope", Value::Int(0), Value::Int(1), true);
+        assert!(matches!(t.eval(&p), Err(StoreError::UnknownColumn(_))));
+    }
+
+    #[test]
+    fn median_over_selection() {
+        let t = boats();
+        let sel = t
+            .eval(&StorePredicate::set("kind", vec![Value::str("fluit")]))
+            .unwrap();
+        assert_eq!(
+            t.median("tonnage", &sel).unwrap(),
+            Some(Value::Int(1100))
+        );
+    }
+
+    #[test]
+    fn median_even_count_is_midpoint() {
+        let t = boats();
+        let sel = t
+            .eval(&StorePredicate::set(
+                "kind",
+                vec![Value::str("jacht"), Value::str("pinas")],
+            ))
+            .unwrap();
+        // values 2500, 2600, 900 → median 2500; then only jacht: 2500,2600 →
+        // midpoint 2550, folded back into the Int value space because it is
+        // integral.
+        let jacht = t
+            .eval(&StorePredicate::set("kind", vec![Value::str("jacht")]))
+            .unwrap();
+        assert_eq!(t.median("tonnage", &sel).unwrap(), Some(Value::Int(2500)));
+        assert_eq!(t.median("tonnage", &jacht).unwrap(), Some(Value::Int(2550)));
+    }
+
+    #[test]
+    fn median_non_integral_midpoint_stays_float() {
+        let mut b = TableBuilder::new("t");
+        b.add_column("x", DataType::Int);
+        for v in [1, 2] {
+            b.push_row(vec![Value::Int(v)]).unwrap();
+        }
+        let t = b.finish();
+        assert_eq!(
+            t.median("x", &t.all_rows()).unwrap(),
+            Some(Value::Float(1.5))
+        );
+    }
+
+    #[test]
+    fn median_empty_selection_is_none() {
+        let t = boats();
+        let empty = Bitmap::new(t.len());
+        assert_eq!(t.median("tonnage", &empty).unwrap(), None);
+    }
+
+    #[test]
+    fn median_on_nominal_errors() {
+        let t = boats();
+        assert!(t.median("kind", &t.all_rows()).is_err());
+    }
+
+    #[test]
+    fn median_on_dates() {
+        let t = boats();
+        let m = t.median("built", &t.all_rows()).unwrap().unwrap();
+        // Six evenly spaced years 1700..1750 → midpoint of 1720/1730, which
+        // is a whole day count, so it stays in the Date value space and
+        // orders between the two middle years.
+        assert_eq!(m.data_type(), DataType::Date);
+        let y1720 = Value::parse_typed("1720", DataType::Date).unwrap();
+        let y1730 = Value::parse_typed("1730", DataType::Date).unwrap();
+        assert!(m.try_cmp(&y1720).unwrap().is_gt());
+        assert!(m.try_cmp(&y1730).unwrap().is_lt());
+    }
+
+    #[test]
+    fn sampled_median_close_to_exact() {
+        let mut b = TableBuilder::new("t");
+        b.add_column("x", DataType::Int);
+        for i in 0..10_000i64 {
+            b.push_row(vec![Value::Int(i)]).unwrap();
+        }
+        let t = b.finish();
+        let sel = t.all_rows();
+        let exact = t.median("x", &sel).unwrap().unwrap().as_f64().unwrap();
+        let approx = t
+            .sampled_median("x", &sel, 512, 7)
+            .unwrap()
+            .unwrap()
+            .as_f64()
+            .unwrap();
+        let rel = (exact - approx).abs() / exact;
+        assert!(rel < 0.1, "sampled median off by {rel}");
+    }
+
+    #[test]
+    fn quantiles_on_table() {
+        let t = boats();
+        let q25 = t.quantile("tonnage", &t.all_rows(), 0.25).unwrap().unwrap();
+        assert_eq!(q25, Value::Int(1000));
+    }
+
+    #[test]
+    fn frequencies_and_distinct() {
+        let t = boats();
+        let (ft, dict) = t.frequencies("kind", &t.all_rows()).unwrap();
+        assert_eq!(ft.total(), 6);
+        let by_freq = ft.by_frequency();
+        assert_eq!(dict[by_freq[0].0 as usize], "fluit");
+        assert_eq!(by_freq[0].1, 3);
+        assert_eq!(t.distinct_count("kind", &t.all_rows()).unwrap(), 3);
+        assert_eq!(t.distinct_count("tonnage", &t.all_rows()).unwrap(), 6);
+    }
+
+    #[test]
+    fn frequencies_on_numeric_errors() {
+        let t = boats();
+        assert!(t.frequencies("tonnage", &t.all_rows()).is_err());
+    }
+
+    #[test]
+    fn min_max_via_backend() {
+        let t = boats();
+        let (lo, hi) = t.min_max("tonnage", &t.all_rows()).unwrap().unwrap();
+        assert_eq!(lo, Value::Int(900));
+        assert_eq!(hi, Value::Int(2600));
+    }
+
+    #[test]
+    fn mean_and_var_basics() {
+        let t = boats();
+        let all = t.all_rows();
+        let (mean, var) = t.mean_and_var("tonnage", &all).unwrap().unwrap();
+        let expected_mean = (1000 + 1100 + 1200 + 2500 + 2600 + 900) as f64 / 6.0;
+        assert!((mean - expected_mean).abs() < 1e-9);
+        assert!(var > 0.0);
+        // Constant selection → zero variance.
+        let one = t
+            .eval(&StorePredicate::set("kind", vec![Value::str("pinas")]))
+            .unwrap();
+        let (m, v) = t.mean_and_var("tonnage", &one).unwrap().unwrap();
+        assert_eq!(m, 900.0);
+        assert_eq!(v, 0.0);
+        // Empty selection → None; nominal column → error.
+        assert_eq!(t.mean_and_var("tonnage", &Bitmap::new(t.len())).unwrap(), None);
+        assert!(t.mean_and_var("kind", &all).is_err());
+    }
+
+    #[test]
+    fn next_above_finds_successor() {
+        let t = boats();
+        let all = t.all_rows();
+        assert_eq!(
+            t.next_above("tonnage", &all, &Value::Int(1000)).unwrap(),
+            Some(Value::Int(1100))
+        );
+        assert_eq!(
+            t.next_above("tonnage", &all, &Value::Int(2600)).unwrap(),
+            None
+        );
+        // Works for nominal columns too (lexicographic successor).
+        assert_eq!(
+            t.next_above("kind", &all, &Value::str("fluit")).unwrap(),
+            Some(Value::str("jacht"))
+        );
+    }
+
+    #[test]
+    fn next_above_respects_selection() {
+        let t = boats();
+        let jacht = t
+            .eval(&StorePredicate::set("kind", vec![Value::str("jacht")]))
+            .unwrap();
+        assert_eq!(
+            t.next_above("tonnage", &jacht, &Value::Int(0)).unwrap(),
+            Some(Value::Int(2500))
+        );
+    }
+
+    #[test]
+    fn stats_counters_track_operations() {
+        let t = boats();
+        t.reset_stats();
+        let _ = t.count(&StorePredicate::set("kind", vec![Value::str("fluit")]));
+        let _ = t.median("tonnage", &t.all_rows());
+        let s = t.stats();
+        assert_eq!(s.scans, 1);
+        assert_eq!(s.medians, 1);
+    }
+}

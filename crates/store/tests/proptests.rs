@@ -1,0 +1,201 @@
+//! Property-based tests of the storage substrate: bitmap algebra,
+//! order statistics, predicate scans, CSV round-trips, and the
+//! column-store/row-store equivalence.
+
+use charles_store::{
+    exact_median, quantile_value, read_csv_str, write_csv_string, Backend, Bitmap, DataType,
+    RowTable, StorePredicate, TableBuilder, Value,
+};
+use proptest::prelude::*;
+
+fn arb_bitmap(len: usize) -> impl Strategy<Value = Bitmap> {
+    proptest::collection::vec(any::<bool>(), len).prop_map(move |bits| {
+        let mut bm = Bitmap::new(len);
+        for (i, b) in bits.into_iter().enumerate() {
+            if b {
+                bm.set(i);
+            }
+        }
+        bm
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bitmap_de_morgan(len in 1usize..300, seed in any::<u64>()) {
+        // Derive two bitmaps deterministically from the seed.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut a = Bitmap::new(len);
+        let mut b = Bitmap::new(len);
+        for i in 0..len {
+            if rng.gen_bool(0.5) { a.set(i); }
+            if rng.gen_bool(0.3) { b.set(i); }
+        }
+        // ¬(a ∪ b) = ¬a ∩ ¬b
+        let lhs = a.or(&b).not();
+        let rhs = a.not().and(&b.not());
+        prop_assert_eq!(&lhs, &rhs);
+        // |a| + |b| = |a ∪ b| + |a ∩ b|
+        prop_assert_eq!(
+            a.count_ones() + b.count_ones(),
+            a.or(&b).count_ones() + a.and_count(&b)
+        );
+        // a \ b disjoint from b, and (a\b) ∪ (a∩b) = a
+        let diff = a.and_not(&b);
+        prop_assert!(diff.is_disjoint(&b));
+        prop_assert_eq!(&diff.or(&a.and(&b)), &a);
+    }
+
+    #[test]
+    fn bitmap_iter_matches_get(bm in arb_bitmap(200)) {
+        let from_iter: Vec<usize> = bm.iter_ones().collect();
+        let from_get: Vec<usize> = (0..200).filter(|&i| bm.get(i)).collect();
+        prop_assert_eq!(from_iter, from_get);
+    }
+
+    #[test]
+    fn median_and_quantiles_match_sorted_reference(
+        mut values in proptest::collection::vec(-1e6f64..1e6, 1..200),
+        q in 0.0f64..=1.0,
+    ) {
+        let mut sorted = values.clone();
+        sorted.sort_by(f64::total_cmp);
+        // Median: between min and max, and equals the sorted definition.
+        let med = exact_median(&mut values.clone()).unwrap();
+        let n = sorted.len();
+        let reference = if n % 2 == 1 {
+            sorted[n / 2]
+        } else {
+            (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+        };
+        prop_assert!((med - reference).abs() < 1e-9, "median {med} vs {reference}");
+        // Quantile: nearest-rank definition.
+        let qv = quantile_value(&mut values, q).unwrap();
+        let k = ((q * n as f64).ceil() as usize).clamp(1, n) - 1;
+        prop_assert_eq!(qv, sorted[k]);
+    }
+
+    #[test]
+    fn range_scan_matches_naive_filter(
+        values in proptest::collection::vec(-100i64..100, 1..150),
+        lo in -100i64..100,
+        width in 0i64..100,
+        inclusive in any::<bool>(),
+    ) {
+        let hi = lo + width;
+        let mut b = TableBuilder::new("t");
+        b.add_column("x", DataType::Int);
+        for &v in &values {
+            b.push_row(vec![Value::Int(v)]).unwrap();
+        }
+        let t = b.finish();
+        let pred = StorePredicate::range("x", Value::Int(lo), Value::Int(hi), inclusive);
+        let got = t.eval(&pred).unwrap();
+        let expected: Vec<usize> = values
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v >= lo && if inclusive { v <= hi } else { v < hi })
+            .map(|(i, _)| i)
+            .collect();
+        prop_assert_eq!(got.iter_ones().collect::<Vec<_>>(), expected);
+    }
+
+    #[test]
+    fn set_scan_matches_naive_filter(
+        values in proptest::collection::vec(0i64..20, 1..150),
+        wanted in proptest::collection::vec(0i64..20, 0..8),
+    ) {
+        let mut b = TableBuilder::new("t");
+        b.add_column("x", DataType::Int);
+        for &v in &values {
+            b.push_row(vec![Value::Int(v)]).unwrap();
+        }
+        let t = b.finish();
+        let pred = StorePredicate::set("x", wanted.iter().map(|&v| Value::Int(v)).collect());
+        let got = t.eval(&pred).unwrap().count_ones();
+        let expected = values.iter().filter(|v| wanted.contains(v)).count();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn csv_round_trip_arbitrary_strings(
+        rows in proptest::collection::vec(
+            ("[ -~]{0,20}", proptest::option::of(-1000i64..1000)),
+            0..40,
+        ),
+    ) {
+        let mut b = TableBuilder::new("t");
+        b.add_column("s", DataType::Str).add_column("x", DataType::Int);
+        for (s, x) in &rows {
+            // CSV cannot represent strings with surrounding whitespace
+            // faithfully (fields are trimmed at parse); normalise first.
+            let s = s.trim().to_string();
+            b.push_row_opt(vec![Some(Value::Str(s)), x.map(Value::Int)]).unwrap();
+        }
+        let t = b.finish();
+        let text = write_csv_string(&t);
+        let t2 = read_csv_str("t2", &text).unwrap();
+        prop_assert_eq!(t.len(), t2.len());
+        for i in 0..t.len() {
+            prop_assert_eq!(t.value(i, "s").unwrap(), t2.value(i, "s").unwrap());
+            prop_assert_eq!(t.value(i, "x").unwrap(), t2.value(i, "x").unwrap());
+        }
+    }
+
+    #[test]
+    fn engines_agree_on_arbitrary_predicates(
+        values in proptest::collection::vec((0i64..50, 0usize..4), 1..120),
+        lo in 0i64..50,
+        width in 0i64..50,
+        cat in 0usize..4,
+    ) {
+        let cats = ["red", "green", "blue", "grey"];
+        let mut b = TableBuilder::new("t");
+        b.add_column("x", DataType::Int).add_column("k", DataType::Str);
+        for &(x, c) in &values {
+            b.push_row(vec![Value::Int(x), Value::str(cats[c])]).unwrap();
+        }
+        let col = b.finish();
+        let row = RowTable::from_table(&col);
+        let pred = StorePredicate::and(vec![
+            StorePredicate::range("x", Value::Int(lo), Value::Int(lo + width), true),
+            StorePredicate::set("k", vec![Value::str(cats[cat])]),
+        ]);
+        prop_assert_eq!(col.count(&pred).unwrap(), row.count(&pred).unwrap());
+        // Medians agree on the matching rows (when any).
+        let sel_c = col.eval(&pred).unwrap();
+        let sel_r = row.eval(&pred).unwrap();
+        let mc = col.median("x", &sel_c).unwrap().map(|v| v.as_f64().unwrap());
+        let mr = row.median("x", &sel_r).unwrap().map(|v| v.as_f64().unwrap());
+        prop_assert_eq!(mc, mr);
+        // And mean/variance agree too.
+        let vc = col.mean_and_var("x", &sel_c).unwrap();
+        let vr = row.mean_and_var("x", &sel_r).unwrap();
+        match (vc, vr) {
+            (Some((m1, v1)), Some((m2, v2))) => {
+                prop_assert!((m1 - m2).abs() < 1e-9);
+                prop_assert!((v1 - v2).abs() < 1e-9);
+            }
+            (a, b) => prop_assert_eq!(a, b),
+        }
+    }
+
+    #[test]
+    fn next_above_is_least_upper_neighbor(
+        values in proptest::collection::vec(0i64..100, 1..100),
+        pivot in 0i64..100,
+    ) {
+        let mut b = TableBuilder::new("t");
+        b.add_column("x", DataType::Int);
+        for &v in &values {
+            b.push_row(vec![Value::Int(v)]).unwrap();
+        }
+        let t = b.finish();
+        let got = t.next_above("x", &t.all_rows(), &Value::Int(pivot)).unwrap();
+        let expected = values.iter().copied().filter(|&v| v > pivot).min();
+        prop_assert_eq!(got, expected.map(Value::Int));
+    }
+}

@@ -1,0 +1,166 @@
+//! Multi-level (two-ring) pies (§5.2: "the display could be clarified
+//! with hierarchical visualizations, such as tree-maps or multi-level
+//! pies").
+//!
+//! The inner ring shows a coarse grouping (e.g. the first cut of a
+//! composition), the outer ring the full segmentation. Both rings share
+//! the angular layout, so a child's arc lies within its parent's arc —
+//! the composition structure of HB-cuts becomes visible at a glance.
+
+use crate::format::slice_glyph;
+
+/// Arcs of one ring: `(glyph index, weight)` per slice.
+type RingArcs = Vec<(usize, f64)>;
+
+/// A hierarchical weight spec: one inner group per entry, each carrying
+/// the weights of its children (the outer slices).
+#[derive(Debug, Clone)]
+pub struct PieLevel {
+    /// Child weights, grouped by parent. Parent weight = sum of children.
+    pub groups: Vec<Vec<f64>>,
+}
+
+impl PieLevel {
+    /// Flatten into `(glyph index, weight)` arcs for the two rings. The
+    /// inner ring borrows the glyph of each group's first non-zero child,
+    /// so a parent and its children share a visual identity and the
+    /// glyphs of zero-weight children never appear.
+    fn arcs(&self) -> (RingArcs, RingArcs) {
+        let mut inner = Vec::new();
+        let mut outer = Vec::new();
+        let mut child_idx = 0usize;
+        for children in &self.groups {
+            let total: f64 = children.iter().filter(|w| **w > 0.0).sum();
+            let first_nonzero = children
+                .iter()
+                .position(|w| *w > 0.0)
+                .map(|off| child_idx + off);
+            if let (true, Some(glyph)) = (total > 0.0, first_nonzero) {
+                inner.push((glyph, total));
+            }
+            for w in children {
+                if *w > 0.0 {
+                    outer.push((child_idx, *w));
+                }
+                child_idx += 1;
+            }
+        }
+        (inner, outer)
+    }
+}
+
+/// Render a two-ring pie: inner ring = groups, outer ring = children.
+/// `radius` is the outer character radius; the inner ring ends at half.
+pub fn multi_level_pie(level: &PieLevel, radius: usize) -> String {
+    let (inner, outer) = level.arcs();
+    let inner_total: f64 = inner.iter().map(|(_, w)| w).sum();
+    let outer_total: f64 = outer.iter().map(|(_, w)| w).sum();
+    let r = radius.max(3) as f64;
+    let r_inner = r * 0.55;
+
+    let bounds = |arcs: &[(usize, f64)], total: f64| -> Vec<(usize, f64)> {
+        let mut acc = 0.0;
+        arcs.iter()
+            .map(|(i, w)| {
+                acc += w / total;
+                (*i, acc * std::f64::consts::TAU)
+            })
+            .collect()
+    };
+    let inner_bounds = bounds(&inner, inner_total.max(1e-12));
+    let outer_bounds = bounds(&outer, outer_total.max(1e-12));
+
+    let mut out = String::new();
+    let size = radius.max(3) as isize;
+    for y in -size..=size {
+        for x in -(2 * size)..=(2 * size) {
+            let fx = x as f64 / 2.0;
+            let fy = y as f64;
+            let dist = (fx * fx + fy * fy).sqrt();
+            if dist > r + 0.25 || inner_total <= 0.0 {
+                out.push(' ');
+                continue;
+            }
+            let angle = fx.atan2(-fy).rem_euclid(std::f64::consts::TAU);
+            let ring = if dist <= r_inner {
+                &inner_bounds
+            } else {
+                &outer_bounds
+            };
+            let slice = ring
+                .iter()
+                .find(|(_, end)| angle <= *end)
+                .map(|(i, _)| *i)
+                .or_else(|| ring.last().map(|(i, _)| *i));
+            match slice {
+                Some(i) => out.push(slice_glyph(i)),
+                None => out.push(' '),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn level() -> PieLevel {
+        PieLevel {
+            groups: vec![vec![0.25, 0.25], vec![0.3, 0.2]],
+        }
+    }
+
+    #[test]
+    fn renders_both_rings() {
+        let p = multi_level_pie(&level(), 8);
+        // Inner ring uses glyphs 0 and 1 (two groups); outer uses 0..=3
+        // (four children). Children 2 and 3 appear only in the outer ring.
+        for i in 0..4 {
+            assert!(p.contains(slice_glyph(i)), "glyph {i} missing:\n{p}");
+        }
+    }
+
+    #[test]
+    fn children_nest_within_parents_angularly() {
+        // Both groups hold 50% of the weight, so the glyph mass of group 0
+        // (inner glyph 0 + outer glyphs 0,1) must be within tolerance of
+        // group 1's (inner glyph 2 + outer glyphs 2,3).
+        let p = multi_level_pie(&level(), 10);
+        let count = |g: usize| p.chars().filter(|&c| c == slice_glyph(g)).count() as f64;
+        let g0 = count(0) + count(1);
+        let g1 = count(2) + count(3);
+        assert!(g0 > 0.0 && g1 > 0.0);
+        let ratio = g0 / g1;
+        assert!(
+            (0.75..=1.33).contains(&ratio),
+            "equal-weight groups should cover similar areas, ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn zero_weight_children_are_skipped() {
+        let level = PieLevel {
+            groups: vec![vec![1.0, 0.0], vec![1.0]],
+        };
+        let p = multi_level_pie(&level, 6);
+        assert!(!p.contains(slice_glyph(1)), "zero-weight child visible");
+        assert!(p.contains(slice_glyph(2)));
+    }
+
+    #[test]
+    fn empty_input_renders_blank() {
+        let level = PieLevel { groups: vec![] };
+        let p = multi_level_pie(&level, 5);
+        assert!(p.chars().all(|c| c == ' ' || c == '\n'));
+    }
+
+    #[test]
+    fn dimensions_match_radius() {
+        let p = multi_level_pie(&level(), 7);
+        let lines: Vec<&str> = p.lines().collect();
+        assert_eq!(lines.len(), 15); // 2r + 1
+        assert!(lines.iter().all(|l| l.chars().count() == 29)); // 4r + 1
+    }
+}

@@ -1,0 +1,173 @@
+//! The Figure 1 layout: context panel, ranked answers, detail view.
+
+use crate::bar::{bar_legend, stacked_bar};
+use crate::format::{human_count, truncate_label};
+use crate::pie::pie_chart;
+use charles_core::Advice;
+use charles_sdl::{eval, Query, Segmentation};
+use charles_store::{Backend, StoreResult};
+
+/// One row of the detail view: a segment with its statistics.
+#[derive(Debug, Clone)]
+pub struct SegmentRow {
+    /// Rendered SDL query.
+    pub label: String,
+    /// Rows selected.
+    pub count: usize,
+    /// Fraction of the context.
+    pub cover: f64,
+}
+
+/// Compute the per-segment rows of a segmentation against a backend,
+/// relative to the context cardinality.
+pub fn segment_rows(
+    backend: &dyn Backend,
+    seg: &Segmentation,
+    context_size: usize,
+) -> StoreResult<Vec<SegmentRow>> {
+    seg.queries()
+        .iter()
+        .map(|q| {
+            let count = eval::count(q, backend)?;
+            Ok(SegmentRow {
+                label: q.to_string(),
+                count,
+                cover: if context_size > 0 {
+                    count as f64 / context_size as f64
+                } else {
+                    0.0
+                },
+            })
+        })
+        .collect()
+}
+
+/// Render the whole Figure 1 screen: the context on top, the ranked
+/// answer strip, then the detail view of answer `selected` with a pie
+/// chart and per-segment legend.
+pub fn render_panel(
+    backend: &dyn Backend,
+    advice: &Advice,
+    selected: usize,
+    width: usize,
+) -> StoreResult<String> {
+    let width = width.clamp(40, 160);
+    let mut out = String::new();
+    out.push_str(&format!("┌─ Charles ─ context {}\n", advice.context));
+    out.push_str(&format!(
+        "│ {} rows in context\n",
+        human_count(advice.context_size)
+    ));
+    out.push_str("├─ ranked answers\n");
+    for (i, r) in advice.ranked.iter().enumerate().take(10) {
+        let rows = segment_rows(backend, &r.segmentation, advice.context_size)?;
+        let weights: Vec<f64> = rows.iter().map(|s| s.cover).collect();
+        let marker = if i == selected { '▶' } else { ' ' };
+        let attrs = r.segmentation.attributes().join(", ");
+        out.push_str(&format!(
+            "│{marker}{i:>2}. [{}] E={:.2} P={} B={} {}\n",
+            stacked_bar(&weights, 24),
+            r.score.entropy,
+            r.score.simplicity,
+            r.score.breadth,
+            truncate_label(&attrs, width.saturating_sub(50)),
+        ));
+    }
+    if let Some(r) = advice.ranked.get(selected) {
+        out.push_str("├─ selected segmentation\n");
+        let rows = segment_rows(backend, &r.segmentation, advice.context_size)?;
+        let weights: Vec<f64> = rows.iter().map(|s| s.cover).collect();
+        for line in pie_chart(&weights, 5).lines() {
+            out.push_str("│   ");
+            out.push_str(line);
+            out.push('\n');
+        }
+        let labels: Vec<String> = rows
+            .iter()
+            .map(|s| {
+                format!(
+                    "{}  ({} rows)",
+                    truncate_label(&s.label, width.saturating_sub(24)),
+                    human_count(s.count)
+                )
+            })
+            .collect();
+        for line in bar_legend(&labels, &weights).lines() {
+            out.push_str("│ ");
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    out.push_str("└─\n");
+    Ok(out)
+}
+
+/// Render the context query as the paper's left panel: one attribute per
+/// line, constraints shown where present.
+pub fn context_panel(context: &Query) -> String {
+    let mut out = String::from("┌─ search context\n");
+    for p in context.predicates() {
+        if p.is_constraining() {
+            out.push_str(&format!("│ {:<20} {}\n", p.attr, p.constraint));
+        } else {
+            out.push_str(&format!("│ {:<20} —\n", p.attr));
+        }
+    }
+    out.push_str("└─\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use charles_core::Advisor;
+    use charles_store::{DataType, TableBuilder, Value};
+
+    fn table() -> charles_store::Table {
+        let mut b = TableBuilder::new("t");
+        b.add_column("kind", DataType::Str).add_column("size", DataType::Int);
+        for i in 0..32i64 {
+            let kind = if i % 2 == 0 { "even" } else { "odd" };
+            b.push_row(vec![Value::str(kind), Value::Int(i)]).unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn segment_rows_cover_sums_to_one() {
+        let t = table();
+        let advice = Advisor::new(&t).advise_str("(kind: , size: )").unwrap();
+        let rows = segment_rows(&t, &advice.ranked[0].segmentation, advice.context_size).unwrap();
+        let total: f64 = rows.iter().map(|r| r.cover).sum();
+        assert!((total - 1.0).abs() < 1e-9, "covers sum to {total}");
+    }
+
+    #[test]
+    fn panel_renders_all_sections() {
+        let t = table();
+        let advice = Advisor::new(&t).advise_str("(kind: , size: )").unwrap();
+        let panel = render_panel(&t, &advice, 0, 100).unwrap();
+        assert!(panel.contains("Charles"));
+        assert!(panel.contains("ranked answers"));
+        assert!(panel.contains("selected segmentation"));
+        assert!(panel.contains("E="));
+        assert!(panel.contains('▶'));
+    }
+
+    #[test]
+    fn panel_selected_out_of_range_omits_detail() {
+        let t = table();
+        let advice = Advisor::new(&t).advise_str("(kind: , size: )").unwrap();
+        let panel = render_panel(&t, &advice, 999, 100).unwrap();
+        assert!(!panel.contains("selected segmentation"));
+    }
+
+    #[test]
+    fn context_panel_shows_constraints_and_wildcards() {
+        let t = table();
+        let q = charles_sdl::parse_query("(kind: {even}, size: )", t.schema()).unwrap();
+        let panel = context_panel(&q);
+        assert!(panel.contains("{even}"));
+        assert!(panel.contains('—'));
+    }
+}

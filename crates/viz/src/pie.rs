@@ -1,0 +1,106 @@
+//! Raster pie charts from Unicode block glyphs.
+//!
+//! "Each pie-chart represents a set of queries, cutting the database into
+//! disjoint pieces" — this renders one, by rasterising a disc onto a
+//! character grid and assigning each cell to the slice whose angular
+//! interval contains it. Terminal cells are ~2× taller than wide, so the
+//! x-axis is sampled at double resolution to keep the disc round.
+
+use crate::format::slice_glyph;
+
+/// Render a pie of the given character radius (height = `2r+1` lines).
+/// Weights of zero produce no slice; an all-zero input renders an empty
+/// disc of spaces.
+pub fn pie_chart(weights: &[f64], radius: usize) -> String {
+    let total: f64 = weights.iter().filter(|w| w.is_finite() && **w > 0.0).sum();
+    let r = radius.max(2) as f64;
+    // Cumulative angular boundaries, starting at 12 o'clock, clockwise.
+    let mut bounds: Vec<(usize, f64)> = Vec::new(); // (slice index, end angle)
+    let mut acc = 0.0;
+    for (i, w) in weights.iter().enumerate() {
+        if *w > 0.0 && total > 0.0 {
+            acc += w / total;
+            bounds.push((i, acc * std::f64::consts::TAU));
+        }
+    }
+    let mut out = String::new();
+    let size = radius.max(2) as isize;
+    for y in -size..=size {
+        for x in -(2 * size)..=(2 * size) {
+            // Compress x by 2 to correct the cell aspect ratio.
+            let fx = x as f64 / 2.0;
+            let fy = y as f64;
+            let dist = (fx * fx + fy * fy).sqrt();
+            if dist > r + 0.25 {
+                out.push(' ');
+                continue;
+            }
+            if bounds.is_empty() {
+                out.push(' ');
+                continue;
+            }
+            // Angle from 12 o'clock, clockwise, in [0, TAU).
+            let angle = fx.atan2(-fy).rem_euclid(std::f64::consts::TAU);
+            let slice = bounds
+                .iter()
+                .find(|(_, end)| angle <= *end)
+                .map(|(i, _)| *i)
+                .unwrap_or(bounds.last().expect("non-empty").0);
+            out.push(slice_glyph(slice));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dimensions() {
+        let p = pie_chart(&[1.0], 4);
+        let lines: Vec<&str> = p.lines().collect();
+        assert_eq!(lines.len(), 9); // 2r + 1
+        assert!(lines.iter().all(|l| l.chars().count() == 17)); // 4r + 1
+    }
+
+    #[test]
+    fn single_slice_uses_one_glyph() {
+        let p = pie_chart(&[1.0], 4);
+        let glyphs: std::collections::BTreeSet<char> =
+            p.chars().filter(|c| *c != ' ' && *c != '\n').collect();
+        assert_eq!(glyphs.len(), 1);
+    }
+
+    #[test]
+    fn slice_area_tracks_weight() {
+        let p = pie_chart(&[0.75, 0.25], 8);
+        let big = p.chars().filter(|&c| c == slice_glyph(0)).count();
+        let small = p.chars().filter(|&c| c == slice_glyph(1)).count();
+        let frac = big as f64 / (big + small) as f64;
+        assert!((0.65..=0.85).contains(&frac), "big fraction {frac}");
+    }
+
+    #[test]
+    fn zero_weight_slices_invisible() {
+        let p = pie_chart(&[0.5, 0.0, 0.5], 5);
+        assert!(!p.contains(slice_glyph(1)));
+        assert!(p.contains(slice_glyph(0)));
+        assert!(p.contains(slice_glyph(2)));
+    }
+
+    #[test]
+    fn all_zero_renders_blank_disc() {
+        let p = pie_chart(&[0.0, 0.0], 4);
+        assert!(p.chars().all(|c| c == ' ' || c == '\n'));
+    }
+
+    #[test]
+    fn many_slices_all_present() {
+        let p = pie_chart(&[1.0; 8], 8);
+        for i in 0..8 {
+            assert!(p.contains(slice_glyph(i)), "slice {i} missing");
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Distribution sparklines (§5.2: "the only information that Charles
+//! gives about the segments is their counts. It may be interesting to
+//! display more. For instance, the distribution of some attributes could
+//! be plotted").
+//!
+//! A sparkline is a one-line histogram in block glyphs (`▁▂▃▄▅▆▇█`),
+//! cheap enough to attach to every segment of a detail view.
+
+use charles_sdl::{eval, Query};
+use charles_store::{Backend, Bitmap, StorePredicate, StoreResult, Value};
+
+const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Render raw bin counts as a sparkline.
+pub fn sparkline(counts: &[usize]) -> String {
+    let max = counts.iter().copied().max().unwrap_or(0);
+    if max == 0 {
+        return "▁".repeat(counts.len());
+    }
+    counts
+        .iter()
+        .map(|&c| {
+            if c == 0 {
+                LEVELS[0]
+            } else {
+                // Non-zero bins start at level 2 so presence is visible.
+                let idx = 1 + (c * (LEVELS.len() - 2)) / max;
+                LEVELS[idx.min(LEVELS.len() - 1)]
+            }
+        })
+        .collect()
+}
+
+/// Equal-width histogram of a numeric column over a selection, computed
+/// with `bins` range counts through the backend (no raw data access —
+/// exactly what a SQL front-end could issue).
+pub fn histogram(
+    backend: &dyn Backend,
+    column: &str,
+    sel: &Bitmap,
+    bins: usize,
+) -> StoreResult<Vec<usize>> {
+    let bins = bins.max(1);
+    let Some((min, max)) = backend.min_max(column, sel)? else {
+        return Ok(vec![0; bins]);
+    };
+    let (lo, hi) = (
+        min.as_f64().ok_or_else(|| {
+            charles_store::StoreError::TypeMismatch {
+                column: column.to_string(),
+                expected: "numeric".into(),
+                found: "nominal".into(),
+            }
+        })?,
+        max.as_f64().expect("same family as min"),
+    );
+    if lo == hi {
+        let mut counts = vec![0; bins];
+        counts[0] = sel.count_ones();
+        return Ok(counts);
+    }
+    let width = (hi - lo) / bins as f64;
+    let mut counts = Vec::with_capacity(bins);
+    for i in 0..bins {
+        let a = lo + width * i as f64;
+        let b = if i == bins - 1 { hi } else { lo + width * (i + 1) as f64 };
+        let pred = StorePredicate::range(
+            column,
+            Value::Float(a),
+            Value::Float(b),
+            i == bins - 1,
+        );
+        let bm = backend.eval(&pred)?;
+        counts.push(bm.and_count(sel));
+    }
+    Ok(counts)
+}
+
+/// One sparkline per segment of a segmentation, for a numeric attribute:
+/// bins are computed over the **context** range so the lines are
+/// comparable across segments.
+pub fn segment_sparklines(
+    backend: &dyn Backend,
+    queries: &[Query],
+    column: &str,
+    context: &Bitmap,
+    bins: usize,
+) -> StoreResult<Vec<String>> {
+    let Some((min, max)) = backend.min_max(column, context)? else {
+        return Ok(queries.iter().map(|_| String::new()).collect());
+    };
+    let (lo, hi) = (
+        min.as_f64().unwrap_or(0.0),
+        max.as_f64().unwrap_or(0.0),
+    );
+    let bins = bins.max(1);
+    let width = if hi > lo { (hi - lo) / bins as f64 } else { 1.0 };
+    let mut out = Vec::with_capacity(queries.len());
+    for q in queries {
+        let sel = eval::selection(q, backend)?;
+        let mut counts = Vec::with_capacity(bins);
+        for i in 0..bins {
+            let a = lo + width * i as f64;
+            let b = if i == bins - 1 { hi } else { lo + width * (i + 1) as f64 };
+            let pred = StorePredicate::range(
+                column,
+                Value::Float(a),
+                Value::Float(b),
+                i == bins - 1,
+            );
+            counts.push(backend.eval(&pred)?.and_count(&sel));
+        }
+        out.push(sparkline(&counts));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use charles_store::{DataType, TableBuilder};
+
+    fn table() -> charles_store::Table {
+        let mut b = TableBuilder::new("t");
+        b.add_column("x", DataType::Int);
+        // Values concentrated near 0 with a thin tail to 99.
+        for i in 0..100i64 {
+            let v = if i < 80 { i % 10 } else { i };
+            b.push_row(vec![Value::Int(v)]).unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn sparkline_shapes() {
+        assert_eq!(sparkline(&[0, 0, 0]), "▁▁▁");
+        let line = sparkline(&[1, 5, 10]);
+        let chars: Vec<char> = line.chars().collect();
+        assert_eq!(chars.len(), 3);
+        assert!(chars[0] < chars[2], "{line}");
+        // Zero bins render the baseline glyph, non-zero never do.
+        let mixed = sparkline(&[0, 3]);
+        assert!(mixed.starts_with('▁'));
+        assert!(!mixed.ends_with('▁'));
+    }
+
+    #[test]
+    fn histogram_counts_sum_to_selection() {
+        let t = table();
+        let sel = t.all_rows();
+        let h = histogram(&t, "x", &sel, 10).unwrap();
+        assert_eq!(h.len(), 10);
+        assert_eq!(h.iter().sum::<usize>(), 100);
+        // Mass concentrates in the first bin (values 0..9 ≈ 80 rows).
+        assert!(h[0] > 50, "{h:?}");
+    }
+
+    #[test]
+    fn histogram_on_constant_column() {
+        let mut b = TableBuilder::new("t");
+        b.add_column("x", DataType::Int);
+        for _ in 0..5 {
+            b.push_row(vec![Value::Int(3)]).unwrap();
+        }
+        let t = b.finish();
+        let h = histogram(&t, "x", &t.all_rows(), 4).unwrap();
+        assert_eq!(h, vec![5, 0, 0, 0]);
+    }
+
+    #[test]
+    fn histogram_nominal_errors() {
+        let mut b = TableBuilder::new("t");
+        b.add_column("k", DataType::Str);
+        b.push_row(vec![Value::str("a")]).unwrap();
+        let t = b.finish();
+        assert!(histogram(&t, "k", &t.all_rows(), 4).is_err());
+    }
+
+    #[test]
+    fn segment_sparklines_are_comparable() {
+        let t = table();
+        let schema = t.schema();
+        let lo = charles_sdl::parse_query("(x: [0,9])", schema).unwrap();
+        let hi = charles_sdl::parse_query("(x: [80,99])", schema).unwrap();
+        let lines =
+            segment_sparklines(&t, &[lo, hi], "x", &t.all_rows(), 10).unwrap();
+        assert_eq!(lines.len(), 2);
+        // The low segment's mass is on the left, the tail segment's on the
+        // right — visible as non-baseline glyphs at opposite ends.
+        assert!(!lines[0].starts_with('▁'));
+        assert!(lines[0].ends_with('▁'));
+        assert!(lines[1].starts_with('▁'));
+        assert!(!lines[1].ends_with('▁'));
+    }
+}

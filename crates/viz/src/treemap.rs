@@ -1,0 +1,234 @@
+//! Slice-and-dice tree-map.
+//!
+//! §5.2: "the display could be clarified with hierarchical visualizations,
+//! such as tree-maps or multi-level pies." This is the classic
+//! slice-and-dice layout: alternate horizontal/vertical splits of a
+//! character rectangle proportionally to the weights, one labelled box per
+//! segment.
+
+use crate::format::{slice_glyph, truncate_label};
+
+#[derive(Debug, Clone, Copy)]
+struct Rect {
+    x: usize,
+    y: usize,
+    w: usize,
+    h: usize,
+}
+
+/// Render a tree-map of the weights into a `width × height` character
+/// grid. Labels are painted into their boxes when they fit.
+pub fn treemap(labels: &[String], weights: &[f64], width: usize, height: usize) -> String {
+    let mut grid = vec![vec![' '; width]; height];
+    let items: Vec<(usize, f64)> = weights
+        .iter()
+        .enumerate()
+        .filter(|(_, w)| w.is_finite() && **w > 0.0)
+        .map(|(i, w)| (i, *w))
+        .collect();
+    if width > 0 && height > 0 && !items.is_empty() {
+        layout(
+            &items,
+            Rect {
+                x: 0,
+                y: 0,
+                w: width,
+                h: height,
+            },
+            true,
+            &mut grid,
+        );
+        // Paint labels after the fills so they stay readable.
+        paint_labels(&items, labels, width, height, &mut grid);
+    }
+    let mut out = String::with_capacity((width + 1) * height);
+    for row in grid {
+        out.extend(row);
+        out.push('\n');
+    }
+    out
+}
+
+fn layout(items: &[(usize, f64)], rect: Rect, horizontal: bool, grid: &mut [Vec<char>]) {
+    if items.is_empty() || rect.w == 0 || rect.h == 0 {
+        return;
+    }
+    if items.len() == 1 {
+        fill(rect, slice_glyph(items[0].0), grid);
+        return;
+    }
+    // Split the item list at half the weight, recurse on both sides with
+    // the orientation flipped (slice-and-dice).
+    let total: f64 = items.iter().map(|(_, w)| w).sum();
+    let mut acc = 0.0;
+    let mut split = 1;
+    for (k, (_, w)) in items.iter().enumerate() {
+        acc += w;
+        if acc >= total / 2.0 {
+            split = (k + 1).min(items.len() - 1).max(1);
+            break;
+        }
+    }
+    let left_weight: f64 = items[..split].iter().map(|(_, w)| w).sum();
+    let frac = left_weight / total;
+    let (r1, r2) = if horizontal {
+        let w1 = ((rect.w as f64 * frac).round() as usize).clamp(1, rect.w.saturating_sub(1).max(1));
+        (
+            Rect { w: w1, ..rect },
+            Rect {
+                x: rect.x + w1,
+                w: rect.w - w1,
+                ..rect
+            },
+        )
+    } else {
+        let h1 = ((rect.h as f64 * frac).round() as usize).clamp(1, rect.h.saturating_sub(1).max(1));
+        (
+            Rect { h: h1, ..rect },
+            Rect {
+                y: rect.y + h1,
+                h: rect.h - h1,
+                ..rect
+            },
+        )
+    };
+    layout(&items[..split], r1, !horizontal, grid);
+    layout(&items[split..], r2, !horizontal, grid);
+}
+
+fn fill(rect: Rect, glyph: char, grid: &mut [Vec<char>]) {
+    for y in rect.y..rect.y + rect.h {
+        for x in rect.x..rect.x + rect.w {
+            if y < grid.len() && x < grid[y].len() {
+                grid[y][x] = glyph;
+            }
+        }
+    }
+}
+
+fn paint_labels(
+    items: &[(usize, f64)],
+    labels: &[String],
+    width: usize,
+    height: usize,
+    grid: &mut [Vec<char>],
+) {
+    // Re-run the layout to know each box, then stamp the label in the
+    // top-left corner of boxes wide enough to hold ≥ 4 characters.
+    let mut rects: Vec<(usize, Rect)> = Vec::new();
+    collect_rects(
+        items,
+        Rect {
+            x: 0,
+            y: 0,
+            w: width,
+            h: height,
+        },
+        true,
+        &mut rects,
+    );
+    for (idx, rect) in rects {
+        let Some(label) = labels.get(idx) else { continue };
+        if rect.w < 5 || rect.h < 1 {
+            continue;
+        }
+        let text = truncate_label(label, rect.w - 1);
+        for (dx, ch) in text.chars().enumerate() {
+            grid[rect.y][rect.x + dx] = ch;
+        }
+    }
+}
+
+fn collect_rects(items: &[(usize, f64)], rect: Rect, horizontal: bool, out: &mut Vec<(usize, Rect)>) {
+    if items.is_empty() || rect.w == 0 || rect.h == 0 {
+        return;
+    }
+    if items.len() == 1 {
+        out.push((items[0].0, rect));
+        return;
+    }
+    let total: f64 = items.iter().map(|(_, w)| w).sum();
+    let mut acc = 0.0;
+    let mut split = 1;
+    for (k, (_, w)) in items.iter().enumerate() {
+        acc += w;
+        if acc >= total / 2.0 {
+            split = (k + 1).min(items.len() - 1).max(1);
+            break;
+        }
+    }
+    let left_weight: f64 = items[..split].iter().map(|(_, w)| w).sum();
+    let frac = left_weight / total;
+    let (r1, r2) = if horizontal {
+        let w1 = ((rect.w as f64 * frac).round() as usize).clamp(1, rect.w.saturating_sub(1).max(1));
+        (
+            Rect { w: w1, ..rect },
+            Rect {
+                x: rect.x + w1,
+                w: rect.w - w1,
+                ..rect
+            },
+        )
+    } else {
+        let h1 = ((rect.h as f64 * frac).round() as usize).clamp(1, rect.h.saturating_sub(1).max(1));
+        (
+            Rect { h: h1, ..rect },
+            Rect {
+                y: rect.y + h1,
+                h: rect.h - h1,
+                ..rect
+            },
+        )
+    };
+    collect_rects(&items[..split], r1, !horizontal, out);
+    collect_rects(&items[split..], r2, !horizontal, out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labels(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("seg{i}")).collect()
+    }
+
+    #[test]
+    fn grid_dimensions() {
+        let t = treemap(&labels(3), &[1.0, 1.0, 2.0], 40, 10);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 10);
+        assert!(lines.iter().all(|l| l.chars().count() == 40));
+    }
+
+    #[test]
+    fn all_segments_present() {
+        let t = treemap(&labels(4), &[1.0, 1.0, 1.0, 1.0], 40, 12);
+        for i in 0..4 {
+            assert!(t.contains(slice_glyph(i)), "segment {i} missing:\n{t}");
+        }
+    }
+
+    #[test]
+    fn area_tracks_weight() {
+        let t = treemap(&labels(2), &[3.0, 1.0], 40, 12);
+        let a = t.chars().filter(|&c| c == slice_glyph(0)).count();
+        let b = t.chars().filter(|&c| c == slice_glyph(1)).count();
+        let frac = a as f64 / (a + b) as f64;
+        assert!((0.6..0.9).contains(&frac), "fraction {frac}");
+    }
+
+    #[test]
+    fn labels_painted_in_boxes() {
+        let t = treemap(&labels(2), &[1.0, 1.0], 40, 8);
+        assert!(t.contains("seg0"));
+        assert!(t.contains("seg1"));
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(treemap(&[], &[], 10, 2).lines().count(), 2);
+        let zero = treemap(&labels(2), &[0.0, 0.0], 10, 2);
+        assert!(zero.chars().all(|c| c == ' ' || c == '\n'));
+        assert_eq!(treemap(&labels(1), &[1.0], 0, 0), "");
+    }
+}

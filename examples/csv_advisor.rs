@@ -1,0 +1,100 @@
+//! Bring your own data: advise on a CSV file.
+//!
+//! ```sh
+//! cargo run --example csv_advisor -- data.csv "(col_a: , col_b: )"
+//! cargo run --example csv_advisor                 # built-in demo document
+//! ```
+//!
+//! The CSV header must carry types: `name:type` per column, with types
+//! `int | float | str | date | bool`. Empty fields are NULL. This is the
+//! paper's deployment story in miniature — "the dataset … is managed with
+//! any SQL-based DBMS": load an extract, let Charles segment it, and take
+//! the emitted SQL back to the real database.
+
+use charles::sdl::query_to_sql;
+use charles::{read_csv_str, Advisor};
+
+const DEMO: &str = "\
+species:str,island:str,bill_len:float,flipper_len:int,body_mass:int
+adelie,Torgersen,39.1,181,3750
+adelie,Torgersen,39.5,186,3800
+adelie,Biscoe,37.8,174,3400
+adelie,Dream,36.4,191,3325
+gentoo,Biscoe,46.1,211,4500
+gentoo,Biscoe,50.0,230,5700
+gentoo,Biscoe,48.7,210,4450
+gentoo,Biscoe,47.3,222,5250
+chinstrap,Dream,46.5,192,3500
+chinstrap,Dream,50.0,196,3900
+chinstrap,Dream,51.3,193,3650
+chinstrap,Dream,45.4,188,3525
+";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (text, name) = match args.first() {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(t) => (t, path.clone()),
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => (DEMO.to_string(), "penguins (built-in demo)".to_string()),
+    };
+    let table = match read_csv_str("data", &text) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("CSV error: {e}");
+            eprintln!("expected a `name:type` header, e.g. `species:str,mass:int`");
+            std::process::exit(1);
+        }
+    };
+    println!("loaded {name}: {} rows, schema {}\n", table.len(), table.schema());
+
+    // Context: second CLI argument, or all columns.
+    let advisor = Advisor::new(&table);
+    let advice = match args.get(1) {
+        Some(sdl) => advisor.advise_str(sdl),
+        None => {
+            let names = table.schema().names();
+            let all = format!(
+                "({})",
+                names
+                    .iter()
+                    .map(|n| format!("{n}: "))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+            advisor.advise_str(&all)
+        }
+    };
+    let advice = match advice {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("cannot advise: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    println!(
+        "context covers {} rows; {} segmentations proposed\n",
+        advice.context_size,
+        advice.ranked.len()
+    );
+    for (i, r) in advice.ranked.iter().take(3).enumerate() {
+        println!(
+            "#{i}  E={:.3}  breadth={}  pieces={}",
+            r.score.entropy, r.score.breadth, r.score.depth
+        );
+        for q in r.segmentation.queries() {
+            println!("    {q}");
+        }
+    }
+    if let Some(best) = advice.ranked.first() {
+        println!("\ntake it back to your DBMS:");
+        for q in best.segmentation.queries().iter().take(4) {
+            println!("  {}", query_to_sql(q, "your_table"));
+        }
+    }
+}

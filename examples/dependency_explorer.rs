@@ -1,0 +1,54 @@
+//! INDEP as an instrument: watching Proposition 1 in action.
+//!
+//! ```sh
+//! cargo run --example dependency_explorer
+//! ```
+//!
+//! The paper's Proposition 1 says the INDEP quotient equals 1 exactly when
+//! two segmentations' partition variables are independent, and decreases
+//! with dependence. This example sweeps the noise dial of the controlled
+//! generator from functional (noise 0) to independent (noise 1) and prints
+//! the measured INDEP at each step, then shows how the HB-cuts stopping
+//! rule reacts: dependent pairs get composed, independent pairs stop the
+//! loop immediately.
+
+use charles::advisor::{hb_cuts, indep, Explorer};
+use charles::datagen::{correlated_pair_table, DependencyKind};
+use charles::{Config, Query, Segmentation};
+use charles_core::cut_segmentation;
+
+fn halves(ex: &Explorer<'_>, attr: &str) -> Segmentation {
+    cut_segmentation(ex, &Segmentation::singleton(ex.context().clone()), attr)
+        .expect("no store error")
+        .expect("cuttable")
+}
+
+fn main() {
+    println!("noise   INDEP(a,b)   HB-cuts outcome");
+    println!("-----   ----------   ---------------");
+    for step in 0..=10 {
+        let noise = step as f64 / 10.0;
+        let kind = match step {
+            0 => DependencyKind::Functional,
+            10 => DependencyKind::Independent,
+            _ => DependencyKind::Noisy { noise },
+        };
+        let t = correlated_pair_table(40_000, 64, kind, 1000 + step);
+        let ex = Explorer::new(&t, Config::default(), Query::wildcard(&["a", "b"]))
+            .expect("non-empty");
+        let v = indep(&ex, &halves(&ex, "a"), &halves(&ex, "b")).expect("computable");
+        let out = hb_cuts(&ex).expect("runs");
+        let composed = out.trace.steps.iter().filter(|s| s.accepted).count();
+        println!(
+            "{noise:>5.1}   {v:>10.4}   {} answers, {} compositions, stop: {:?}",
+            out.ranked.len(),
+            composed,
+            out.trace.stop.expect("loop ended")
+        );
+    }
+
+    println!();
+    println!("reading the column: INDEP = 0.5 is a functional dependency (the");
+    println!("product collapses onto the diagonal), values near 1.0 mean the");
+    println!("paper's 0.99 threshold fires and Charles refuses to compose.");
+}

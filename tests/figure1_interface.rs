@@ -1,0 +1,101 @@
+//! Experiment E4 — Figure 1: structural invariants of the rendered
+//! interface on the VOC dataset.
+//!
+//! The paper's screen has three regions: the search context (left), the
+//! ranked answer list (top, one pie per segmentation), and the selected
+//! segmentation's detail view. We assert the text rendering carries all
+//! three with consistent numbers, and that the famous example answer
+//! shape — harbour × tonnage style compositions with near-equal slices —
+//! arises from the planted VOC dependencies.
+
+use charles::viz::{context_panel, render_panel, segment_rows};
+use charles::{voc_table, Advisor};
+
+const CONTEXT: &str =
+    "(type_of_boat: , tonnage: , departure_harbour: , cape_arrival: , built: )";
+
+#[test]
+fn panel_has_all_three_regions() {
+    let ships = voc_table(10_000, 1713);
+    let advice = Advisor::new(&ships).advise_str(CONTEXT).unwrap();
+    let panel = render_panel(&ships, &advice, 0, 110).unwrap();
+    assert!(panel.contains("Charles"), "title bar");
+    assert!(panel.contains("ranked answers"), "top panel");
+    assert!(panel.contains("selected segmentation"), "main panel");
+    // One ranked row per answer (capped at 10), each with its metrics.
+    let rows = panel
+        .lines()
+        .filter(|l| l.contains("E=") && l.contains("B="))
+        .count();
+    assert_eq!(rows, advice.ranked.len().min(10));
+    // The context panel enumerates every context column.
+    let ctx_panel = context_panel(&advice.context);
+    for col in [
+        "type_of_boat",
+        "tonnage",
+        "departure_harbour",
+        "cape_arrival",
+        "built",
+    ] {
+        assert!(ctx_panel.contains(col), "{col} missing from context panel");
+    }
+}
+
+#[test]
+fn best_answer_composes_the_planted_dependencies() {
+    // The VOC generator plants type↔tonnage and built↔era dependencies;
+    // Figure 1's example answers compose exactly such column pairs. The
+    // top-ranked answer must be a composition (breadth ≥ 2) involving
+    // type_of_boat or tonnage.
+    let ships = voc_table(10_000, 1713);
+    let advice = Advisor::new(&ships).advise_str(CONTEXT).unwrap();
+    let best = &advice.ranked[0];
+    assert!(best.score.breadth >= 2, "best answer should compose");
+    let attrs = best.segmentation.attributes();
+    assert!(
+        attrs.contains(&"type_of_boat") || attrs.contains(&"tonnage"),
+        "expected the planted dependency, got {attrs:?}"
+    );
+}
+
+#[test]
+fn ranked_list_numbers_are_consistent_with_the_data() {
+    let ships = voc_table(10_000, 1713);
+    let advice = Advisor::new(&ships).advise_str(CONTEXT).unwrap();
+    for r in advice.ranked.iter().take(5) {
+        let rows = segment_rows(&ships, &r.segmentation, advice.context_size).unwrap();
+        // Counts sum to the context; covers to 1.
+        let total: usize = rows.iter().map(|s| s.count).sum();
+        assert_eq!(total, advice.context_size);
+        let cover_sum: f64 = rows.iter().map(|s| s.cover).sum();
+        assert!((cover_sum - 1.0).abs() < 1e-9);
+        // The displayed entropy is reproducible from the displayed covers.
+        let covers: Vec<f64> = rows.iter().map(|s| s.cover).collect();
+        let e = charles::advisor::entropy_from_covers(&covers);
+        assert!((e - r.score.entropy).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn near_equal_slices_like_the_figure() {
+    // Figure 1's example answers split the context into near-equal
+    // pieces. Our best answer's balance must be high (> 0.9 of ln M).
+    let ships = voc_table(10_000, 1713);
+    let advice = Advisor::new(&ships).advise_str(CONTEXT).unwrap();
+    let balance = advice.ranked[0].score.balance();
+    assert!(balance > 0.9, "balance {balance}");
+}
+
+#[test]
+fn every_displayed_query_parses_back() {
+    // The interface displays SDL text; everything shown must re-parse —
+    // the user can copy a segment straight into the next context box.
+    let ships = voc_table(10_000, 1713);
+    let advice = Advisor::new(&ships).advise_str(CONTEXT).unwrap();
+    for r in &advice.ranked {
+        for q in r.segmentation.queries() {
+            let reparsed = charles::parse_query(&q.to_string(), ships.schema()).unwrap();
+            assert_eq!(q, &reparsed);
+        }
+    }
+}

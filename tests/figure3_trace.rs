@@ -1,0 +1,159 @@
+//! Experiment E2 — reproduce Figure 3: "Example execution of HB-cuts".
+//!
+//! The figure shows a run over five attributes where the algorithm
+//! composes att2+att3, then att4+att5, then att1 with the {att2,att3}
+//! block, then stops ("No split" on the remaining pair) — "the procedure
+//! generates and returns 8 segmentations".
+//!
+//! We synthesise data with exactly that dependency structure and assert
+//! the full execution: seed set, composition order (up to the symmetric
+//! swap of the first two steps), stop reason, and the final count of 8.
+
+use charles::advisor::{hb_cuts, Explorer};
+use charles::{Config, Query, TableBuilder, Value};
+use charles_store::DataType;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn figure3_table(n: usize, seed: u64) -> charles::Table {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = TableBuilder::new("t");
+    for name in ["att1", "att2", "att3", "att4", "att5"] {
+        b.add_column(name, DataType::Int);
+    }
+    for _ in 0..n {
+        let a2: i64 = rng.gen_range(0..100);
+        let a3 = a2 + rng.gen_range(-3..=3);
+        let a1 = a2 / 2 + rng.gen_range(-2..=2);
+        let a4: i64 = rng.gen_range(0..100);
+        let a5 = a4 + rng.gen_range(-3..=3);
+        b.push_row(vec![
+            Value::Int(a1),
+            Value::Int(a2),
+            Value::Int(a3),
+            Value::Int(a4),
+            Value::Int(a5),
+        ])
+        .unwrap();
+    }
+    b.finish()
+}
+
+fn sorted_union(left: &[String], right: &[String]) -> Vec<String> {
+    let mut v: Vec<String> = left.iter().chain(right).cloned().collect();
+    v.sort();
+    v
+}
+
+#[test]
+fn produces_exactly_eight_segmentations() {
+    let t = figure3_table(3000, 42);
+    let ctx = Query::wildcard(&["att1", "att2", "att3", "att4", "att5"]);
+    let ex = Explorer::new(&t, Config::default(), ctx).unwrap();
+    let out = hb_cuts(&ex).unwrap();
+    assert_eq!(out.trace.seeds.len(), 5, "all five attributes seed");
+    assert_eq!(
+        out.trace.steps.iter().filter(|s| s.accepted).count(),
+        3,
+        "three compositions as in the figure"
+    );
+    assert_eq!(out.ranked.len(), 8, "5 seeds + 3 compositions");
+}
+
+#[test]
+fn composition_tree_matches_figure() {
+    let t = figure3_table(3000, 42);
+    let ctx = Query::wildcard(&["att1", "att2", "att3", "att4", "att5"]);
+    let ex = Explorer::new(&t, Config::default(), ctx).unwrap();
+    let out = hb_cuts(&ex).unwrap();
+    let accepted: Vec<Vec<String>> = out
+        .trace
+        .steps
+        .iter()
+        .filter(|s| s.accepted)
+        .map(|s| sorted_union(&s.left_attrs, &s.right_attrs))
+        .collect();
+    // Steps 1 and 2 (in either order): {att2,att3} and {att4,att5}.
+    let first_two: Vec<&Vec<String>> = accepted.iter().take(2).collect();
+    assert!(
+        first_two.iter().any(|v| **v == ["att2", "att3"]),
+        "missing att2+att3 in {accepted:?}"
+    );
+    assert!(
+        first_two.iter().any(|v| **v == ["att4", "att5"]),
+        "missing att4+att5 in {accepted:?}"
+    );
+    // Step 3: att1 joins the {att2,att3} block.
+    assert_eq!(accepted[2], ["att1", "att2", "att3"], "{accepted:?}");
+}
+
+#[test]
+fn rejected_step_is_the_figure_no_split() {
+    // The final considered pair — {att1,att2,att3} × {att4,att5} — is
+    // independent by construction, so the loop must stop on the INDEP
+    // threshold (the figure's "No split") or on the depth bound
+    // (8 × 4 = 32 pieces > 12), whichever fires first.
+    let t = figure3_table(3000, 42);
+    let ctx = Query::wildcard(&["att1", "att2", "att3", "att4", "att5"]);
+    let ex = Explorer::new(&t, Config::default(), ctx).unwrap();
+    let out = hb_cuts(&ex).unwrap();
+    let last = out.trace.steps.last().expect("at least one step");
+    assert!(!last.accepted);
+    let union = sorted_union(&last.left_attrs, &last.right_attrs);
+    assert_eq!(union, ["att1", "att2", "att3", "att4", "att5"]);
+    assert!(out.trace.stop.is_some());
+}
+
+#[test]
+fn ranked_output_contains_every_tree_node() {
+    // The returned set must contain: each single-attribute seed, the two
+    // pair blocks, and the triple block — the nodes of Figure 3's tree.
+    let t = figure3_table(3000, 42);
+    let ctx = Query::wildcard(&["att1", "att2", "att3", "att4", "att5"]);
+    let ex = Explorer::new(&t, Config::default(), ctx).unwrap();
+    let out = hb_cuts(&ex).unwrap();
+    let attr_sets: Vec<Vec<String>> = out
+        .ranked
+        .iter()
+        .map(|r| {
+            let mut v: Vec<String> = r
+                .segmentation
+                .attributes()
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+            v.sort();
+            v
+        })
+        .collect();
+    let expect = |target: &[&str]| {
+        assert!(
+            attr_sets.iter().any(|s| s == target),
+            "missing node {target:?} in {attr_sets:?}"
+        );
+    };
+    for single in ["att1", "att2", "att3", "att4", "att5"] {
+        expect(&[single]);
+    }
+    expect(&["att2", "att3"]);
+    expect(&["att4", "att5"]);
+    expect(&["att1", "att2", "att3"]);
+}
+
+#[test]
+fn deeper_compositions_rank_higher() {
+    // "sort(output)" by entropy: the 8-piece triple block must outrank
+    // every binary seed.
+    let t = figure3_table(3000, 42);
+    let ctx = Query::wildcard(&["att1", "att2", "att3", "att4", "att5"]);
+    let ex = Explorer::new(&t, Config::default(), ctx).unwrap();
+    let out = hb_cuts(&ex).unwrap();
+    let top = &out.ranked[0];
+    assert!(
+        top.segmentation.attributes().len() >= 2,
+        "top answer should be a composition, got {}",
+        top.segmentation
+    );
+    let top_depth = top.segmentation.depth();
+    assert!(top_depth >= 4, "top depth {top_depth}");
+}

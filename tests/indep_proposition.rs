@@ -1,0 +1,98 @@
+//! Experiment E8 — Proposition 1: `X1 ⊥ X2 ⟺ E(S1×S2) = E(S1)+E(S2)`,
+//! and INDEP decreases with the degree of dependence.
+//!
+//! Uses the controlled-dependency generator so ground truth is known.
+
+use charles::advisor::{cut_segmentation, indep, product_entropy, Explorer};
+use charles::datagen::{correlated_pair_table, DependencyKind};
+use charles::{Config, Query, Segmentation};
+
+fn halves(ex: &Explorer<'_>, attr: &str) -> Segmentation {
+    cut_segmentation(ex, &Segmentation::singleton(ex.context().clone()), attr)
+        .unwrap()
+        .unwrap()
+}
+
+fn measure(kind: DependencyKind, seed: u64) -> f64 {
+    let t = correlated_pair_table(30_000, 64, kind, seed);
+    let ex = Explorer::new(&t, Config::default(), Query::wildcard(&["a", "b"])).unwrap();
+    indep(&ex, &halves(&ex, "a"), &halves(&ex, "b")).unwrap()
+}
+
+#[test]
+fn independent_attributes_reach_one() {
+    let v = measure(DependencyKind::Independent, 1);
+    assert!(v > 0.999, "INDEP of independent columns = {v}");
+}
+
+#[test]
+fn functional_dependency_reaches_half() {
+    let v = measure(DependencyKind::Functional, 2);
+    assert!((v - 0.5).abs() < 1e-9, "INDEP of b=a is exactly 1/2, got {v}");
+}
+
+#[test]
+fn indep_increases_monotonically_with_noise() {
+    let mut last = 0.0;
+    for step in 0..=10 {
+        let noise = step as f64 / 10.0;
+        let v = measure(DependencyKind::Noisy { noise }, 100 + step as u64);
+        assert!(
+            v >= last - 0.02,
+            "INDEP dropped from {last} to {v} at noise {noise}"
+        );
+        last = v;
+    }
+}
+
+#[test]
+fn additivity_equality_for_independents() {
+    let t = correlated_pair_table(30_000, 64, DependencyKind::Independent, 3);
+    let ex = Explorer::new(&t, Config::default(), Query::wildcard(&["a", "b"])).unwrap();
+    let sa = halves(&ex, "a");
+    let sb = halves(&ex, "b");
+    let e1 = charles::advisor::entropy(&ex, &sa).unwrap();
+    let e2 = charles::advisor::entropy(&ex, &sb).unwrap();
+    let e12 = product_entropy(&ex, &sa, &sb).unwrap();
+    // Proposition 1 equality, up to sampling noise of the generator.
+    assert!(
+        (e12 - (e1 + e2)).abs() < 0.005,
+        "E(S1×S2)={e12} vs E(S1)+E(S2)={}",
+        e1 + e2
+    );
+}
+
+#[test]
+fn subadditivity_always_holds() {
+    for (kind, seed) in [
+        (DependencyKind::Functional, 4u64),
+        (DependencyKind::Noisy { noise: 0.3 }, 5),
+        (DependencyKind::Noisy { noise: 0.7 }, 6),
+        (DependencyKind::Independent, 7),
+    ] {
+        let t = correlated_pair_table(10_000, 32, kind, seed);
+        let ex = Explorer::new(&t, Config::default(), Query::wildcard(&["a", "b"])).unwrap();
+        let sa = halves(&ex, "a");
+        let sb = halves(&ex, "b");
+        let e1 = charles::advisor::entropy(&ex, &sa).unwrap();
+        let e2 = charles::advisor::entropy(&ex, &sb).unwrap();
+        let e12 = product_entropy(&ex, &sa, &sb).unwrap();
+        assert!(
+            e12 <= e1 + e2 + 1e-9,
+            "subadditivity violated for {kind:?}: {e12} > {}",
+            e1 + e2
+        );
+        // And the product is at least as informative as either factor.
+        assert!(e12 >= e1.max(e2) - 1e-9);
+    }
+}
+
+#[test]
+fn threshold_099_separates_the_regimes() {
+    // The paper's operating point: 0.99 must pass independent pairs and
+    // reject clearly dependent ones.
+    let independent = measure(DependencyKind::Independent, 8);
+    let dependent = measure(DependencyKind::Noisy { noise: 0.3 }, 9);
+    assert!(independent >= 0.99);
+    assert!(dependent < 0.99);
+}
