@@ -51,7 +51,12 @@ fn bench_backend(c: &mut Criterion) {
         b.iter(|| rowstore.median("tonnage", &sel_row).unwrap())
     });
     ops.bench_function(BenchmarkId::new("frequencies", "columnar"), |b| {
-        b.iter(|| col.frequencies("departure_harbour", &sel_col).unwrap().0.total())
+        b.iter(|| {
+            col.frequencies("departure_harbour", &sel_col)
+                .unwrap()
+                .0
+                .total()
+        })
     });
     ops.bench_function(BenchmarkId::new("frequencies", "rowstore"), |b| {
         b.iter(|| {

@@ -17,8 +17,7 @@ fn bench_lazy(c: &mut Criterion) {
         let t = sweep_table(20_000, k, 8);
         group.bench_with_input(BenchmarkId::new("first_answer", k), &k, |b, &k| {
             b.iter(|| {
-                let ex =
-                    Explorer::new(&t, Config::default(), context_over(&t, k)).unwrap();
+                let ex = Explorer::new(&t, Config::default(), context_over(&t, k)).unwrap();
                 let mut gen = LazyGenerator::new(&ex);
                 gen.next_segmentation().unwrap().is_some()
             })

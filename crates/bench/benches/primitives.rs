@@ -2,9 +2,7 @@
 //! CUT (numeric + nominal), COMPOSE, PRODUCT, entropy, INDEP.
 
 use charles_bench::explorer_over;
-use charles_core::{
-    compose, cut_segmentation, entropy, indep, product, Config, Explorer,
-};
+use charles_core::{compose, cut_segmentation, entropy, indep, product, Config, Explorer};
 use charles_datagen::voc_table;
 use charles_sdl::Segmentation;
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -32,14 +30,18 @@ fn bench_primitives(c: &mut Criterion) {
         b.iter(|| {
             let ex = explorer_over(&t, Config::default().with_memoize(false), 5);
             let base = Segmentation::singleton(ex.context().clone());
-            cut_segmentation(&ex, &base, "type_of_boat").unwrap().unwrap()
+            cut_segmentation(&ex, &base, "type_of_boat")
+                .unwrap()
+                .unwrap()
         })
     });
 
     // Compose / product / indep over prepared halves, memoized selections.
     let ex = explorer_over(&t, Config::default(), 5);
     let base = Segmentation::singleton(ex.context().clone());
-    let s_type = cut_segmentation(&ex, &base, "type_of_boat").unwrap().unwrap();
+    let s_type = cut_segmentation(&ex, &base, "type_of_boat")
+        .unwrap()
+        .unwrap();
     let s_ton = cut_segmentation(&ex, &base, "tonnage").unwrap().unwrap();
 
     group.bench_function("compose_2x2_50k", |b| {
@@ -48,14 +50,14 @@ fn bench_primitives(c: &mut Criterion) {
     group.bench_function("product_2x2_50k", |b| {
         b.iter(|| product(&ex, &s_type, &s_ton).unwrap())
     });
-    group.bench_function("entropy_50k", |b| {
-        b.iter(|| entropy(&ex, &s_type).unwrap())
-    });
+    group.bench_function("entropy_50k", |b| b.iter(|| entropy(&ex, &s_type).unwrap()));
     group.bench_function("indep_cold_50k", |b| {
         b.iter(|| {
             let ex = explorer_over(&t, Config::default().with_memoize(false), 5);
             let base = Segmentation::singleton(ex.context().clone());
-            let s1 = cut_segmentation(&ex, &base, "type_of_boat").unwrap().unwrap();
+            let s1 = cut_segmentation(&ex, &base, "type_of_boat")
+                .unwrap()
+                .unwrap();
             let s2 = cut_segmentation(&ex, &base, "tonnage").unwrap().unwrap();
             indep(&ex, &s1, &s2).unwrap()
         })

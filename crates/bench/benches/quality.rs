@@ -82,7 +82,9 @@ fn bench_quality(c: &mut Criterion) {
     group.bench_function("clique", |b| {
         b.iter(|| {
             let ex = explorer_over(&t, Config::default(), 5);
-            clique_clusters(&ex, CliqueOptions::default()).unwrap().len()
+            clique_clusters(&ex, CliqueOptions::default())
+                .unwrap()
+                .len()
         })
     });
     group.finish();

@@ -14,9 +14,8 @@ use charles_core::baselines::{
     CliqueOptions, ExhaustiveOptions, RandomOptions,
 };
 use charles_core::{
-    adaptive_segmentations, compose, cut_segmentation, hb_cuts, indep, product,
-    quantile_cut_query, AdaptiveOptions, Advisor, Config, Explorer, LazyGenerator,
-    MedianStrategy,
+    adaptive_segmentations, compose, cut_segmentation, hb_cuts, indep, product, quantile_cut_query,
+    AdaptiveOptions, Advisor, Config, Explorer, LazyGenerator, MedianStrategy,
 };
 use charles_datagen::{
     astro_table, correlated_pair_table, sweep_table, voc_table, weblog_table, DependencyKind,
@@ -77,7 +76,10 @@ fn banner(id: &str, title: &str) {
 
 /// E1 — Figure 2: CUT, COMPOSE and PRODUCT on the boats example.
 fn e1_figure2() {
-    banner("E1", "Figure 2: cut, composition and product of segmentations");
+    banner(
+        "E1",
+        "Figure 2: cut, composition and product of segmentations",
+    );
     let mut b = TableBuilder::new("boats");
     b.add_column("type", DataType::Str)
         .add_column("tonnage", DataType::Int)
@@ -96,8 +98,12 @@ fn e1_figure2() {
             .unwrap();
     }
     let t = b.finish();
-    let ex = Explorer::new(&t, Config::default(), Query::wildcard(&["type", "tonnage", "year"]))
-        .unwrap();
+    let ex = Explorer::new(
+        &t,
+        Config::default(),
+        Query::wildcard(&["type", "tonnage", "year"]),
+    )
+    .unwrap();
     let base = Segmentation::singleton(ex.context().clone());
     let a = cut_segmentation(&ex, &base, "type").unwrap().unwrap();
     let bb = cut_segmentation(&ex, &base, "year").unwrap().unwrap();
@@ -122,7 +128,10 @@ fn e1_figure2() {
         &cut_segmentation(&ex, &a, "tonnage").unwrap().unwrap(),
     );
     show("COMPOSE(A, B)", &compose(&ex, &a, &bb).unwrap().unwrap());
-    show("A × B (empty cells pruned)", &product(&ex, &a, &bb).unwrap());
+    show(
+        "A × B (empty cells pruned)",
+        &product(&ex, &a, &bb).unwrap(),
+    );
     println!(
         "\nINDEP(A, B) = {:.3}  (≪ 1: type and year are dependent, as the figure intends)",
         indep(&ex, &a, &bb).unwrap()
@@ -131,7 +140,10 @@ fn e1_figure2() {
 
 /// E2 — Figure 3: the HB-cuts execution tree on five attributes.
 fn e2_figure3() {
-    banner("E2", "Figure 3: example execution of HB-cuts (5 attributes)");
+    banner(
+        "E2",
+        "Figure 3: example execution of HB-cuts (5 attributes)",
+    );
     let mut rng = StdRng::seed_from_u64(42);
     let mut b = TableBuilder::new("t");
     for name in ["att1", "att2", "att3", "att4", "att5"] {
@@ -139,10 +151,10 @@ fn e2_figure3() {
     }
     for _ in 0..5000 {
         let a2: i64 = rng.gen_range(0..100);
-        let a3 = a2 + rng.gen_range(-3..=3);
-        let a1 = a2 / 2 + rng.gen_range(-2..=2);
+        let a3 = a2 + rng.gen_range(-3i64..=3);
+        let a1 = a2 / 2 + rng.gen_range(-2i64..=2);
         let a4: i64 = rng.gen_range(0..100);
-        let a5 = a4 + rng.gen_range(-3..=3);
+        let a5 = a4 + rng.gen_range(-3i64..=3);
         b.push_row(vec![
             Value::Int(a1),
             Value::Int(a2),
@@ -155,7 +167,10 @@ fn e2_figure3() {
     let t = b.finish();
     let ex = explorer_over(&t, Config::default(), 5);
     let out = hb_cuts(&ex).unwrap();
-    println!("seeds: {:?}  (skipped: {:?})", out.trace.seeds, out.trace.skipped);
+    println!(
+        "seeds: {:?}  (skipped: {:?})",
+        out.trace.seeds, out.trace.skipped
+    );
     for step in &out.trace.steps {
         println!(
             "  {} {:?} × {:?}  INDEP={:.3} depth={}",
@@ -287,7 +302,10 @@ fn e5_horizontal() {
 
 /// E6 — §5.1 vertical scalability + §5.2 sampled medians ablation.
 fn e6_vertical() {
-    banner("E6", "vertical scalability: runtime vs #tuples (4 attributes)");
+    banner(
+        "E6",
+        "vertical scalability: runtime vs #tuples (4 attributes)",
+    );
     header(&["rows", "exact medians", "sampled (1k)", "entropy Δ"]);
     for n in [1_000usize, 10_000, 100_000, 1_000_000] {
         let t = sweep_table(n, 4, 6);
@@ -306,8 +324,7 @@ fn e6_vertical() {
             );
             hb_cuts(&ex).unwrap()
         });
-        let delta =
-            (out_exact.ranked[0].score.entropy - out_sample.ranked[0].score.entropy).abs();
+        let delta = (out_exact.ranked[0].score.entropy - out_sample.ranked[0].score.entropy).abs();
         row(&[
             format!("{n}"),
             fmt_duration(d_exact),
@@ -361,7 +378,10 @@ fn e7_backend() {
 
 /// E8 — Proposition 1: the INDEP dial.
 fn e8_indep() {
-    banner("E8", "Proposition 1: INDEP vs controlled dependency (40k rows)");
+    banner(
+        "E8",
+        "Proposition 1: INDEP vs controlled dependency (40k rows)",
+    );
     header(&["noise", "INDEP", "compositions", "stop"]);
     for step in 0..=10 {
         let noise = step as f64 / 10.0;
@@ -405,9 +425,7 @@ fn e9_quality() {
             "simplicity",
             "answers",
         ]);
-        let describe = |label: &str,
-                        d: std::time::Duration,
-                        ranked: &[charles_core::Ranked]| {
+        let describe = |label: &str, d: std::time::Duration, ranked: &[charles_core::Ranked]| {
             if let Some(best) = ranked.first() {
                 row(&[
                     label.to_string(),
@@ -483,10 +501,7 @@ fn e9_quality() {
                 fmt_duration(d),
                 "—".into(),
                 "—".into(),
-                format!(
-                    "{}",
-                    cells.iter().map(|c| c.dims).max().unwrap_or(0)
-                ),
+                format!("{}", cells.iter().map(|c| c.dims).max().unwrap_or(0)),
                 "—".into(),
                 format!("{} cells", cells.len()),
             ]);
@@ -632,13 +647,7 @@ fn e12_homogeneity_surprise() {
         ("astro", astro_table(20_000, 42), 5),
         ("weblog", weblog_table(20_000, 43), 5),
     ];
-    header(&[
-        "dataset",
-        "method",
-        "homogeneity",
-        "surprise",
-        "entropy",
-    ]);
+    header(&["dataset", "method", "homogeneity", "surprise", "entropy"]);
     for (name, t, k) in &datasets {
         let ex = explorer_over(t, Config::default(), *k);
         let hb = hb_cuts(&ex).unwrap();
@@ -668,7 +677,9 @@ fn e12_homogeneity_surprise() {
             h_sum += charles_core::homogeneity(&ex, &r.segmentation)
                 .unwrap()
                 .mean_gain;
-            s_sum += charles_core::surprise(&ex, &r.segmentation).unwrap().weighted;
+            s_sum += charles_core::surprise(&ex, &r.segmentation)
+                .unwrap()
+                .weighted;
             e_sum += r.score.entropy;
         }
         let m = rand.len() as f64;

@@ -24,11 +24,7 @@ pub fn context_over(backend: &dyn Backend, k: usize) -> Query {
 }
 
 /// Build an explorer over the first `k` columns.
-pub fn explorer_over<'a>(
-    backend: &'a dyn Backend,
-    config: Config,
-    k: usize,
-) -> Explorer<'a> {
+pub fn explorer_over<'a>(backend: &'a dyn Backend, config: Config, k: usize) -> Explorer<'a> {
     Explorer::new(backend, config, context_over(backend, k)).expect("non-empty context")
 }
 

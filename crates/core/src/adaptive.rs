@@ -50,15 +50,23 @@ impl Default for AdaptiveOptions {
 
 /// Run the randomized per-piece search; returns ranked segmentations
 /// (deduplicated across restarts).
-pub fn adaptive_segmentations(
-    ex: &Explorer<'_>,
-    opts: AdaptiveOptions,
-) -> CoreResult<Vec<Ranked>> {
-    let mut rng = StdRng::seed_from_u64(opts.seed);
+pub fn adaptive_segmentations(ex: &Explorer<'_>, opts: AdaptiveOptions) -> CoreResult<Vec<Ranked>> {
+    // Derive one sub-seed per restart from the master seed up front.
+    // Restarts then consume independent RNG streams, which makes each
+    // run a pure function of (data, opts, sub-seed) — that is what lets
+    // them fan out across threads with output identical to running them
+    // one after another.
+    let mut master = StdRng::seed_from_u64(opts.seed);
+    let seeds: Vec<u64> = (0..opts.restarts.max(1)).map(|_| master.gen()).collect();
+    let runs = crate::par::try_map(&seeds, |&seed| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        one_run(ex, opts, &mut rng)
+    })?;
+
+    // Dedupe and score in restart order (first occurrence wins).
     let mut pool: Vec<(Segmentation, crate::metrics::Score)> = Vec::new();
     let mut seen: Vec<String> = Vec::new();
-    for _ in 0..opts.restarts.max(1) {
-        let seg = one_run(ex, opts, &mut rng)?;
+    for seg in runs {
         let fp = crate::engine::fingerprint(&seg);
         if !seen.contains(&fp) {
             seen.push(fp);
@@ -70,11 +78,7 @@ pub fn adaptive_segmentations(
 }
 
 /// One greedy run: grow a segmentation piece by piece.
-fn one_run(
-    ex: &Explorer<'_>,
-    opts: AdaptiveOptions,
-    rng: &mut StdRng,
-) -> CoreResult<Segmentation> {
+fn one_run(ex: &Explorer<'_>, opts: AdaptiveOptions, rng: &mut StdRng) -> CoreResult<Segmentation> {
     let attrs: Vec<String> = ex.attributes().iter().map(|s| s.to_string()).collect();
     let mut pieces: Vec<Query> = vec![ex.context().clone()];
     while pieces.len() < opts.target_depth.max(2) {
@@ -85,7 +89,11 @@ fn one_run(
             .iter()
             .map(|p| ex.cover(p))
             .collect::<CoreResult<_>>()?;
-        order.sort_by(|&a, &b| covers[b].partial_cmp(&covers[a]).unwrap_or(std::cmp::Ordering::Equal));
+        order.sort_by(|&a, &b| {
+            covers[b]
+                .partial_cmp(&covers[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
 
         // Try pieces fattest-first until one can be cut.
         let mut cut_made: Option<(usize, Query, Query)> = None;
@@ -151,7 +159,7 @@ mod tests {
         for _ in 0..800 {
             let x: i64 = rng.gen_range(0..100);
             let y: i64 = rng.gen_range(0..100);
-            let k = ["a", "b", "c"][rng.gen_range(0..3)];
+            let k = ["a", "b", "c"][rng.gen_range(0usize..3)];
             b.push_row(vec![Value::Int(x), Value::Int(y), Value::str(k)])
                 .unwrap();
         }
@@ -161,8 +169,12 @@ mod tests {
     #[test]
     fn produces_partitions_of_target_depth() {
         let t = table();
-        let ex = Explorer::new(&t, Config::default(), charles_sdl::Query::wildcard(&["x", "y", "k"]))
-            .unwrap();
+        let ex = Explorer::new(
+            &t,
+            Config::default(),
+            charles_sdl::Query::wildcard(&["x", "y", "k"]),
+        )
+        .unwrap();
         let opts = AdaptiveOptions {
             restarts: 4,
             target_depth: 6,
@@ -186,8 +198,12 @@ mod tests {
         // several restarts over three attributes at least one produced
         // segmentation should mix attributes across queries.
         let t = table();
-        let ex = Explorer::new(&t, Config::default(), charles_sdl::Query::wildcard(&["x", "y", "k"]))
-            .unwrap();
+        let ex = Explorer::new(
+            &t,
+            Config::default(),
+            charles_sdl::Query::wildcard(&["x", "y", "k"]),
+        )
+        .unwrap();
         let ranked = adaptive_segmentations(&ex, AdaptiveOptions::default()).unwrap();
         let heterogeneous = ranked.iter().any(|r| {
             let sets: Vec<Vec<&str>> = r
@@ -219,8 +235,12 @@ mod tests {
     #[test]
     fn greedy_mode_is_deterministic_single_result() {
         let t = table();
-        let ex = Explorer::new(&t, Config::default(), charles_sdl::Query::wildcard(&["x", "y", "k"]))
-            .unwrap();
+        let ex = Explorer::new(
+            &t,
+            Config::default(),
+            charles_sdl::Query::wildcard(&["x", "y", "k"]),
+        )
+        .unwrap();
         let opts = AdaptiveOptions {
             restarts: 5,
             exploration: 1.0, // pure greedy → every restart identical
@@ -238,7 +258,8 @@ mod tests {
             b.push_row(vec![Value::Int(1)]).unwrap();
         }
         let t = b.finish();
-        let ex = Explorer::new(&t, Config::default(), charles_sdl::Query::wildcard(&["c"])).unwrap();
+        let ex =
+            Explorer::new(&t, Config::default(), charles_sdl::Query::wildcard(&["c"])).unwrap();
         let ranked = adaptive_segmentations(&ex, AdaptiveOptions::default()).unwrap();
         // Only the trivial single-piece segmentation comes back.
         assert_eq!(ranked.len(), 1);

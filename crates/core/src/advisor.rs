@@ -31,8 +31,14 @@ pub struct Advice {
     /// HB-cuts execution trace (the Figure 3 tree).
     pub trace: Trace,
     /// Backend operations performed while answering.
+    ///
+    /// Diagnostics, not part of the deterministic output: under the
+    /// `parallel` feature two workers can miss the selection cache on
+    /// the same query concurrently and both evaluate it, so exact
+    /// counts vary run to run (the ranked answers and trace do not).
     pub backend_ops: BackendStats,
-    /// Cache effectiveness while answering.
+    /// Cache effectiveness while answering. Diagnostics — see
+    /// [`Advice::backend_ops`] for why counts may vary under threads.
     pub cache: CacheStats,
 }
 
@@ -61,15 +67,35 @@ impl<'a> Advisor<'a> {
     }
 
     /// Advise on a context given as an SDL query.
+    ///
+    /// A context whose rows are uniform in every attribute (nothing is
+    /// cuttable) is a legitimate leaf of the exploration, not a failure:
+    /// it yields an `Advice` with an empty `ranked` list. Other errors
+    /// (bad config, empty context, backend failures) propagate.
     pub fn advise(&self, context: Query) -> CoreResult<Advice> {
         self.backend.reset_stats();
         let ex = Explorer::new(self.backend, self.config.clone(), context.clone())?;
-        let out = hb_cuts(&ex)?;
+        let (ranked, trace) = match hb_cuts(&ex) {
+            Ok(out) => (out.ranked, out.trace),
+            Err(crate::error::CoreError::NoCuttableAttribute) => {
+                // Leaf trace: every attribute was constant (skipped), no
+                // pair ever existed to compose. Keeps the "why zero
+                // answers" question answerable from the trace alone.
+                let trace = Trace {
+                    seeds: Vec::new(),
+                    skipped: ex.attributes().iter().map(|s| s.to_string()).collect(),
+                    steps: Vec::new(),
+                    stop: Some(crate::hbcuts::StopReason::ExhaustedCandidates),
+                };
+                (Vec::new(), trace)
+            }
+            Err(other) => return Err(other),
+        };
         Ok(Advice {
             context,
             context_size: ex.context_size(),
-            ranked: out.ranked,
-            trace: out.trace,
+            ranked,
+            trace,
             backend_ops: self.backend.stats(),
             cache: ex.cache_stats(),
         })
@@ -142,9 +168,7 @@ mod tests {
     fn advise_with_constrained_context() {
         let t = voc_like();
         let advisor = Advisor::new(&t);
-        let advice = advisor
-            .advise_str("(type: {fluit}, tonnage: )")
-            .unwrap();
+        let advice = advisor.advise_str("(type: {fluit}, tonnage: )").unwrap();
         assert_eq!(advice.context_size, 4);
         // All proposed segments stay within the fluit context.
         for r in &advice.ranked {

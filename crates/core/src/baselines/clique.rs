@@ -79,15 +79,18 @@ pub fn clique_clusters(ex: &Explorer<'_>, opts: CliqueOptions) -> CoreResult<Vec
         let width = (hi - lo) / opts.xi as f64;
         for i in 0..opts.xi {
             let a = lo + width * i as f64;
-            let b = if i == opts.xi - 1 { hi } else { lo + width * (i + 1) as f64 };
-            let Ok(c) = Constraint::range_with(
-                Value::Float(a),
-                Value::Float(b),
-                i == opts.xi - 1,
-            ) else {
+            let b = if i == opts.xi - 1 {
+                hi
+            } else {
+                lo + width * (i + 1) as f64
+            };
+            let Ok(c) = Constraint::range_with(Value::Float(a), Value::Float(b), i == opts.xi - 1)
+            else {
                 continue;
             };
-            let Some(q) = ctx.refined(attr, c) else { continue };
+            let Some(q) = ctx.refined(attr, c) else {
+                continue;
+            };
             let bm = ex.selection(&q)?;
             let support = bm.count_ones();
             if support >= min_support {
@@ -156,7 +159,8 @@ mod tests {
     fn blobs() -> charles_store::Table {
         let mut rng = StdRng::seed_from_u64(17);
         let mut b = TableBuilder::new("t");
-        b.add_column("x", DataType::Float).add_column("y", DataType::Float);
+        b.add_column("x", DataType::Float)
+            .add_column("y", DataType::Float);
         let mut push = |cx: f64, cy: f64, spread: f64, n: usize, rng: &mut StdRng| {
             for _ in 0..n {
                 let x = cx + (rng.gen::<f64>() - 0.5) * spread;

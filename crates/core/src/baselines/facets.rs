@@ -53,12 +53,12 @@ fn facet_for(ex: &Explorer<'_>, attr: &str, bins: usize) -> CoreResult<Option<Se
         let mut pieces = Vec::with_capacity(bins);
         for i in 0..bins {
             let a = lo + width * i as f64;
-            let b = if i == bins - 1 { hi } else { lo + width * (i + 1) as f64 };
-            let c = match Constraint::range_with(
-                Value::Float(a),
-                Value::Float(b),
-                i == bins - 1,
-            ) {
+            let b = if i == bins - 1 {
+                hi
+            } else {
+                lo + width * (i + 1) as f64
+            };
+            let c = match Constraint::range_with(Value::Float(a), Value::Float(b), i == bins - 1) {
                 Ok(c) => c,
                 Err(_) => continue,
             };
@@ -76,7 +76,9 @@ fn facet_for(ex: &Explorer<'_>, attr: &str, bins: usize) -> CoreResult<Option<Se
             return Ok(None);
         }
         let ordered = ft.by_frequency();
-        let head_len = ordered.len().min(ex.config().max_depth.saturating_sub(1).max(1));
+        let head_len = ordered
+            .len()
+            .min(ex.config().max_depth.saturating_sub(1).max(1));
         let decode = |code: u32| -> Value {
             let s = &dict[code as usize];
             match ty {
@@ -93,7 +95,10 @@ fn facet_for(ex: &Explorer<'_>, attr: &str, bins: usize) -> CoreResult<Option<Se
         }
         // Tail bucket keeps the partition property.
         if head_len < ordered.len() {
-            let tail: Vec<Value> = ordered[head_len..].iter().map(|&(c, _)| decode(c)).collect();
+            let tail: Vec<Value> = ordered[head_len..]
+                .iter()
+                .map(|&(c, _)| decode(c))
+                .collect();
             let c = Constraint::set(tail).expect("non-empty");
             if let Some(p) = ctx.refined(attr, c) {
                 pieces.push(p);
@@ -116,7 +121,8 @@ mod tests {
 
     fn table() -> charles_store::Table {
         let mut b = TableBuilder::new("t");
-        b.add_column("x", DataType::Int).add_column("k", DataType::Str);
+        b.add_column("x", DataType::Int)
+            .add_column("k", DataType::Str);
         for i in 0..100i64 {
             let k = ["a", "b", "c", "d"][(i % 4) as usize];
             b.push_row(vec![Value::Int(i), Value::str(k)]).unwrap();
@@ -173,7 +179,8 @@ mod tests {
     #[test]
     fn constant_attribute_yields_no_facet() {
         let mut b = TableBuilder::new("t");
-        b.add_column("c", DataType::Int).add_column("x", DataType::Int);
+        b.add_column("c", DataType::Int)
+            .add_column("x", DataType::Int);
         for i in 0..10 {
             b.push_row(vec![Value::Int(5), Value::Int(i)]).unwrap();
         }

@@ -170,7 +170,8 @@ mod tests {
 
     fn table() -> charles_store::Table {
         let mut b = TableBuilder::new("t");
-        b.add_column("x", DataType::Int).add_column("k", DataType::Str);
+        b.add_column("x", DataType::Int)
+            .add_column("k", DataType::Str);
         for i in 0..200i64 {
             let k = ["a", "b", "c"][(i % 3) as usize];
             b.push_row(vec![Value::Int(i), Value::str(k)]).unwrap();

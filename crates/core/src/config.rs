@@ -151,6 +151,9 @@ mod tests {
             .with_max_depth(8)
             .with_median(MedianStrategy::Sampled { size: 256, seed: 1 });
         assert_eq!(c.max_depth, 8);
-        assert!(matches!(c.median, MedianStrategy::Sampled { size: 256, .. }));
+        assert!(matches!(
+            c.median,
+            MedianStrategy::Sampled { size: 256, .. }
+        ));
     }
 }

@@ -55,7 +55,11 @@ impl<'a> Explorer<'a> {
     /// that cuts on any of those attributes partition the context exactly
     /// (see DESIGN.md). Errors if the configuration is invalid or the
     /// context is empty.
-    pub fn new(backend: &'a dyn Backend, config: Config, context: Query) -> CoreResult<Explorer<'a>> {
+    pub fn new(
+        backend: &'a dyn Backend,
+        config: Config,
+        context: Query,
+    ) -> CoreResult<Explorer<'a>> {
         config.validate()?;
         let mut sel = eval::selection(&context, backend)?;
         for attr in context.attributes() {
@@ -147,8 +151,12 @@ impl<'a> Explorer<'a> {
     }
 
     /// Covers of every segment of a segmentation.
+    ///
+    /// Each segment's selection evaluates independently, so this fans
+    /// out across threads under the `parallel` feature (order-preserving
+    /// — the returned vector always matches `seg.queries()` order).
     pub fn covers(&self, seg: &Segmentation) -> CoreResult<Vec<f64>> {
-        seg.queries().iter().map(|q| self.cover(q)).collect()
+        crate::par::try_map(seg.queries(), |q| self.cover(q))
     }
 
     /// Split point for a numeric cut, honouring the configured median
@@ -212,7 +220,8 @@ mod tests {
 
     fn table() -> charles_store::Table {
         let mut b = TableBuilder::new("t");
-        b.add_column("x", DataType::Int).add_column("k", DataType::Str);
+        b.add_column("x", DataType::Int)
+            .add_column("k", DataType::Str);
         for i in 0..20i64 {
             let k = if i % 2 == 0 { "even" } else { "odd" };
             b.push_row(vec![Value::Int(i), Value::str(k)]).unwrap();
@@ -224,7 +233,10 @@ mod tests {
     fn context_pins_extent() {
         let t = table();
         let ctx = Query::wildcard(&["x", "k"])
-            .refined("x", Constraint::range(Value::Int(0), Value::Int(9)).unwrap())
+            .refined(
+                "x",
+                Constraint::range(Value::Int(0), Value::Int(9)).unwrap(),
+            )
             .unwrap();
         let ex = Explorer::new(&t, Config::default(), ctx).unwrap();
         assert_eq!(ex.context_size(), 10);
@@ -249,7 +261,8 @@ mod tests {
     #[test]
     fn context_excludes_rows_null_in_context_attrs() {
         let mut b = TableBuilder::new("t");
-        b.add_column("x", DataType::Int).add_column("k", DataType::Str);
+        b.add_column("x", DataType::Int)
+            .add_column("k", DataType::Str);
         b.push_row(vec![Value::Int(1), Value::str("a")]).unwrap();
         b.push_row_opt(vec![None, Some(Value::str("b"))]).unwrap();
         b.push_row_opt(vec![Some(Value::Int(3)), None]).unwrap();
@@ -296,7 +309,10 @@ mod tests {
     fn cover_is_relative_to_context() {
         let t = table();
         let ctx = Query::wildcard(&["x", "k"])
-            .refined("x", Constraint::range(Value::Int(0), Value::Int(9)).unwrap())
+            .refined(
+                "x",
+                Constraint::range(Value::Int(0), Value::Int(9)).unwrap(),
+            )
             .unwrap();
         let ex = Explorer::new(&t, Config::default(), ctx.clone()).unwrap();
         let evens = ctx
@@ -311,7 +327,10 @@ mod tests {
     fn selection_clipped_to_context() {
         let t = table();
         let ctx = Query::wildcard(&["x", "k"])
-            .refined("x", Constraint::range(Value::Int(0), Value::Int(9)).unwrap())
+            .refined(
+                "x",
+                Constraint::range(Value::Int(0), Value::Int(9)).unwrap(),
+            )
             .unwrap();
         let ex = Explorer::new(&t, Config::default(), ctx).unwrap();
         // A query that nominally matches everything is clipped to |D| = 10.

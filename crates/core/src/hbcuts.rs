@@ -28,7 +28,6 @@
 
 use crate::engine::Explorer;
 use crate::error::{CoreError, CoreResult};
-use crate::indep::indep;
 use crate::metrics::{score, Score};
 use crate::primitives::{compose, cut_segmentation};
 use crate::ranking::{rank, Ranked};
@@ -101,11 +100,15 @@ impl HbCutsOutput {
 pub fn hb_cuts(ex: &Explorer<'_>) -> CoreResult<HbCutsOutput> {
     let mut trace = Trace::default();
 
-    // Lines 2–5: seed with one binary cut per attribute.
+    // Lines 2–5: seed with one binary cut per attribute. The per-attribute
+    // cuts are independent (median scan + two selections each), so they
+    // fan out across threads; the zip below keeps attribute order.
     let base = Segmentation::singleton(ex.context().clone());
+    let attrs = ex.attributes();
+    let seed_cuts = crate::par::try_map(&attrs, |attr| cut_segmentation(ex, &base, attr))?;
     let mut cand: Vec<Segmentation> = Vec::new();
-    for attr in ex.attributes() {
-        match cut_segmentation(ex, &base, attr)? {
+    for (attr, cut) in attrs.iter().zip(seed_cuts) {
+        match cut {
             Some(seg) => {
                 trace.seeds.push(attr.to_string());
                 cand.push(seg);
@@ -127,15 +130,43 @@ pub fn hb_cuts(ex: &Explorer<'_>) -> CoreResult<HbCutsOutput> {
             trace.stop = Some(StopReason::ExhaustedCandidates);
             break;
         }
-        // Line 11: argmin over unordered candidate pairs, first-wins ties
-        // for determinism.
+        // Line 11: argmin over unordered candidate pairs. INDEP values are
+        // pure functions of the data, so the uncached pairs evaluate in
+        // parallel; the argmin itself runs sequentially over the same
+        // (i, j) enumeration as the nested loop, keeping first-wins
+        // tie-breaks — and hence the chosen pair — identical to the
+        // sequential path.
+        //
+        // From the second iteration on, every pair not involving the
+        // newly composed candidate is a memo hit, so the cache is probed
+        // sequentially first (cheap hash lookups) and only the misses —
+        // O(cand) of them per iteration — fan out to worker threads.
+        let pairs: Vec<(usize, usize)> = (0..cand.len())
+            .flat_map(|i| ((i + 1)..cand.len()).map(move |j| (i, j)))
+            .collect();
+        let fps: Vec<String> = cand.iter().map(crate::engine::fingerprint).collect();
+        let cached: Vec<Option<f64>> = pairs
+            .iter()
+            .map(|&(i, j)| ex.cached_indep(&fps[i], &fps[j]))
+            .collect();
+        let misses: Vec<(usize, usize)> = pairs
+            .iter()
+            .zip(&cached)
+            .filter(|(_, hit)| hit.is_none())
+            .map(|(&p, _)| p)
+            .collect();
+        let fresh = crate::par::try_map(&misses, |&(i, j)| {
+            crate::indep::indep_with_fingerprints(ex, &cand[i], &cand[j], &fps[i], &fps[j])
+        })?;
+        let mut fresh_iter = fresh.into_iter();
+        let values: Vec<f64> = cached
+            .into_iter()
+            .map(|hit| hit.unwrap_or_else(|| fresh_iter.next().expect("one value per miss")))
+            .collect();
         let mut best: Option<(usize, usize, f64)> = None;
-        for i in 0..cand.len() {
-            for j in (i + 1)..cand.len() {
-                let v = indep(ex, &cand[i], &cand[j])?;
-                if best.map(|(_, _, b)| v < b).unwrap_or(true) {
-                    best = Some((i, j, v));
-                }
+        for (&(i, j), &v) in pairs.iter().zip(&values) {
+            if best.map(|(_, _, b)| v < b).unwrap_or(true) {
+                best = Some((i, j, v));
             }
         }
         let (i, j, ind) = best.expect("cand.len() >= 2");
@@ -183,11 +214,9 @@ pub fn hb_cuts(ex: &Explorer<'_>) -> CoreResult<HbCutsOutput> {
     output.extend(cand);
 
     // Line 25: sort by entropy (descending), with deterministic tie-breaks.
-    let mut scored: Vec<(Segmentation, Score)> = Vec::with_capacity(output.len());
-    for seg in output {
-        let s = score(ex, &seg)?;
-        scored.push((seg, s));
-    }
+    // Scoring each segmentation is independent work; order is preserved.
+    let scores = crate::par::try_map(&output, |seg| score(ex, seg))?;
+    let scored: Vec<(Segmentation, Score)> = output.into_iter().zip(scores).collect();
     let mut ranked = rank(scored);
     ranked.truncate(ex.config().max_results);
     Ok(HbCutsOutput { ranked, trace })
@@ -213,10 +242,10 @@ mod tests {
         }
         for _ in 0..n {
             let a2: i64 = rng.gen_range(0..100);
-            let a3 = a2 + rng.gen_range(-3..=3); // tight function of a2
-            let a1 = a2 / 2 + rng.gen_range(-2..=2); // depends on a2 (hence a3)
+            let a3 = a2 + rng.gen_range(-3i64..=3); // tight function of a2
+            let a1 = a2 / 2 + rng.gen_range(-2i64..=2); // depends on a2 (hence a3)
             let a4: i64 = rng.gen_range(0..100);
-            let a5 = a4 + rng.gen_range(-3..=3); // tight function of a4
+            let a5 = a4 + rng.gen_range(-3i64..=3); // tight function of a4
             b.push_row(vec![
                 Value::Int(a1),
                 Value::Int(a2),
@@ -249,8 +278,7 @@ mod tests {
         let ctx = Query::wildcard(&["att1", "att2", "att3", "att4", "att5"]);
         let ex = Explorer::new(&t, Config::default(), ctx).unwrap();
         let out = hb_cuts(&ex).unwrap();
-        let accepted: Vec<&ComposeStep> =
-            out.trace.steps.iter().filter(|s| s.accepted).collect();
+        let accepted: Vec<&ComposeStep> = out.trace.steps.iter().filter(|s| s.accepted).collect();
         // The two tight pairs must be composed (in some order) before the
         // looser att1–{att2,att3} link.
         let pairs: Vec<(Vec<String>, Vec<String>)> = accepted
@@ -308,7 +336,8 @@ mod tests {
         // so no composition is accepted and we get exactly the two seeds.
         let mut rng = StdRng::seed_from_u64(7);
         let mut b = TableBuilder::new("t");
-        b.add_column("a", DataType::Int).add_column("b", DataType::Int);
+        b.add_column("a", DataType::Int)
+            .add_column("b", DataType::Int);
         for _ in 0..4000 {
             b.push_row(vec![
                 Value::Int(rng.gen_range(0..1000)),
@@ -335,7 +364,11 @@ mod tests {
         let out = hb_cuts(&ex).unwrap();
         assert_eq!(out.trace.stop, Some(StopReason::DepthLimit));
         for r in &out.ranked {
-            assert!(r.segmentation.depth() < 3 + 4, "depth {}", r.segmentation.depth());
+            assert!(
+                r.segmentation.depth() < 3 + 4,
+                "depth {}",
+                r.segmentation.depth()
+            );
         }
         // Only the two seeds are returned (the composition was rejected).
         assert_eq!(out.ranked.len(), 2);
@@ -344,7 +377,8 @@ mod tests {
     #[test]
     fn constant_attribute_is_skipped() {
         let mut b = TableBuilder::new("t");
-        b.add_column("x", DataType::Int).add_column("c", DataType::Int);
+        b.add_column("x", DataType::Int)
+            .add_column("c", DataType::Int);
         for i in 0..100 {
             b.push_row(vec![Value::Int(i), Value::Int(1)]).unwrap();
         }
@@ -366,10 +400,7 @@ mod tests {
         }
         let t = b.finish();
         let ex = Explorer::new(&t, Config::default(), Query::wildcard(&["c"])).unwrap();
-        assert!(matches!(
-            hb_cuts(&ex),
-            Err(CoreError::NoCuttableAttribute)
-        ));
+        assert!(matches!(hb_cuts(&ex), Err(CoreError::NoCuttableAttribute)));
     }
 
     #[test]

@@ -152,10 +152,13 @@ mod tests {
     /// Two clean clusters: kind "a" has x around 0, kind "b" around 100.
     fn clustered() -> charles_store::Table {
         let mut b = TableBuilder::new("t");
-        b.add_column("x", DataType::Int).add_column("kind", DataType::Str);
+        b.add_column("x", DataType::Int)
+            .add_column("kind", DataType::Str);
         for i in 0..50i64 {
-            b.push_row(vec![Value::Int(i % 10), Value::str("a")]).unwrap();
-            b.push_row(vec![Value::Int(100 + i % 10), Value::str("b")]).unwrap();
+            b.push_row(vec![Value::Int(i % 10), Value::str("a")])
+                .unwrap();
+            b.push_row(vec![Value::Int(100 + i % 10), Value::str("b")])
+                .unwrap();
         }
         b.finish()
     }
@@ -165,13 +168,9 @@ mod tests {
         let t = clustered();
         let ex = Explorer::new(&t, Config::default(), Query::wildcard(&["x", "kind"])).unwrap();
         // Cut on kind — aligns with the true clusters.
-        let seg = cut_segmentation(
-            &ex,
-            &Segmentation::singleton(ex.context().clone()),
-            "kind",
-        )
-        .unwrap()
-        .unwrap();
+        let seg = cut_segmentation(&ex, &Segmentation::singleton(ex.context().clone()), "kind")
+            .unwrap()
+            .unwrap();
         let h = homogeneity(&ex, &seg).unwrap();
         assert_eq!(h.per_attribute.len(), 2);
         for (attr, gain) in &h.per_attribute {
@@ -227,7 +226,8 @@ mod tests {
     #[test]
     fn constant_attributes_are_skipped() {
         let mut b = TableBuilder::new("t");
-        b.add_column("c", DataType::Int).add_column("x", DataType::Int);
+        b.add_column("c", DataType::Int)
+            .add_column("x", DataType::Int);
         for i in 0..20 {
             b.push_row(vec![Value::Int(7), Value::Int(i)]).unwrap();
         }
@@ -242,11 +242,27 @@ mod tests {
         assert_eq!(h.per_attribute[0].0, "x");
     }
 
+    /// Two overlapping clusters: kind "a" has x in 0..10, kind "b" in
+    /// 6..16. Only the kind cut separates them perfectly, so a random
+    /// numeric split cannot tie the optimum by luck.
+    fn overlapping_clusters() -> charles_store::Table {
+        let mut b = TableBuilder::new("t");
+        b.add_column("x", DataType::Int)
+            .add_column("kind", DataType::Str);
+        for i in 0..50i64 {
+            b.push_row(vec![Value::Int(i % 10), Value::str("a")])
+                .unwrap();
+            b.push_row(vec![Value::Int(6 + i % 10), Value::str("b")])
+                .unwrap();
+        }
+        b.finish()
+    }
+
     #[test]
     fn hbcuts_bet_beats_random_on_dependent_data() {
         // E12 in miniature: HB-cuts' structural homogeneity should beat a
         // random segmentation of the same depth on clustered data.
-        let t = clustered();
+        let t = overlapping_clusters();
         let ex = Explorer::new(&t, Config::default(), Query::wildcard(&["x", "kind"])).unwrap();
         let out = crate::hbcuts::hb_cuts(&ex).unwrap();
         let hb = homogeneity(&ex, &out.ranked[0].segmentation).unwrap();

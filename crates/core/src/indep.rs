@@ -24,34 +24,28 @@ use charles_sdl::Segmentation;
 
 /// Entropy of the product `S1 × S2` computed from pairwise intersection
 /// counts (no product queries are built).
-pub fn product_entropy(
-    ex: &Explorer<'_>,
-    s1: &Segmentation,
-    s2: &Segmentation,
-) -> CoreResult<f64> {
+pub fn product_entropy(ex: &Explorer<'_>, s1: &Segmentation, s2: &Segmentation) -> CoreResult<f64> {
     let n = ex.context_size();
     if n == 0 {
         return Ok(0.0);
     }
-    let sels1: Vec<_> = s1
-        .queries()
-        .iter()
-        .map(|q| ex.selection(q))
-        .collect::<CoreResult<_>>()?;
-    let sels2: Vec<_> = s2
-        .queries()
-        .iter()
-        .map(|q| ex.selection(q))
-        .collect::<CoreResult<_>>()?;
-    let mut covers = Vec::with_capacity(sels1.len() * sels2.len());
-    for a in &sels1 {
-        for b in &sels2 {
-            let c = a.and_count(b);
-            if c > 0 {
-                covers.push(c as f64 / n as f64);
-            }
-        }
-    }
+    // Segment selections materialise independently; fan them out.
+    let sels1 = crate::par::try_map(s1.queries(), |q| ex.selection(q))?;
+    let sels2 = crate::par::try_map(s2.queries(), |q| ex.selection(q))?;
+    // AND-count grid: one parallel task per row of S1, each emitting its
+    // covers in S2 order; flattening row-major reproduces the exact
+    // sequential (a, b) enumeration, so the entropy sum sees the same
+    // operand order bitwise.
+    let rows = crate::par::map(&sels1, |a| {
+        sels2
+            .iter()
+            .filter_map(|b| {
+                let c = a.and_count(b);
+                (c > 0).then(|| c as f64 / n as f64)
+            })
+            .collect::<Vec<f64>>()
+    });
+    let covers: Vec<f64> = rows.into_iter().flatten().collect();
     Ok(entropy_from_covers(&covers))
 }
 
@@ -61,9 +55,20 @@ pub fn product_entropy(
 /// single-piece or completely unbalanced) there is no dependence signal;
 /// we return 1.0 ("fully independent") so HB-cuts never composes on noise.
 pub fn indep(ex: &Explorer<'_>, s1: &Segmentation, s2: &Segmentation) -> CoreResult<f64> {
-    let fp1 = fingerprint(s1);
-    let fp2 = fingerprint(s2);
-    if let Some(v) = ex.cached_indep(&fp1, &fp2) {
+    indep_with_fingerprints(ex, s1, s2, &fingerprint(s1), &fingerprint(s2))
+}
+
+/// [`indep`] with caller-supplied fingerprints, so hot loops that
+/// already maintain them (the HB-cuts pair argmin) don't re-render the
+/// segmentations for every cache miss.
+pub(crate) fn indep_with_fingerprints(
+    ex: &Explorer<'_>,
+    s1: &Segmentation,
+    s2: &Segmentation,
+    fp1: &str,
+    fp2: &str,
+) -> CoreResult<f64> {
+    if let Some(v) = ex.cached_indep(fp1, fp2) {
         return Ok(v);
     }
     let e1 = crate::metrics::entropy(ex, s1)?;
@@ -75,7 +80,7 @@ pub fn indep(ex: &Explorer<'_>, s1: &Segmentation, s2: &Segmentation) -> CoreRes
         // Subadditivity bounds the true quotient by 1; clamp floating noise.
         (product_entropy(ex, s1, s2)? / denom).min(1.0)
     };
-    ex.store_indep(&fp1, &fp2, value);
+    ex.store_indep(fp1, fp2, value);
     Ok(value)
 }
 
@@ -100,7 +105,8 @@ mod tests {
 
     fn two_cols(rows: &[(i64, i64)]) -> charles_store::Table {
         let mut b = TableBuilder::new("t");
-        b.add_column("a", DataType::Int).add_column("b", DataType::Int);
+        b.add_column("a", DataType::Int)
+            .add_column("b", DataType::Int);
         for &(x, y) in rows {
             b.push_row(vec![Value::Int(x), Value::Int(y)]).unwrap();
         }

@@ -143,7 +143,7 @@ mod tests {
         }
         for _ in 0..1000 {
             let a: i64 = rng.gen_range(0..50);
-            let bb = a + rng.gen_range(-2..=2);
+            let bb = a + rng.gen_range(-2i64..=2);
             let c: i64 = rng.gen_range(0..50);
             b.push_row(vec![Value::Int(a), Value::Int(bb), Value::Int(c)])
                 .unwrap();

@@ -54,6 +54,7 @@ pub mod homogeneity;
 pub mod indep;
 pub mod lazy;
 pub mod metrics;
+pub(crate) mod par;
 pub mod primitives;
 pub mod quantile;
 pub mod ranking;
@@ -68,10 +69,10 @@ pub use error::{CoreError, CoreResult};
 pub use hbcuts::{hb_cuts, ComposeStep, HbCutsOutput, StopReason, Trace};
 pub use homogeneity::{homogeneity, Homogeneity};
 pub use indep::{indep, is_independent, product_entropy};
-pub use surprise::{rank_by_surprise, surprise, Surprise};
 pub use lazy::LazyGenerator;
 pub use metrics::{breadth, entropy, entropy_from_covers, score, simplicity, Score};
 pub use primitives::{compose, cut_query, cut_segmentation, product, product_all_cells};
 pub use quantile::{quantile_cut_query, quantile_cut_segmentation};
 pub use ranking::{rank, rank_weighted, Ranked, Weights};
 pub use session::Session;
+pub use surprise::{rank_by_surprise, surprise, Surprise};

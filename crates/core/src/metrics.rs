@@ -108,7 +108,8 @@ mod tests {
 
     fn table() -> charles_store::Table {
         let mut b = TableBuilder::new("t");
-        b.add_column("x", DataType::Int).add_column("k", DataType::Str);
+        b.add_column("x", DataType::Int)
+            .add_column("k", DataType::Str);
         for i in 0..16i64 {
             let k = if i < 8 { "lo" } else { "hi" };
             b.push_row(vec![Value::Int(i), Value::str(k)]).unwrap();

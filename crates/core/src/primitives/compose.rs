@@ -45,7 +45,8 @@ mod tests {
     /// fluits sail early, jachts late).
     fn boats() -> charles_store::Table {
         let mut b = TableBuilder::new("boats");
-        b.add_column("type", DataType::Str).add_column("year", DataType::Int);
+        b.add_column("type", DataType::Str)
+            .add_column("year", DataType::Int);
         let rows = [
             ("fluit", 1700),
             ("fluit", 1720),
@@ -121,7 +122,8 @@ mod tests {
     #[test]
     fn compose_with_unrelated_constant_attribute_is_none() {
         let mut b = TableBuilder::new("t");
-        b.add_column("x", DataType::Int).add_column("c", DataType::Int);
+        b.add_column("x", DataType::Int)
+            .add_column("c", DataType::Int);
         for i in 0..4 {
             b.push_row(vec![Value::Int(i), Value::Int(1)]).unwrap();
         }

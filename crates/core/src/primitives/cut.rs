@@ -21,11 +21,7 @@ use charles_store::{DataType, FrequencyTable, Value};
 
 /// Cut one query in two along `attr`. Returns `None` when no valid binary
 /// split exists.
-pub fn cut_query(
-    ex: &Explorer<'_>,
-    q: &Query,
-    attr: &str,
-) -> CoreResult<Option<(Query, Query)>> {
+pub fn cut_query(ex: &Explorer<'_>, q: &Query, attr: &str) -> CoreResult<Option<(Query, Query)>> {
     let sel = ex.selection(q)?;
     if sel.none() {
         return Ok(None);
@@ -70,7 +66,11 @@ pub fn cut_segmentation(
             None => out.push(q.clone()),
         }
     }
-    Ok(if any { Some(Segmentation::new(out)) } else { None })
+    Ok(if any {
+        Some(Segmentation::new(out))
+    } else {
+        None
+    })
 }
 
 /// Median-based pieces for a numeric attribute.
@@ -154,8 +154,14 @@ fn nominal_pieces(
             _ => Value::str(s.clone()),
         }
     };
-    let left: Vec<Value> = ordered[..split_idx].iter().map(|&(c, _)| decode(c)).collect();
-    let right: Vec<Value> = ordered[split_idx..].iter().map(|&(c, _)| decode(c)).collect();
+    let left: Vec<Value> = ordered[..split_idx]
+        .iter()
+        .map(|&(c, _)| decode(c))
+        .collect();
+    let right: Vec<Value> = ordered[split_idx..]
+        .iter()
+        .map(|&(c, _)| decode(c))
+        .collect();
     match (Constraint::set(left), Constraint::set(right)) {
         (Ok(l), Ok(r)) => Ok(Some((l, r))),
         _ => Ok(None),
@@ -222,7 +228,9 @@ mod tests {
     fn nominal_cut_splits_categories() {
         let t = boats();
         let ex = explorer(&t);
-        let (l, r) = cut_query(&ex, &ex.context().clone(), "type").unwrap().unwrap();
+        let (l, r) = cut_query(&ex, &ex.context().clone(), "type")
+            .unwrap()
+            .unwrap();
         assert_eq!(ex.count(&l).unwrap(), 4);
         assert_eq!(ex.count(&r).unwrap(), 4);
         let cs = l.constraint("type").unwrap();
@@ -232,13 +240,16 @@ mod tests {
     #[test]
     fn cut_on_constant_column_is_none() {
         let mut b = TableBuilder::new("t");
-        b.add_column("x", DataType::Int).add_column("c", DataType::Int);
+        b.add_column("x", DataType::Int)
+            .add_column("c", DataType::Int);
         for i in 0..4 {
             b.push_row(vec![Value::Int(i), Value::Int(7)]).unwrap();
         }
         let t = b.finish();
         let ex = Explorer::new(&t, Config::default(), Query::wildcard(&["x", "c"])).unwrap();
-        assert!(cut_query(&ex, &ex.context().clone(), "c").unwrap().is_none());
+        assert!(cut_query(&ex, &ex.context().clone(), "c")
+            .unwrap()
+            .is_none());
     }
 
     #[test]
@@ -250,7 +261,9 @@ mod tests {
         }
         let t = b.finish();
         let ex = Explorer::new(&t, Config::default(), Query::wildcard(&["k"])).unwrap();
-        assert!(cut_query(&ex, &ex.context().clone(), "k").unwrap().is_none());
+        assert!(cut_query(&ex, &ex.context().clone(), "k")
+            .unwrap()
+            .is_none());
     }
 
     #[test]
@@ -308,19 +321,16 @@ mod tests {
         // One piece is constant on the cut attribute; it must survive
         // unchanged while the other is split.
         let mut b = TableBuilder::new("t");
-        b.add_column("k", DataType::Str).add_column("x", DataType::Int);
+        b.add_column("k", DataType::Str)
+            .add_column("x", DataType::Int);
         for (k, x) in [("a", 1), ("a", 1), ("b", 1), ("b", 9)] {
             b.push_row(vec![Value::str(k), Value::Int(x)]).unwrap();
         }
         let t = b.finish();
         let ex = Explorer::new(&t, Config::default(), Query::wildcard(&["k", "x"])).unwrap();
-        let by_k = cut_segmentation(
-            &ex,
-            &Segmentation::singleton(ex.context().clone()),
-            "k",
-        )
-        .unwrap()
-        .unwrap();
+        let by_k = cut_segmentation(&ex, &Segmentation::singleton(ex.context().clone()), "k")
+            .unwrap()
+            .unwrap();
         let by_kx = cut_segmentation(&ex, &by_k, "x").unwrap().unwrap();
         // "a" piece is constant on x → kept; "b" piece splits → 3 total.
         assert_eq!(by_kx.depth(), 3);
@@ -363,10 +373,7 @@ mod tests {
         // within the fluit subset.
         let fluits = ex
             .context()
-            .refined(
-                "type",
-                Constraint::set(vec![Value::str("fluit")]).unwrap(),
-            )
+            .refined("type", Constraint::set(vec![Value::str("fluit")]).unwrap())
             .unwrap();
         let (l, r) = cut_query(&ex, &fluits, "tonnage").unwrap().unwrap();
         assert_eq!(ex.count(&l).unwrap() + ex.count(&r).unwrap(), 4);
@@ -387,7 +394,9 @@ mod tests {
         }
         let t = b.finish();
         let ex = Explorer::new(&t, Config::default(), Query::wildcard(&["armed"])).unwrap();
-        let (l, r) = cut_query(&ex, &ex.context().clone(), "armed").unwrap().unwrap();
+        let (l, r) = cut_query(&ex, &ex.context().clone(), "armed")
+            .unwrap()
+            .unwrap();
         // Frequency order puts `true` (3 rows) first.
         assert_eq!(
             l.constraint("armed"),

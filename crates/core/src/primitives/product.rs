@@ -60,7 +60,8 @@ mod tests {
     /// Independent attributes: every (a, b) combination equally likely.
     fn independent() -> charles_store::Table {
         let mut b = TableBuilder::new("t");
-        b.add_column("a", DataType::Int).add_column("b", DataType::Int);
+        b.add_column("a", DataType::Int)
+            .add_column("b", DataType::Int);
         for i in 0..4i64 {
             for j in 0..4i64 {
                 b.push_row(vec![Value::Int(i), Value::Int(j)]).unwrap();
@@ -72,31 +73,30 @@ mod tests {
     /// Perfectly dependent attributes: b = a.
     fn dependent() -> charles_store::Table {
         let mut b = TableBuilder::new("t");
-        b.add_column("a", DataType::Int).add_column("b", DataType::Int);
+        b.add_column("a", DataType::Int)
+            .add_column("b", DataType::Int);
         for i in 0..16i64 {
-            b.push_row(vec![Value::Int(i % 4), Value::Int(i % 4)]).unwrap();
+            b.push_row(vec![Value::Int(i % 4), Value::Int(i % 4)])
+                .unwrap();
         }
         b.finish()
     }
 
-    fn halves<'a>(
-        ex: &Explorer<'a>,
-        attr: &str,
-    ) -> Segmentation {
-        cut_segmentation(
-            ex,
-            &Segmentation::singleton(ex.context().clone()),
-            attr,
-        )
-        .unwrap()
-        .unwrap()
+    fn halves<'a>(ex: &Explorer<'a>, attr: &str) -> Segmentation {
+        cut_segmentation(ex, &Segmentation::singleton(ex.context().clone()), attr)
+            .unwrap()
+            .unwrap()
     }
 
     #[test]
     fn product_of_independent_halves_has_four_even_cells() {
         let t = independent();
-        let ex = Explorer::new(&t, Config::default(), charles_sdl::Query::wildcard(&["a", "b"]))
-            .unwrap();
+        let ex = Explorer::new(
+            &t,
+            Config::default(),
+            charles_sdl::Query::wildcard(&["a", "b"]),
+        )
+        .unwrap();
         let sa = halves(&ex, "a");
         let sb = halves(&ex, "b");
         let p = product(&ex, &sa, &sb).unwrap();
@@ -113,8 +113,12 @@ mod tests {
     #[test]
     fn product_of_dependent_halves_collapses_to_diagonal() {
         let t = dependent();
-        let ex = Explorer::new(&t, Config::default(), charles_sdl::Query::wildcard(&["a", "b"]))
-            .unwrap();
+        let ex = Explorer::new(
+            &t,
+            Config::default(),
+            charles_sdl::Query::wildcard(&["a", "b"]),
+        )
+        .unwrap();
         let sa = halves(&ex, "a");
         let sb = halves(&ex, "b");
         // With b = a, off-diagonal cells are empty and pruned: 2 cells left.
@@ -148,8 +152,12 @@ mod tests {
     #[test]
     fn product_attributes_are_union() {
         let t = independent();
-        let ex = Explorer::new(&t, Config::default(), charles_sdl::Query::wildcard(&["a", "b"]))
-            .unwrap();
+        let ex = Explorer::new(
+            &t,
+            Config::default(),
+            charles_sdl::Query::wildcard(&["a", "b"]),
+        )
+        .unwrap();
         let p = product(&ex, &halves(&ex, "a"), &halves(&ex, "b")).unwrap();
         assert_eq!(p.attributes(), vec!["a", "b"]);
     }
@@ -157,8 +165,12 @@ mod tests {
     #[test]
     fn product_with_singleton_is_identity_on_counts() {
         let t = independent();
-        let ex = Explorer::new(&t, Config::default(), charles_sdl::Query::wildcard(&["a", "b"]))
-            .unwrap();
+        let ex = Explorer::new(
+            &t,
+            Config::default(),
+            charles_sdl::Query::wildcard(&["a", "b"]),
+        )
+        .unwrap();
         let sa = halves(&ex, "a");
         let id = Segmentation::singleton(ex.context().clone());
         let p = product(&ex, &sa, &id).unwrap();

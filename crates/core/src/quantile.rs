@@ -63,7 +63,11 @@ pub fn quantile_cut_segmentation(
             None => out.push(q.clone()),
         }
     }
-    Ok(if any { Some(Segmentation::new(out)) } else { None })
+    Ok(if any {
+        Some(Segmentation::new(out))
+    } else {
+        None
+    })
 }
 
 fn numeric_quantile_pieces(
@@ -87,9 +91,12 @@ fn numeric_quantile_pieces(
             .backend()
             .quantile(attr, sel, i as f64 / k as f64)?
             .expect("non-empty selection");
-        let dominated = splits
-            .iter()
-            .any(|s| matches!(qv.try_cmp(s), Ok(std::cmp::Ordering::Less | std::cmp::Ordering::Equal)));
+        let dominated = splits.iter().any(|s| {
+            matches!(
+                qv.try_cmp(s),
+                Ok(std::cmp::Ordering::Less | std::cmp::Ordering::Equal)
+            )
+        });
         let above_min = matches!(qv.try_cmp(&min), Ok(std::cmp::Ordering::Greater));
         // Strictly below the max: a split at the maximum would make the
         // final piece [max, max] overlap its predecessor's closed bound.
@@ -235,9 +242,7 @@ mod tests {
         assert_eq!(pieces.len(), 3);
         let width = |q: &Query| -> f64 {
             match q.constraint("size").unwrap() {
-                Constraint::Range { lo, hi, .. } => {
-                    hi.as_f64().unwrap() - lo.as_f64().unwrap()
-                }
+                Constraint::Range { lo, hi, .. } => hi.as_f64().unwrap() - lo.as_f64().unwrap(),
                 _ => panic!("expected range"),
             }
         };
@@ -267,9 +272,7 @@ mod tests {
         let t = b.finish();
         let ex = Explorer::new(&t, Config::default(), Query::wildcard(&["x"])).unwrap();
         let ctx = ex.context().clone();
-        let quart = Segmentation::new(
-            quantile_cut_query(&ex, &ctx, "x", 4).unwrap().unwrap(),
-        );
+        let quart = Segmentation::new(quantile_cut_query(&ex, &ctx, "x", 4).unwrap().unwrap());
         let e_quart = entropy(&ex, &quart).unwrap();
         // Quantile pieces of a continuous skew should be near-balanced.
         assert!(
@@ -330,7 +333,9 @@ mod tests {
         let t = uniform_table(100);
         let ex = Explorer::new(&t, Config::default(), Query::wildcard(&["x"])).unwrap();
         let base = Segmentation::singleton(ex.context().clone());
-        let s = quantile_cut_segmentation(&ex, &base, "x", 5).unwrap().unwrap();
+        let s = quantile_cut_segmentation(&ex, &base, "x", 5)
+            .unwrap()
+            .unwrap();
         assert_eq!(s.depth(), 5);
         assert!(s
             .check_partition(ex.backend(), ex.context_selection())

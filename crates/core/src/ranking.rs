@@ -66,7 +66,13 @@ impl Default for Weights {
 }
 
 /// Composite score of one entry given the maxima over the result set.
-fn composite(s: &Score, w: &Weights, max_entropy: f64, max_breadth: usize, max_simpl: usize) -> f64 {
+fn composite(
+    s: &Score,
+    w: &Weights,
+    max_entropy: f64,
+    max_breadth: usize,
+    max_simpl: usize,
+) -> f64 {
     let e = if max_entropy > 0.0 {
         s.entropy / max_entropy
     } else {
@@ -88,10 +94,7 @@ fn composite(s: &Score, w: &Weights, max_entropy: f64, max_breadth: usize, max_s
 
 /// Rank by a weighted combination of the three principles.
 pub fn rank_weighted(scored: Vec<(Segmentation, Score)>, weights: Weights) -> Vec<Ranked> {
-    let max_entropy = scored
-        .iter()
-        .map(|(_, s)| s.entropy)
-        .fold(0.0f64, f64::max);
+    let max_entropy = scored.iter().map(|(_, s)| s.entropy).fold(0.0f64, f64::max);
     let max_breadth = scored.iter().map(|(_, s)| s.breadth).max().unwrap_or(0);
     let max_simpl = scored.iter().map(|(_, s)| s.simplicity).max().unwrap_or(0);
     let mut out: Vec<(f64, Ranked)> = scored

@@ -73,6 +73,12 @@ impl<'a> Session<'a> {
 
     /// Drill into segment `seg_idx` of ranked answer `rank_idx`: that
     /// segment's query becomes the new context.
+    ///
+    /// A segment whose rows are uniform in every context attribute is a
+    /// legitimate end of the drill-down path, not a failure:
+    /// [`Advisor::advise`] yields an [`Advice`] with an empty `ranked`
+    /// list for it (the breadcrumb is still pushed, so
+    /// [`Session::back`] works as usual).
     pub fn drill(&mut self, rank_idx: usize, seg_idx: usize) -> CoreResult<&Advice> {
         let current = self
             .current()
@@ -120,7 +126,8 @@ mod tests {
 
     fn table() -> charles_store::Table {
         let mut b = TableBuilder::new("t");
-        b.add_column("kind", DataType::Str).add_column("size", DataType::Int);
+        b.add_column("kind", DataType::Str)
+            .add_column("size", DataType::Int);
         for i in 0..64i64 {
             let kind = if i % 2 == 0 { "even" } else { "odd" };
             b.push_row(vec![Value::str(kind), Value::Int(i)]).unwrap();
@@ -146,6 +153,37 @@ mod tests {
         assert_eq!(s.depth(), 1);
         // Back at the root: no further back.
         assert!(s.back().is_none());
+    }
+
+    #[test]
+    fn drill_into_uniform_segment_is_a_leaf() {
+        // Four identical rows per kind: after drilling into one kind the
+        // remaining rows are constant in every attribute, which must end
+        // the path gracefully (empty advice), not error.
+        let mut b = TableBuilder::new("t");
+        b.add_column("kind", DataType::Str)
+            .add_column("size", DataType::Int);
+        for _ in 0..4 {
+            b.push_row(vec![Value::str("a"), Value::Int(1)]).unwrap();
+            b.push_row(vec![Value::str("b"), Value::Int(2)]).unwrap();
+        }
+        let t = b.finish();
+        let mut s = Session::new(&t);
+        s.start("(kind: , size: )").unwrap();
+        let deeper = s.drill(0, 0).unwrap();
+        assert!(deeper.ranked.is_empty());
+        assert_eq!(deeper.context_size, 4);
+        // The leaf still explains itself: all attributes skipped, loop
+        // stopped for lack of candidates.
+        assert_eq!(deeper.trace.skipped, vec!["kind", "size"]);
+        assert_eq!(
+            deeper.trace.stop,
+            Some(crate::hbcuts::StopReason::ExhaustedCandidates)
+        );
+        assert_eq!(s.depth(), 2);
+        // The breadcrumb still unwinds.
+        assert!(s.back().is_some());
+        assert_eq!(s.depth(), 1);
     }
 
     #[test]

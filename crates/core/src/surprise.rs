@@ -114,11 +114,7 @@ fn total_variation(
             pb[code as usize] = c as f64 / tb;
         }
     }
-    0.5 * pa
-        .iter()
-        .zip(&pb)
-        .map(|(x, y)| (x - y).abs())
-        .sum::<f64>()
+    0.5 * pa.iter().zip(&pb).map(|(x, y)| (x - y).abs()).sum::<f64>()
 }
 
 /// Re-rank advisor output by surprise (descending), tie-broken by the
@@ -156,7 +152,11 @@ mod tests {
             .add_column("y", DataType::Int)
             .add_column("z", DataType::Int);
         for i in 0..60i64 {
-            let (kind, y) = if i % 2 == 0 { ("a", 100 + i % 7) } else { ("b", i % 7) };
+            let (kind, y) = if i % 2 == 0 {
+                ("a", 100 + i % 7)
+            } else {
+                ("b", i % 7)
+            };
             b.push_row(vec![Value::str(kind), Value::Int(y), Value::Int(i % 5)])
                 .unwrap();
         }
@@ -164,8 +164,12 @@ mod tests {
     }
 
     fn explorer(t: &charles_store::Table) -> Explorer<'_> {
-        Explorer::new(t, Config::default(), charles_sdl::Query::wildcard(&["kind", "y", "z"]))
-            .unwrap()
+        Explorer::new(
+            t,
+            Config::default(),
+            charles_sdl::Query::wildcard(&["kind", "y", "z"]),
+        )
+        .unwrap()
     }
 
     #[test]

@@ -31,16 +31,12 @@ pub enum DependencyKind {
 
 /// Two-column table `(a, b)` with `domain`-valued integers and the given
 /// dependency between the columns.
-pub fn correlated_pair_table(
-    n: usize,
-    domain: i64,
-    kind: DependencyKind,
-    seed: u64,
-) -> Table {
+pub fn correlated_pair_table(n: usize, domain: i64, kind: DependencyKind, seed: u64) -> Table {
     assert!(domain >= 2, "domain must have at least two values");
     let mut rng = StdRng::seed_from_u64(seed);
     let mut b = TableBuilder::new("pair");
-    b.add_column("a", DataType::Int).add_column("b", DataType::Int);
+    b.add_column("a", DataType::Int)
+        .add_column("b", DataType::Int);
     for _ in 0..n {
         let a: i64 = rng.gen_range(0..domain);
         let bv = match kind {
@@ -54,7 +50,8 @@ pub fn correlated_pair_table(
                 }
             }
         };
-        b.push_row(vec![Value::Int(a), Value::Int(bv)]).expect("schema");
+        b.push_row(vec![Value::Int(a), Value::Int(bv)])
+            .expect("schema");
     }
     b.finish()
 }
@@ -76,7 +73,7 @@ pub fn sweep_table(n: usize, k: usize, seed: u64) -> Table {
         let mut prev: i64 = rng.gen_range(0..1000);
         row.push(Value::Int(prev));
         for _ in 1..k {
-            prev += rng.gen_range(-30..=30);
+            prev += rng.gen_range(-30i64..=30);
             row.push(Value::Int(prev));
         }
         b.push_row(row).expect("schema");

@@ -76,7 +76,7 @@ pub fn voc_table(n: usize, seed: u64) -> Table {
             active[rng.gen_range(0..active.len())]
         };
         // Ships sail 0–25 years after construction.
-        let dep_year = built_year + rng.gen_range(0..=25);
+        let dep_year = built_year + rng.gen_range(0i64..=25);
         let (harbour, arrival) = pick_route(&mut rng);
         let trip = rng.gen_range(1..=8);
         let master = format!("master_{:03}", rng.gen_range(0..150));

@@ -79,7 +79,7 @@ pub fn weblog_table(n: usize, seed: u64) -> Table {
         }
         let (country, peak) = pick_country(&mut rng);
         // Diurnal curve: hours cluster around the country's peak.
-        let spread: i64 = rng.gen_range(-4..=4) + rng.gen_range(-4..=4);
+        let spread: i64 = rng.gen_range(-4i64..=4) + rng.gen_range(-4i64..=4);
         let hour = (peak + spread).rem_euclid(24);
         b.push_row(vec![
             Value::str(section),
@@ -157,8 +157,18 @@ mod tests {
             .eval(&StorePredicate::set("status", vec![Value::Int(500)]))
             .unwrap();
         if err.count_ones() > 10 {
-            let m_ok = t.median("latency_ms", &ok).unwrap().unwrap().as_f64().unwrap();
-            let m_err = t.median("latency_ms", &err).unwrap().unwrap().as_f64().unwrap();
+            let m_ok = t
+                .median("latency_ms", &ok)
+                .unwrap()
+                .unwrap()
+                .as_f64()
+                .unwrap();
+            let m_err = t
+                .median("latency_ms", &err)
+                .unwrap()
+                .unwrap()
+                .as_f64()
+                .unwrap();
             assert!(m_err > m_ok * 3.0, "ok {m_ok} err {m_err}");
         }
     }
@@ -167,7 +177,12 @@ mod tests {
     fn latency_is_heavy_tailed() {
         let t = weblog_table(20_000, 6);
         let all = t.all_rows();
-        let med = t.median("latency_ms", &all).unwrap().unwrap().as_f64().unwrap();
+        let med = t
+            .median("latency_ms", &all)
+            .unwrap()
+            .unwrap()
+            .as_f64()
+            .unwrap();
         let p99 = t
             .quantile("latency_ms", &all, 0.99)
             .unwrap()

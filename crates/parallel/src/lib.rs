@@ -1,0 +1,172 @@
+//! Deterministic fork-join helpers for the Charles hot paths.
+//!
+//! crates.io (and hence rayon) is unavailable in this build
+//! environment, so this crate provides the minimal primitive the
+//! advisor's evaluation paths need: an **order-preserving parallel
+//! map** over a slice, built on `std::thread::scope`.
+//!
+//! Determinism contract: `par_map(items, f)` returns exactly
+//! `items.iter().map(f).collect()` — results land at the index of
+//! their input, and any reduction the caller performs afterwards runs
+//! sequentially in index order. As long as `f` itself is a pure
+//! function of its input, parallel and sequential execution are
+//! **bitwise identical**, floats included. This is what lets the
+//! `parallel` feature of `charles-core` guarantee identical advisor
+//! output with and without threads.
+//!
+//! Work distribution is static chunking: the slice is split into
+//! `min(threads, len)` contiguous chunks, one worker thread per chunk.
+//! The advisor's units of work (scoring one candidate cut, evaluating
+//! one INDEP pair) are coarse and uniform enough that static chunking
+//! is within noise of work stealing, without a dependency.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Force the worker-thread count at runtime (`0` clears the override).
+/// `set_num_threads(1)` routes every `par_map` through the sequential
+/// branch — the exact code the `parallel`-feature-off build runs —
+/// which is how the equivalence suite compares the two paths within
+/// one process.
+pub fn set_num_threads(n: usize) {
+    OVERRIDE.store(n, Ordering::Relaxed);
+}
+
+/// Number of worker threads `par_map` will use: the
+/// [`set_num_threads`] override if set, else the `CHARLES_NUM_THREADS`
+/// environment variable (0 or unset ⇒ all available cores); always at
+/// least 1. The env/cores default is resolved once — the env lookup
+/// takes the process-wide environment lock, which must stay off the
+/// hot path.
+pub fn num_threads() -> usize {
+    let forced = OVERRIDE.load(Ordering::Relaxed);
+    if forced != 0 {
+        return forced;
+    }
+    static DEFAULT: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        std::env::var("CHARLES_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(NonZeroUsize::get)
+                    .unwrap_or(1)
+            })
+    })
+}
+
+thread_local! {
+    /// Set while executing inside a `par_map` worker. Nested `par_map`
+    /// calls (e.g. HB-cuts pair evaluation → INDEP → product-entropy
+    /// selection fan-out) run sequentially instead of spawning
+    /// threads-of-threads: only the outermost level parallelises, which
+    /// bounds concurrency at [`num_threads`] and avoids paying thread
+    /// spawn cost on inner loops that are usually cache hits.
+    static IN_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Order-preserving parallel map: equivalent to
+/// `items.iter().map(f).collect()`, computed on up to [`num_threads`]
+/// worker threads. Panics in `f` propagate to the caller. Calls nested
+/// inside a worker run sequentially (outermost-level parallelism only).
+///
+/// Threads are spawned per call (no pool), so this is meant for coarse
+/// units of work — median scans, segment selections, whole advisor
+/// restarts — where per-item cost dwarfs the ~tens-of-µs spawn cost.
+/// Callers with mostly-cached, µs-scale items should filter those out
+/// first (see the HB-cuts pair argmin) or stay sequential.
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    // Nested calls short-circuit before touching num_threads().
+    if items.len() <= 1 || IN_WORKER.with(|w| w.get()) {
+        return items.iter().map(f).collect();
+    }
+    let threads = num_threads().min(items.len());
+    if threads <= 1 {
+        return items.iter().map(f).collect();
+    }
+
+    // Contiguous chunks, sized to cover all items. Each worker returns
+    // its chunk's results as one Vec; joining in spawn order and
+    // extending keeps the output in input order.
+    let chunk = items.len().div_ceil(threads);
+    let mut out: Vec<U> = Vec::with_capacity(items.len());
+    std::thread::scope(|scope| {
+        let fref = &f;
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|in_chunk| {
+                scope.spawn(move || {
+                    IN_WORKER.with(|w| w.set(true));
+                    in_chunk.iter().map(fref).collect::<Vec<U>>()
+                })
+            })
+            .collect();
+        for handle in handles {
+            match handle.join() {
+                Ok(chunk_out) => out.extend(chunk_out),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_matches_sequential() {
+        let items: Vec<u64> = (0..1000).collect();
+        let seq: Vec<u64> = items.iter().map(|&x| x * x + 1).collect();
+        let par = par_map(&items, |&x| x * x + 1);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn par_map_preserves_order_with_floats() {
+        let items: Vec<f64> = (0..777).map(|i| i as f64 * 0.1).collect();
+        let seq: Vec<f64> = items.iter().map(|&x| (x.sin() * 1e6).ln_1p()).collect();
+        let par = par_map(&items, |&x| (x.sin() * 1e6).ln_1p());
+        // Bitwise equality, not approximate equality.
+        let seq_bits: Vec<u64> = seq.iter().map(|v| v.to_bits()).collect();
+        let par_bits: Vec<u64> = par.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(seq_bits, par_bits);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let empty: Vec<i32> = vec![];
+        assert!(par_map(&empty, |&x| x).is_empty());
+        assert_eq!(par_map(&[41], |&x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn nested_par_map_stays_sequential() {
+        // The inner map must not spawn threads-of-threads; it still
+        // computes the right answer in order. Force >1 worker so the
+        // outer map actually threads even on single-core machines.
+        set_num_threads(4);
+        let outer: Vec<u64> = (0..8).collect();
+        let got = par_map(&outer, |&x| {
+            let inner: Vec<u64> = (0..4).collect();
+            let inner_ids = par_map(&inner, |_| std::thread::current().id());
+            // All inner work ran on this (worker) thread.
+            assert!(inner_ids
+                .iter()
+                .all(|&id| id == std::thread::current().id()));
+            x * 10
+        });
+        set_num_threads(0);
+        assert_eq!(got, (0..8).map(|x| x * 10).collect::<Vec<_>>());
+    }
+}

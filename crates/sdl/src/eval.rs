@@ -77,7 +77,10 @@ mod tests {
     #[test]
     fn conjunction_lowering() {
         let q = Query::wildcard(&["x", "k"])
-            .refined("x", Constraint::range(Value::Int(2), Value::Int(5)).unwrap())
+            .refined(
+                "x",
+                Constraint::range(Value::Int(2), Value::Int(5)).unwrap(),
+            )
             .unwrap()
             .refined("k", Constraint::set(vec![Value::str("a")]).unwrap())
             .unwrap();

@@ -38,8 +38,10 @@ pub fn parse_segmentation(input: &str, schema: &Schema) -> SdlResult<Segmentatio
         match p.peek() {
             Some(';') | Some('\n') => {
                 // A run of separators and blank lines counts as one.
-                while matches!(p.peek(), Some(';') | Some('\n') | Some(' ') | Some('\t') | Some('\r'))
-                {
+                while matches!(
+                    p.peek(),
+                    Some(';') | Some('\n') | Some(' ') | Some('\t') | Some('\r')
+                ) {
                     p.bump();
                 }
                 if p.peek().is_some() {
@@ -96,7 +98,10 @@ impl<'a> Parser<'a> {
     }
 
     fn skip_ws_and_newlines(&mut self) {
-        while matches!(self.peek(), Some(' ') | Some('\t') | Some('\r') | Some('\n')) {
+        while matches!(
+            self.peek(),
+            Some(' ') | Some('\t') | Some('\r') | Some('\n')
+        ) {
             self.bump();
         }
     }
@@ -295,10 +300,7 @@ mod tests {
             }
         );
         let q = parse_query("(date: [1550,1650])", &schema()).unwrap();
-        assert_eq!(
-            q.constraint("date").unwrap().literal_count(),
-            2
-        );
+        assert_eq!(q.constraint("date").unwrap().literal_count(), 2);
         let q = parse_query("(score: [0.5, 2.5[)", &schema()).unwrap();
         assert_eq!(
             q.constraint("score").unwrap(),
@@ -355,16 +357,16 @@ mod tests {
     #[test]
     fn error_cases_carry_position() {
         for bad in [
-            "tonnage: [1,2]",         // missing parens
-            "(tonnage [1,2])",        // missing colon
-            "(unknown: [1,2])",       // unknown attribute
-            "(tonnage: [1,2)",        // unterminated range
-            "(tonnage: {1,2)",        // unterminated set
-            "(tonnage: [xyz,2])",     // bad literal for int column
-            "(tonnage: [1,2]) junk",  // trailing input
-            "(tonnage: [5,1])",       // inverted range
-            "(type: {})",             // empty set
-            "(tonnage: [1,2],)",      // dangling comma
+            "tonnage: [1,2]",        // missing parens
+            "(tonnage [1,2])",       // missing colon
+            "(unknown: [1,2])",      // unknown attribute
+            "(tonnage: [1,2)",       // unterminated range
+            "(tonnage: {1,2)",       // unterminated set
+            "(tonnage: [xyz,2])",    // bad literal for int column
+            "(tonnage: [1,2]) junk", // trailing input
+            "(tonnage: [5,1])",      // inverted range
+            "(type: {})",            // empty set
+            "(tonnage: [1,2],)",     // dangling comma
         ] {
             let e = parse_query(bad, &schema());
             assert!(e.is_err(), "should reject {bad:?}");

@@ -177,8 +177,7 @@ impl Constraint {
             }
             (Constraint::Set(vals), range @ Constraint::Range { .. })
             | (range @ Constraint::Range { .. }, Constraint::Set(vals)) => {
-                let kept: Vec<Value> =
-                    vals.iter().filter(|v| range.matches(v)).cloned().collect();
+                let kept: Vec<Value> = vals.iter().filter(|v| range.matches(v)).cloned().collect();
                 if kept.is_empty() {
                     None
                 } else {
@@ -337,10 +336,7 @@ mod tests {
     fn predicate_constructors() {
         let p = Predicate::any("tonnage");
         assert!(!p.is_constraining());
-        let q = Predicate::new(
-            "type",
-            Constraint::set(vec![Value::str("jacht")]).unwrap(),
-        );
+        let q = Predicate::new("type", Constraint::set(vec![Value::str("jacht")]).unwrap());
         assert!(q.is_constraining());
     }
 }

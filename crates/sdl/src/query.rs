@@ -61,7 +61,10 @@ impl Query {
     /// Number of constraining predicates — the per-query complexity that
     /// the simplicity metric maximises over (§3 SIMPLICITY).
     pub fn constraint_count(&self) -> usize {
-        self.predicates.iter().filter(|p| p.is_constraining()).count()
+        self.predicates
+            .iter()
+            .filter(|p| p.is_constraining())
+            .count()
     }
 
     /// The constraint on an attribute, if the attribute is mentioned.
@@ -107,10 +110,7 @@ impl Query {
     /// Whether a full tuple (attribute, value) assignment satisfies the
     /// query. Used by tests and the row-level fallback paths; bulk
     /// evaluation goes through [`crate::eval`].
-    pub fn matches_row(
-        &self,
-        lookup: impl Fn(&str) -> Option<charles_store::Value>,
-    ) -> bool {
+    pub fn matches_row(&self, lookup: impl Fn(&str) -> Option<charles_store::Value>) -> bool {
         self.predicates.iter().all(|p| {
             if !p.is_constraining() {
                 return true;
@@ -173,7 +173,10 @@ mod tests {
     fn refined_appends_new_attribute() {
         let q = Query::wildcard(&["a"]);
         let q2 = q
-            .refined("b", Constraint::range(Value::Int(0), Value::Int(1)).unwrap())
+            .refined(
+                "b",
+                Constraint::range(Value::Int(0), Value::Int(1)).unwrap(),
+            )
             .unwrap();
         assert_eq!(q2.attributes(), vec!["a", "b"]);
     }
@@ -181,10 +184,16 @@ mod tests {
     #[test]
     fn conjoin_merges_attribute_wise() {
         let q1 = Query::wildcard(&["a", "b"])
-            .refined("a", Constraint::range(Value::Int(0), Value::Int(10)).unwrap())
+            .refined(
+                "a",
+                Constraint::range(Value::Int(0), Value::Int(10)).unwrap(),
+            )
             .unwrap();
         let q2 = Query::wildcard(&["a", "b"])
-            .refined("a", Constraint::range(Value::Int(5), Value::Int(20)).unwrap())
+            .refined(
+                "a",
+                Constraint::range(Value::Int(5), Value::Int(20)).unwrap(),
+            )
             .unwrap()
             .refined("b", set(&["x"]))
             .unwrap();
@@ -197,10 +206,16 @@ mod tests {
     #[test]
     fn conjoin_detects_empty() {
         let q1 = Query::wildcard(&["a"])
-            .refined("a", Constraint::range(Value::Int(0), Value::Int(1)).unwrap())
+            .refined(
+                "a",
+                Constraint::range(Value::Int(0), Value::Int(1)).unwrap(),
+            )
             .unwrap();
         let q2 = Query::wildcard(&["a"])
-            .refined("a", Constraint::range(Value::Int(5), Value::Int(6)).unwrap())
+            .refined(
+                "a",
+                Constraint::range(Value::Int(5), Value::Int(6)).unwrap(),
+            )
             .unwrap();
         assert!(q1.conjoin(&q2).is_none());
     }
@@ -208,7 +223,10 @@ mod tests {
     #[test]
     fn matches_row_with_nulls() {
         let q = Query::wildcard(&["a", "b"])
-            .refined("a", Constraint::range(Value::Int(0), Value::Int(10)).unwrap())
+            .refined(
+                "a",
+                Constraint::range(Value::Int(0), Value::Int(10)).unwrap(),
+            )
             .unwrap();
         assert!(q.matches_row(|attr| match attr {
             "a" => Some(Value::Int(5)),

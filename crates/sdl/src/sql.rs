@@ -162,10 +162,8 @@ mod tests {
 
     #[test]
     fn segmentation_emits_count_statements() {
-        let s = crate::segmentation::Segmentation::new(vec![
-            Query::wildcard(&["a"]),
-            sample_query(),
-        ]);
+        let s =
+            crate::segmentation::Segmentation::new(vec![Query::wildcard(&["a"]), sample_query()]);
         let sqls = segmentation_to_sql(&s, "voc");
         assert_eq!(sqls.len(), 2);
         assert!(sqls[0].starts_with("SELECT COUNT(*)"));

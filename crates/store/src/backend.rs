@@ -26,7 +26,12 @@ pub struct BackendStats {
 }
 
 /// The database operations the advisor needs.
-pub trait Backend {
+///
+/// `Send + Sync` is a supertrait requirement: the advisor's parallel
+/// evaluation path shares one backend reference across worker threads.
+/// Backends are immutable after construction (their op counters are
+/// atomic), so this costs implementors nothing.
+pub trait Backend: Send + Sync {
     /// Total number of rows in the relation.
     fn row_count(&self) -> usize;
 
@@ -78,7 +83,8 @@ pub trait Backend {
 
     /// Frequency histogram of a nominal column over a selection; returns
     /// the table plus the dictionary used to decode its codes.
-    fn frequencies(&self, column: &str, sel: &Bitmap) -> StoreResult<(FrequencyTable, Vec<String>)>;
+    fn frequencies(&self, column: &str, sel: &Bitmap)
+        -> StoreResult<(FrequencyTable, Vec<String>)>;
 
     /// Number of distinct non-null values of a column over a selection.
     fn distinct_count(&self, column: &str, sel: &Bitmap) -> StoreResult<usize>;

@@ -94,7 +94,8 @@ mod tests {
     #[test]
     fn build_small_table() {
         let mut b = TableBuilder::new("t");
-        b.add_column("a", DataType::Int).add_column("s", DataType::Str);
+        b.add_column("a", DataType::Int)
+            .add_column("s", DataType::Str);
         b.push_row(vec![Value::Int(1), Value::str("x")]).unwrap();
         b.push_row_opt(vec![None, Some(Value::str("y"))]).unwrap();
         let t = b.finish();
@@ -108,9 +109,7 @@ mod tests {
         let mut b = TableBuilder::new("t");
         b.add_column("a", DataType::Int);
         assert!(b.push_row(vec![]).is_err());
-        assert!(b
-            .push_row(vec![Value::Int(1), Value::Int(2)])
-            .is_err());
+        assert!(b.push_row(vec![Value::Int(1), Value::Int(2)]).is_err());
         assert_eq!(b.len(), 0);
         b.push_row(vec![Value::Int(1)]).unwrap();
         assert_eq!(b.len(), 1);
@@ -119,7 +118,8 @@ mod tests {
     #[test]
     fn type_mismatch_checked_before_mutation() {
         let mut b = TableBuilder::new("t");
-        b.add_column("a", DataType::Int).add_column("b", DataType::Int);
+        b.add_column("a", DataType::Int)
+            .add_column("b", DataType::Int);
         // Second field is bad; first column must not grow.
         assert!(b.push_row(vec![Value::Int(1), Value::str("bad")]).is_err());
         b.push_row(vec![Value::Int(1), Value::Int(2)]).unwrap();
@@ -142,7 +142,8 @@ mod tests {
     #[should_panic(expected = "duplicate")]
     fn duplicate_column_panics() {
         let mut b = TableBuilder::new("t");
-        b.add_column("a", DataType::Int).add_column("a", DataType::Str);
+        b.add_column("a", DataType::Int)
+            .add_column("a", DataType::Str);
     }
 
     #[test]

@@ -51,7 +51,10 @@ impl fmt::Display for StoreError {
                 "type mismatch on column {column:?}: expected {expected}, found {found}"
             ),
             StoreError::ArityMismatch { expected, found } => {
-                write!(f, "row arity mismatch: schema has {expected} columns, row has {found}")
+                write!(
+                    f,
+                    "row arity mismatch: schema has {expected} columns, row has {found}"
+                )
             }
             StoreError::LengthMismatch { left, right } => {
                 write!(f, "length mismatch: {left} vs {right}")

@@ -122,15 +122,36 @@ pub fn eval_range(col: &Column, pred: &RangePred) -> StoreResult<Bitmap> {
     match col.data() {
         ColumnData::Int(vals) => {
             let (lo, hi) = numeric_bounds(col, pred)?;
-            scan_numeric(vals.iter().map(|&v| v as f64), lo, hi, pred.hi_inclusive, validity, &mut out);
+            scan_numeric(
+                vals.iter().map(|&v| v as f64),
+                lo,
+                hi,
+                pred.hi_inclusive,
+                validity,
+                &mut out,
+            );
         }
         ColumnData::Date(vals) => {
             let (lo, hi) = numeric_bounds(col, pred)?;
-            scan_numeric(vals.iter().map(|&v| v as f64), lo, hi, pred.hi_inclusive, validity, &mut out);
+            scan_numeric(
+                vals.iter().map(|&v| v as f64),
+                lo,
+                hi,
+                pred.hi_inclusive,
+                validity,
+                &mut out,
+            );
         }
         ColumnData::Float(vals) => {
             let (lo, hi) = numeric_bounds(col, pred)?;
-            scan_numeric(vals.iter().copied(), lo, hi, pred.hi_inclusive, validity, &mut out);
+            scan_numeric(
+                vals.iter().copied(),
+                lo,
+                hi,
+                pred.hi_inclusive,
+                validity,
+                &mut out,
+            );
         }
         ColumnData::Str(codes) => {
             // Lexicographic range over strings: precompute per-code verdicts

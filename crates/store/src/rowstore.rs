@@ -18,20 +18,32 @@ use crate::table::Table;
 use crate::value::Value;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::cell::Cell;
 use std::cmp::Ordering;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 
 /// One tuple; `None` encodes SQL NULL.
 pub type Row = Vec<Option<Value>>;
 
 /// A row-major relation.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct RowTable {
     name: String,
     schema: Schema,
     rows: Vec<Row>,
-    scans: Cell<u64>,
-    medians: Cell<u64>,
+    scans: AtomicU64,
+    medians: AtomicU64,
+}
+
+impl Clone for RowTable {
+    fn clone(&self) -> RowTable {
+        RowTable {
+            name: self.name.clone(),
+            schema: self.schema.clone(),
+            rows: self.rows.clone(),
+            scans: AtomicU64::new(self.scans.load(AtomicOrdering::Relaxed)),
+            medians: AtomicU64::new(self.medians.load(AtomicOrdering::Relaxed)),
+        }
+    }
 }
 
 impl RowTable {
@@ -60,8 +72,8 @@ impl RowTable {
             name: name.into(),
             schema,
             rows,
-            scans: Cell::new(0),
-            medians: Cell::new(0),
+            scans: AtomicU64::new(0),
+            medians: AtomicU64::new(0),
         })
     }
 
@@ -82,8 +94,8 @@ impl RowTable {
             name: format!("{}_rowstore", table.name()),
             schema,
             rows,
-            scans: Cell::new(0),
-            medians: Cell::new(0),
+            scans: AtomicU64::new(0),
+            medians: AtomicU64::new(0),
         }
     }
 
@@ -164,7 +176,7 @@ impl Backend for RowTable {
     }
 
     fn eval(&self, pred: &StorePredicate) -> StoreResult<Bitmap> {
-        self.scans.set(self.scans.get() + 1);
+        self.scans.fetch_add(1, AtomicOrdering::Relaxed);
         let mut out = Bitmap::new(self.rows.len());
         for (i, row) in self.rows.iter().enumerate() {
             if self.matches(row, pred)? {
@@ -190,7 +202,7 @@ impl Backend for RowTable {
     }
 
     fn median(&self, column: &str, sel: &Bitmap) -> StoreResult<Option<Value>> {
-        self.medians.set(self.medians.get() + 1);
+        self.medians.fetch_add(1, AtomicOrdering::Relaxed);
         let mut buf = self.gather_f64(column, sel)?;
         if buf.is_empty() {
             return Ok(None);
@@ -205,7 +217,7 @@ impl Backend for RowTable {
         sample_size: usize,
         seed: u64,
     ) -> StoreResult<Option<Value>> {
-        self.medians.set(self.medians.get() + 1);
+        self.medians.fetch_add(1, AtomicOrdering::Relaxed);
         let idx = self.col_index(column)?;
         let mut rng = StdRng::seed_from_u64(seed);
         let rows = reservoir_sample(sel, sample_size, &mut rng);
@@ -222,7 +234,7 @@ impl Backend for RowTable {
     }
 
     fn quantile(&self, column: &str, sel: &Bitmap, q: f64) -> StoreResult<Option<Value>> {
-        self.medians.set(self.medians.get() + 1);
+        self.medians.fetch_add(1, AtomicOrdering::Relaxed);
         let mut buf = self.gather_f64(column, sel)?;
         if buf.is_empty() {
             return Ok(None);
@@ -235,7 +247,9 @@ impl Backend for RowTable {
         let mut min: Option<Value> = None;
         let mut max: Option<Value> = None;
         for i in sel.iter_ones() {
-            let Some(v) = &self.rows[i][idx] else { continue };
+            let Some(v) = &self.rows[i][idx] else {
+                continue;
+            };
             if min
                 .as_ref()
                 .map(|m| matches!(v.try_cmp(m), Ok(Ordering::Less)))
@@ -269,7 +283,9 @@ impl Backend for RowTable {
         let idx = self.col_index(column)?;
         let mut best: Option<Value> = None;
         for i in sel.iter_ones() {
-            let Some(x) = &self.rows[i][idx] else { continue };
+            let Some(x) = &self.rows[i][idx] else {
+                continue;
+            };
             if !matches!(x.try_cmp(v), Ok(Ordering::Greater)) {
                 continue;
             }
@@ -284,8 +300,12 @@ impl Backend for RowTable {
         Ok(best)
     }
 
-    fn frequencies(&self, column: &str, sel: &Bitmap) -> StoreResult<(FrequencyTable, Vec<String>)> {
-        self.scans.set(self.scans.get() + 1);
+    fn frequencies(
+        &self,
+        column: &str,
+        sel: &Bitmap,
+    ) -> StoreResult<(FrequencyTable, Vec<String>)> {
+        self.scans.fetch_add(1, AtomicOrdering::Relaxed);
         let idx = self.col_index(column)?;
         let ty = self.schema.columns()[idx].ty;
         if ty.is_numeric() {
@@ -300,7 +320,9 @@ impl Backend for RowTable {
         let mut dict: Vec<String> = Vec::new();
         let mut counts: Vec<usize> = Vec::new();
         for i in sel.iter_ones() {
-            let Some(v) = &self.rows[i][idx] else { continue };
+            let Some(v) = &self.rows[i][idx] else {
+                continue;
+            };
             let key = v.render();
             match dict.iter().position(|d| *d == key) {
                 Some(p) => counts[p] += 1,
@@ -329,14 +351,14 @@ impl Backend for RowTable {
 
     fn stats(&self) -> BackendStats {
         BackendStats {
-            scans: self.scans.get(),
-            medians: self.medians.get(),
+            scans: self.scans.load(AtomicOrdering::Relaxed),
+            medians: self.medians.load(AtomicOrdering::Relaxed),
         }
     }
 
     fn reset_stats(&self) {
-        self.scans.set(0);
-        self.medians.set(0);
+        self.scans.store(0, AtomicOrdering::Relaxed);
+        self.medians.store(0, AtomicOrdering::Relaxed);
     }
 }
 
@@ -348,7 +370,8 @@ mod tests {
 
     fn sample_table() -> Table {
         let mut b = TableBuilder::new("t");
-        b.add_column("x", DataType::Int).add_column("k", DataType::Str);
+        b.add_column("x", DataType::Int)
+            .add_column("k", DataType::Str);
         for (x, k) in [(1, "a"), (2, "b"), (3, "a"), (4, "c"), (5, "a")] {
             b.push_row(vec![Value::Int(x), Value::str(k)]).unwrap();
         }
@@ -397,7 +420,9 @@ mod tests {
         let col = sample_table();
         let row = RowTable::from_table(&col);
         let (fc, dc) = col.frequencies("k", &col.all_rows()).unwrap();
-        let (fr, dr) = row.frequencies("k", &Bitmap::ones(row.row_count())).unwrap();
+        let (fr, dr) = row
+            .frequencies("k", &Bitmap::ones(row.row_count()))
+            .unwrap();
         let mut c: Vec<(String, usize)> = fc
             .entries()
             .iter()
@@ -418,7 +443,12 @@ mod tests {
         let schema = Schema::from_pairs(&[("x", DataType::Int)]).unwrap();
         let t = RowTable::new("t", schema, vec![vec![Some(Value::Int(1))], vec![None]]).unwrap();
         let sel = t
-            .eval(&StorePredicate::range("x", Value::Int(0), Value::Int(9), true))
+            .eval(&StorePredicate::range(
+                "x",
+                Value::Int(0),
+                Value::Int(9),
+                true,
+            ))
             .unwrap();
         assert_eq!(sel.count_ones(), 1);
     }

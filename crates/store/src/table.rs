@@ -12,21 +12,34 @@ use crate::stats::{exact_median, quantile_value, FrequencyTable};
 use crate::value::Value;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 
 /// An immutable, in-memory columnar table.
 ///
 /// Built via [`crate::TableBuilder`]; once finished it only serves reads,
 /// which keeps the advisor loop free of interior mutability concerns.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Table {
     name: String,
     schema: Schema,
     columns: Vec<Column>,
     rows: usize,
     /// Operation counters for the experiments (scans / medians issued).
-    scans: Cell<u64>,
-    medians: Cell<u64>,
+    scans: AtomicU64,
+    medians: AtomicU64,
+}
+
+impl Clone for Table {
+    fn clone(&self) -> Table {
+        Table {
+            name: self.name.clone(),
+            schema: self.schema.clone(),
+            columns: self.columns.clone(),
+            rows: self.rows,
+            scans: AtomicU64::new(self.scans.load(AtomicOrdering::Relaxed)),
+            medians: AtomicU64::new(self.medians.load(AtomicOrdering::Relaxed)),
+        }
+    }
 }
 
 impl Table {
@@ -38,8 +51,8 @@ impl Table {
             schema,
             columns,
             rows,
-            scans: Cell::new(0),
-            medians: Cell::new(0),
+            scans: AtomicU64::new(0),
+            medians: AtomicU64::new(0),
         }
     }
 
@@ -100,11 +113,11 @@ impl Backend for Table {
         match pred {
             StorePredicate::True => Ok(self.all_rows()),
             StorePredicate::Range(r) => {
-                self.scans.set(self.scans.get() + 1);
+                self.scans.fetch_add(1, AtomicOrdering::Relaxed);
                 eval_range(self.column(&r.column)?, r)
             }
             StorePredicate::Set(s) => {
-                self.scans.set(self.scans.get() + 1);
+                self.scans.fetch_add(1, AtomicOrdering::Relaxed);
                 eval_set(self.column(&s.column)?, s)
             }
             StorePredicate::And(ps) => {
@@ -138,7 +151,7 @@ impl Backend for Table {
     }
 
     fn median(&self, column: &str, sel: &Bitmap) -> StoreResult<Option<Value>> {
-        self.medians.set(self.medians.get() + 1);
+        self.medians.fetch_add(1, AtomicOrdering::Relaxed);
         let col = self.column(column)?;
         if !col.data_type().is_numeric() {
             return Err(StoreError::TypeMismatch {
@@ -163,7 +176,7 @@ impl Backend for Table {
         sample_size: usize,
         seed: u64,
     ) -> StoreResult<Option<Value>> {
-        self.medians.set(self.medians.get() + 1);
+        self.medians.fetch_add(1, AtomicOrdering::Relaxed);
         let col = self.column(column)?;
         if !col.data_type().is_numeric() {
             return Err(StoreError::TypeMismatch {
@@ -188,7 +201,7 @@ impl Backend for Table {
     }
 
     fn quantile(&self, column: &str, sel: &Bitmap, q: f64) -> StoreResult<Option<Value>> {
-        self.medians.set(self.medians.get() + 1);
+        self.medians.fetch_add(1, AtomicOrdering::Relaxed);
         let col = self.column(column)?;
         let mut buf = Vec::new();
         col.gather_f64(sel, &mut buf)?;
@@ -235,8 +248,12 @@ impl Backend for Table {
         Ok(best)
     }
 
-    fn frequencies(&self, column: &str, sel: &Bitmap) -> StoreResult<(FrequencyTable, Vec<String>)> {
-        self.scans.set(self.scans.get() + 1);
+    fn frequencies(
+        &self,
+        column: &str,
+        sel: &Bitmap,
+    ) -> StoreResult<(FrequencyTable, Vec<String>)> {
+        self.scans.fetch_add(1, AtomicOrdering::Relaxed);
         let col = self.column(column)?;
         match col.data() {
             ColumnData::Str(codes) => {
@@ -288,14 +305,14 @@ impl Backend for Table {
 
     fn stats(&self) -> BackendStats {
         BackendStats {
-            scans: self.scans.get(),
-            medians: self.medians.get(),
+            scans: self.scans.load(AtomicOrdering::Relaxed),
+            medians: self.medians.load(AtomicOrdering::Relaxed),
         }
     }
 
     fn reset_stats(&self) {
-        self.scans.set(0);
-        self.medians.set(0);
+        self.scans.store(0, AtomicOrdering::Relaxed);
+        self.medians.store(0, AtomicOrdering::Relaxed);
     }
 }
 
@@ -373,10 +390,7 @@ mod tests {
         let sel = t
             .eval(&StorePredicate::set("kind", vec![Value::str("fluit")]))
             .unwrap();
-        assert_eq!(
-            t.median("tonnage", &sel).unwrap(),
-            Some(Value::Int(1100))
-        );
+        assert_eq!(t.median("tonnage", &sel).unwrap(), Some(Value::Int(1100)));
     }
 
     #[test]
@@ -508,7 +522,10 @@ mod tests {
         assert_eq!(m, 900.0);
         assert_eq!(v, 0.0);
         // Empty selection → None; nominal column → error.
-        assert_eq!(t.mean_and_var("tonnage", &Bitmap::new(t.len())).unwrap(), None);
+        assert_eq!(
+            t.mean_and_var("tonnage", &Bitmap::new(t.len())).unwrap(),
+            None
+        );
         assert!(t.mean_and_var("kind", &all).is_err());
     }
 

@@ -63,7 +63,12 @@ pub fn bar_legend(labels: &[String], weights: &[f64]) -> String {
     let mut out = String::new();
     for (i, (label, w)) in labels.iter().zip(weights).enumerate() {
         let frac = if total > 0.0 { w / total } else { 0.0 };
-        out.push_str(&format!("{} {:>6}  {}\n", slice_glyph(i), percent(frac), label));
+        out.push_str(&format!(
+            "{} {:>6}  {}\n",
+            slice_glyph(i),
+            percent(frac),
+            label
+        ));
     }
     out
 }
@@ -107,10 +112,7 @@ mod tests {
 
     #[test]
     fn legend_lines_up() {
-        let legend = bar_legend(
-            &["first".to_string(), "second".to_string()],
-            &[3.0, 1.0],
-        );
+        let legend = bar_legend(&["first".to_string(), "second".to_string()], &[3.0, 1.0]);
         assert!(legend.contains("75.0%"));
         assert!(legend.contains("25.0%"));
         assert!(legend.contains("first"));

@@ -125,7 +125,8 @@ mod tests {
 
     fn table() -> charles_store::Table {
         let mut b = TableBuilder::new("t");
-        b.add_column("kind", DataType::Str).add_column("size", DataType::Int);
+        b.add_column("kind", DataType::Str)
+            .add_column("size", DataType::Int);
         for i in 0..32i64 {
             let kind = if i % 2 == 0 { "even" } else { "odd" };
             b.push_row(vec![Value::str(kind), Value::Int(i)]).unwrap();

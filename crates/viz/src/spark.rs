@@ -45,13 +45,12 @@ pub fn histogram(
         return Ok(vec![0; bins]);
     };
     let (lo, hi) = (
-        min.as_f64().ok_or_else(|| {
-            charles_store::StoreError::TypeMismatch {
+        min.as_f64()
+            .ok_or_else(|| charles_store::StoreError::TypeMismatch {
                 column: column.to_string(),
                 expected: "numeric".into(),
                 found: "nominal".into(),
-            }
-        })?,
+            })?,
         max.as_f64().expect("same family as min"),
     );
     if lo == hi {
@@ -63,13 +62,12 @@ pub fn histogram(
     let mut counts = Vec::with_capacity(bins);
     for i in 0..bins {
         let a = lo + width * i as f64;
-        let b = if i == bins - 1 { hi } else { lo + width * (i + 1) as f64 };
-        let pred = StorePredicate::range(
-            column,
-            Value::Float(a),
-            Value::Float(b),
-            i == bins - 1,
-        );
+        let b = if i == bins - 1 {
+            hi
+        } else {
+            lo + width * (i + 1) as f64
+        };
+        let pred = StorePredicate::range(column, Value::Float(a), Value::Float(b), i == bins - 1);
         let bm = backend.eval(&pred)?;
         counts.push(bm.and_count(sel));
     }
@@ -89,25 +87,26 @@ pub fn segment_sparklines(
     let Some((min, max)) = backend.min_max(column, context)? else {
         return Ok(queries.iter().map(|_| String::new()).collect());
     };
-    let (lo, hi) = (
-        min.as_f64().unwrap_or(0.0),
-        max.as_f64().unwrap_or(0.0),
-    );
+    let (lo, hi) = (min.as_f64().unwrap_or(0.0), max.as_f64().unwrap_or(0.0));
     let bins = bins.max(1);
-    let width = if hi > lo { (hi - lo) / bins as f64 } else { 1.0 };
+    let width = if hi > lo {
+        (hi - lo) / bins as f64
+    } else {
+        1.0
+    };
     let mut out = Vec::with_capacity(queries.len());
     for q in queries {
         let sel = eval::selection(q, backend)?;
         let mut counts = Vec::with_capacity(bins);
         for i in 0..bins {
             let a = lo + width * i as f64;
-            let b = if i == bins - 1 { hi } else { lo + width * (i + 1) as f64 };
-            let pred = StorePredicate::range(
-                column,
-                Value::Float(a),
-                Value::Float(b),
-                i == bins - 1,
-            );
+            let b = if i == bins - 1 {
+                hi
+            } else {
+                lo + width * (i + 1) as f64
+            };
+            let pred =
+                StorePredicate::range(column, Value::Float(a), Value::Float(b), i == bins - 1);
             counts.push(backend.eval(&pred)?.and_count(&sel));
         }
         out.push(sparkline(&counts));
@@ -182,8 +181,7 @@ mod tests {
         let schema = t.schema();
         let lo = charles_sdl::parse_query("(x: [0,9])", schema).unwrap();
         let hi = charles_sdl::parse_query("(x: [80,99])", schema).unwrap();
-        let lines =
-            segment_sparklines(&t, &[lo, hi], "x", &t.all_rows(), 10).unwrap();
+        let lines = segment_sparklines(&t, &[lo, hi], "x", &t.all_rows(), 10).unwrap();
         assert_eq!(lines.len(), 2);
         // The low segment's mass is on the left, the tail segment's on the
         // right — visible as non-baseline glyphs at opposite ends.

@@ -72,7 +72,8 @@ fn layout(items: &[(usize, f64)], rect: Rect, horizontal: bool, grid: &mut [Vec<
     let left_weight: f64 = items[..split].iter().map(|(_, w)| w).sum();
     let frac = left_weight / total;
     let (r1, r2) = if horizontal {
-        let w1 = ((rect.w as f64 * frac).round() as usize).clamp(1, rect.w.saturating_sub(1).max(1));
+        let w1 =
+            ((rect.w as f64 * frac).round() as usize).clamp(1, rect.w.saturating_sub(1).max(1));
         (
             Rect { w: w1, ..rect },
             Rect {
@@ -82,7 +83,8 @@ fn layout(items: &[(usize, f64)], rect: Rect, horizontal: bool, grid: &mut [Vec<
             },
         )
     } else {
-        let h1 = ((rect.h as f64 * frac).round() as usize).clamp(1, rect.h.saturating_sub(1).max(1));
+        let h1 =
+            ((rect.h as f64 * frac).round() as usize).clamp(1, rect.h.saturating_sub(1).max(1));
         (
             Rect { h: h1, ..rect },
             Rect {
@@ -128,7 +130,9 @@ fn paint_labels(
         &mut rects,
     );
     for (idx, rect) in rects {
-        let Some(label) = labels.get(idx) else { continue };
+        let Some(label) = labels.get(idx) else {
+            continue;
+        };
         if rect.w < 5 || rect.h < 1 {
             continue;
         }
@@ -139,7 +143,12 @@ fn paint_labels(
     }
 }
 
-fn collect_rects(items: &[(usize, f64)], rect: Rect, horizontal: bool, out: &mut Vec<(usize, Rect)>) {
+fn collect_rects(
+    items: &[(usize, f64)],
+    rect: Rect,
+    horizontal: bool,
+    out: &mut Vec<(usize, Rect)>,
+) {
     if items.is_empty() || rect.w == 0 || rect.h == 0 {
         return;
     }
@@ -160,7 +169,8 @@ fn collect_rects(items: &[(usize, f64)], rect: Rect, horizontal: bool, out: &mut
     let left_weight: f64 = items[..split].iter().map(|(_, w)| w).sum();
     let frac = left_weight / total;
     let (r1, r2) = if horizontal {
-        let w1 = ((rect.w as f64 * frac).round() as usize).clamp(1, rect.w.saturating_sub(1).max(1));
+        let w1 =
+            ((rect.w as f64 * frac).round() as usize).clamp(1, rect.w.saturating_sub(1).max(1));
         (
             Rect { w: w1, ..rect },
             Rect {
@@ -170,7 +180,8 @@ fn collect_rects(items: &[(usize, f64)], rect: Rect, horizontal: bool, out: &mut
             },
         )
     } else {
-        let h1 = ((rect.h as f64 * frac).round() as usize).clamp(1, rect.h.saturating_sub(1).max(1));
+        let h1 =
+            ((rect.h as f64 * frac).round() as usize).clamp(1, rect.h.saturating_sub(1).max(1));
         (
             Rect { h: h1, ..rect },
             Rect {

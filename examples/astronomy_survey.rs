@@ -43,7 +43,11 @@ fn main() {
             step.right_attrs,
             step.indep,
             step.depth,
-            if step.accepted { "accepted" } else { "rejected → stop" }
+            if step.accepted {
+                "accepted"
+            } else {
+                "rejected → stop"
+            }
         );
     }
     println!();
@@ -93,10 +97,7 @@ fn main() {
     let quasars = advisor
         .advise_str("(class: {quasar}, magnitude: , redshift: )")
         .expect("context parses");
-    println!(
-        "{} quasars; top suggestion:",
-        quasars.context_size
-    );
+    println!("{} quasars; top suggestion:", quasars.context_size);
     if let Some(r) = quasars.ranked.first() {
         for q in r.segmentation.queries() {
             println!("    {q}");

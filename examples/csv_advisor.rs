@@ -50,7 +50,11 @@ fn main() {
             std::process::exit(1);
         }
     };
-    println!("loaded {name}: {} rows, schema {}\n", table.len(), table.schema());
+    println!(
+        "loaded {name}: {} rows, schema {}\n",
+        table.len(),
+        table.schema()
+    );
 
     // Context: second CLI argument, or all columns.
     let advisor = Advisor::new(&table);

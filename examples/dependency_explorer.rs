@@ -34,8 +34,8 @@ fn main() {
             _ => DependencyKind::Noisy { noise },
         };
         let t = correlated_pair_table(40_000, 64, kind, 1000 + step);
-        let ex = Explorer::new(&t, Config::default(), Query::wildcard(&["a", "b"]))
-            .expect("non-empty");
+        let ex =
+            Explorer::new(&t, Config::default(), Query::wildcard(&["a", "b"])).expect("non-empty");
         let v = indep(&ex, &halves(&ex, "a"), &halves(&ex, "b")).expect("computable");
         let out = hb_cuts(&ex).expect("runs");
         let composed = out.trace.steps.iter().filter(|s| s.accepted).count();

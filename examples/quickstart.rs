@@ -10,8 +10,8 @@
 //! drill deeper.
 
 use charles::sdl::query_to_sql;
-use charles::{Advisor, Session, TableBuilder, Value};
 use charles::store::DataType;
+use charles::{Advisor, Session, TableBuilder, Value};
 
 fn main() {
     // 1. A relation. In real use this comes from CSV (`read_csv_str`) or
@@ -47,7 +47,10 @@ fn main() {
         .advise_str("(type_of_boat: , tonnage: , departure_harbour: )")
         .expect("valid context");
 
-    println!("context: {} ({} rows)\n", advice.context, advice.context_size);
+    println!(
+        "context: {} ({} rows)\n",
+        advice.context, advice.context_size
+    );
     println!("Charles proposes {} segmentations:\n", advice.ranked.len());
     for (i, r) in advice.ranked.iter().enumerate() {
         println!(

@@ -18,8 +18,7 @@ use charles::{voc_table, Session};
 use charles_sdl::{eval, segmentation_to_sql};
 use std::io::{BufRead, Write};
 
-const CONTEXT: &str =
-    "(type_of_boat: , tonnage: , departure_harbour: , cape_arrival: , built: )";
+const CONTEXT: &str = "(type_of_boat: , tonnage: , departure_harbour: , cape_arrival: , built: )";
 
 fn main() {
     let interactive = std::env::args().any(|a| a == "-i" || a == "--interactive");

@@ -42,10 +42,7 @@ fn main() {
     let errors = Advisor::new(&log)
         .advise_str("(status: {500}, section: , latency_ms: , country: )")
         .expect("context parses");
-    println!(
-        "\n=== the 500s ({} requests) ===",
-        errors.context_size
-    );
+    println!("\n=== the 500s ({} requests) ===", errors.context_size);
     for (i, r) in errors.ranked.iter().take(3).enumerate() {
         println!(
             "#{i} E={:.2} attrs={:?}",

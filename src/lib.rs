@@ -43,10 +43,11 @@ pub use charles_core::{
     MedianStrategy, Ranked, Score, Session,
 };
 pub use charles_datagen::{astro_table, sweep_table, voc_table, weblog_table};
-pub use charles_sdl::{parse_query, parse_segmentation, Constraint, Predicate, Query, Segmentation};
+pub use charles_sdl::{
+    parse_query, parse_segmentation, Constraint, Predicate, Query, Segmentation,
+};
 pub use charles_store::{
-    read_csv_str, write_csv_string, Backend, DataType, RowTable, Schema, Table, TableBuilder,
-    Value,
+    read_csv_str, write_csv_string, Backend, DataType, RowTable, Schema, Table, TableBuilder, Value,
 };
 
 #[cfg(test)]

@@ -10,36 +10,48 @@
 use charles::advisor::Explorer;
 use charles::{voc_table, Advisor, Config};
 use charles_store::{
-    Backend, BackendStats, Bitmap, FrequencyTable, Schema, StoreError, StorePredicate,
-    StoreResult, Value,
+    Backend, BackendStats, Bitmap, FrequencyTable, Schema, StoreError, StorePredicate, StoreResult,
+    Value,
 };
-use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// A delegating backend with a fuse: after `budget` operations, every
 /// further call fails with a synthetic error. `budget = usize::MAX`
 /// disables the fuse (pure delegation).
 struct FusedBackend<'a> {
     inner: &'a charles::Table,
-    budget: Cell<usize>,
+    budget: AtomicUsize,
 }
 
 impl<'a> FusedBackend<'a> {
     fn new(inner: &'a charles::Table, budget: usize) -> Self {
         FusedBackend {
             inner,
-            budget: Cell::new(budget),
+            budget: AtomicUsize::new(budget),
         }
     }
 
     fn spend(&self) -> StoreResult<()> {
-        let left = self.budget.get();
-        if left == 0 {
-            return Err(StoreError::Parse("injected backend failure".into()));
+        // Compare-and-swap loop: the advisor may call concurrently under
+        // the `parallel` feature, and the fuse must never double-spend.
+        let mut left = self.budget.load(Ordering::Relaxed);
+        loop {
+            if left == 0 {
+                return Err(StoreError::Parse("injected backend failure".into()));
+            }
+            if left == usize::MAX {
+                return Ok(());
+            }
+            match self.budget.compare_exchange_weak(
+                left,
+                left - 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Ok(()),
+                Err(now) => left = now,
+            }
         }
-        if left != usize::MAX {
-            self.budget.set(left - 1);
-        }
-        Ok(())
     }
 }
 
@@ -92,7 +104,11 @@ impl Backend for FusedBackend<'_> {
         self.spend()?;
         self.inner.mean_and_var(column, sel)
     }
-    fn frequencies(&self, column: &str, sel: &Bitmap) -> StoreResult<(FrequencyTable, Vec<String>)> {
+    fn frequencies(
+        &self,
+        column: &str,
+        sel: &Bitmap,
+    ) -> StoreResult<(FrequencyTable, Vec<String>)> {
         self.spend()?;
         self.inner.frequencies(column, sel)
     }
@@ -170,21 +186,20 @@ fn homogeneity_and_surprise_propagate_backend_errors() {
     let out = charles::hb_cuts(&ex).unwrap();
     let best = out.ranked[0].segmentation.clone();
 
-    // Re-run with a fuse that dies right after HB-cuts completes.
-    let ops_for_advise = {
-        let counting = FusedBackend::new(&table, usize::MAX);
-        let ex = Explorer::new(&counting, Config::default(), ctx.clone()).unwrap();
-        let _ = charles::hb_cuts(&ex).unwrap();
-        // The caches absorb most calls; estimate by spending a fresh fuse.
-        512
-    };
+    // Re-run with a budget generous enough for HB-cuts to complete
+    // (the caches absorb most calls; 512 has ample headroom), then kill
+    // the fuse before the diagnostics run.
+    let ops_for_advise = 512;
     let fused = FusedBackend::new(&table, ops_for_advise);
     let ex = Explorer::new(&fused, Config::default(), ctx).unwrap();
     let _ = charles::hb_cuts(&ex).unwrap();
-    fused.budget.set(0); // kill the backend now
-    // Cached selections may still satisfy some calls; fresh backend work
-    // must error.
+    fused.budget.store(0, Ordering::Relaxed); // kill the backend now
+                                              // Cached selections may still satisfy some calls; fresh backend work
+                                              // must error.
     let h = charles::advisor::homogeneity(&ex, &best);
     let s = charles::advisor::surprise(&ex, &best);
-    assert!(h.is_err() || s.is_err(), "diagnostics ignored a dead backend");
+    assert!(
+        h.is_err() || s.is_err(),
+        "diagnostics ignored a dead backend"
+    );
 }

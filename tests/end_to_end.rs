@@ -4,8 +4,8 @@ use charles::advisor::baselines::{facet_segmentations, random_segmentations, Ran
 use charles::advisor::Explorer;
 use charles::viz::{render_panel, segment_rows};
 use charles::{
-    astro_table, read_csv_str, voc_table, weblog_table, write_csv_string, Advisor, Config,
-    Query, RowTable, Session,
+    astro_table, read_csv_str, voc_table, weblog_table, write_csv_string, Advisor, Config, Query,
+    RowTable, Session,
 };
 
 #[test]
@@ -16,7 +16,10 @@ fn advisor_works_on_all_three_demo_datasets() {
             voc_table(3_000, 1),
         ),
         ("(class: , magnitude: , redshift: )", astro_table(3_000, 2)),
-        ("(section: , status: , latency_ms: )", weblog_table(3_000, 3)),
+        (
+            "(section: , status: , latency_ms: )",
+            weblog_table(3_000, 3),
+        ),
     ];
     for (ctx, table) in &contexts {
         let advice = Advisor::new(table).advise_str(ctx).unwrap();
@@ -103,8 +106,8 @@ fn panel_renders_for_every_dataset() {
         let advice = Advisor::new(&table).advise_str(ctx).unwrap();
         let panel = render_panel(&table, &advice, 0, 100).unwrap();
         assert!(panel.contains("ranked answers"), "panel for {ctx}");
-        let rows = segment_rows(&table, &advice.ranked[0].segmentation, advice.context_size)
-            .unwrap();
+        let rows =
+            segment_rows(&table, &advice.ranked[0].segmentation, advice.context_size).unwrap();
         let total: f64 = rows.iter().map(|r| r.cover).sum();
         assert!((total - 1.0).abs() < 1e-9);
     }
@@ -149,7 +152,12 @@ fn facets_are_narrower_than_hbcuts() {
     let ex = Explorer::new(
         &t,
         Config::default(),
-        Query::wildcard(&["type_of_boat", "tonnage", "departure_harbour", "cape_arrival"]),
+        Query::wildcard(&[
+            "type_of_boat",
+            "tonnage",
+            "departure_harbour",
+            "cape_arrival",
+        ]),
     )
     .unwrap();
     let hb = charles::hb_cuts(&ex).unwrap();
@@ -166,9 +174,7 @@ fn stats_expose_workload_shape() {
     // §5.1: the workload is counts + medians. Verify both get exercised
     // and scale with context width.
     let t = voc_table(2_000, 12);
-    let narrow = Advisor::new(&t)
-        .advise_str("(tonnage: , built: )")
-        .unwrap();
+    let narrow = Advisor::new(&t).advise_str("(tonnage: , built: )").unwrap();
     let wide = Advisor::new(&t)
         .advise_str("(type_of_boat: , tonnage: , departure_harbour: , cape_arrival: , built: )")
         .unwrap();

@@ -213,20 +213,9 @@ fn sparklines_and_multipie_render_for_advice() {
         .advise_str("(class: , magnitude: , redshift: )")
         .unwrap();
     let best = &advice.ranked[0].segmentation;
-    let ex = Explorer::new(
-        &t,
-        Config::default(),
-        advice.context.clone(),
-    )
-    .unwrap();
-    let sparks = segment_sparklines(
-        &t,
-        best.queries(),
-        "magnitude",
-        ex.context_selection(),
-        16,
-    )
-    .unwrap();
+    let ex = Explorer::new(&t, Config::default(), advice.context.clone()).unwrap();
+    let sparks =
+        segment_sparklines(&t, best.queries(), "magnitude", ex.context_selection(), 16).unwrap();
     assert_eq!(sparks.len(), best.depth());
     for s in &sparks {
         assert_eq!(s.chars().count(), 16);

@@ -11,8 +11,7 @@
 use charles::viz::{context_panel, render_panel, segment_rows};
 use charles::{voc_table, Advisor};
 
-const CONTEXT: &str =
-    "(type_of_boat: , tonnage: , departure_harbour: , cape_arrival: , built: )";
+const CONTEXT: &str = "(type_of_boat: , tonnage: , departure_harbour: , cape_arrival: , built: )";
 
 #[test]
 fn panel_has_all_three_regions() {

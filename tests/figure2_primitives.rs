@@ -46,7 +46,12 @@ fn figure2_table() -> charles::Table {
 }
 
 fn explorer(t: &charles::Table) -> Explorer<'_> {
-    Explorer::new(t, Config::default(), Query::wildcard(&["type", "tonnage", "year"])).unwrap()
+    Explorer::new(
+        t,
+        Config::default(),
+        Query::wildcard(&["type", "tonnage", "year"]),
+    )
+    .unwrap()
 }
 
 /// Set A of the figure: {fluit} / {jacht}.
@@ -104,8 +109,11 @@ fn cut_tonnage_of_a_adapts_medians_per_type() {
     // Collect the per-type split boundaries: they must differ.
     let mut uppers_of_lower_piece: Vec<i64> = Vec::new();
     for q in cut.queries() {
-        if let Some(Constraint::Range { lo: Value::Int(lo), hi: Value::Int(hi), .. }) =
-            q.constraint("tonnage")
+        if let Some(Constraint::Range {
+            lo: Value::Int(lo),
+            hi: Value::Int(hi),
+            ..
+        }) = q.constraint("tonnage")
         {
             // The lower piece of each type starts at that type's minimum.
             if *lo == 1200 || *lo == 1500 {
@@ -154,8 +162,14 @@ fn compose_a_b_recuts_years_per_type() {
     assert_eq!(early_uppers.len(), 2);
     let fluit = early_uppers["fluit"];
     let jacht = early_uppers["jacht"];
-    assert!(fluit < 1750, "fluit early piece must end before 1750, got {fluit}");
-    assert!(jacht >= 1750, "jacht early piece must end after 1750, got {jacht}");
+    assert!(
+        fluit < 1750,
+        "fluit early piece must end before 1750, got {fluit}"
+    );
+    assert!(
+        jacht >= 1750,
+        "jacht early piece must end after 1750, got {jacht}"
+    );
     assert!(composed
         .check_partition(ex.backend(), ex.context_selection())
         .unwrap()

@@ -23,10 +23,10 @@ fn figure3_table(n: usize, seed: u64) -> charles::Table {
     }
     for _ in 0..n {
         let a2: i64 = rng.gen_range(0..100);
-        let a3 = a2 + rng.gen_range(-3..=3);
-        let a1 = a2 / 2 + rng.gen_range(-2..=2);
+        let a3 = a2 + rng.gen_range(-3i64..=3);
+        let a1 = a2 / 2 + rng.gen_range(-2i64..=2);
         let a4: i64 = rng.gen_range(0..100);
-        let a5 = a4 + rng.gen_range(-3..=3);
+        let a5 = a4 + rng.gen_range(-3i64..=3);
         b.push_row(vec![
             Value::Int(a1),
             Value::Int(a2),

@@ -90,7 +90,9 @@ fn max_indep_zero_stops_immediately() {
 fn depth_bound_never_exceeded_in_output() {
     let t = voc_table(5_000, 13);
     for max_depth in [4, 8, 12] {
-        let cfg = Config::default().with_max_depth(max_depth).with_max_indep(1.0);
+        let cfg = Config::default()
+            .with_max_depth(max_depth)
+            .with_max_indep(1.0);
         let ex = Explorer::new(&t, cfg, Query::wildcard(&VOC_CONTEXT)).unwrap();
         let out = hb_cuts(&ex).unwrap();
         for r in &out.ranked {

@@ -28,7 +28,10 @@ fn independent_attributes_reach_one() {
 #[test]
 fn functional_dependency_reaches_half() {
     let v = measure(DependencyKind::Functional, 2);
-    assert!((v - 0.5).abs() < 1e-9, "INDEP of b=a is exactly 1/2, got {v}");
+    assert!(
+        (v - 0.5).abs() < 1e-9,
+        "INDEP of b=a is exactly 1/2, got {v}"
+    );
 }
 
 #[test]

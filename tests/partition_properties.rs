@@ -7,9 +7,7 @@
 //! * the SDL parser round-trips whatever the display prints;
 //! * covers sum to 1 over any partition.
 
-use charles::advisor::{
-    cut_segmentation, hb_cuts, indep, quantile_cut_segmentation, Explorer,
-};
+use charles::advisor::{cut_segmentation, hb_cuts, indep, quantile_cut_segmentation, Explorer};
 use charles::{Config, Query, Segmentation, TableBuilder, Value};
 use charles_sdl::{parse_query, parse_segmentation};
 use charles_store::DataType;
@@ -19,11 +17,11 @@ use proptest::prelude::*;
 /// nominal column with 1–6 categories.
 fn arb_table() -> impl Strategy<Value = charles::Table> {
     (
-        10usize..200,                 // rows
-        1i64..50,                     // numeric domain size
-        1usize..6,                    // categories
-        0.0f64..1.0,                  // correlation dial
-        any::<u64>(),                 // seed
+        10usize..200, // rows
+        1i64..50,     // numeric domain size
+        1usize..6,    // categories
+        0.0f64..1.0,  // correlation dial
+        any::<u64>(), // seed
     )
         .prop_map(|(n, domain, cats, corr, seed)| {
             use rand::rngs::StdRng;
@@ -36,7 +34,7 @@ fn arb_table() -> impl Strategy<Value = charles::Table> {
             for _ in 0..n {
                 let x = rng.gen_range(0..domain);
                 let y = if rng.gen_bool(corr) {
-                    x + rng.gen_range(-2..=2)
+                    x + rng.gen_range(-2i64..=2)
                 } else {
                     rng.gen_range(0..domain)
                 };

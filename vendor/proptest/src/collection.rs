@@ -1,0 +1,87 @@
+//! Collection strategies: `vec` and `btree_set`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::collections::BTreeSet;
+use std::ops::{Range, RangeInclusive};
+
+/// Sizes accepted by collection strategies: a fixed length or a range.
+pub trait IntoSizeRange {
+    fn pick(&self, rng: &mut TestRng) -> usize;
+}
+
+impl IntoSizeRange for usize {
+    fn pick(&self, _rng: &mut TestRng) -> usize {
+        *self
+    }
+}
+
+impl IntoSizeRange for Range<usize> {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        assert!(self.start < self.end, "empty size range");
+        rng.0.gen_range(self.clone())
+    }
+}
+
+impl IntoSizeRange for RangeInclusive<usize> {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        rng.0.gen_range(self.clone())
+    }
+}
+
+pub struct VecStrategy<S, R> {
+    element: S,
+    size: R,
+}
+
+impl<S: Strategy, R: IntoSizeRange> Strategy for VecStrategy<S, R> {
+    type Value = Vec<S::Value>;
+
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        let n = self.size.pick(rng);
+        (0..n).map(|_| self.element.new_value(rng)).collect()
+    }
+}
+
+/// `proptest::collection::vec(element, size)`.
+pub fn vec<S: Strategy, R: IntoSizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+    VecStrategy { element, size }
+}
+
+pub struct BTreeSetStrategy<S, R> {
+    element: S,
+    size: R,
+}
+
+impl<S, R> Strategy for BTreeSetStrategy<S, R>
+where
+    S: Strategy,
+    S::Value: Ord,
+    R: IntoSizeRange,
+{
+    type Value = BTreeSet<S::Value>;
+
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        let target = self.size.pick(rng);
+        let mut out = BTreeSet::new();
+        // Duplicates shrink the set below target; bounded retries keep
+        // generation total even over tiny domains.
+        let mut attempts = 0;
+        while out.len() < target && attempts < target * 20 + 20 {
+            out.insert(self.element.new_value(rng));
+            attempts += 1;
+        }
+        out
+    }
+}
+
+/// `proptest::collection::btree_set(element, size)`.
+pub fn btree_set<S, R>(element: S, size: R) -> BTreeSetStrategy<S, R>
+where
+    S: Strategy,
+    S::Value: Ord,
+    R: IntoSizeRange,
+{
+    BTreeSetStrategy { element, size }
+}

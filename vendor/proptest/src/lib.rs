@@ -1,0 +1,156 @@
+//! Offline, API-compatible subset of `proptest`.
+//!
+//! The build environment has no crates.io access, so this shim provides
+//! the slice of proptest that the Charles test suites use: the
+//! [`Strategy`] trait with `prop_map`, range / tuple / collection /
+//! option / sample strategies, a tiny character-class regex generator
+//! for string strategies, and the `proptest!` / `prop_assert!` /
+//! `prop_assert_eq!` / `prop_oneof!` macros.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * no shrinking — a failing case reports its seed instead;
+//! * cases are generated from a deterministic per-test seed sweep, so
+//!   failures are reproducible across runs and machines;
+//! * regression seeds are replayed from
+//!   `<crate>/proptest-regressions/<file-stem>.txt`, one `seed = N`
+//!   line per entry (a simplified version of proptest's format).
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod collection;
+pub mod option;
+pub mod sample;
+pub mod string;
+
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Assert a condition inside a `proptest!` body, failing the case (not
+/// panicking directly) so the runner can report the seed.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *lhs == *rhs,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($lhs), stringify!($rhs), lhs, rhs
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)*) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        if !(*lhs == *rhs) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("{}\n  left: {:?}\n right: {:?}", format!($($fmt)*), lhs, rhs),
+            ));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *lhs != *rhs,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($lhs),
+            stringify!($rhs),
+            lhs
+        );
+    }};
+}
+
+/// Choose uniformly among several strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(::std::boxed::Box::new($strategy)
+                as ::std::boxed::Box<dyn $crate::strategy::Strategy<Value = _>>),+
+        ])
+    };
+}
+
+/// Declare property tests. Mirrors proptest's macro shape:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_property(x in 0i64..100, mut v in proptest::collection::vec(any::<bool>(), 10)) {
+///         prop_assert!(x >= 0);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@fns ($cfg); $($rest)*);
+    };
+    (@fns ($cfg:expr); ) => {};
+    (@fns ($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($params:tt)*) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::test_runner::ProptestConfig = $cfg;
+            $crate::test_runner::run(
+                &cfg,
+                env!("CARGO_MANIFEST_DIR"),
+                file!(),
+                stringify!($name),
+                |__proptest_rng| {
+                    $crate::proptest!(@bind __proptest_rng, $($params)*);
+                    #[allow(clippy::redundant_closure_call)]
+                    (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    })()
+                },
+            );
+        }
+        $crate::proptest!(@fns ($cfg); $($rest)*);
+    };
+    (@bind $rng:ident $(,)?) => {};
+    (@bind $rng:ident, mut $id:ident in $strategy:expr, $($rest:tt)*) => {
+        #[allow(unused_mut)]
+        let mut $id = $crate::strategy::Strategy::new_value(&($strategy), $rng);
+        $crate::proptest!(@bind $rng, $($rest)*);
+    };
+    (@bind $rng:ident, mut $id:ident in $strategy:expr) => {
+        $crate::proptest!(@bind $rng, mut $id in $strategy,);
+    };
+    (@bind $rng:ident, $id:ident in $strategy:expr, $($rest:tt)*) => {
+        let $id = $crate::strategy::Strategy::new_value(&($strategy), $rng);
+        $crate::proptest!(@bind $rng, $($rest)*);
+    };
+    (@bind $rng:ident, $id:ident in $strategy:expr) => {
+        $crate::proptest!(@bind $rng, $id in $strategy,);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@fns ($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}

@@ -1,0 +1,24 @@
+//! `proptest::option::of`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+pub struct OptionStrategy<S>(S);
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        if rng.0.gen_bool(0.75) {
+            Some(self.0.new_value(rng))
+        } else {
+            None
+        }
+    }
+}
+
+/// Yields `Some(value)` most of the time and `None` otherwise.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy(inner)
+}

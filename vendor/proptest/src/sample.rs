@@ -1,0 +1,22 @@
+//! `proptest::sample::select`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+pub struct Select<T: Clone>(Vec<T>);
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        let idx = rng.0.gen_range(0..self.0.len());
+        self.0[idx].clone()
+    }
+}
+
+/// Pick uniformly from a non-empty list of options.
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select() needs at least one option");
+    Select(options)
+}

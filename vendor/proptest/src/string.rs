@@ -1,0 +1,175 @@
+//! Tiny regex-subset generator backing `&str` strategies.
+//!
+//! Supports what the suites use — character classes with ranges
+//! (`[ -~]`, `[a-z0-9_]`), literals, escapes, and the quantifiers
+//! `{n}`, `{m,n}`, `?`, `*`, `+` (starred forms capped at 8 reps).
+//! Anything outside this subset panics with a clear message so a
+//! future suite extension fails loudly instead of generating wrong
+//! data.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    Literal(char),
+    Class(Vec<(char, char)>),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let mut chars = pattern.chars().peekable();
+    let mut pieces = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '[' => {
+                let mut ranges = Vec::new();
+                if chars.peek() == Some(&'^') {
+                    panic!("proptest shim: negated classes unsupported in {pattern:?}");
+                }
+                loop {
+                    let Some(lo) = chars.next() else {
+                        panic!("proptest shim: unterminated class in {pattern:?}");
+                    };
+                    if lo == ']' {
+                        break;
+                    }
+                    let lo = if lo == '\\' {
+                        chars.next().expect("escape")
+                    } else {
+                        lo
+                    };
+                    if chars.peek() == Some(&'-') {
+                        chars.next();
+                        match chars.peek() {
+                            Some(']') | None => {
+                                // trailing '-' is a literal
+                                ranges.push((lo, lo));
+                                ranges.push(('-', '-'));
+                            }
+                            Some(&hi) => {
+                                chars.next();
+                                assert!(lo <= hi, "bad class range in {pattern:?}");
+                                ranges.push((lo, hi));
+                            }
+                        }
+                    } else {
+                        ranges.push((lo, lo));
+                    }
+                }
+                assert!(!ranges.is_empty(), "empty class in {pattern:?}");
+                Atom::Class(ranges)
+            }
+            '\\' => Atom::Literal(chars.next().expect("escape")),
+            '.' | '(' | ')' | '|' => {
+                panic!("proptest shim: regex feature {c:?} unsupported in {pattern:?}")
+            }
+            other => Atom::Literal(other),
+        };
+        let (min, max) = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut body = String::new();
+                for d in chars.by_ref() {
+                    if d == '}' {
+                        break;
+                    }
+                    body.push(d);
+                }
+                match body.split_once(',') {
+                    Some((m, n)) => (
+                        m.trim().parse().expect("bad {m,n}"),
+                        n.trim().parse().expect("bad {m,n}"),
+                    ),
+                    None => {
+                        let n = body.trim().parse().expect("bad {n}");
+                        (n, n)
+                    }
+                }
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            Some('*') => {
+                chars.next();
+                (0, 8)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 8)
+            }
+            _ => (1, 1),
+        };
+        assert!(min <= max, "bad quantifier in {pattern:?}");
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn emit(atom: &Atom, rng: &mut TestRng, out: &mut String) {
+    match atom {
+        Atom::Literal(c) => out.push(*c),
+        Atom::Class(ranges) => {
+            let total: u32 = ranges
+                .iter()
+                .map(|&(lo, hi)| hi as u32 - lo as u32 + 1)
+                .sum();
+            let mut pick = rng.0.gen_range(0..total);
+            for &(lo, hi) in ranges {
+                let span = hi as u32 - lo as u32 + 1;
+                if pick < span {
+                    out.push(char::from_u32(lo as u32 + pick).expect("valid char"));
+                    return;
+                }
+                pick -= span;
+            }
+            unreachable!()
+        }
+    }
+}
+
+/// Generate one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for piece in parse(pattern) {
+        let reps = rng.0.gen_range(piece.min..=piece.max);
+        for _ in 0..reps {
+            emit(&piece.atom, rng, &mut out);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn printable_ascii_class() {
+        let mut rng = TestRng::from_seed(1);
+        for _ in 0..200 {
+            let s = generate("[ -~]{0,20}", &mut rng);
+            assert!(s.len() <= 20);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn literals_and_quantifiers() {
+        let mut rng = TestRng::from_seed(2);
+        assert_eq!(generate("abc", &mut rng), "abc");
+        let s = generate("x{3}", &mut rng);
+        assert_eq!(s, "xxx");
+        let s = generate("[a-c]{2,4}", &mut rng);
+        assert!((2..=4).contains(&s.len()));
+        assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+    }
+}

@@ -1,0 +1,162 @@
+//! Case runner: deterministic seed sweep plus regression-seed replay.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::{Path, PathBuf};
+
+/// RNG handed to strategies. Wraps the vendored `rand` StdRng.
+pub struct TestRng(pub(crate) StdRng);
+
+impl TestRng {
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng(StdRng::seed_from_u64(seed))
+    }
+}
+
+/// A failed case (no panicking inside the body: the runner reports the
+/// seed, then panics once with full context).
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Runner configuration; mirrors the fields of proptest's config that
+/// the suites set.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// FNV-1a, for a stable per-test base seed.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn regression_path(manifest_dir: &str, source_file: &str) -> PathBuf {
+    let stem = Path::new(source_file)
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "unknown".to_string());
+    Path::new(manifest_dir)
+        .join("proptest-regressions")
+        .join(format!("{stem}.txt"))
+}
+
+/// Parse `seed = N` lines; `#` starts a comment.
+fn regression_seeds(path: &Path) -> Vec<u64> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    text.lines()
+        .filter_map(|line| {
+            let line = line.split('#').next().unwrap_or("").trim();
+            let rest = line.strip_prefix("seed")?.trim_start().strip_prefix('=')?;
+            rest.trim().parse::<u64>().ok()
+        })
+        .collect()
+}
+
+/// Run one property over its regression seeds and a deterministic sweep.
+pub fn run<F>(
+    config: &ProptestConfig,
+    manifest_dir: &str,
+    source_file: &str,
+    test_name: &str,
+    mut body: F,
+) where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let cases = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse::<u32>().ok())
+        .unwrap_or(config.cases);
+    let base = fnv1a(format!("{source_file}::{test_name}").as_bytes());
+    let reg_path = regression_path(manifest_dir, source_file);
+
+    let replay = regression_seeds(&reg_path);
+    let sweep = (0..cases as u64).map(|i| base.wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+
+    for (origin, seed) in replay
+        .iter()
+        .map(|&s| ("regression", s))
+        .chain(sweep.map(|s| ("sweep", s)))
+    {
+        let mut rng = TestRng::from_seed(seed);
+        if let Err(e) = body(&mut rng) {
+            panic!(
+                "proptest case failed ({origin} seed {seed})\n\
+                 {msg}\n\
+                 To replay this exact case, add the line below to {path}:\n\
+                 seed = {seed}",
+                msg = e.message(),
+                path = reg_path.display(),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_parse_and_comments_ignored() {
+        let dir = std::env::temp_dir().join("proptest-shim-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("x.txt");
+        std::fs::write(&p, "# comment\nseed = 42\nseed=7 # trailing\nnoise\n").unwrap();
+        assert_eq!(regression_seeds(&p), vec![42, 7]);
+    }
+
+    #[test]
+    fn runner_sweeps_deterministically() {
+        let cfg = ProptestConfig::with_cases(5);
+        let mut seen = Vec::new();
+        run(&cfg, "/nonexistent", "f.rs", "t", |rng| {
+            seen.push(rand::Rng::gen_range(&mut rng.0, 0u64..1000));
+            Ok(())
+        });
+        let mut second = Vec::new();
+        run(&cfg, "/nonexistent", "f.rs", "t", |rng| {
+            second.push(rand::Rng::gen_range(&mut rng.0, 0u64..1000));
+            Ok(())
+        });
+        assert_eq!(seen, second);
+        assert_eq!(seen.len(), 5);
+    }
+}
