@@ -1,0 +1,60 @@
+//! Shard scaling: the paper's two workhorse operations — counts over
+//! predicates and median calculations (§5.1) — on `ShardedTable` at
+//! 1/2/4/8 row-range shards, against the unsharded `Table` baseline.
+//! Shard-parallel evaluation is bitwise identical to the baseline (pinned
+//! by `tests/backend_contract.rs`), so this measures pure execution
+//! strategy: per-shard fan-out cost vs multi-core scan/gather throughput.
+
+use charles_datagen::voc_table;
+use charles_sdl::eval;
+use charles_store::{Backend, ShardedTable};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn bench_shard_scaling(c: &mut Criterion) {
+    let table = voc_table(200_000, 7);
+    let q = charles_sdl::parse_query("(tonnage: [300,700])", table.schema()).unwrap();
+    let pred = eval::lower(&q);
+    let sel = table.eval(&pred).unwrap();
+    let sharded: Vec<ShardedTable> = SHARD_COUNTS
+        .iter()
+        .map(|&n| ShardedTable::from_table(&table, n))
+        .collect();
+
+    let mut count = c.benchmark_group("shard_scaling_count");
+    count
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    count.bench_function(BenchmarkId::new("count", "table"), |b| {
+        b.iter(|| table.count(&pred).unwrap())
+    });
+    for s in &sharded {
+        count.bench_function(
+            BenchmarkId::new("count", format!("{}-shards", s.shard_count())),
+            |b| b.iter(|| s.count(&pred).unwrap()),
+        );
+    }
+    count.finish();
+
+    let mut median = c.benchmark_group("shard_scaling_median");
+    median
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    median.bench_function(BenchmarkId::new("median", "table"), |b| {
+        b.iter(|| table.median("tonnage", &sel).unwrap())
+    });
+    for s in &sharded {
+        median.bench_function(
+            BenchmarkId::new("median", format!("{}-shards", s.shard_count())),
+            |b| b.iter(|| s.median("tonnage", &sel).unwrap()),
+        );
+    }
+    median.finish();
+}
+
+criterion_group!(benches, bench_shard_scaling);
+criterion_main!(benches);

@@ -239,8 +239,9 @@ fn e4_figure1() {
         render_panel(&ships, &advice, 0, 110).expect("panel renders")
     );
     println!(
-        "backend ops: {} scans, {} medians; cache: {} hits / {} misses",
+        "backend ops: {} scans, {} counts, {} medians; cache: {} hits / {} misses",
         advice.backend_ops.scans,
+        advice.backend_ops.counts,
         advice.backend_ops.medians,
         advice.cache.sel_hits,
         advice.cache.sel_misses
@@ -341,7 +342,7 @@ fn e7_backend() {
     let rowstore = RowTable::from_table(&col);
     let context = "(type_of_boat: , tonnage: , departure_harbour: , built: )";
 
-    header(&["engine", "advise time", "scans", "medians"]);
+    header(&["engine", "advise time", "scans", "counts", "medians"]);
     for (name, backend) in [
         ("columnar", &col as &dyn Backend),
         ("row-store", &rowstore as &dyn Backend),
@@ -352,6 +353,7 @@ fn e7_backend() {
             name.to_string(),
             fmt_duration(d),
             format!("{}", advice.backend_ops.scans),
+            format!("{}", advice.backend_ops.counts),
             format!("{}", advice.backend_ops.medians),
         ]);
     }

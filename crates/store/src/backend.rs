@@ -17,10 +17,19 @@ use crate::stats::FrequencyTable;
 use crate::value::Value;
 
 /// Operation counters exposed by a backend, for the experiment harness.
+///
+/// The paper's workload taxonomy (§5.1) is "counts over predicates and
+/// median calculations": `counts` tallies the former as a logical
+/// operation in its own right, while `scans` counts physical predicate
+/// scans (a `count` issues scans too — one per leaf predicate — so the
+/// two move together but measure different layers).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct BackendStats {
     /// Number of predicate scans executed.
     pub scans: u64,
+    /// Number of `count` operations answered (the paper's "counts over
+    /// predicates" metric).
+    pub counts: u64,
     /// Number of median/quantile computations executed.
     pub medians: u64,
 }

@@ -157,6 +157,13 @@ impl Bitmap {
     /// Append one bit, growing the bitmap by one row (amortized O(1)).
     /// Used by load paths that build validity masks incrementally.
     pub fn push(&mut self, value: bool) {
+        // Invariant: no bit beyond `len` may be set in the last word —
+        // otherwise the pushed position could inherit a stale bit from a
+        // previous occupant of the word. All constructors uphold this
+        // (see `clear_tail`), so a dirty tail is a bug; restore it anyway
+        // so `push` never silently corrupts the new row.
+        debug_assert!(self.tail_is_clear(), "stale bits beyond len {}", self.len);
+        self.clear_tail();
         let i = self.len;
         self.len += 1;
         if self.words.len() * WORD_BITS < self.len {
@@ -167,6 +174,71 @@ impl Bitmap {
         }
     }
 
+    /// Append all bits of `other` after the bits of `self` (offset-aware:
+    /// bit `i` of `other` lands at `self.len() + i`). This is the shard
+    /// concatenation primitive — per-shard selection bitmaps glue back
+    /// into one table-wide selection in shard order.
+    pub fn append(&mut self, other: &Bitmap) {
+        if other.len == 0 {
+            return;
+        }
+        let shift = self.len % WORD_BITS;
+        let new_len = self.len + other.len;
+        if shift == 0 {
+            self.words.extend_from_slice(&other.words);
+        } else {
+            let inv = WORD_BITS - shift;
+            for &w in &other.words {
+                *self
+                    .words
+                    .last_mut()
+                    .expect("non-word-aligned len implies at least one word") |= w << shift;
+                self.words.push(w >> inv);
+            }
+        }
+        self.words.truncate(new_len.div_ceil(WORD_BITS));
+        self.len = new_len;
+        self.clear_tail();
+    }
+
+    /// Concatenate bitmaps in order: row `i` of part `k` becomes row
+    /// `len(part 0) + … + len(part k-1) + i` of the result.
+    pub fn concat<'a>(parts: impl IntoIterator<Item = &'a Bitmap>) -> Bitmap {
+        let mut out = Bitmap::new(0);
+        for p in parts {
+            out.append(p);
+        }
+        out
+    }
+
+    /// The sub-bitmap covering rows `start..end` (bit `start + i` of
+    /// `self` becomes bit `i`). Inverse of [`Bitmap::append`]; sharded
+    /// backends use it to restrict a table-wide selection to one shard's
+    /// row range.
+    pub fn slice(&self, start: usize, end: usize) -> Bitmap {
+        assert!(
+            start <= end && end <= self.len,
+            "slice {start}..{end} out of range {}",
+            self.len
+        );
+        let mut out = Bitmap::new(end - start);
+        let shift = start % WORD_BITS;
+        let first = start / WORD_BITS;
+        for k in 0..out.words.len() {
+            let lo = self.words[first + k] >> shift;
+            let hi = if shift == 0 {
+                0
+            } else {
+                self.words
+                    .get(first + k + 1)
+                    .map_or(0, |w| w << (WORD_BITS - shift))
+            };
+            out.words[k] = lo | hi;
+        }
+        out.clear_tail();
+        out
+    }
+
     /// Iterator over the indices of set bits, ascending.
     pub fn iter_ones(&self) -> OnesIter<'_> {
         OnesIter {
@@ -174,6 +246,18 @@ impl Bitmap {
             word_idx: 0,
             current: self.words.first().copied().unwrap_or(0),
         }
+    }
+
+    /// True when no bit beyond `len` is set in the last word — the
+    /// invariant every public operation must preserve (popcounts,
+    /// complements and appends all assume it).
+    fn tail_is_clear(&self) -> bool {
+        let tail = self.len % WORD_BITS;
+        tail == 0
+            || self
+                .words
+                .last()
+                .is_none_or(|last| last & !((1u64 << tail) - 1) == 0)
     }
 
     /// Zero out the bits beyond `len` in the last word so popcounts and
@@ -314,5 +398,156 @@ mod tests {
     #[should_panic(expected = "length mismatch")]
     fn and_length_mismatch_panics() {
         let _ = Bitmap::new(10).and(&Bitmap::new(11));
+    }
+
+    #[test]
+    fn append_concat_round_trip() {
+        // Lengths straddle word boundaries on purpose: 0, 1, 63, 64, 65, 130.
+        let lens = [0usize, 1, 63, 64, 65, 130];
+        let mut parts = Vec::new();
+        let mut expected = Vec::new();
+        let mut offset = 0usize;
+        for (p, &len) in lens.iter().enumerate() {
+            let idx: Vec<usize> = (0..len).filter(|i| (i + p) % 3 == 0).collect();
+            for &i in &idx {
+                expected.push(offset + i);
+            }
+            offset += len;
+            parts.push(Bitmap::from_indices(len, idx));
+        }
+        let glued = Bitmap::concat(parts.iter());
+        assert_eq!(glued.len(), offset);
+        assert_eq!(glued.iter_ones().collect::<Vec<_>>(), expected);
+        // Slicing the concatenation back apart recovers every part.
+        let mut start = 0usize;
+        for part in &parts {
+            let back = glued.slice(start, start + part.len());
+            assert_eq!(&back, part);
+            start += part.len();
+        }
+    }
+
+    #[test]
+    fn append_onto_unaligned_tail() {
+        // 70 bits of ones, then 70 more: the second append starts mid-word.
+        let mut bm = Bitmap::ones(70);
+        bm.append(&Bitmap::ones(70));
+        assert_eq!(bm.len(), 140);
+        assert_eq!(bm.count_ones(), 140);
+        assert!(bm.tail_is_clear());
+        bm.append(&Bitmap::new(3));
+        assert_eq!(bm.count_ones(), 140);
+        assert_eq!(bm.len(), 143);
+    }
+
+    #[test]
+    fn slice_matches_per_bit_extraction() {
+        let bm = Bitmap::from_indices(200, (0..200).filter(|i| i % 7 == 0));
+        for (start, end) in [(0, 200), (1, 64), (63, 65), (64, 128), (65, 199), (50, 50)] {
+            let s = bm.slice(start, end);
+            assert_eq!(s.len(), end - start);
+            for i in 0..(end - start) {
+                assert_eq!(s.get(i), bm.get(start + i), "bit {i} of {start}..{end}");
+            }
+            assert!(s.tail_is_clear());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn slice_out_of_range_panics() {
+        let _ = Bitmap::new(10).slice(5, 11);
+    }
+
+    /// Manufacture an invariant violation (as a future length-mutating
+    /// refactor might): a stale bit exactly where the next push lands.
+    fn dirty_tail_bitmap() -> Bitmap {
+        let mut bm = Bitmap::ones(3);
+        bm.words[0] |= 1u64 << 3;
+        assert!(!bm.tail_is_clear());
+        bm
+    }
+
+    // `push` on a dirty tail has one pinned behaviour per build mode:
+    // debug trips the assertion, release silently repairs. Each test is
+    // compiled only into the mode whose behaviour it checks, so neither
+    // is ever a silent no-op.
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "stale bits beyond len")]
+    fn push_asserts_on_dirty_tail_in_debug() {
+        dirty_tail_bitmap().push(false);
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn push_restores_dirty_tail_in_release() {
+        let mut bm = dirty_tail_bitmap();
+        bm.push(false);
+        assert!(!bm.get(3), "stale tail bit leaked into pushed row");
+        assert_eq!(bm.count_ones(), 3);
+        assert!(bm.tail_is_clear());
+    }
+
+    /// Every public operation preserves "no bits set beyond len".
+    mod invariant_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_bitmap() -> impl Strategy<Value = Bitmap> {
+            proptest::collection::vec(any::<bool>(), 0usize..200).prop_map(|bits| {
+                let mut bm = Bitmap::new(bits.len());
+                for (i, b) in bits.into_iter().enumerate() {
+                    if b {
+                        bm.set(i);
+                    }
+                }
+                bm
+            })
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(128))]
+
+            #[test]
+            fn every_public_op_keeps_tail_clear(
+                a in arb_bitmap(),
+                b in arb_bitmap(),
+                extra in proptest::collection::vec(any::<bool>(), 0..130),
+            ) {
+                prop_assert!(a.tail_is_clear());
+                prop_assert!(Bitmap::ones(a.len()).tail_is_clear());
+                prop_assert!(a.not().tail_is_clear());
+                // Same-length algebra on a re-sliced pair.
+                let n = a.len().min(b.len());
+                let (x, y) = (a.slice(0, n), b.slice(0, n));
+                prop_assert!(x.tail_is_clear() && y.tail_is_clear());
+                prop_assert!(x.and(&y).tail_is_clear());
+                prop_assert!(x.or(&y).tail_is_clear());
+                prop_assert!(x.and_not(&y).tail_is_clear());
+                // Append/concat across arbitrary (unaligned) offsets.
+                let mut glued = a.clone();
+                glued.append(&b);
+                prop_assert!(glued.tail_is_clear());
+                prop_assert_eq!(glued.count_ones(), a.count_ones() + b.count_ones());
+                prop_assert!(Bitmap::concat([&a, &b, &a]).tail_is_clear());
+                // Incremental pushes on top of everything above.
+                let mut grown = glued.clone();
+                for &bit in &extra {
+                    grown.push(bit);
+                    prop_assert!(grown.tail_is_clear());
+                }
+                let pushed_ones = extra.iter().filter(|&&v| v).count();
+                prop_assert_eq!(grown.count_ones(), glued.count_ones() + pushed_ones);
+                // Slice ↔ append round-trip at an arbitrary split point.
+                let mid = glued.len() / 2;
+                let (lo, hi) = (glued.slice(0, mid), glued.slice(mid, glued.len()));
+                prop_assert!(lo.tail_is_clear() && hi.tail_is_clear());
+                let mut rejoined = lo;
+                rejoined.append(&hi);
+                prop_assert_eq!(&rejoined, &glued);
+            }
+        }
     }
 }

@@ -10,6 +10,7 @@ use crate::bitmap::Bitmap;
 use crate::datatype::DataType;
 use crate::error::{StoreError, StoreResult};
 use crate::value::Value;
+use std::sync::Arc;
 
 /// Physical storage for a column's values.
 #[derive(Debug, Clone)]
@@ -45,8 +46,10 @@ pub struct Column {
     data: ColumnData,
     /// Bit set ⇔ row holds a valid (non-null) value.
     validity: Bitmap,
-    /// String dictionary; empty for non-string columns. Codes index into it.
-    dict: Vec<String>,
+    /// String dictionary; empty for non-string columns. Codes index into
+    /// it. Behind an `Arc` so that row-range slices of a column (sharded
+    /// backends) share one dictionary instead of copying it per shard.
+    dict: Arc<Vec<String>>,
 }
 
 impl Column {
@@ -63,7 +66,7 @@ impl Column {
             name: name.into(),
             data,
             validity: Bitmap::new(0),
-            dict: Vec::new(),
+            dict: Arc::new(Vec::new()),
         }
     }
 
@@ -142,7 +145,7 @@ impl Column {
                     (ColumnData::Date(vec), Value::Date(x)) => vec.push(x),
                     (ColumnData::Bool(vec), Value::Bool(x)) => vec.push(x),
                     (ColumnData::Str(vec), Value::Str(s)) => {
-                        let code = Self::intern(&mut self.dict, s);
+                        let code = Self::intern(Arc::make_mut(&mut self.dict), s);
                         vec.push(code);
                     }
                     _ => unreachable!("type checked above"),
@@ -217,7 +220,11 @@ impl Column {
             }
             ColumnData::Float(v) => {
                 for i in sel.iter_ones() {
-                    if self.validity.get(i) {
+                    // NaN is treated as null: one NaN would otherwise poison
+                    // every downstream order statistic (NaN medians, NaN cut
+                    // points). `Column::push` rejects NaN, but columns built
+                    // from raw parts or future load paths may carry them.
+                    if self.validity.get(i) && !v[i].is_nan() {
                         out.push(v[i]);
                     }
                 }
@@ -238,6 +245,30 @@ impl Column {
             }
         }
         Ok(())
+    }
+
+    /// The sub-column covering rows `start..end`. String columns share the
+    /// full dictionary (codes stay valid across slices), which is what
+    /// lets a sharded backend merge per-shard frequency tables by code.
+    pub fn slice(&self, start: usize, end: usize) -> Column {
+        assert!(
+            start <= end && end <= self.len(),
+            "slice {start}..{end} out of range {}",
+            self.len()
+        );
+        let data = match &self.data {
+            ColumnData::Int(v) => ColumnData::Int(v[start..end].to_vec()),
+            ColumnData::Float(v) => ColumnData::Float(v[start..end].to_vec()),
+            ColumnData::Str(v) => ColumnData::Str(v[start..end].to_vec()),
+            ColumnData::Date(v) => ColumnData::Date(v[start..end].to_vec()),
+            ColumnData::Bool(v) => ColumnData::Bool(v[start..end].to_vec()),
+        };
+        Column {
+            name: self.name.clone(),
+            data,
+            validity: self.validity.slice(start, end),
+            dict: Arc::clone(&self.dict),
+        }
     }
 
     /// Minimum and maximum value among the selected, non-null rows.
@@ -342,6 +373,58 @@ mod tests {
         c.push(Some(Value::str("a"))).unwrap();
         let mut out = Vec::new();
         assert!(c.gather_f64(&Bitmap::ones(1), &mut out).is_err());
+    }
+
+    #[test]
+    fn gather_skips_nan_like_null() {
+        // `push` rejects NaN, so manufacture a poisoned column the way a
+        // raw load path could: straight from parts. Regression test for
+        // NaN medians / NaN cut points leaking out of gather_f64.
+        let c = Column {
+            name: "x".into(),
+            data: ColumnData::Float(vec![1.0, f64::NAN, 3.0, f64::NAN, 5.0]),
+            validity: Bitmap::ones(5),
+            dict: Arc::new(Vec::new()),
+        };
+        let mut out = Vec::new();
+        c.gather_f64(&Bitmap::ones(5), &mut out).unwrap();
+        assert_eq!(out, vec![1.0, 3.0, 5.0]);
+        let med = crate::stats::exact_median(&mut out).unwrap();
+        assert_eq!(med, 3.0);
+        assert!(!med.is_nan());
+    }
+
+    #[test]
+    fn slice_preserves_values_nulls_and_dict() {
+        let mut c = Column::new("kind", DataType::Str);
+        for v in [
+            Some("fluit"),
+            Some("jacht"),
+            None,
+            Some("pinas"),
+            Some("fluit"),
+        ] {
+            c.push(v.map(Value::str)).unwrap();
+        }
+        let s = c.slice(1, 4);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.get(0), Some(Value::str("jacht")));
+        assert_eq!(s.get(1), None);
+        assert_eq!(s.get(2), Some(Value::str("pinas")));
+        // Full dictionary shared (same allocation, not a copy): codes
+        // agree with the parent column.
+        assert_eq!(s.dict(), c.dict());
+        assert!(std::ptr::eq(s.dict(), c.dict()));
+        assert_eq!(s.code(2), c.code(3));
+        // Degenerate slices.
+        assert_eq!(c.slice(2, 2).len(), 0);
+        assert_eq!(c.slice(0, c.len()).len(), c.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn slice_out_of_range_panics() {
+        int_col(&[1, 2]).slice(1, 3);
     }
 
     #[test]

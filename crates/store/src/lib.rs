@@ -13,7 +13,9 @@
 //! engine ([`Table`] + [`ColumnData`] + [`Bitmap`] selection vectors), a
 //! **row-oriented** baseline engine ([`rowstore::RowTable`]) behind the same
 //! [`Backend`] trait (so the paper's "column stores are well suited for
-//! Charles' workloads" claim can be measured), plus CSV import/export,
+//! Charles' workloads" claim can be measured), a **row-range sharded**
+//! engine ([`sharded::ShardedTable`]) that evaluates counts and medians
+//! shard-parallel with bitwise-identical results, plus CSV import/export,
 //! sampling, and order statistics.
 //!
 //! Everything is deliberately index-free: the paper points out that the
@@ -55,6 +57,7 @@ pub mod predicate;
 pub mod rowstore;
 pub mod sample;
 pub mod schema;
+pub mod sharded;
 pub mod stats;
 pub mod table;
 pub mod value;
@@ -70,6 +73,7 @@ pub use predicate::{RangePred, SetPred, StorePredicate};
 pub use rowstore::{Row, RowTable};
 pub use sample::{bernoulli_sample, reservoir_sample};
 pub use schema::{ColumnMeta, Schema};
+pub use sharded::ShardedTable;
 pub use stats::{exact_median, quantile_value, FrequencyTable};
 pub use table::Table;
 pub use value::Value;

@@ -13,7 +13,7 @@ use crate::error::{StoreError, StoreResult};
 use crate::predicate::{RangePred, SetPred, StorePredicate};
 use crate::sample::reservoir_sample;
 use crate::schema::Schema;
-use crate::stats::{exact_median, quantile_value, FrequencyTable};
+use crate::stats::{exact_median, mean_and_var_of, quantile_value, FrequencyTable};
 use crate::table::Table;
 use crate::value::Value;
 use rand::rngs::StdRng;
@@ -31,6 +31,7 @@ pub struct RowTable {
     schema: Schema,
     rows: Vec<Row>,
     scans: AtomicU64,
+    counts: AtomicU64,
     medians: AtomicU64,
 }
 
@@ -41,6 +42,7 @@ impl Clone for RowTable {
             schema: self.schema.clone(),
             rows: self.rows.clone(),
             scans: AtomicU64::new(self.scans.load(AtomicOrdering::Relaxed)),
+            counts: AtomicU64::new(self.counts.load(AtomicOrdering::Relaxed)),
             medians: AtomicU64::new(self.medians.load(AtomicOrdering::Relaxed)),
         }
     }
@@ -73,6 +75,7 @@ impl RowTable {
             schema,
             rows,
             scans: AtomicU64::new(0),
+            counts: AtomicU64::new(0),
             medians: AtomicU64::new(0),
         })
     }
@@ -95,6 +98,7 @@ impl RowTable {
             schema,
             rows,
             scans: AtomicU64::new(0),
+            counts: AtomicU64::new(0),
             medians: AtomicU64::new(0),
         }
     }
@@ -158,7 +162,12 @@ impl RowTable {
         for i in sel.iter_ones() {
             if let Some(v) = &self.rows[i][idx] {
                 if let Some(x) = v.as_f64() {
-                    out.push(x);
+                    // NaN is treated as null (matches the columnar engine's
+                    // gather): `RowTable::new` performs no NaN screening, so
+                    // a poisoned Float row must not yield NaN medians.
+                    if !x.is_nan() {
+                        out.push(x);
+                    }
                 }
             }
         }
@@ -187,6 +196,9 @@ impl Backend for RowTable {
     }
 
     fn count(&self, pred: &StorePredicate) -> StoreResult<usize> {
+        // See `Table::count`: logical counts are tallied in their own
+        // counter on top of the physical scan `eval` records.
+        self.counts.fetch_add(1, AtomicOrdering::Relaxed);
         Ok(self.eval(pred)?.count_ones())
     }
 
@@ -224,7 +236,9 @@ impl Backend for RowTable {
         let mut buf = Vec::with_capacity(rows.len());
         for i in rows {
             if let Some(v) = self.rows[i][idx].as_ref().and_then(Value::as_f64) {
-                buf.push(v);
+                if !v.is_nan() {
+                    buf.push(v);
+                }
             }
         }
         if buf.is_empty() {
@@ -270,13 +284,7 @@ impl Backend for RowTable {
 
     fn mean_and_var(&self, column: &str, sel: &Bitmap) -> StoreResult<Option<(f64, f64)>> {
         let buf = self.gather_f64(column, sel)?;
-        if buf.is_empty() {
-            return Ok(None);
-        }
-        let n = buf.len() as f64;
-        let mean = buf.iter().sum::<f64>() / n;
-        let var = buf.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
-        Ok(Some((mean, var)))
+        Ok(mean_and_var_of(&buf))
     }
 
     fn next_above(&self, column: &str, sel: &Bitmap, v: &Value) -> StoreResult<Option<Value>> {
@@ -352,12 +360,14 @@ impl Backend for RowTable {
     fn stats(&self) -> BackendStats {
         BackendStats {
             scans: self.scans.load(AtomicOrdering::Relaxed),
+            counts: self.counts.load(AtomicOrdering::Relaxed),
             medians: self.medians.load(AtomicOrdering::Relaxed),
         }
     }
 
     fn reset_stats(&self) {
         self.scans.store(0, AtomicOrdering::Relaxed);
+        self.counts.store(0, AtomicOrdering::Relaxed);
         self.medians.store(0, AtomicOrdering::Relaxed);
     }
 }
@@ -458,6 +468,45 @@ mod tests {
         let schema = Schema::from_pairs(&[("x", DataType::Int)]).unwrap();
         assert!(RowTable::new("t", schema.clone(), vec![vec![Some(Value::str("bad"))]]).is_err());
         assert!(RowTable::new("t", schema, vec![vec![]]).is_err());
+    }
+
+    #[test]
+    fn nan_rows_do_not_poison_medians() {
+        // RowTable::new accepts Value::Float(NaN) (only the type is
+        // checked), so NaN really can reach the median paths here.
+        let schema = Schema::from_pairs(&[("x", DataType::Float)]).unwrap();
+        let rows: Vec<Row> = [1.0, f64::NAN, 3.0, f64::NAN, 5.0]
+            .iter()
+            .map(|&v| vec![Some(Value::Float(v))])
+            .collect();
+        let t = RowTable::new("t", schema, rows).unwrap();
+        let all = Bitmap::ones(t.row_count());
+        let med = t.median("x", &all).unwrap().unwrap().as_f64().unwrap();
+        assert_eq!(med, 3.0, "NaN must be skipped like null");
+        let q = t.quantile("x", &all, 1.0).unwrap().unwrap();
+        assert_eq!(q.as_f64().unwrap(), 5.0);
+        let sm = t
+            .sampled_median("x", &all, 8, 11)
+            .unwrap()
+            .unwrap()
+            .as_f64()
+            .unwrap();
+        assert!(!sm.is_nan());
+        let (mean, _) = t.mean_and_var("x", &all).unwrap().unwrap();
+        assert_eq!(mean, 3.0);
+        assert_eq!(t.distinct_count("x", &all).unwrap(), 3);
+    }
+
+    #[test]
+    fn count_counter_attribution() {
+        let col = sample_table();
+        let row = RowTable::from_table(&col);
+        row.reset_stats();
+        let _ = row.count(&StorePredicate::True);
+        let _ = row.eval(&StorePredicate::True);
+        let s = row.stats();
+        assert_eq!(s.counts, 1);
+        assert_eq!(s.scans, 2);
     }
 
     #[test]

@@ -3,13 +3,12 @@
 use crate::backend::{Backend, BackendStats};
 use crate::bitmap::Bitmap;
 use crate::column::{Column, ColumnData};
-use crate::datatype::DataType;
 use crate::error::{StoreError, StoreResult};
 use crate::predicate::{eval_range, eval_set, StorePredicate};
 use crate::sample::reservoir_sample;
 use crate::schema::Schema;
-use crate::stats::{exact_median, quantile_value, FrequencyTable};
-use crate::value::Value;
+use crate::stats::{exact_median, mean_and_var_of, quantile_value, FrequencyTable};
+use crate::value::{numeric_value, Value};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
@@ -24,8 +23,9 @@ pub struct Table {
     schema: Schema,
     columns: Vec<Column>,
     rows: usize,
-    /// Operation counters for the experiments (scans / medians issued).
+    /// Operation counters for the experiments (scans / counts / medians).
     scans: AtomicU64,
+    counts: AtomicU64,
     medians: AtomicU64,
 }
 
@@ -37,6 +37,7 @@ impl Clone for Table {
             columns: self.columns.clone(),
             rows: self.rows,
             scans: AtomicU64::new(self.scans.load(AtomicOrdering::Relaxed)),
+            counts: AtomicU64::new(self.counts.load(AtomicOrdering::Relaxed)),
             medians: AtomicU64::new(self.medians.load(AtomicOrdering::Relaxed)),
         }
     }
@@ -52,6 +53,7 @@ impl Table {
             columns,
             rows,
             scans: AtomicU64::new(0),
+            counts: AtomicU64::new(0),
             medians: AtomicU64::new(0),
         }
     }
@@ -143,6 +145,10 @@ impl Backend for Table {
     }
 
     fn count(&self, pred: &StorePredicate) -> StoreResult<usize> {
+        // Counts get their own counter: delegating to `eval` used to record
+        // the paper's "counts over predicates" workload as plain scans, so
+        // the count metric never showed up in the experiment tables.
+        self.counts.fetch_add(1, AtomicOrdering::Relaxed);
         Ok(self.eval(pred)?.count_ones())
     }
 
@@ -166,7 +172,7 @@ impl Backend for Table {
             return Ok(None);
         }
         let med = exact_median(&mut buf)?;
-        Ok(Some(self.numeric_value(col.data_type(), med)))
+        Ok(Some(numeric_value(col.data_type(), med)))
     }
 
     fn sampled_median(
@@ -190,14 +196,16 @@ impl Backend for Table {
         let mut buf = Vec::with_capacity(rows.len());
         for i in rows {
             if let Some(v) = col.get(i).and_then(|v| v.as_f64()) {
-                buf.push(v);
+                if !v.is_nan() {
+                    buf.push(v);
+                }
             }
         }
         if buf.is_empty() {
             return Ok(None);
         }
         let med = exact_median(&mut buf)?;
-        Ok(Some(self.numeric_value(col.data_type(), med)))
+        Ok(Some(numeric_value(col.data_type(), med)))
     }
 
     fn quantile(&self, column: &str, sel: &Bitmap, q: f64) -> StoreResult<Option<Value>> {
@@ -209,7 +217,7 @@ impl Backend for Table {
             return Ok(None);
         }
         let v = quantile_value(&mut buf, q)?;
-        Ok(Some(self.numeric_value(col.data_type(), v)))
+        Ok(Some(numeric_value(col.data_type(), v)))
     }
 
     fn min_max(&self, column: &str, sel: &Bitmap) -> StoreResult<Option<(Value, Value)>> {
@@ -220,13 +228,7 @@ impl Backend for Table {
         let col = self.column(column)?;
         let mut buf = Vec::new();
         col.gather_f64(sel, &mut buf)?;
-        if buf.is_empty() {
-            return Ok(None);
-        }
-        let n = buf.len() as f64;
-        let mean = buf.iter().sum::<f64>() / n;
-        let var = buf.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
-        Ok(Some((mean, var)))
+        Ok(mean_and_var_of(&buf))
     }
 
     fn next_above(&self, column: &str, sel: &Bitmap, v: &Value) -> StoreResult<Option<Value>> {
@@ -306,29 +308,15 @@ impl Backend for Table {
     fn stats(&self) -> BackendStats {
         BackendStats {
             scans: self.scans.load(AtomicOrdering::Relaxed),
+            counts: self.counts.load(AtomicOrdering::Relaxed),
             medians: self.medians.load(AtomicOrdering::Relaxed),
         }
     }
 
     fn reset_stats(&self) {
         self.scans.store(0, AtomicOrdering::Relaxed);
+        self.counts.store(0, AtomicOrdering::Relaxed);
         self.medians.store(0, AtomicOrdering::Relaxed);
-    }
-}
-
-impl Table {
-    /// Wrap a raw f64 statistic back into the column's value space.
-    /// Medians of integer/date columns are reported as floats when they
-    /// fall between two values (e.g. Figure 1's `tonnage: 1100,1150`
-    /// boundaries come from integral medians).
-    fn numeric_value(&self, ty: DataType, v: f64) -> Value {
-        match ty {
-            DataType::Int | DataType::Date if v.fract() == 0.0 => match ty {
-                DataType::Int => Value::Int(v as i64),
-                _ => Value::Date(v as i64),
-            },
-            _ => Value::Float(v),
-        }
     }
 }
 
@@ -336,6 +324,7 @@ impl Table {
 mod tests {
     use super::*;
     use crate::builder::TableBuilder;
+    use crate::datatype::DataType;
 
     fn boats() -> Table {
         let mut b = TableBuilder::new("boats");
@@ -567,7 +556,15 @@ mod tests {
         let _ = t.count(&StorePredicate::set("kind", vec![Value::str("fluit")]));
         let _ = t.median("tonnage", &t.all_rows());
         let s = t.stats();
+        // The count is tallied as a logical count AND as the physical scan
+        // it performs — previously it was recorded as an eval only.
         assert_eq!(s.scans, 1);
+        assert_eq!(s.counts, 1);
         assert_eq!(s.medians, 1);
+        let _ = t.eval(&StorePredicate::set("kind", vec![Value::str("jacht")]));
+        assert_eq!(t.stats().scans, 2);
+        assert_eq!(t.stats().counts, 1, "plain eval must not tally a count");
+        t.reset_stats();
+        assert_eq!(t.stats(), BackendStats::default());
     }
 }

@@ -34,6 +34,21 @@ pub enum Value {
     Bool(bool),
 }
 
+/// Wrap a raw f64 statistic back into a numeric column's value space.
+/// Medians of integer/date columns are reported as floats when they fall
+/// between two values (e.g. Figure 1's `tonnage: 1100,1150` boundaries
+/// come from integral medians). Every backend funnels its statistics
+/// through this one function so they agree bitwise on the folding.
+pub fn numeric_value(ty: DataType, v: f64) -> Value {
+    match ty {
+        DataType::Int | DataType::Date if v.fract() == 0.0 => match ty {
+            DataType::Int => Value::Int(v as i64),
+            _ => Value::Date(v as i64),
+        },
+        _ => Value::Float(v),
+    }
+}
+
 impl Value {
     /// Build a string value from anything string-like.
     pub fn str(s: impl Into<String>) -> Value {

@@ -47,7 +47,8 @@ pub use charles_sdl::{
     parse_query, parse_segmentation, Constraint, Predicate, Query, Segmentation,
 };
 pub use charles_store::{
-    read_csv_str, write_csv_string, Backend, DataType, RowTable, Schema, Table, TableBuilder, Value,
+    read_csv_str, write_csv_string, Backend, DataType, RowTable, Schema, ShardedTable, Table,
+    TableBuilder, Value,
 };
 
 #[cfg(test)]

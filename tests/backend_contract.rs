@@ -1,11 +1,17 @@
 //! The `Backend` trait is the portability seam ("Charles is developed as
-//! a front-end for SQL systems"). This suite proves two things:
+//! a front-end for SQL systems"). This suite proves three things:
 //!
 //! 1. the trait is implementable by third parties — a wrapper backend
 //!    built *outside* the store crate drives the full advisor;
 //! 2. failures propagate as `Err`, never as panics — a fault-injecting
 //!    backend fails each operation class in turn and the advisor must
-//!    surface every failure gracefully.
+//!    surface every failure gracefully;
+//! 3. every shipped backend honours the same contract — the
+//!    [`contract_harness`] module runs each Backend obligation over
+//!    `Table`, `RowTable` and `ShardedTable` (shard counts {1, 3, 7},
+//!    plus an optional `CHARLES_SHARDS` env-driven count for CI smoke
+//!    runs), with shard boundaries deliberately unaligned to 64-bit
+//!    bitmap words.
 
 use charles::advisor::Explorer;
 use charles::{voc_table, Advisor, Config};
@@ -173,6 +179,255 @@ fn explorer_construction_fails_cleanly_on_dead_backend() {
     let ctx = charles::parse_query(CONTEXT, Backend::schema(&dead)).unwrap();
     let err = Explorer::new(&dead, Config::default(), ctx);
     assert!(err.is_err());
+}
+
+/// Parameterized contract harness: every Backend obligation, every
+/// shipped backend.
+mod contract_harness {
+    use charles::{voc_table, Advisor, ShardedTable, Table};
+    use charles_store::{Backend, Bitmap, RowTable, StorePredicate, Value};
+
+    /// Odd row count so that the even row-range split puts shard
+    /// boundaries off 64-bit word alignment (1543/3 → 514, 1028;
+    /// 1543/7 → 220, 440, …; none are multiples of 64).
+    const ROWS: usize = 1_543;
+
+    /// Shard counts under test: the fixed {1, 3, 7} matrix by default. A
+    /// `CHARLES_SHARDS=n` env var *replaces* the matrix with that single
+    /// count — the CI smoke run uses it (together with
+    /// `CHARLES_NUM_THREADS` to force workers on single-core runners) to
+    /// drive one genuinely shard-parallel pass without re-running the
+    /// whole matrix.
+    fn shard_counts() -> Vec<usize> {
+        if let Some(n) = std::env::var("CHARLES_SHARDS")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+        {
+            return vec![n];
+        }
+        vec![1, 3, 7]
+    }
+
+    fn fixture() -> Table {
+        voc_table(ROWS, 2026)
+    }
+
+    /// All backends under test, with the reference `Table` first.
+    fn backends(t: &Table) -> Vec<(String, Box<dyn Backend>)> {
+        let mut out: Vec<(String, Box<dyn Backend>)> = vec![
+            ("table".into(), Box::new(t.clone())),
+            ("rowstore".into(), Box::new(RowTable::from_table(t))),
+        ];
+        for n in shard_counts() {
+            out.push((
+                format!("sharded-{n}"),
+                Box::new(ShardedTable::from_table(t, n)),
+            ));
+        }
+        out
+    }
+
+    /// Predicates exercising every shape: trivial, range, set,
+    /// conjunction, and an empty-result conjunction.
+    fn preds() -> Vec<StorePredicate> {
+        vec![
+            StorePredicate::True,
+            StorePredicate::range("tonnage", Value::Int(300), Value::Int(900), true),
+            StorePredicate::range("tonnage", Value::Int(300), Value::Int(900), false),
+            StorePredicate::set(
+                "type_of_boat",
+                vec![Value::str("fluit"), Value::str("jacht")],
+            ),
+            StorePredicate::and(vec![
+                StorePredicate::range("tonnage", Value::Int(200), Value::Int(1100), true),
+                StorePredicate::set("type_of_boat", vec![Value::str("fluit")]),
+            ]),
+            StorePredicate::and(vec![
+                StorePredicate::range("tonnage", Value::Int(0), Value::Int(1), true),
+                StorePredicate::range("tonnage", Value::Int(100_000), Value::Int(200_000), true),
+            ]),
+        ]
+    }
+
+    #[test]
+    fn fixture_shard_boundaries_are_word_unaligned() {
+        let t = fixture();
+        for n in [3usize, 7] {
+            let s = ShardedTable::from_table(&t, n);
+            let unaligned = (1..s.shard_count())
+                .map(|k| s.shard_bounds(k).0)
+                .filter(|start| start % 64 != 0)
+                .count();
+            assert!(unaligned > 0, "fixture must cross word boundaries (n={n})");
+        }
+    }
+
+    #[test]
+    fn obligation_eval_count_not_null_agree() {
+        let t = fixture();
+        for (name, b) in backends(&t) {
+            assert_eq!(b.row_count(), t.len(), "{name}");
+            assert_eq!(b.schema().names(), Backend::schema(&t).names(), "{name}");
+            for pred in preds() {
+                let reference = t.eval(&pred).unwrap();
+                assert_eq!(b.eval(&pred).unwrap(), reference, "{name}: eval {pred:?}");
+                assert_eq!(
+                    b.count(&pred).unwrap(),
+                    reference.count_ones(),
+                    "{name}: count {pred:?}"
+                );
+                // Determinism: evaluating twice yields the same bitmap.
+                assert_eq!(b.eval(&pred).unwrap(), reference, "{name}: eval redo");
+            }
+            for col in ["tonnage", "type_of_boat", "built"] {
+                assert_eq!(
+                    b.not_null(col).unwrap(),
+                    t.not_null(col).unwrap(),
+                    "{name}: not_null {col}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn obligation_medians_and_quantiles_agree() {
+        let t = fixture();
+        let sels: Vec<Bitmap> = preds().iter().map(|p| t.eval(p).unwrap()).collect();
+        for (name, b) in backends(&t) {
+            for (i, sel) in sels.iter().enumerate() {
+                let want = t.median("tonnage", sel).unwrap();
+                let got = b.median("tonnage", sel).unwrap();
+                // The row store reports all statistics as floats; the
+                // numeric view must agree exactly for every backend …
+                assert_eq!(
+                    got.as_ref().and_then(Value::as_f64),
+                    want.as_ref().and_then(Value::as_f64),
+                    "{name}: median over pred {i}"
+                );
+                // … and the sharded backend must fold back into the
+                // column's value space bit-for-bit like the table.
+                if name.starts_with("sharded") {
+                    assert_eq!(got, want, "{name}: median value space, pred {i}");
+                }
+                for q in [0.0, 0.25, 0.5, 0.9, 1.0] {
+                    let want = t.quantile("tonnage", sel, q).unwrap();
+                    let got = b.quantile("tonnage", sel, q).unwrap();
+                    assert_eq!(
+                        got.as_ref().and_then(Value::as_f64),
+                        want.as_ref().and_then(Value::as_f64),
+                        "{name}: q={q} pred {i}"
+                    );
+                    if name.starts_with("sharded") {
+                        assert_eq!(got, want, "{name}: quantile value space q={q}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn obligation_sampled_median_deterministic_and_sane() {
+        let t = fixture();
+        let sel = t.all_rows();
+        let (lo, hi) = t.min_max("tonnage", &sel).unwrap().unwrap();
+        let (lo, hi) = (lo.as_f64().unwrap(), hi.as_f64().unwrap());
+        for (name, b) in backends(&t) {
+            for seed in [0u64, 7, 42] {
+                let a = b.sampled_median("tonnage", &sel, 101, seed).unwrap();
+                let again = b.sampled_median("tonnage", &sel, 101, seed).unwrap();
+                assert_eq!(a, again, "{name}: fixed seed {seed} must be deterministic");
+                let v = a.unwrap().as_f64().unwrap();
+                assert!(
+                    (lo..=hi).contains(&v),
+                    "{name}: sampled median {v} outside [{lo}, {hi}]"
+                );
+            }
+            // Sample ≥ population degenerates to the exact median.
+            assert_eq!(
+                b.sampled_median("tonnage", &sel, ROWS * 2, 3)
+                    .unwrap()
+                    .and_then(|v| v.as_f64()),
+                t.median("tonnage", &sel).unwrap().and_then(|v| v.as_f64()),
+                "{name}: full sample = exact median"
+            );
+        }
+    }
+
+    #[test]
+    fn obligation_aggregates_agree() {
+        let t = fixture();
+        let sel = t
+            .eval(&StorePredicate::range(
+                "tonnage",
+                Value::Int(200),
+                Value::Int(1100),
+                true,
+            ))
+            .unwrap();
+        for (name, b) in backends(&t) {
+            let (wm, wv) = t.mean_and_var("tonnage", &sel).unwrap().unwrap();
+            let (gm, gv) = b.mean_and_var("tonnage", &sel).unwrap().unwrap();
+            assert!((wm - gm).abs() < 1e-9 && (wv - gv).abs() < 1e-6, "{name}");
+            if name.starts_with("sharded") {
+                assert_eq!((gm.to_bits(), gv.to_bits()), (wm.to_bits(), wv.to_bits()));
+            }
+            assert_eq!(
+                b.min_max("tonnage", &sel).unwrap(),
+                t.min_max("tonnage", &sel).unwrap(),
+                "{name}: min_max"
+            );
+            assert_eq!(
+                b.next_above("tonnage", &sel, &Value::Int(400)).unwrap(),
+                t.next_above("tonnage", &sel, &Value::Int(400)).unwrap(),
+                "{name}: next_above"
+            );
+            assert_eq!(
+                b.distinct_count("tonnage", &sel).unwrap(),
+                t.distinct_count("tonnage", &sel).unwrap(),
+                "{name}: distinct"
+            );
+            // Frequencies compare as string→count maps: the row store
+            // builds its dictionary in selection order, so codes differ.
+            let (wf, wd) = t.frequencies("type_of_boat", &sel).unwrap();
+            let (gf, gd) = b.frequencies("type_of_boat", &sel).unwrap();
+            let to_map = |ft: &charles_store::FrequencyTable, dict: &[String]| {
+                let mut m: Vec<(String, usize)> = ft
+                    .entries()
+                    .iter()
+                    .map(|&(code, n)| (dict[code as usize].clone(), n))
+                    .collect();
+                m.sort();
+                m
+            };
+            assert_eq!(to_map(&gf, &gd), to_map(&wf, &wd), "{name}: frequencies");
+        }
+    }
+
+    #[test]
+    fn advisor_output_bitwise_identical_table_vs_sharded() {
+        let t = fixture();
+        let context = "(type_of_boat: , tonnage: , departure_harbour: )";
+        let reference: Vec<(String, u64)> = Advisor::new(&t)
+            .advise_str(context)
+            .unwrap()
+            .ranked
+            .iter()
+            .map(|r| (r.segmentation.to_string(), r.score.entropy.to_bits()))
+            .collect();
+        assert!(!reference.is_empty());
+        for n in shard_counts() {
+            let sharded = ShardedTable::from_table(&t, n);
+            let got: Vec<(String, u64)> = Advisor::new(&sharded)
+                .advise_str(context)
+                .unwrap()
+                .ranked
+                .iter()
+                .map(|r| (r.segmentation.to_string(), r.score.entropy.to_bits()))
+                .collect();
+            assert_eq!(got, reference, "advisor output diverged at {n} shards");
+        }
+    }
 }
 
 #[test]
