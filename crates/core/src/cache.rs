@@ -1,0 +1,254 @@
+//! Cross-session advice cache.
+//!
+//! The serving layer's contexts are cache keys shared across users: N
+//! concurrent sessions drilling into the same region of the data should
+//! pay for **one** HB-cuts run. [`AdviceCache`] provides that sharing as
+//! a sharded map in front of [`Advisor::advise`], keyed by the
+//! *canonical* context ([`charles_sdl::Query::cache_key`]) so contexts
+//! that differ only in conjunct order, set-literal order or surface
+//! whitespace hit the same entry.
+//!
+//! Two properties matter for serving:
+//!
+//! * **Single-flight** — concurrent requests for the same key block on
+//!   one advisor run instead of racing N identical computations (each
+//!   entry is a [`OnceLock`]; the map shard lock is only held for the
+//!   entry lookup, never across the advisor run).
+//! * **Determinism** — the cache advises on the canonicalized query, so
+//!   a cached answer is byte-identical to what a direct
+//!   `advisor.advise(context.canonicalized())` call would produce;
+//!   sharing never changes payloads, only who computes them.
+//!
+//! Errors are cached too: the advisor is a deterministic function of
+//! (backend, config, context), so a failed context keeps failing and
+//! re-running it would only burn backend operations.
+
+use crate::advisor::{Advice, Advisor};
+use crate::error::{CoreError, CoreResult};
+use charles_sdl::Query;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// One cache slot: settled exactly once, then shared by reference.
+type Slot = Arc<OnceLock<Result<Arc<Advice>, CoreError>>>;
+
+/// Counters describing cache effectiveness. `runs` is exact even under
+/// contention (it is incremented inside the single-flight initializer),
+/// which is what lets tests assert "identical contexts across sessions
+/// produce exactly one advisor run".
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdviceCacheStats {
+    /// Lookups that found a settled entry.
+    pub hits: u64,
+    /// Lookups that found no settled entry (the caller either ran the
+    /// advisor or blocked on the concurrent run that did — so
+    /// `misses ≥ runs`, with equality when there was no contention).
+    pub misses: u64,
+    /// Advisor executions actually performed.
+    pub runs: u64,
+}
+
+/// A sharded, single-flight cache of advice keyed by canonical context.
+pub struct AdviceCache {
+    shards: Vec<Mutex<HashMap<String, Slot>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    runs: AtomicU64,
+}
+
+impl AdviceCache {
+    /// Cache with the default shard count (16).
+    pub fn new() -> AdviceCache {
+        AdviceCache::with_shards(16)
+    }
+
+    /// Cache with an explicit shard count (clamped to ≥ 1). More shards
+    /// mean less lock contention on the entry lookup; the advisor runs
+    /// themselves never hold a shard lock.
+    pub fn with_shards(shards: usize) -> AdviceCache {
+        let n = shards.max(1);
+        AdviceCache {
+            shards: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            runs: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of settled or in-flight entries.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("advice cache shard poisoned").len())
+            .sum()
+    }
+
+    /// True when no context has been advised through the cache yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Effectiveness counters so far.
+    pub fn stats(&self) -> AdviceCacheStats {
+        AdviceCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            runs: self.runs.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Advise on `context` through the cache: canonicalize, look up, and
+    /// either reuse the settled answer or run `advisor` exactly once for
+    /// this key (concurrent callers of the same key block on that run).
+    ///
+    /// The caller owns the pairing of cache and advisor: one cache must
+    /// only ever be used with advisors over the same backend and config,
+    /// otherwise keys would conflate answers from different sources.
+    pub fn advise_cached(&self, advisor: &Advisor<'_>, context: Query) -> CoreResult<Arc<Advice>> {
+        let canonical = context.canonicalized();
+        let key = canonical.to_string();
+        let slot: Slot = {
+            let mut shard = self.shards[self.shard_index(&key)]
+                .lock()
+                .expect("advice cache shard poisoned");
+            shard.entry(key).or_default().clone()
+        };
+        if slot.get().is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        slot.get_or_init(|| {
+            self.runs.fetch_add(1, Ordering::Relaxed);
+            advisor.advise(canonical.clone()).map(Arc::new)
+        })
+        .clone()
+    }
+
+    fn shard_index(&self, key: &str) -> usize {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        (h.finish() % self.shards.len() as u64) as usize
+    }
+}
+
+impl Default for AdviceCache {
+    fn default() -> AdviceCache {
+        AdviceCache::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use charles_sdl::parse_query;
+    use charles_store::{Backend, DataType, TableBuilder, Value};
+
+    fn table() -> charles_store::Table {
+        let mut b = TableBuilder::new("t");
+        b.add_column("kind", DataType::Str)
+            .add_column("size", DataType::Int);
+        for i in 0..64i64 {
+            let kind = if i % 2 == 0 { "even" } else { "odd" };
+            b.push_row(vec![Value::str(kind), Value::Int(i)]).unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn equivalent_contexts_share_one_run() {
+        let t = table();
+        let advisor = Advisor::new(&t);
+        let cache = AdviceCache::with_shards(4);
+        let schema = Backend::schema(&t);
+        let q1 = parse_query("(kind: , size: )", schema).unwrap();
+        let q2 = parse_query("(size: ,   kind: )", schema).unwrap();
+        let a1 = cache.advise_cached(&advisor, q1).unwrap();
+        let a2 = cache.advise_cached(&advisor, q2).unwrap();
+        // Same Arc: the second call reused the settled entry.
+        assert!(Arc::ptr_eq(&a1, &a2));
+        let stats = cache.stats();
+        assert_eq!(stats.runs, 1);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn cached_equals_direct_advise_on_canonical_context() {
+        let t = table();
+        let advisor = Advisor::new(&t);
+        let cache = AdviceCache::new();
+        let schema = Backend::schema(&t);
+        let q = parse_query("(size: , kind: )", schema).unwrap();
+        let cached = cache.advise_cached(&advisor, q.clone()).unwrap();
+        let direct = advisor.advise(q.canonicalized()).unwrap();
+        assert_eq!(cached.context, direct.context);
+        assert_eq!(cached.context_size, direct.context_size);
+        assert_eq!(cached.ranked.len(), direct.ranked.len());
+        for (c, d) in cached.ranked.iter().zip(&direct.ranked) {
+            assert_eq!(c.segmentation, d.segmentation);
+            assert_eq!(c.score, d.score);
+        }
+    }
+
+    #[test]
+    fn distinct_contexts_get_distinct_entries() {
+        let t = table();
+        let advisor = Advisor::new(&t);
+        let cache = AdviceCache::with_shards(3);
+        let schema = Backend::schema(&t);
+        let q1 = parse_query("(kind: , size: )", schema).unwrap();
+        let q2 = parse_query("(kind: {even}, size: )", schema).unwrap();
+        cache.advise_cached(&advisor, q1).unwrap();
+        cache.advise_cached(&advisor, q2).unwrap();
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().runs, 2);
+    }
+
+    #[test]
+    fn errors_are_cached_and_cloned_out() {
+        let t = table();
+        let advisor = Advisor::new(&t);
+        let cache = AdviceCache::new();
+        // Selects nothing: EmptyContext, deterministically.
+        let q = parse_query("(kind: {neither}, size: )", Backend::schema(&t)).unwrap();
+        let e1 = cache.advise_cached(&advisor, q.clone()).unwrap_err();
+        let e2 = cache.advise_cached(&advisor, q).unwrap_err();
+        assert_eq!(e1, e2);
+        assert_eq!(cache.stats().runs, 1, "the failing run must not repeat");
+    }
+
+    #[test]
+    fn concurrent_identical_contexts_run_once() {
+        let t = table();
+        let cache = Arc::new(AdviceCache::with_shards(7));
+        let threads = 8;
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let cache = Arc::clone(&cache);
+                let t = &t;
+                scope.spawn(move || {
+                    let advisor = Advisor::new(t);
+                    let q = parse_query("(kind: , size: )", Backend::schema(t)).unwrap();
+                    cache.advise_cached(&advisor, q).unwrap()
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(
+            stats.runs, 1,
+            "single-flight: one run for {threads} callers"
+        );
+        assert_eq!(stats.hits + stats.misses, threads);
+        assert_eq!(cache.len(), 1);
+    }
+}

@@ -17,6 +17,19 @@ pub enum CoreError {
     NoCuttableAttribute,
     /// Invalid configuration (e.g. `max_depth < 2`).
     BadConfig(String),
+    /// A session operation was attempted before `start` succeeded.
+    SessionNotStarted,
+    /// A drill referenced an answer/segment pair the current advice does
+    /// not contain. Stable and inspectable so front-ends (e.g. the HTTP
+    /// server) can translate it to a client error rather than a crash.
+    NoSuchSegment {
+        /// The ranked-answer index that was requested.
+        rank_idx: usize,
+        /// The segment index within that answer.
+        seg_idx: usize,
+    },
+    /// `back` was called at the root of the breadcrumb trail.
+    AtRoot,
 }
 
 impl fmt::Display for CoreError {
@@ -29,6 +42,12 @@ impl fmt::Display for CoreError {
                 write!(f, "no attribute of the context can be cut (all constant?)")
             }
             CoreError::BadConfig(msg) => write!(f, "bad configuration: {msg}"),
+            CoreError::SessionNotStarted => write!(f, "session not started"),
+            CoreError::NoSuchSegment { rank_idx, seg_idx } => write!(
+                f,
+                "no segment ({rank_idx}, {seg_idx}) in the current advice"
+            ),
+            CoreError::AtRoot => write!(f, "already at the root of the session"),
         }
     }
 }
@@ -81,5 +100,13 @@ mod tests {
         assert!(CoreError::EmptyContext.to_string().contains("no rows"));
         assert!(CoreError::NoCuttableAttribute.to_string().contains("cut"));
         assert!(CoreError::BadConfig("x".into()).to_string().contains('x'));
+        assert!(CoreError::SessionNotStarted.to_string().contains("started"));
+        assert!(CoreError::NoSuchSegment {
+            rank_idx: 3,
+            seg_idx: 1
+        }
+        .to_string()
+        .contains("(3, 1)"));
+        assert!(CoreError::AtRoot.to_string().contains("root"));
     }
 }

@@ -46,6 +46,7 @@
 pub mod adaptive;
 pub mod advisor;
 pub mod baselines;
+pub mod cache;
 pub mod config;
 pub mod engine;
 pub mod error;
@@ -63,6 +64,7 @@ pub mod surprise;
 
 pub use adaptive::{adaptive_segmentations, AdaptiveOptions};
 pub use advisor::{Advice, Advisor};
+pub use cache::{AdviceCache, AdviceCacheStats};
 pub use config::{Config, MedianStrategy};
 pub use engine::{fingerprint, CacheStats, Explorer};
 pub use error::{CoreError, CoreResult};
@@ -74,5 +76,5 @@ pub use metrics::{breadth, entropy, entropy_from_covers, score, simplicity, Scor
 pub use primitives::{compose, cut_query, cut_segmentation, product, product_all_cells};
 pub use quantile::{quantile_cut_query, quantile_cut_segmentation};
 pub use ranking::{rank, rank_weighted, Ranked, Weights};
-pub use session::Session;
+pub use session::{OwnedSession, Session};
 pub use surprise::{rank_by_surprise, surprise, Surprise};

@@ -7,10 +7,12 @@
 //! breadcrumb trail of contexts so the user can drill in and back out.
 
 use crate::advisor::{Advice, Advisor};
+use crate::cache::AdviceCache;
 use crate::config::Config;
 use crate::error::{CoreError, CoreResult};
 use charles_sdl::{parse_query, Query};
 use charles_store::Backend;
+use std::sync::Arc;
 
 /// An interactive exploration session over one backend.
 pub struct Session<'a> {
@@ -80,16 +82,10 @@ impl<'a> Session<'a> {
     /// list for it (the breadcrumb is still pushed, so
     /// [`Session::back`] works as usual).
     pub fn drill(&mut self, rank_idx: usize, seg_idx: usize) -> CoreResult<&Advice> {
-        let current = self
-            .current()
-            .ok_or_else(|| CoreError::BadConfig("session not started".into()))?;
+        let current = self.current().ok_or(CoreError::SessionNotStarted)?;
         let target = current
             .segment(rank_idx, seg_idx)
-            .ok_or_else(|| {
-                CoreError::BadConfig(format!(
-                    "no segment ({rank_idx}, {seg_idx}) in current advice"
-                ))
-            })?
+            .ok_or(CoreError::NoSuchSegment { rank_idx, seg_idx })?
             .clone();
         let advice = self.advisor.advise(target.clone())?;
         self.history.push(target);
@@ -98,14 +94,25 @@ impl<'a> Session<'a> {
     }
 
     /// Go back one level. Returns the advice of the restored context, or
-    /// `None` when already at the root.
+    /// `None` when already at the root (see [`Session::try_back`] for the
+    /// error-reporting variant).
     pub fn back(&mut self) -> Option<&Advice> {
-        if self.history.len() <= 1 {
-            return None;
+        self.try_back().ok()
+    }
+
+    /// Go back one level, with a stable error instead of a silent no-op:
+    /// [`CoreError::SessionNotStarted`] before `start`,
+    /// [`CoreError::AtRoot`] when the trail has nowhere to unwind.
+    pub fn try_back(&mut self) -> CoreResult<&Advice> {
+        match self.history.len() {
+            0 => Err(CoreError::SessionNotStarted),
+            1 => Err(CoreError::AtRoot),
+            _ => {
+                self.history.pop();
+                self.advice.pop();
+                Ok(self.current().expect("history was ≥ 2 deep"))
+            }
         }
-        self.history.pop();
-        self.advice.pop();
-        self.current()
     }
 
     /// The full breadcrumb trail, oldest first.
@@ -116,6 +123,152 @@ impl<'a> Session<'a> {
     /// The backend being explored.
     pub fn backend(&self) -> &'a dyn Backend {
         self.advisor.backend()
+    }
+}
+
+/// An exploration session that **owns** its backend (via `Arc`) — the
+/// form a server needs, where sessions are long-lived state detached
+/// from any caller's stack frame.
+///
+/// Differences from the borrowed [`Session`]:
+///
+/// * the backend is shared (`Arc<dyn Backend>`), so many sessions can
+///   explore one dataset concurrently;
+/// * every advised context is **canonicalized** first
+///   ([`Query::canonicalized`]) — the session's identity for a context
+///   is its canonical form, which is what makes advice shareable across
+///   sessions;
+/// * an optional [`AdviceCache`] can be attached, making equivalent
+///   contexts across sessions cost exactly one advisor run;
+/// * advice is held as `Arc<Advice>` so cached answers are shared, not
+///   copied, per session.
+///
+/// With or without a cache the advice returned for a context is
+/// byte-identical to `Advisor::advise(context.canonicalized())` on the
+/// same backend and config.
+pub struct OwnedSession {
+    backend: Arc<dyn Backend>,
+    config: Config,
+    cache: Option<Arc<AdviceCache>>,
+    /// Breadcrumbs of canonical contexts; aligned with `advice`.
+    history: Vec<Query>,
+    advice: Vec<Arc<Advice>>,
+}
+
+impl OwnedSession {
+    /// Open a session with the paper-default configuration.
+    pub fn new(backend: Arc<dyn Backend>) -> OwnedSession {
+        OwnedSession::with_config(backend, Config::default())
+    }
+
+    /// Open a session with an explicit configuration.
+    pub fn with_config(backend: Arc<dyn Backend>, config: Config) -> OwnedSession {
+        OwnedSession {
+            backend,
+            config,
+            cache: None,
+            history: Vec::new(),
+            advice: Vec::new(),
+        }
+    }
+
+    /// Attach a shared advice cache: contexts advised by this session
+    /// become reusable by every other session holding the same cache.
+    /// The cache must only be shared between sessions over the same
+    /// backend and config.
+    pub fn with_cache(mut self, cache: Arc<AdviceCache>) -> OwnedSession {
+        self.cache = Some(cache);
+        self
+    }
+
+    fn advise(&self, context: Query) -> CoreResult<Arc<Advice>> {
+        let advisor = Advisor::with_config(self.backend.as_ref(), self.config.clone());
+        match &self.cache {
+            Some(cache) => cache.advise_cached(&advisor, context),
+            None => advisor.advise(context.canonicalized()).map(Arc::new),
+        }
+    }
+
+    /// Enter the initial context (SDL text) and get the first advice.
+    pub fn start(&mut self, sdl: &str) -> CoreResult<&Arc<Advice>> {
+        let q = parse_query(sdl, self.backend.schema())?;
+        self.start_query(q)
+    }
+
+    /// Enter the initial context (parsed query). Resets any existing
+    /// breadcrumb trail.
+    pub fn start_query(&mut self, context: Query) -> CoreResult<&Arc<Advice>> {
+        let advice = self.advise(context)?;
+        self.history.clear();
+        self.advice.clear();
+        // The breadcrumb is the context actually advised on (canonical).
+        self.history.push(advice.context.clone());
+        self.advice.push(advice);
+        Ok(self.current().expect("just pushed"))
+    }
+
+    /// Drill into segment `seg_idx` of ranked answer `rank_idx`. Stable
+    /// errors: [`CoreError::SessionNotStarted`] before `start`,
+    /// [`CoreError::NoSuchSegment`] for an out-of-range pair — the
+    /// session state is unchanged on error.
+    pub fn drill(&mut self, rank_idx: usize, seg_idx: usize) -> CoreResult<&Arc<Advice>> {
+        let current = self.current().ok_or(CoreError::SessionNotStarted)?;
+        let target = current
+            .segment(rank_idx, seg_idx)
+            .ok_or(CoreError::NoSuchSegment { rank_idx, seg_idx })?
+            .clone();
+        let advice = self.advise(target)?;
+        self.history.push(advice.context.clone());
+        self.advice.push(advice);
+        Ok(self.current().expect("just pushed"))
+    }
+
+    /// Go back one level with a stable error: see [`Session::try_back`].
+    pub fn try_back(&mut self) -> CoreResult<&Arc<Advice>> {
+        match self.history.len() {
+            0 => Err(CoreError::SessionNotStarted),
+            1 => Err(CoreError::AtRoot),
+            _ => {
+                self.history.pop();
+                self.advice.pop();
+                Ok(self.current().expect("history was ≥ 2 deep"))
+            }
+        }
+    }
+
+    /// Go back one level; `None` at the root (compat wrapper).
+    pub fn back(&mut self) -> Option<&Arc<Advice>> {
+        self.try_back().ok()
+    }
+
+    /// The advice for the current context.
+    pub fn current(&self) -> Option<&Arc<Advice>> {
+        self.advice.last()
+    }
+
+    /// The current (canonical) context query.
+    pub fn context(&self) -> Option<&Query> {
+        self.history.last()
+    }
+
+    /// Depth of the breadcrumb trail (1 = initial context).
+    pub fn depth(&self) -> usize {
+        self.history.len()
+    }
+
+    /// The full breadcrumb trail of canonical contexts, oldest first.
+    pub fn breadcrumbs(&self) -> &[Query] {
+        &self.history
+    }
+
+    /// The shared backend being explored.
+    pub fn backend(&self) -> &Arc<dyn Backend> {
+        &self.backend
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &Config {
+        &self.config
     }
 }
 
@@ -191,7 +344,21 @@ mod tests {
         let t = table();
         let mut s = Session::new(&t);
         s.start("(kind: , size: )").unwrap();
-        assert!(s.drill(99, 0).is_err());
+        // The error is stable and carries the offending indices.
+        assert_eq!(
+            s.drill(99, 0).unwrap_err(),
+            CoreError::NoSuchSegment {
+                rank_idx: 99,
+                seg_idx: 0
+            }
+        );
+        assert_eq!(
+            s.drill(0, 42).unwrap_err(),
+            CoreError::NoSuchSegment {
+                rank_idx: 0,
+                seg_idx: 42
+            }
+        );
         // Session state unchanged after a failed drill.
         assert_eq!(s.depth(), 1);
     }
@@ -200,9 +367,24 @@ mod tests {
     fn drill_before_start_errors() {
         let t = table();
         let mut s = Session::new(&t);
-        assert!(s.drill(0, 0).is_err());
+        assert_eq!(s.drill(0, 0).unwrap_err(), CoreError::SessionNotStarted);
         assert!(s.current().is_none());
         assert!(s.context().is_none());
+    }
+
+    #[test]
+    fn try_back_has_stable_errors() {
+        let t = table();
+        let mut s = Session::new(&t);
+        // Empty history: not started.
+        assert_eq!(s.try_back().unwrap_err(), CoreError::SessionNotStarted);
+        s.start("(kind: , size: )").unwrap();
+        // At the root: AtRoot, and the state is untouched.
+        assert_eq!(s.try_back().unwrap_err(), CoreError::AtRoot);
+        assert_eq!(s.depth(), 1);
+        s.drill(0, 0).unwrap();
+        assert_eq!(s.try_back().unwrap().context_size, 64);
+        assert_eq!(s.try_back().unwrap_err(), CoreError::AtRoot);
     }
 
     #[test]
@@ -213,5 +395,54 @@ mod tests {
         s.drill(0, 0).unwrap();
         s.start("(size: )").unwrap();
         assert_eq!(s.depth(), 1);
+    }
+
+    #[test]
+    fn owned_session_start_drill_back_loop() {
+        let backend: Arc<dyn Backend> = Arc::new(table());
+        let mut s = OwnedSession::new(backend);
+        let first = s.start("(size: , kind: )").unwrap();
+        assert_eq!(first.context_size, 64);
+        // Contexts are canonicalized: attribute order is sorted.
+        assert_eq!(s.context().unwrap().to_string(), "(kind: , size: )");
+        let drilled = s.drill(0, 0).unwrap();
+        assert!(drilled.context_size < 64);
+        assert_eq!(s.depth(), 2);
+        assert_eq!(s.breadcrumbs().len(), 2);
+        assert_eq!(s.try_back().unwrap().context_size, 64);
+        assert_eq!(s.try_back().unwrap_err(), CoreError::AtRoot);
+        assert!(s.drill(9, 9).unwrap_err().to_string().contains("(9, 9)"));
+    }
+
+    #[test]
+    fn owned_session_matches_direct_advisor_bytes() {
+        let t = table();
+        let backend: Arc<dyn Backend> = Arc::new(table());
+        let mut s = OwnedSession::new(backend);
+        let served = s.start("(size: , kind: )").unwrap().clone();
+        let direct = Advisor::new(&t).advise_str("(kind: , size: )").unwrap();
+        assert_eq!(
+            format!("{:?}", served.ranked),
+            format!("{:?}", direct.ranked)
+        );
+        assert_eq!(format!("{:?}", served.trace), format!("{:?}", direct.trace));
+    }
+
+    #[test]
+    fn owned_sessions_share_advice_through_the_cache() {
+        let backend: Arc<dyn Backend> = Arc::new(table());
+        let cache = Arc::new(crate::cache::AdviceCache::with_shards(4));
+        let mut s1 = OwnedSession::new(Arc::clone(&backend)).with_cache(Arc::clone(&cache));
+        let mut s2 = OwnedSession::new(Arc::clone(&backend)).with_cache(Arc::clone(&cache));
+        let a1 = s1.start("(kind: , size: )").unwrap().clone();
+        // Equivalent but permuted context: must reuse the same entry.
+        let a2 = s2.start("(size: , kind: )").unwrap().clone();
+        assert!(Arc::ptr_eq(&a1, &a2));
+        assert_eq!(cache.stats().runs, 1);
+        // Drilling the same segment from both sessions shares too.
+        let d1 = s1.drill(0, 0).unwrap().clone();
+        let d2 = s2.drill(0, 0).unwrap().clone();
+        assert!(Arc::ptr_eq(&d1, &d2));
+        assert_eq!(cache.stats().runs, 2);
     }
 }

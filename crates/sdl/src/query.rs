@@ -107,6 +107,37 @@ impl Query {
         Some(out)
     }
 
+    /// Canonical form of the query: conjuncts sorted by attribute name,
+    /// set-constraint literals sorted by value order. Two queries that
+    /// differ only in conjunct order, set-literal order or surface
+    /// whitespace parse/canonicalize to the same `Query` — the identity
+    /// the cross-session advice cache keys on (see [`Query::cache_key`]).
+    ///
+    /// Canonicalization never changes which rows a query selects: the
+    /// conjunction is order-insensitive and set constraints are
+    /// membership tests. It *does* fix a rendering (and hence an advisor
+    /// attribute order), which is what makes cached advice reproducible.
+    pub fn canonicalized(&self) -> Query {
+        let mut predicates = self.predicates.clone();
+        for p in &mut predicates {
+            if let Constraint::Set(vals) = &mut p.constraint {
+                // Values within one set are comparable by construction;
+                // Equal fallback keeps the sort total regardless.
+                vals.sort_by(|a, b| a.try_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            }
+        }
+        predicates.sort_by(|a, b| a.attr.cmp(&b.attr));
+        Query { predicates }
+    }
+
+    /// Cache key: the rendered canonical form. Equal keys imply equal
+    /// selection semantics (the canonical forms are structurally equal),
+    /// and semantically distinct queries get distinct keys unless their
+    /// constraints are extensionally equal per attribute.
+    pub fn cache_key(&self) -> String {
+        self.canonicalized().to_string()
+    }
+
     /// Whether a full tuple (attribute, value) assignment satisfies the
     /// query. Used by tests and the row-level fallback paths; bulk
     /// evaluation goes through [`crate::eval`].
@@ -218,6 +249,67 @@ mod tests {
             )
             .unwrap();
         assert!(q1.conjoin(&q2).is_none());
+    }
+
+    #[test]
+    fn canonicalized_sorts_conjuncts_and_set_literals() {
+        let q1 = Query::new(vec![
+            Predicate::new("type", set(&["jacht", "fluit"])),
+            Predicate::any("tonnage"),
+        ])
+        .unwrap();
+        let q2 = Query::new(vec![
+            Predicate::any("tonnage"),
+            Predicate::new("type", set(&["fluit", "jacht"])),
+        ])
+        .unwrap();
+        // Different surface forms, same canonical form and key.
+        assert_ne!(q1, q2);
+        assert_eq!(q1.canonicalized(), q2.canonicalized());
+        assert_eq!(q1.cache_key(), q2.cache_key());
+        assert_eq!(q1.cache_key(), "(tonnage: , type: {fluit, jacht})");
+        // Canonicalization is idempotent.
+        assert_eq!(q1.canonicalized().canonicalized(), q1.canonicalized());
+    }
+
+    #[test]
+    fn cache_key_separates_semantically_different_queries() {
+        let q1 = Query::wildcard(&["type"])
+            .refined("type", set(&["jacht"]))
+            .unwrap();
+        let q2 = Query::wildcard(&["type"])
+            .refined("type", set(&["fluit"]))
+            .unwrap();
+        assert_ne!(q1.cache_key(), q2.cache_key());
+        // Mentioning an extra (unconstrained) attribute changes the
+        // exploration scope, so it must change the key too.
+        let q3 = Query::wildcard(&["type", "tonnage"])
+            .refined("type", set(&["jacht"]))
+            .unwrap();
+        assert_ne!(q1.cache_key(), q3.cache_key());
+    }
+
+    #[test]
+    fn cache_key_is_injective_for_metacharacter_strings() {
+        // The key is the canonical *render*, and rendering quotes any
+        // string literal that could not re-parse as a bare token — so
+        // values containing SDL metacharacters cannot splice: the
+        // two-value set {a, b} and the one-value set {"a, b"} must get
+        // different keys (and likewise for quote/brace-bearing values).
+        let two = Query::wildcard(&["k"])
+            .refined("k", set(&["a", "b"]))
+            .unwrap();
+        let one = Query::wildcard(&["k"])
+            .refined("k", set(&["a, b"]))
+            .unwrap();
+        assert_ne!(two.cache_key(), one.cache_key());
+        let q1 = Query::wildcard(&["k"])
+            .refined("k", set(&["x'}", "y"]))
+            .unwrap();
+        let q2 = Query::wildcard(&["k"])
+            .refined("k", set(&["x'}, y"]))
+            .unwrap();
+        assert_ne!(q1.cache_key(), q2.cache_key());
     }
 
     #[test]

@@ -152,6 +152,89 @@ proptest! {
     }
 
     #[test]
+    fn cache_key_ignores_conjunct_order_and_whitespace(
+        cx in arb_int_constraint(),
+        ck in arb_str_constraint(),
+    ) {
+        let q_xk = Query::new(vec![
+            Predicate::new("x", cx.clone()),
+            Predicate::new("k", ck.clone()),
+        ]).unwrap();
+        let q_kx = Query::new(vec![
+            Predicate::new("k", ck),
+            Predicate::new("x", cx),
+        ]).unwrap();
+        // Permuted conjuncts: same key.
+        prop_assert_eq!(q_xk.cache_key(), q_kx.cache_key());
+        // Whitespace variants of the rendered form parse back to the
+        // same key (the parser is whitespace-insensitive, the key is a
+        // canonical render).
+        let spaced = q_xk
+            .to_string()
+            .replace(", ", " ,   ")
+            .replace('(', "(  ");
+        let reparsed = parse_query(&spaced, &schema()).unwrap();
+        prop_assert_eq!(reparsed.cache_key(), q_xk.cache_key());
+    }
+
+    #[test]
+    fn cache_key_collision_freedom(
+        cx1 in arb_int_constraint(),
+        ck1 in arb_str_constraint(),
+        cx2 in arb_int_constraint(),
+        ck2 in arb_str_constraint(),
+        probe_x in -60i64..60,
+        probe_k in 0usize..5,
+    ) {
+        // Two independently generated contexts: equal keys must mean
+        // equal selection semantics on every probe row (no collisions
+        // between semantically different contexts).
+        let names = ["fluit", "jacht", "pinas", "hoeker", "galjoot"];
+        let q1 = Query::new(vec![
+            Predicate::new("x", cx1),
+            Predicate::new("k", ck1),
+        ]).unwrap();
+        let q2 = Query::new(vec![
+            Predicate::new("k", ck2),
+            Predicate::new("x", cx2),
+        ]).unwrap();
+        if q1.cache_key() == q2.cache_key() {
+            let vx = Value::Int(probe_x);
+            let vk = Value::str(names[probe_k]);
+            let lookup = |attr: &str| match attr {
+                "x" => Some(vx.clone()),
+                "k" => Some(vk.clone()),
+                _ => None,
+            };
+            prop_assert_eq!(
+                q1.matches_row(lookup),
+                q2.matches_row(|attr| match attr {
+                    "x" => Some(vx.clone()),
+                    "k" => Some(vk.clone()),
+                    _ => None,
+                }),
+                "colliding keys with different semantics: {} vs {}", q1, q2
+            );
+        }
+        // And canonicalization itself never changes semantics.
+        let canon = q1.canonicalized();
+        let vx = Value::Int(probe_x);
+        let vk = Value::str(names[probe_k]);
+        prop_assert_eq!(
+            q1.matches_row(|attr| match attr {
+                "x" => Some(vx.clone()),
+                "k" => Some(vk.clone()),
+                _ => None,
+            }),
+            canon.matches_row(|attr| match attr {
+                "x" => Some(vx.clone()),
+                "k" => Some(vk.clone()),
+                _ => None,
+            })
+        );
+    }
+
+    #[test]
     fn conjoin_count_never_exceeds_factors(
         rows in proptest::collection::vec((-30i64..30, 0usize..3), 1..60),
         lo1 in -30i64..30, w1 in 0i64..30,

@@ -1,0 +1,43 @@
+//! A one-shot HTTP client, just big enough to drive the advisory
+//! server from tests, examples and smoke checks without pulling in a
+//! dependency. One request per connection (`Connection: close`), which
+//! matches the server's framing.
+
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Issue one request and return `(status, body)`.
+///
+/// `method` is sent verbatim (the server decides what it supports); the
+/// body, when non-empty, is framed with `Content-Length`.
+pub fn http_request(
+    addr: impl ToSocketAddrs,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: charles\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()?;
+
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    let text = String::from_utf8(raw)
+        .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "non-UTF-8 response"))?;
+
+    let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
+    let (head, payload) = text
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| bad("response without header terminator"))?;
+    let status_line = head.lines().next().ok_or_else(|| bad("empty response"))?;
+    let status: u16 = status_line
+        .split_ascii_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("malformed status line"))?;
+    Ok((status, payload.to_string()))
+}

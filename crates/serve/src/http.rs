@@ -1,0 +1,375 @@
+//! A minimal, panic-free HTTP/1.1 request parser and response writer.
+//!
+//! Only what the advisory protocol needs: `GET`/`POST`/`DELETE`, a
+//! `Content-Length`-framed body, `Connection: close` semantics (one
+//! request per connection). Every malformed input path returns an
+//! [`HttpError`] with a 4xx/5xx status — never a panic — which the
+//! proptest suite pins by feeding the parser arbitrary bytes.
+
+use std::io::{BufRead, Write};
+
+/// Upper bound on the request line plus all headers.
+pub const MAX_HEAD_BYTES: usize = 8 * 1024;
+/// Upper bound on a request body.
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// The request methods the advisory protocol uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// Read a resource.
+    Get,
+    /// Create or act on a resource.
+    Post,
+    /// Remove a resource.
+    Delete,
+}
+
+impl Method {
+    /// Wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Method::Get => "GET",
+            Method::Post => "POST",
+            Method::Delete => "DELETE",
+        }
+    }
+}
+
+/// A parsed request: method, path, UTF-8 body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method.
+    pub method: Method,
+    /// Request path (must start with `/`; no query-string handling).
+    pub path: String,
+    /// Decoded body (empty when no `Content-Length`).
+    pub body: String,
+}
+
+/// Everything that can go wrong while reading a request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// The request line was not `METHOD SP PATH SP VERSION`.
+    BadRequestLine(String),
+    /// Method token is not GET/POST/DELETE.
+    UnsupportedMethod(String),
+    /// Version is not HTTP/1.0 or HTTP/1.1.
+    UnsupportedVersion(String),
+    /// A header line had no `:` separator.
+    BadHeader(String),
+    /// `Content-Length` was missing digits or duplicated inconsistently.
+    BadContentLength(String),
+    /// Request line + headers exceeded [`MAX_HEAD_BYTES`].
+    HeadTooLarge,
+    /// Declared body length exceeded [`MAX_BODY_BYTES`].
+    BodyTooLarge(usize),
+    /// The body was not valid UTF-8.
+    BodyNotUtf8,
+    /// The connection closed mid-request.
+    UnexpectedEof,
+    /// Transport error.
+    Io(String),
+}
+
+impl HttpError {
+    /// The response status this error maps to.
+    pub fn status(&self) -> u16 {
+        match self {
+            HttpError::BadRequestLine(_)
+            | HttpError::BadHeader(_)
+            | HttpError::BadContentLength(_)
+            | HttpError::BodyNotUtf8
+            | HttpError::UnexpectedEof
+            | HttpError::Io(_) => 400,
+            HttpError::UnsupportedMethod(_) => 501,
+            HttpError::UnsupportedVersion(_) => 505,
+            HttpError::HeadTooLarge => 431,
+            HttpError::BodyTooLarge(_) => 413,
+        }
+    }
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::BadRequestLine(line) => write!(f, "malformed request line: {line:?}"),
+            HttpError::UnsupportedMethod(m) => write!(f, "unsupported method: {m:?}"),
+            HttpError::UnsupportedVersion(v) => write!(f, "unsupported HTTP version: {v:?}"),
+            HttpError::BadHeader(h) => write!(f, "malformed header: {h:?}"),
+            HttpError::BadContentLength(v) => write!(f, "bad Content-Length: {v:?}"),
+            HttpError::HeadTooLarge => write!(f, "request head exceeds {MAX_HEAD_BYTES} bytes"),
+            HttpError::BodyTooLarge(n) => {
+                write!(f, "declared body of {n} bytes exceeds {MAX_BODY_BYTES}")
+            }
+            HttpError::BodyNotUtf8 => write!(f, "request body is not valid UTF-8"),
+            HttpError::UnexpectedEof => write!(f, "connection closed mid-request"),
+            HttpError::Io(e) => write!(f, "transport error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// Read one `\n`-terminated line without ever buffering more than
+/// `budget` bytes. Returns the line with the terminator trimmed.
+fn read_line_limited<R: BufRead>(reader: &mut R, budget: &mut usize) -> Result<String, HttpError> {
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match reader.read(&mut byte) {
+            Ok(0) => {
+                if line.is_empty() {
+                    return Err(HttpError::UnexpectedEof);
+                }
+                break; // EOF terminates the final line
+            }
+            Ok(_) => {
+                if *budget == 0 {
+                    return Err(HttpError::HeadTooLarge);
+                }
+                *budget -= 1;
+                if byte[0] == b'\n' {
+                    break;
+                }
+                line.push(byte[0]);
+            }
+            Err(e) => return Err(HttpError::Io(e.to_string())),
+        }
+    }
+    if line.last() == Some(&b'\r') {
+        line.pop();
+    }
+    String::from_utf8(line).map_err(|_| HttpError::BadRequestLine("non-UTF-8 bytes".into()))
+}
+
+/// Parse one request from a buffered reader.
+pub fn parse_request<R: BufRead>(reader: &mut R) -> Result<Request, HttpError> {
+    let mut budget = MAX_HEAD_BYTES;
+    let request_line = read_line_limited(reader, &mut budget)?;
+    let mut parts = request_line.split_ascii_whitespace();
+    let (method_tok, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next())
+    {
+        (Some(m), Some(p), Some(v), None) => (m, p, v),
+        _ => return Err(HttpError::BadRequestLine(request_line.clone())),
+    };
+    let method = match method_tok {
+        "GET" => Method::Get,
+        "POST" => Method::Post,
+        "DELETE" => Method::Delete,
+        other => return Err(HttpError::UnsupportedMethod(other.to_string())),
+    };
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(HttpError::UnsupportedVersion(version.to_string()));
+    }
+    if !path.starts_with('/') {
+        return Err(HttpError::BadRequestLine(request_line.clone()));
+    }
+
+    let mut content_length: Option<usize> = None;
+    loop {
+        let line = read_line_limited(reader, &mut budget)?;
+        if line.is_empty() {
+            break; // end of headers
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::BadHeader(line));
+        };
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            let value = value.trim();
+            let parsed: usize = value
+                .parse()
+                .map_err(|_| HttpError::BadContentLength(value.to_string()))?;
+            if let Some(prev) = content_length {
+                if prev != parsed {
+                    return Err(HttpError::BadContentLength(format!("{prev} vs {parsed}")));
+                }
+            }
+            content_length = Some(parsed);
+        }
+    }
+
+    let body = match content_length {
+        None | Some(0) => String::new(),
+        Some(n) if n > MAX_BODY_BYTES => return Err(HttpError::BodyTooLarge(n)),
+        Some(n) => {
+            let mut buf = vec![0u8; n];
+            reader.read_exact(&mut buf).map_err(|e| {
+                if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                    HttpError::UnexpectedEof
+                } else {
+                    HttpError::Io(e.to_string())
+                }
+            })?;
+            String::from_utf8(buf).map_err(|_| HttpError::BodyNotUtf8)?
+        }
+    };
+
+    Ok(Request {
+        method,
+        path: path.to_string(),
+        body,
+    })
+}
+
+/// Reason phrase for the status codes this server emits.
+pub fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        204 => "No Content",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        505 => "HTTP Version Not Supported",
+        _ => "Unknown",
+    }
+}
+
+/// Write a complete JSON response (`Connection: close` framing).
+pub fn write_response<W: Write>(writer: &mut W, status: u16, body: &str) -> std::io::Result<()> {
+    write!(
+        writer,
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        status,
+        status_reason(status),
+        body.len(),
+        body
+    )?;
+    writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn parse(bytes: &[u8]) -> Result<Request, HttpError> {
+        parse_request(&mut Cursor::new(bytes.to_vec()))
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req =
+            parse(b"POST /session HTTP/1.1\r\nHost: x\r\nContent-Length: 11\r\n\r\n(kind: , s)")
+                .unwrap();
+        assert_eq!(req.method, Method::Post);
+        assert_eq!(req.path, "/session");
+        assert_eq!(req.body, "(kind: , s)");
+    }
+
+    #[test]
+    fn parses_get_without_body_and_bare_lf() {
+        let req = parse(b"GET /session/s1 HTTP/1.1\nHost: x\n\n").unwrap();
+        assert_eq!(req.method, Method::Get);
+        assert_eq!(req.path, "/session/s1");
+        assert_eq!(req.body, "");
+    }
+
+    #[test]
+    fn rejects_malformed_request_lines() {
+        assert!(matches!(
+            parse(b"\r\n\r\n"),
+            Err(HttpError::BadRequestLine(_))
+        ));
+        assert!(matches!(
+            parse(b"GET\r\n\r\n"),
+            Err(HttpError::BadRequestLine(_))
+        ));
+        assert!(matches!(
+            parse(b"GET /x HTTP/1.1 extra\r\n\r\n"),
+            Err(HttpError::BadRequestLine(_))
+        ));
+        assert!(matches!(
+            parse(b"GET nopath HTTP/1.1\r\n\r\n"),
+            Err(HttpError::BadRequestLine(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_unsupported_method_and_version() {
+        assert!(matches!(
+            parse(b"BREW /pot HTTP/1.1\r\n\r\n"),
+            Err(HttpError::UnsupportedMethod(_))
+        ));
+        assert!(matches!(
+            parse(b"GET / HTTP/2\r\n\r\n"),
+            Err(HttpError::UnsupportedVersion(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_lengths() {
+        assert!(matches!(
+            parse(b"POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n"),
+            Err(HttpError::BadContentLength(_))
+        ));
+        assert!(matches!(
+            parse(b"POST / HTTP/1.1\r\nContent-Length: 99999999999\r\n\r\n"),
+            Err(HttpError::BodyTooLarge(_))
+        ));
+        // Body shorter than declared.
+        assert!(matches!(
+            parse(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc"),
+            Err(HttpError::UnexpectedEof)
+        ));
+        // Conflicting duplicates.
+        assert!(matches!(
+            parse(b"POST / HTTP/1.1\r\nContent-Length: 1\r\nContent-Length: 2\r\n\r\nab"),
+            Err(HttpError::BadContentLength(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_oversized_head() {
+        let mut req = b"GET / HTTP/1.1\r\n".to_vec();
+        req.extend(std::iter::repeat_n(b'a', MAX_HEAD_BYTES + 10));
+        assert!(matches!(parse(&req), Err(HttpError::HeadTooLarge)));
+    }
+
+    #[test]
+    fn rejects_non_utf8_body() {
+        let mut req = b"POST / HTTP/1.1\r\nContent-Length: 2\r\n\r\n".to_vec();
+        req.extend([0xff, 0xfe]);
+        assert!(matches!(parse(&req), Err(HttpError::BodyNotUtf8)));
+    }
+
+    #[test]
+    fn empty_input_is_eof() {
+        assert!(matches!(parse(b""), Err(HttpError::UnexpectedEof)));
+    }
+
+    #[test]
+    fn status_lines_render() {
+        let mut out = Vec::new();
+        write_response(&mut out, 201, "{\"x\":1}").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 201 Created\r\n"));
+        assert!(text.contains("Content-Length: 7\r\n"));
+        assert!(text.ends_with("{\"x\":1}"));
+    }
+
+    #[test]
+    fn error_statuses_are_4xx_5xx() {
+        for e in [
+            HttpError::BadRequestLine("x".into()),
+            HttpError::UnsupportedMethod("x".into()),
+            HttpError::UnsupportedVersion("x".into()),
+            HttpError::BadHeader("x".into()),
+            HttpError::BadContentLength("x".into()),
+            HttpError::HeadTooLarge,
+            HttpError::BodyTooLarge(9),
+            HttpError::BodyNotUtf8,
+            HttpError::UnexpectedEof,
+            HttpError::Io("x".into()),
+        ] {
+            assert!((400..=599).contains(&e.status()), "{e}");
+        }
+    }
+}

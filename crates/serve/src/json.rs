@@ -1,0 +1,230 @@
+//! Hand-rolled JSON encoding of advisor payloads.
+//!
+//! crates.io (and hence serde) is unreachable in this build environment,
+//! so the wire format is produced by a small writer with two hard
+//! guarantees the serving layer leans on:
+//!
+//! * **Determinism** — object keys are emitted in a fixed order with no
+//!   whitespace, floats use Rust's shortest round-trip `Display`, and
+//!   only the deterministic fields of an [`Advice`] are encoded
+//!   (`backend_ops` / `cache` are per-run diagnostics whose counts vary
+//!   under threads, so they are deliberately left out). Encoding the
+//!   same advice twice — or advice produced by a cache hit versus a
+//!   fresh advisor run on the same canonical context — yields identical
+//!   bytes.
+//! * **Validity** — strings are escaped per RFC 8259 (`"`/`\\`/control
+//!   characters), non-finite floats (which the advisor never produces,
+//!   but the encoder cannot prove that) become `null` instead of
+//!   invalid tokens.
+
+use charles_core::hbcuts::{ComposeStep, StopReason, Trace};
+use charles_core::{Advice, Ranked, Score};
+
+/// Escape and double-quote a string.
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Render a float as a JSON number (shortest round-trip form); `null`
+/// for non-finite values, which JSON cannot represent.
+pub fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// A JSON array of strings.
+pub fn json_string_array<I, S>(items: I) -> String
+where
+    I: IntoIterator<Item = S>,
+    S: AsRef<str>,
+{
+    let mut out = String::from("[");
+    for (i, item) in items.into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&json_string(item.as_ref()));
+    }
+    out.push(']');
+    out
+}
+
+/// `{"error": "..."}` — the body of every non-2xx response.
+pub fn encode_error(message: &str) -> String {
+    format!("{{\"error\":{}}}", json_string(message))
+}
+
+/// The wire name of a stop reason (snake_case, stable).
+pub fn stop_reason_name(stop: StopReason) -> &'static str {
+    match stop {
+        StopReason::IndependenceThreshold => "independence_threshold",
+        StopReason::DepthLimit => "depth_limit",
+        StopReason::ExhaustedCandidates => "exhausted_candidates",
+        StopReason::ComposeFailed => "compose_failed",
+    }
+}
+
+/// Encode a score card.
+pub fn encode_score(score: &Score) -> String {
+    format!(
+        "{{\"entropy\":{},\"simplicity\":{},\"breadth\":{},\"depth\":{}}}",
+        json_f64(score.entropy),
+        score.simplicity,
+        score.breadth,
+        score.depth
+    )
+}
+
+/// Encode one ranked answer: the segmentation as its rendered queries
+/// (exactly what `POST /session/{id}/drill` lets the client select by
+/// index) plus the score card.
+pub fn encode_ranked(ranked: &Ranked) -> String {
+    format!(
+        "{{\"segmentation\":{},\"score\":{}}}",
+        json_string_array(ranked.segmentation.queries().iter().map(|q| q.to_string())),
+        encode_score(&ranked.score)
+    )
+}
+
+/// Encode one composition step of the trace.
+pub fn encode_step(step: &ComposeStep) -> String {
+    format!(
+        "{{\"left\":{},\"right\":{},\"indep\":{},\"depth\":{},\"accepted\":{}}}",
+        json_string_array(&step.left_attrs),
+        json_string_array(&step.right_attrs),
+        json_f64(step.indep),
+        step.depth,
+        step.accepted
+    )
+}
+
+/// Encode the HB-cuts execution trace.
+pub fn encode_trace(trace: &Trace) -> String {
+    let mut steps = String::from("[");
+    for (i, s) in trace.steps.iter().enumerate() {
+        if i > 0 {
+            steps.push(',');
+        }
+        steps.push_str(&encode_step(s));
+    }
+    steps.push(']');
+    let stop = match trace.stop {
+        Some(s) => json_string(stop_reason_name(s)),
+        None => "null".to_string(),
+    };
+    format!(
+        "{{\"seeds\":{},\"skipped\":{},\"steps\":{},\"stop\":{}}}",
+        json_string_array(&trace.seeds),
+        json_string_array(&trace.skipped),
+        steps,
+        stop
+    )
+}
+
+/// Encode a full advice payload (deterministic fields only — see the
+/// module docs for why the op/cache diagnostics are excluded).
+pub fn encode_advice(advice: &Advice) -> String {
+    let mut ranked = String::from("[");
+    for (i, r) in advice.ranked.iter().enumerate() {
+        if i > 0 {
+            ranked.push(',');
+        }
+        ranked.push_str(&encode_ranked(r));
+    }
+    ranked.push(']');
+    format!(
+        "{{\"context\":{},\"context_size\":{},\"ranked\":{},\"trace\":{}}}",
+        json_string(&advice.context.to_string()),
+        advice.context_size,
+        ranked,
+        encode_trace(&advice.trace)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use charles_core::Advisor;
+    use charles_store::{DataType, TableBuilder, Value};
+
+    #[test]
+    fn string_escaping() {
+        assert_eq!(json_string("plain"), "\"plain\"");
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_string("line\nbreak\ttab"), "\"line\\nbreak\\ttab\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+        // Non-ASCII passes through as UTF-8.
+        assert_eq!(json_string("ünïcode"), "\"ünïcode\"");
+    }
+
+    #[test]
+    fn float_rendering() {
+        assert_eq!(json_f64(1.5), "1.5");
+        assert_eq!(json_f64(2.0), "2");
+        assert_eq!(json_f64(-0.0), "-0");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+        // Shortest round-trip: re-parsing reproduces the bits.
+        let v = std::f64::consts::LN_2;
+        let s = json_f64(v);
+        assert_eq!(s.parse::<f64>().unwrap().to_bits(), v.to_bits());
+    }
+
+    #[test]
+    fn advice_encoding_is_deterministic_and_json_shaped() {
+        let mut b = TableBuilder::new("t");
+        b.add_column("kind", DataType::Str)
+            .add_column("size", DataType::Int);
+        for i in 0..32i64 {
+            let kind = if i % 2 == 0 { "even" } else { "odd" };
+            b.push_row(vec![Value::str(kind), Value::Int(i)]).unwrap();
+        }
+        let t = b.finish();
+        let advice = Advisor::new(&t).advise_str("(kind: , size: )").unwrap();
+        let one = encode_advice(&advice);
+        let two = encode_advice(&advice);
+        assert_eq!(one, two);
+        assert!(one.starts_with("{\"context\":\"(kind: , size: )\""));
+        assert!(one.contains("\"context_size\":32"));
+        assert!(one.contains("\"ranked\":["));
+        assert!(one.contains("\"trace\":{\"seeds\":"));
+        // No stray raw control characters or trailing whitespace.
+        assert!(!one.chars().any(|c| (c as u32) < 0x20));
+    }
+
+    #[test]
+    fn stop_reasons_have_stable_names() {
+        assert_eq!(
+            stop_reason_name(StopReason::IndependenceThreshold),
+            "independence_threshold"
+        );
+        assert_eq!(stop_reason_name(StopReason::DepthLimit), "depth_limit");
+        assert_eq!(
+            stop_reason_name(StopReason::ExhaustedCandidates),
+            "exhausted_candidates"
+        );
+        assert_eq!(
+            stop_reason_name(StopReason::ComposeFailed),
+            "compose_failed"
+        );
+    }
+}

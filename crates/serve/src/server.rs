@@ -1,0 +1,633 @@
+//! The advisory server: session lifecycle over HTTP, advice shared
+//! across sessions through one [`AdviceCache`].
+//!
+//! | Route | Body | Effect |
+//! |---|---|---|
+//! | `POST /session` | SDL context text | start a session → 201 |
+//! | `GET /session/{id}` | — | breadcrumbs + current advice |
+//! | `POST /session/{id}/drill` | `rank seg` | drill into a segment |
+//! | `POST /session/{id}/back` | — | pop one breadcrumb |
+//! | `DELETE /session/{id}` | — | drop the session → 204 |
+//! | `GET /cache/stats` | — | shared-cache counters |
+//! | `GET /healthz` | — | liveness probe |
+//!
+//! Requests are handled by a fixed [`WorkerPool`]; per-session state is
+//! an [`OwnedSession`] behind its own mutex, so requests to different
+//! sessions never serialize on each other and requests to the same
+//! session are ordered. All advice flows through the shared cache:
+//! N sessions asking for the same canonical context cost one HB-cuts
+//! run, and the payload served from the cache is byte-identical to a
+//! fresh advisor run on the same canonical context.
+
+use crate::http::{parse_request, write_response, Method, Request};
+use crate::json::{encode_advice, encode_error, json_string, json_string_array};
+use charles_core::{Advice, AdviceCache, Config, CoreError, OwnedSession};
+use charles_parallel::WorkerPool;
+use charles_store::Backend;
+use std::collections::HashMap;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Connection-handling worker threads.
+    pub workers: usize,
+    /// Shard count of the cross-session advice cache.
+    pub cache_shards: usize,
+    /// Whole-request read deadline: a connection that has not delivered
+    /// its complete request within this window is dropped, no matter
+    /// how steadily it trickles bytes (anti-slowloris — a fixed worker
+    /// pool must not be pinnable by slow clients).
+    pub read_timeout: Duration,
+    /// Upper bound on live sessions; `POST /session` answers 503 once
+    /// reached (sessions are server-side state, so an uncapped registry
+    /// would let clients grow memory without bound).
+    pub max_sessions: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            workers: 8,
+            cache_shards: 16,
+            read_timeout: Duration::from_secs(10),
+            max_sessions: 4096,
+        }
+    }
+}
+
+struct ServerState {
+    backend: Arc<dyn Backend>,
+    advisor_config: Config,
+    cache: Arc<AdviceCache>,
+    sessions: Mutex<HashMap<String, Arc<Mutex<OwnedSession>>>>,
+    next_id: AtomicU64,
+    max_sessions: usize,
+}
+
+/// A bound advisory server, ready to [`run`](Server::run) or
+/// [`spawn`](Server::spawn).
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServerState>,
+    config: ServeConfig,
+}
+
+impl Server {
+    /// Bind to `addr` (use port 0 for an ephemeral port) over a shared
+    /// backend, with the paper-default advisor configuration.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        backend: Arc<dyn Backend>,
+        config: ServeConfig,
+    ) -> std::io::Result<Server> {
+        Server::bind_with_advisor_config(addr, backend, config, Config::default())
+    }
+
+    /// Bind with an explicit advisor configuration (shared by every
+    /// session — the cache key space assumes one config per server).
+    pub fn bind_with_advisor_config(
+        addr: impl ToSocketAddrs,
+        backend: Arc<dyn Backend>,
+        config: ServeConfig,
+        advisor_config: Config,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let state = Arc::new(ServerState {
+            backend,
+            advisor_config,
+            cache: Arc::new(AdviceCache::with_shards(config.cache_shards)),
+            sessions: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+            max_sessions: config.max_sessions.max(1),
+        });
+        Ok(Server {
+            listener,
+            state,
+            config,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The shared advice cache (for in-process stats inspection).
+    pub fn cache(&self) -> Arc<AdviceCache> {
+        Arc::clone(&self.state.cache)
+    }
+
+    /// Serve connections until `shutdown` flips true (checked between
+    /// accepts; connect once after flipping to unblock the accept).
+    fn serve(self, shutdown: Arc<AtomicBool>) {
+        let pool = WorkerPool::new(self.config.workers);
+        for stream in self.listener.incoming() {
+            if shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match stream {
+                Ok(s) => s,
+                Err(_) => {
+                    // Transient accept failures (fd exhaustion, aborted
+                    // handshakes) must not busy-spin the accept thread.
+                    std::thread::sleep(Duration::from_millis(10));
+                    continue;
+                }
+            };
+            let state = Arc::clone(&self.state);
+            let timeout = self.config.read_timeout;
+            pool.execute(move || handle_connection(stream, &state, timeout));
+        }
+        // Dropping the pool drains in-flight connections.
+    }
+
+    /// Run the accept loop on the calling thread, forever.
+    pub fn run(self) {
+        self.serve(Arc::new(AtomicBool::new(false)));
+    }
+
+    /// Run the accept loop on a background thread; the returned handle
+    /// stops the server when dropped (or via [`ServerHandle::shutdown`]).
+    pub fn spawn(self) -> std::io::Result<ServerHandle> {
+        let addr = self.local_addr()?;
+        let cache = self.cache();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&shutdown);
+        let thread = std::thread::spawn(move || self.serve(flag));
+        Ok(ServerHandle {
+            addr,
+            cache,
+            shutdown,
+            thread: Some(thread),
+        })
+    }
+}
+
+/// Handle to a background server; shuts the server down on drop.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    cache: Arc<AdviceCache>,
+    shutdown: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the server is listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The server's shared advice cache.
+    pub fn cache(&self) -> Arc<AdviceCache> {
+        Arc::clone(&self.cache)
+    }
+
+    /// Stop accepting, drain in-flight requests, join the accept loop.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        let Some(thread) = self.thread.take() else {
+            return;
+        };
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept call with one throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        let _ = thread.join();
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// A `TcpStream` reader that enforces one absolute deadline across the
+/// *whole* request: before every read the socket timeout is re-armed
+/// with the time remaining, so a client trickling one byte per
+/// near-timeout interval still gets cut off at the deadline instead of
+/// resetting the clock with each byte.
+struct DeadlineStream {
+    stream: TcpStream,
+    deadline: std::time::Instant,
+}
+
+impl std::io::Read for DeadlineStream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let remaining = self
+            .deadline
+            .checked_duration_since(std::time::Instant::now())
+            .filter(|d| !d.is_zero())
+            .ok_or_else(|| {
+                std::io::Error::new(std::io::ErrorKind::TimedOut, "request deadline exceeded")
+            })?;
+        self.stream.set_read_timeout(Some(remaining))?;
+        self.stream.read(buf)
+    }
+}
+
+fn handle_connection(stream: TcpStream, state: &ServerState, timeout: Duration) {
+    let reader = match stream.try_clone() {
+        Ok(s) => DeadlineStream {
+            stream: s,
+            deadline: std::time::Instant::now() + timeout,
+        },
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(reader);
+    let mut writer = stream;
+    let _ = writer.set_write_timeout(Some(timeout));
+    let (status, body) = match parse_request(&mut reader) {
+        Ok(req) => route(state, &req),
+        Err(e) => (e.status(), encode_error(&e.to_string())),
+    };
+    let _ = write_response(&mut writer, status, &body);
+}
+
+/// Split a path into non-empty segments.
+fn segments(path: &str) -> Vec<&str> {
+    path.split('/').filter(|s| !s.is_empty()).collect()
+}
+
+/// Dispatch one request to (status, JSON body).
+fn route(state: &ServerState, req: &Request) -> (u16, String) {
+    match (req.method, segments(&req.path).as_slice()) {
+        (Method::Get, ["healthz"]) => (200, "{\"ok\":true}".to_string()),
+        (Method::Get, ["cache", "stats"]) => {
+            let stats = state.cache.stats();
+            (
+                200,
+                format!(
+                    "{{\"hits\":{},\"misses\":{},\"runs\":{},\"entries\":{}}}",
+                    stats.hits,
+                    stats.misses,
+                    stats.runs,
+                    state.cache.len()
+                ),
+            )
+        }
+        (Method::Post, ["session"]) => create_session(state, &req.body),
+        (Method::Get, ["session", id]) => with_session(state, id, session_info),
+        (Method::Delete, ["session", id]) => delete_session(state, id),
+        (Method::Post, ["session", id, "drill"]) => {
+            let body = req.body.clone();
+            with_session(state, id, move |id, s| drill_session(id, s, &body))
+        }
+        (Method::Post, ["session", id, "back"]) => {
+            with_session(state, id, |id, s| match s.try_back() {
+                Ok(advice) => (200, advice_envelope(id, advice)),
+                Err(e) => core_error_response(&e),
+            })
+        }
+        // Known paths with the wrong method get a 405, the rest 404.
+        (_, ["session"]) | (_, ["session", _]) | (_, ["session", _, "drill" | "back"]) => {
+            (405, encode_error("method not allowed for this route"))
+        }
+        _ => (404, encode_error("no such route")),
+    }
+}
+
+fn create_session(state: &ServerState, sdl: &str) -> (u16, String) {
+    if sdl.trim().is_empty() {
+        return (400, encode_error("request body must be an SDL context"));
+    }
+    let mut session =
+        OwnedSession::with_config(Arc::clone(&state.backend), state.advisor_config.clone())
+            .with_cache(Arc::clone(&state.cache));
+    match session.start(sdl) {
+        Ok(_) => {
+            let id = format!("s{}", state.next_id.fetch_add(1, Ordering::Relaxed));
+            let advice = session.current().expect("start succeeded").clone();
+            {
+                // Cap check and insert under one lock so racing creates
+                // cannot overshoot the bound. (The advise work above is
+                // not wasted on rejection: it landed in the shared
+                // cache.)
+                let mut sessions = state.sessions.lock().unwrap_or_else(|p| p.into_inner());
+                if sessions.len() >= state.max_sessions {
+                    return (
+                        503,
+                        encode_error(
+                            "session capacity exhausted; DELETE finished sessions and retry",
+                        ),
+                    );
+                }
+                sessions.insert(id.clone(), Arc::new(Mutex::new(session)));
+            }
+            (201, advice_envelope(&id, &advice))
+        }
+        Err(e) => core_error_response(&e),
+    }
+}
+
+fn delete_session(state: &ServerState, id: &str) -> (u16, String) {
+    let removed = state
+        .sessions
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .remove(id);
+    match removed {
+        Some(_) => (204, String::new()),
+        None => (404, encode_error(&format!("no session {id:?}"))),
+    }
+}
+
+/// Look a session up and run `f` on it under its own lock (the registry
+/// lock is released first, so sessions never serialize on each other).
+fn with_session<F>(state: &ServerState, id: &str, f: F) -> (u16, String)
+where
+    F: FnOnce(&str, &mut OwnedSession) -> (u16, String),
+{
+    let session = state
+        .sessions
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .get(id)
+        .cloned();
+    match session {
+        Some(cell) => {
+            let mut session = cell.lock().unwrap_or_else(|p| p.into_inner());
+            f(id, &mut session)
+        }
+        None => (404, encode_error(&format!("no session {id:?}"))),
+    }
+}
+
+fn session_info(id: &str, session: &mut OwnedSession) -> (u16, String) {
+    let Some(advice) = session.current() else {
+        return core_error_response(&CoreError::SessionNotStarted);
+    };
+    let crumbs = json_string_array(session.breadcrumbs().iter().map(|q| q.to_string()));
+    (
+        200,
+        format!(
+            "{{\"session\":{},\"depth\":{},\"breadcrumbs\":{},\"advice\":{}}}",
+            json_string(id),
+            session.depth(),
+            crumbs,
+            encode_advice(advice)
+        ),
+    )
+}
+
+fn drill_session(id: &str, session: &mut OwnedSession, body: &str) -> (u16, String) {
+    let mut parts = body.split_ascii_whitespace();
+    let (rank_idx, seg_idx) = match (
+        parts.next().and_then(|t| t.parse::<usize>().ok()),
+        parts.next().and_then(|t| t.parse::<usize>().ok()),
+        parts.next(),
+    ) {
+        (Some(r), Some(s), None) => (r, s),
+        _ => {
+            return (
+                400,
+                encode_error("drill body must be two indices: \"rank seg\""),
+            )
+        }
+    };
+    match session.drill(rank_idx, seg_idx) {
+        Ok(advice) => (200, advice_envelope(id, advice)),
+        Err(e) => core_error_response(&e),
+    }
+}
+
+/// The standard success envelope: session id + full advice payload.
+fn advice_envelope(id: &str, advice: &Advice) -> String {
+    format!(
+        "{{\"session\":{},\"advice\":{}}}",
+        json_string(id),
+        encode_advice(advice)
+    )
+}
+
+/// Map advisor errors onto statuses: client mistakes are 4xx, backend
+/// faults are the only 500s.
+fn core_error_response(e: &CoreError) -> (u16, String) {
+    let status = match e {
+        // The context didn't parse or validate: the request was wrong.
+        CoreError::Sdl(_) | CoreError::BadConfig(_) => 400,
+        // Stable session-state errors: the request is well-formed but
+        // cannot apply to the current state.
+        CoreError::SessionNotStarted => 409,
+        CoreError::NoSuchSegment { .. } | CoreError::AtRoot => 422,
+        // Semantically empty/uniform contexts are client-visible dead
+        // ends, not server faults.
+        CoreError::EmptyContext | CoreError::NoCuttableAttribute => 422,
+        CoreError::Store(_) => 500,
+    };
+    (status, encode_error(&e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use charles_store::{DataType, TableBuilder, Value};
+
+    fn backend() -> Arc<dyn Backend> {
+        let mut b = TableBuilder::new("t");
+        b.add_column("kind", DataType::Str)
+            .add_column("size", DataType::Int);
+        for i in 0..48i64 {
+            let kind = if i % 2 == 0 { "even" } else { "odd" };
+            b.push_row(vec![Value::str(kind), Value::Int(i)]).unwrap();
+        }
+        Arc::new(b.finish())
+    }
+
+    fn state() -> ServerState {
+        ServerState {
+            backend: backend(),
+            advisor_config: Config::default(),
+            cache: Arc::new(AdviceCache::with_shards(4)),
+            sessions: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+            max_sessions: 4096,
+        }
+    }
+
+    fn post(path: &str, body: &str) -> Request {
+        Request {
+            method: Method::Post,
+            path: path.to_string(),
+            body: body.to_string(),
+        }
+    }
+
+    fn get(path: &str) -> Request {
+        Request {
+            method: Method::Get,
+            path: path.to_string(),
+            body: String::new(),
+        }
+    }
+
+    #[test]
+    fn full_lifecycle_through_route() {
+        let st = state();
+        let (status, body) = route(&st, &post("/session", "(kind: , size: )"));
+        assert_eq!(status, 201, "{body}");
+        assert!(body.starts_with("{\"session\":\"s1\",\"advice\":"));
+
+        let (status, info) = route(&st, &get("/session/s1"));
+        assert_eq!(status, 200);
+        assert!(info.contains("\"depth\":1"));
+        assert!(info.contains("\"breadcrumbs\":[\"(kind: , size: )\"]"));
+
+        let (status, drilled) = route(&st, &post("/session/s1/drill", "0 0"));
+        assert_eq!(status, 200, "{drilled}");
+
+        let (status, back) = route(&st, &post("/session/s1/back", ""));
+        assert_eq!(status, 200, "{back}");
+
+        // Back at the root: 422 with a stable message.
+        let (status, err) = route(&st, &post("/session/s1/back", ""));
+        assert_eq!(status, 422);
+        assert!(err.contains("root"));
+
+        let (status, _) = route(
+            &st,
+            &Request {
+                method: Method::Delete,
+                path: "/session/s1".into(),
+                body: String::new(),
+            },
+        );
+        assert_eq!(status, 204);
+        let (status, _) = route(&st, &get("/session/s1"));
+        assert_eq!(status, 404);
+    }
+
+    #[test]
+    fn error_statuses() {
+        let st = state();
+        // Bad SDL → 400.
+        let (status, _) = route(&st, &post("/session", "(nope: )"));
+        assert_eq!(status, 400);
+        // Empty body → 400.
+        let (status, _) = route(&st, &post("/session", "   "));
+        assert_eq!(status, 400);
+        // Unknown session → 404.
+        let (status, _) = route(&st, &get("/session/zzz"));
+        assert_eq!(status, 404);
+        // Unknown route → 404; known route, wrong method → 405.
+        let (status, _) = route(&st, &get("/frobnicate"));
+        assert_eq!(status, 404);
+        let (status, _) = route(&st, &get("/session/s1/drill"));
+        assert_eq!(status, 405);
+        // Out-of-range drill → 422 with the indices echoed.
+        route(&st, &post("/session", "(kind: , size: )"));
+        let (status, body) = route(&st, &post("/session/s1/drill", "99 7"));
+        assert_eq!(status, 422);
+        assert!(body.contains("(99, 7)"));
+        // Malformed drill body → 400.
+        let (status, _) = route(&st, &post("/session/s1/drill", "one two"));
+        assert_eq!(status, 400);
+        let (status, _) = route(&st, &post("/session/s1/drill", "1 2 3"));
+        assert_eq!(status, 400);
+        // Empty context (selects no rows) → 422.
+        let (status, _) = route(&st, &post("/session", "(kind: {neither}, size: )"));
+        assert_eq!(status, 422);
+    }
+
+    #[test]
+    fn cache_is_shared_across_sessions() {
+        let st = state();
+        let (s1, _) = route(&st, &post("/session", "(kind: , size: )"));
+        // Permuted conjuncts: same canonical context, so a cache hit.
+        let (s2, _) = route(&st, &post("/session", "(size: , kind: )"));
+        assert_eq!((s1, s2), (201, 201));
+        assert_eq!(st.cache.stats().runs, 1);
+        let (status, stats) = route(&st, &get("/cache/stats"));
+        assert_eq!(status, 200);
+        assert!(stats.contains("\"runs\":1"), "{stats}");
+        assert!(stats.contains("\"entries\":1"), "{stats}");
+    }
+
+    #[test]
+    fn healthz() {
+        let st = state();
+        let (status, body) = route(&st, &get("/healthz"));
+        assert_eq!(status, 200);
+        assert_eq!(body, "{\"ok\":true}");
+    }
+
+    #[test]
+    fn session_capacity_is_capped() {
+        let st = ServerState {
+            max_sessions: 2,
+            ..state()
+        };
+        let (s1, _) = route(&st, &post("/session", "(kind: , size: )"));
+        let (s2, _) = route(&st, &post("/session", "(kind: )"));
+        assert_eq!((s1, s2), (201, 201));
+        // Third session bounces with 503 until one is deleted.
+        let (status, body) = route(&st, &post("/session", "(size: )"));
+        assert_eq!(status, 503, "{body}");
+        assert!(body.contains("capacity"));
+        let (status, _) = route(
+            &st,
+            &Request {
+                method: Method::Delete,
+                path: "/session/s1".into(),
+                body: String::new(),
+            },
+        );
+        assert_eq!(status, 204);
+        let (status, _) = route(&st, &post("/session", "(size: )"));
+        assert_eq!(status, 201);
+    }
+
+    #[test]
+    fn trickling_clients_hit_the_request_deadline() {
+        use std::io::{Read, Write};
+        let server = Server::bind(
+            "127.0.0.1:0",
+            backend(),
+            ServeConfig {
+                read_timeout: Duration::from_millis(250),
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = server.spawn().unwrap();
+
+        // Drip request-line bytes forever, never completing the line:
+        // every read on the server side succeeds within ~80 ms, so a
+        // *per-read* timeout would never fire — only the absolute
+        // deadline cuts this client off.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let writer = stream.try_clone().unwrap();
+        let start = std::time::Instant::now();
+        let drip = std::thread::spawn(move || {
+            let mut writer = writer;
+            for _ in 0..25 {
+                if writer.write_all(b"P").is_err() {
+                    break; // server hung up: the deadline fired
+                }
+                std::thread::sleep(Duration::from_millis(80));
+            }
+        });
+        let mut out = String::new();
+        let _ = stream.read_to_string(&mut out);
+        let elapsed = start.elapsed();
+        drip.join().unwrap();
+        // 25 drips × 80 ms = 2 s of per-read-tolerable traffic; the
+        // 250 ms deadline must have ended the request long before that.
+        assert!(
+            elapsed < Duration::from_millis(1500),
+            "deadline did not bound the slow request: {elapsed:?}"
+        );
+        if !out.is_empty() {
+            assert!(out.starts_with("HTTP/1.1 400"), "{out}");
+        }
+        handle.shutdown();
+    }
+}

@@ -14,6 +14,8 @@
 //! * [`store`] — the columnar OLAP substrate (plus a row-store baseline);
 //! * [`sdl`] — the Segmentation Description Language;
 //! * [`advisor`] — metrics, primitives, HB-cuts, ranking, sessions;
+//! * [`serve`] — the concurrent HTTP advisory server with its shared
+//!   cross-session advice cache;
 //! * [`datagen`] — synthetic VOC / astronomy / weblog datasets;
 //! * [`viz`] — terminal pie charts, tree-maps and the Figure 1 panel —
 //!
@@ -35,17 +37,19 @@
 pub use charles_core as advisor;
 pub use charles_datagen as datagen;
 pub use charles_sdl as sdl;
+pub use charles_serve as serve;
 pub use charles_store as store;
 pub use charles_viz as viz;
 
 pub use charles_core::{
-    hb_cuts, Advice, Advisor, Config, CoreError, CoreResult, Explorer, LazyGenerator,
-    MedianStrategy, Ranked, Score, Session,
+    hb_cuts, Advice, AdviceCache, AdviceCacheStats, Advisor, Config, CoreError, CoreResult,
+    Explorer, LazyGenerator, MedianStrategy, OwnedSession, Ranked, Score, Session,
 };
 pub use charles_datagen::{astro_table, sweep_table, voc_table, weblog_table};
 pub use charles_sdl::{
     parse_query, parse_segmentation, Constraint, Predicate, Query, Segmentation,
 };
+pub use charles_serve::{ServeConfig, Server};
 pub use charles_store::{
     read_csv_str, write_csv_string, Backend, DataType, RowTable, Schema, ShardedTable, Table,
     TableBuilder, Value,

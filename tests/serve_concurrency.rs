@@ -1,0 +1,322 @@
+//! Multi-session concurrency harness for the serving layer (the
+//! ROADMAP's "many advisors over one shared backend" item).
+//!
+//! The server is spun up on an ephemeral port over one shared
+//! [`ShardedTable`]; ≥ 8 client threads then drive interleaved
+//! start / inspect / drill / back / error / delete traffic against it.
+//! Three things are pinned:
+//!
+//! 1. **Oracle equality** — every served advice payload is bitwise
+//!    equal to a direct single-threaded `Advisor::advise` run on the
+//!    same backend (the canonical context, encoded with the same JSON
+//!    encoder), regardless of interleaving or cache state.
+//! 2. **Shared-cache sharing** — identical contexts across sessions
+//!    trigger exactly one advisor computation: the cache's `runs`
+//!    counter equals the number of *distinct* canonical contexts the
+//!    whole swarm touched.
+//! 3. **Protocol sanity under load** — stable 4xx answers for
+//!    out-of-range drills, back-at-root, bad SDL and dead sessions,
+//!    interleaved with the happy paths.
+//!
+//! `CHARLES_SHARDS=n` overrides the backend shard count (CI smoke runs
+//! it with 7, deliberately unaligned with the 64-bit bitmap words).
+
+use charles::serve::http_request;
+use charles::serve::json::encode_advice;
+use charles::{Advisor, Backend, Query, ServeConfig, Server, ShardedTable};
+use std::collections::HashSet;
+use std::sync::{Arc, Barrier};
+
+const CLIENT_THREADS: usize = 10;
+const ITERATIONS: usize = 2;
+
+fn shard_count() -> usize {
+    std::env::var("CHARLES_SHARDS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(3)
+}
+
+/// The four canonical contexts the swarm explores, each with a permuted
+/// spelling — equivalent under canonicalization, so sessions using
+/// either spelling must share one cache entry.
+fn context_pool() -> Vec<[&'static str; 2]> {
+    vec![
+        [
+            "(type_of_boat: , tonnage: , departure_harbour: )",
+            "(departure_harbour: , type_of_boat: , tonnage: )",
+        ],
+        ["(tonnage: , trip: )", "(trip: ,   tonnage: )"],
+        ["(type_of_boat: , built: )", "(built: ,type_of_boat: )"],
+        [
+            "(departure_harbour: , tonnage: , trip: )",
+            "(trip: , departure_harbour: , tonnage: )",
+        ],
+    ]
+}
+
+struct Oracle {
+    /// Expected advice JSON for the root context.
+    root_json: String,
+    /// Expected advice JSON after drilling (0, 0).
+    drill_json: String,
+    /// Canonical renderings for the breadcrumb assertions.
+    root_crumb: String,
+    drill_crumb: String,
+}
+
+/// Run the single-threaded oracle: direct `Advisor::advise` calls on
+/// the canonical contexts, no server, no cache.
+fn oracle(backend: &dyn Backend, sdl: &str, distinct: &mut HashSet<String>) -> Oracle {
+    let advisor = Advisor::new(backend);
+    let root_ctx: Query = charles::parse_query(sdl, backend.schema())
+        .expect("pool contexts are valid")
+        .canonicalized();
+    distinct.insert(root_ctx.cache_key());
+    let root = advisor.advise(root_ctx.clone()).expect("root advises");
+    let target = root
+        .segment(0, 0)
+        .expect("pool contexts have a drillable first segment")
+        .clone()
+        .canonicalized();
+    distinct.insert(target.cache_key());
+    let drill = advisor.advise(target.clone()).expect("target advises");
+    Oracle {
+        root_json: encode_advice(&root),
+        drill_json: encode_advice(&drill),
+        root_crumb: root_ctx.to_string(),
+        drill_crumb: target.to_string(),
+    }
+}
+
+/// One client's full lifecycle against the server; returns the number
+/// of advise-path requests it made (start + drill per iteration).
+fn client_script(addr: std::net::SocketAddr, spelling: &str, oracle: &Oracle) -> usize {
+    let mut advised = 0;
+    for _ in 0..ITERATIONS {
+        // Start a session; the served advice must equal the oracle's.
+        let (status, body) = http_request(addr, "POST", "/session", spelling).unwrap();
+        assert_eq!(status, 201, "start failed: {body}");
+        let id = body
+            .strip_prefix("{\"session\":\"")
+            .and_then(|rest| rest.split_once('"'))
+            .map(|(id, _)| id.to_string())
+            .unwrap_or_else(|| panic!("no session id in {body}"));
+        assert_eq!(
+            body,
+            format!("{{\"session\":\"{id}\",\"advice\":{}}}", oracle.root_json),
+            "served root advice differs from the direct advisor oracle"
+        );
+        advised += 1;
+
+        // Bad SDL and bad drill bodies answer 4xx without advising.
+        let (status, _) = http_request(addr, "POST", "/session", "(no_such_column: )").unwrap();
+        assert_eq!(status, 400);
+        let (status, _) =
+            http_request(addr, "POST", &format!("/session/{id}/drill"), "zero one").unwrap();
+        assert_eq!(status, 400);
+
+        // Inspect: depth 1, canonical breadcrumb, same advice bytes.
+        let (status, info) = http_request(addr, "GET", &format!("/session/{id}"), "").unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(
+            info,
+            format!(
+                "{{\"session\":\"{id}\",\"depth\":1,\"breadcrumbs\":[{}],\"advice\":{}}}",
+                charles::serve::json::json_string(&oracle.root_crumb),
+                oracle.root_json
+            )
+        );
+
+        // Out-of-range drill: stable 422, session state untouched.
+        let (status, err) =
+            http_request(addr, "POST", &format!("/session/{id}/drill"), "99 424242").unwrap();
+        assert_eq!(status, 422, "{err}");
+        assert!(err.contains("(99, 424242)"), "{err}");
+
+        // Back at root: stable 422.
+        let (status, err) = http_request(addr, "POST", &format!("/session/{id}/back"), "").unwrap();
+        assert_eq!(status, 422, "{err}");
+
+        // Drill (0, 0): byte-equal to the oracle's drilled advice.
+        let (status, body) =
+            http_request(addr, "POST", &format!("/session/{id}/drill"), "0 0").unwrap();
+        assert_eq!(status, 200, "drill failed: {body}");
+        assert_eq!(
+            body,
+            format!("{{\"session\":\"{id}\",\"advice\":{}}}", oracle.drill_json),
+            "served drilled advice differs from the direct advisor oracle"
+        );
+        advised += 1;
+
+        // Breadcrumbs now two deep, both canonical.
+        let (status, info) = http_request(addr, "GET", &format!("/session/{id}"), "").unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(
+            info,
+            format!(
+                "{{\"session\":\"{id}\",\"depth\":2,\"breadcrumbs\":[{},{}],\"advice\":{}}}",
+                charles::serve::json::json_string(&oracle.root_crumb),
+                charles::serve::json::json_string(&oracle.drill_crumb),
+                oracle.drill_json
+            )
+        );
+
+        // Back out: the root advice again, bit for bit.
+        let (status, body) =
+            http_request(addr, "POST", &format!("/session/{id}/back"), "").unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(
+            body,
+            format!("{{\"session\":\"{id}\",\"advice\":{}}}", oracle.root_json)
+        );
+
+        // Delete; the id is then gone for every verb.
+        let (status, body) = http_request(addr, "DELETE", &format!("/session/{id}"), "").unwrap();
+        assert_eq!(status, 204, "{body}");
+        let (status, _) = http_request(addr, "GET", &format!("/session/{id}"), "").unwrap();
+        assert_eq!(status, 404);
+        let (status, _) = http_request(addr, "DELETE", &format!("/session/{id}"), "").unwrap();
+        assert_eq!(status, 404);
+    }
+    advised
+}
+
+#[test]
+fn concurrent_sessions_serve_oracle_bytes_and_share_one_cache() {
+    let shards = shard_count();
+    let table = charles::voc_table(600, 42);
+    let sharded = ShardedTable::from_table(&table, shards);
+
+    // Single-threaded oracle over the very same sharded backend.
+    let mut distinct = HashSet::new();
+    let oracles: Vec<Oracle> = context_pool()
+        .iter()
+        .map(|spellings| oracle(&sharded, spellings[0], &mut distinct))
+        .collect();
+
+    let backend: Arc<dyn Backend> = Arc::new(sharded);
+    let server = Server::bind(
+        "127.0.0.1:0",
+        backend,
+        ServeConfig {
+            workers: 8,
+            cache_shards: 5,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind ephemeral port");
+    let addr = server.local_addr().unwrap();
+    let cache = server.cache();
+    let handle = server.spawn().expect("spawn server");
+
+    // ≥ 8 clients, all released at once for maximal interleaving. Each
+    // uses one of the four contexts, alternating between the canonical
+    // and the permuted spelling.
+    let pool = context_pool();
+    let barrier = Arc::new(Barrier::new(CLIENT_THREADS));
+    let advised: usize = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..CLIENT_THREADS {
+            let spellings = pool[t % pool.len()];
+            let spelling = spellings[t % 2];
+            let oracle = &oracles[t % pool.len()];
+            let barrier = Arc::clone(&barrier);
+            handles.push(scope.spawn(move || {
+                barrier.wait();
+                client_script(addr, spelling, oracle)
+            }));
+        }
+        handles.into_iter().map(|h| h.join().expect("client")).sum()
+    });
+
+    // The cache proves the sharing: every advise-path request hit the
+    // cache exactly once, and the advisor ran exactly once per distinct
+    // canonical context — duplicates across sessions, spellings,
+    // iterations and threads were all served from the shared entries.
+    let stats = cache.stats();
+    assert_eq!(
+        advised,
+        CLIENT_THREADS * ITERATIONS * 2,
+        "each client advises twice per iteration"
+    );
+    assert_eq!(
+        stats.hits + stats.misses,
+        advised as u64,
+        "every advise-path request goes through the cache"
+    );
+    assert_eq!(
+        stats.runs,
+        distinct.len() as u64,
+        "identical contexts across sessions must share one advisor run \
+         (distinct canonical contexts: {distinct:?})"
+    );
+    assert!(
+        stats.misses >= stats.runs,
+        "a miss either ran the advisor or blocked on the flight that did: {stats:?}"
+    );
+
+    // The HTTP view of the same counters agrees.
+    let (status, body) = http_request(addr, "GET", "/cache/stats", "").unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(
+        body,
+        format!(
+            "{{\"hits\":{},\"misses\":{},\"runs\":{},\"entries\":{}}}",
+            stats.hits,
+            stats.misses,
+            stats.runs,
+            distinct.len()
+        )
+    );
+
+    handle.shutdown();
+}
+
+/// The cache must also be *correct* under contention when many threads
+/// race the very same brand-new context: single-flight, one run.
+#[test]
+fn racing_identical_contexts_compute_once() {
+    let table = charles::voc_table(400, 7);
+    let sharded = ShardedTable::from_table(&table, shard_count());
+    let backend: Arc<dyn Backend> = Arc::new(sharded);
+    let server = Server::bind("127.0.0.1:0", backend, ServeConfig::default()).unwrap();
+    let addr = server.local_addr().unwrap();
+    let cache = server.cache();
+    let handle = server.spawn().unwrap();
+
+    let threads = 8;
+    let barrier = Arc::new(Barrier::new(threads));
+    let bodies: Vec<String> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let barrier = Arc::clone(&barrier);
+            // Both spellings of one context, hitting the cold cache at
+            // the same instant.
+            let sdl = if t % 2 == 0 {
+                "(master: , tonnage: )"
+            } else {
+                "(tonnage: , master: )"
+            };
+            handles.push(scope.spawn(move || {
+                barrier.wait();
+                let (status, body) = http_request(addr, "POST", "/session", sdl).unwrap();
+                assert_eq!(status, 201, "{body}");
+                // Strip the per-session id: the advice bytes must agree.
+                body.split_once(",\"advice\":").unwrap().1.to_string()
+            }));
+        }
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    assert_eq!(
+        cache.stats().runs,
+        1,
+        "one run for {threads} racing sessions"
+    );
+    for w in bodies.windows(2) {
+        assert_eq!(w[0], w[1], "all racers must be served identical bytes");
+    }
+    handle.shutdown();
+}
