@@ -3,10 +3,14 @@
 //! ```sh
 //! cargo run -p charles-bench --bin experiments --release            # all
 //! cargo run -p charles-bench --bin experiments --release -- e5 e6  # some
+//! cargo run -p charles-bench --bin experiments --release -- e4 --dataset voc.charles
 //! ```
 //!
 //! Experiment ids follow DESIGN.md §4 (E1–E12). Output is the set of rows
-//! recorded in EXPERIMENTS.md.
+//! recorded in EXPERIMENTS.md. `--dataset <path>` points the advisor
+//! experiments (E4's Figure 1 panel and E7's backend ablation) at a
+//! saved `.charles` file instead of the synthetic VOC register — write
+//! one with `cargo run -p charles-datagen --bin datagen`.
 
 use charles_bench::{explorer_over, fmt_duration, header, row, time_once};
 use charles_core::baselines::{
@@ -21,13 +25,28 @@ use charles_datagen::{
     astro_table, correlated_pair_table, sweep_table, voc_table, weblog_table, DependencyKind,
 };
 use charles_sdl::{eval, Query, Segmentation};
-use charles_store::{Backend, DataType, RowTable, Table, TableBuilder, Value};
+use charles_store::{Backend, DataType, DiskTable, RowTable, Table, TableBuilder, Value};
 use charles_viz::render_panel;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::path::{Path, PathBuf};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).map(|a| a.to_lowercase()).collect();
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut dataset: Option<PathBuf> = None;
+    let mut args: Vec<String> = Vec::new();
+    let mut it = raw.into_iter();
+    while let Some(a) = it.next() {
+        if a == "--dataset" {
+            let path = it.next().unwrap_or_else(|| {
+                eprintln!("--dataset requires a path to a .charles file");
+                std::process::exit(2);
+            });
+            dataset = Some(PathBuf::from(path));
+        } else {
+            args.push(a.to_lowercase());
+        }
+    }
     let want = |id: &str| args.is_empty() || args.iter().any(|a| a == id);
 
     if want("e1") {
@@ -40,7 +59,7 @@ fn main() {
         e3_figure4();
     }
     if want("e4") {
-        e4_figure1();
+        e4_figure1(dataset.as_deref());
     }
     if want("e5") {
         e5_horizontal();
@@ -49,7 +68,7 @@ fn main() {
         e6_vertical();
     }
     if want("e7") {
-        e7_backend();
+        e7_backend(dataset.as_deref());
     }
     if want("e8") {
         e8_indep();
@@ -226,17 +245,47 @@ fn e3_figure4() {
     }
 }
 
-/// E4 — Figure 1: the advisor interface on the VOC data.
-fn e4_figure1() {
-    banner("E4", "Figure 1: the Charles interface on VOC shipping data");
-    let ships = voc_table(20_000, 1713);
-    let advisor = Advisor::new(&ships);
-    let advice = advisor
-        .advise_str("(type_of_boat: , tonnage: , departure_harbour: , cape_arrival: , built: )")
-        .unwrap();
+/// E4 — Figure 1: the advisor interface on the VOC data (or, with
+/// `--dataset <path>`, on a saved `.charles` file served lazily).
+fn e4_figure1(dataset: Option<&Path>) {
+    let (ships, label): (Box<dyn Backend>, String) = match dataset {
+        None => (
+            Box::new(voc_table(20_000, 1713)),
+            "synthetic VOC shipping data".into(),
+        ),
+        Some(path) => {
+            let disk = DiskTable::open(path)
+                .unwrap_or_else(|e| panic!("cannot open dataset {path:?}: {e}"));
+            let label = format!("{:?} ({} rows, from disk)", disk.name(), disk.len());
+            (Box::new(disk), label)
+        }
+    };
+    banner("E4", &format!("Figure 1: the Charles interface on {label}"));
+    let ships = ships.as_ref();
+    // The default run keeps the exact Figure 1 context (pinned by
+    // EXPERIMENTS.md); a --dataset run cannot assume those attribute
+    // names and takes a wildcard over the first five columns instead.
+    let context = match dataset {
+        None => charles_sdl::parse_query(
+            "(type_of_boat: , tonnage: , departure_harbour: , cape_arrival: , built: )",
+            ships.schema(),
+        )
+        .unwrap(),
+        Some(_) => charles_bench::context_over(ships, 5.min(ships.schema().arity())),
+    };
+    let advisor = Advisor::new(ships);
+    let advice = match advisor.advise(context) {
+        Ok(a) => a,
+        Err(e) => {
+            // A degenerate --dataset (empty, uniform) is an advisor
+            // error, not a harness crash.
+            println!("advisor could not segment this dataset: {e}");
+            return;
+        }
+    };
     println!(
         "{}",
-        render_panel(&ships, &advice, 0, 110).expect("panel renders")
+        render_panel(ships, &advice, 0, 110).expect("panel renders")
     );
     println!(
         "backend ops: {} scans, {} counts, {} medians; cache: {} hits / {} misses",
@@ -335,46 +384,95 @@ fn e6_vertical() {
     }
 }
 
-/// E7 — §5.1 "column stores suit Charles' workload": column vs row engine.
-fn e7_backend() {
+/// E7 — §5.1 "column stores suit Charles' workload": column vs row engine
+/// (plus, under `--dataset`, the lazily loaded `.charles` file itself).
+fn e7_backend(dataset: Option<&Path>) {
     banner("E7", "backend ablation: columnar vs row-store engine");
-    let col = voc_table(200_000, 7);
+    let (col, disk): (Table, Option<DiskTable>) = match dataset {
+        None => (voc_table(200_000, 7), None),
+        Some(path) => {
+            let d = DiskTable::open(path)
+                .unwrap_or_else(|e| panic!("cannot open dataset {path:?}: {e}"));
+            let t = d.to_table().expect("materialise dataset");
+            // A fresh handle so the lazy engine's first-touch I/O is
+            // actually measured (the materialisation above already
+            // loaded every column of `d`).
+            let fresh = DiskTable::open(path).expect("reopen dataset");
+            (t, Some(fresh))
+        }
+    };
     let rowstore = RowTable::from_table(&col);
-    let context = "(type_of_boat: , tonnage: , departure_harbour: , built: )";
-
-    header(&["engine", "advise time", "scans", "counts", "medians"]);
-    for (name, backend) in [
-        ("columnar", &col as &dyn Backend),
-        ("row-store", &rowstore as &dyn Backend),
-    ] {
-        let advisor = Advisor::new(backend);
-        let (d, advice) = time_once(|| advisor.advise_str(context).unwrap());
-        row(&[
-            name.to_string(),
-            fmt_duration(d),
-            format!("{}", advice.backend_ops.scans),
-            format!("{}", advice.backend_ops.counts),
-            format!("{}", advice.backend_ops.medians),
-        ]);
+    let context = match dataset {
+        None => "(type_of_boat: , tonnage: , departure_harbour: , built: )".to_string(),
+        Some(_) => charles_bench::context_over(&col, 4.min(col.schema().arity())).to_string(),
+    };
+    let mut engines: Vec<(&str, &dyn Backend)> = vec![("columnar", &col), ("row-store", &rowstore)];
+    if let Some(d) = &disk {
+        engines.push(("disk (lazy)", d));
     }
 
-    // Microbenchmark: one predicate count + one median, per engine.
-    println!("\nper-operation microbenchmark (200k rows):");
-    header(&["engine", "count(pred)", "median(sel)"]);
-    let q = charles_sdl::parse_query("(tonnage: [300,700])", col.schema()).unwrap();
-    let pred = eval::lower(&q);
-    for (name, backend) in [
-        ("columnar", &col as &dyn Backend),
-        ("row-store", &rowstore as &dyn Backend),
-    ] {
-        let d_count = charles_bench::time_mean(20, || backend.count(&pred).unwrap());
-        let sel = backend.eval(&pred).unwrap();
-        let d_median = charles_bench::time_mean(20, || backend.median("tonnage", &sel).unwrap());
-        row(&[
-            name.to_string(),
-            fmt_duration(d_count),
-            fmt_duration(d_median),
-        ]);
+    header(&["engine", "advise time", "scans", "counts", "medians"]);
+    for (name, backend) in &engines {
+        let advisor = Advisor::new(*backend);
+        let (d, advice) = time_once(|| advisor.advise_str(&context));
+        match advice {
+            Ok(advice) => row(&[
+                name.to_string(),
+                fmt_duration(d),
+                format!("{}", advice.backend_ops.scans),
+                format!("{}", advice.backend_ops.counts),
+                format!("{}", advice.backend_ops.medians),
+            ]),
+            // Degenerate datasets (empty, uniform) are advisor errors,
+            // not harness crashes — report and move on.
+            Err(e) => row(&[
+                name.to_string(),
+                format!("({e})"),
+                "—".into(),
+                "—".into(),
+                "—".into(),
+            ]),
+        }
+    }
+
+    // Microbenchmark: one predicate count + one median, per engine. The
+    // default run pins the historical VOC predicate; a --dataset run
+    // derives an interquartile range over the first numeric column.
+    let micro = match dataset {
+        None => Some(("tonnage".to_string(), "(tonnage: [300,700])".to_string())),
+        // First numeric column that actually has values (quantile is
+        // None for empty or all-null columns — skip those rather than
+        // panic on a degenerate dataset).
+        Some(_) => col
+            .schema()
+            .columns()
+            .iter()
+            .filter(|c| c.ty.is_numeric())
+            .find_map(|c| {
+                let all = col.all_rows();
+                let lo = col.quantile(&c.name, &all, 0.25).ok().flatten()?;
+                let hi = col.quantile(&c.name, &all, 0.75).ok().flatten()?;
+                Some((c.name.clone(), format!("({}: [{},{}])", c.name, lo, hi)))
+            }),
+    };
+    if let Some((attr, pred_text)) = micro {
+        println!(
+            "\nper-operation microbenchmark ({} rows, {pred_text}):",
+            col.len()
+        );
+        header(&["engine", "count(pred)", "median(sel)"]);
+        let q = charles_sdl::parse_query(&pred_text, col.schema()).unwrap();
+        let pred = eval::lower(&q);
+        for (name, backend) in &engines {
+            let d_count = charles_bench::time_mean(20, || backend.count(&pred).unwrap());
+            let sel = backend.eval(&pred).unwrap();
+            let d_median = charles_bench::time_mean(20, || backend.median(&attr, &sel).unwrap());
+            row(&[
+                name.to_string(),
+                fmt_duration(d_count),
+                fmt_duration(d_median),
+            ]);
+        }
     }
 }
 

@@ -18,15 +18,20 @@
 //! * [`synthetic`] — parametric tables with *controlled* pairwise
 //!   dependency for calibrating INDEP (experiment E8) and scalability
 //!   sweeps (E5/E6);
-//! * [`zipf`] — a small Zipf sampler shared by the generators.
+//! * [`zipf`] — a small Zipf sampler shared by the generators;
+//! * [`persist`] — save any generated dataset as a `.charles` file
+//!   (and the `datagen` binary that does it from the shell), so a
+//!   dataset is generated once and served from disk forever after.
 
 pub mod astro;
+pub mod persist;
 pub mod synthetic;
 pub mod voc;
 pub mod weblog;
 pub mod zipf;
 
 pub use astro::astro_table;
+pub use persist::{dataset_by_name, generate_and_save, save_table, DATASET_NAMES};
 pub use synthetic::{correlated_pair_table, sweep_table, DependencyKind};
 pub use voc::voc_table;
 pub use weblog::weblog_table;

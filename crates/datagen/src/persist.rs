@@ -1,0 +1,88 @@
+//! Saving generated datasets to disk (`.charles` files).
+//!
+//! The generators synthesise a fresh table per call, which is fine for
+//! tests but wasteful for a long-lived server: regenerating (and
+//! re-interning string dictionaries for) a million-row VOC register on
+//! every boot is exactly the re-ingestion cost the persistent columnar
+//! format exists to eliminate. This module is the bridge: name a
+//! generator, get a `.charles` file, boot anything — `charles-serve`
+//! sessions (`@path` bodies), `charles-bench` experiments
+//! (`--dataset <path>`), or a plain [`charles_store::DiskTable`].
+//!
+//! The `datagen` binary wraps [`generate_and_save`] for shell use:
+//!
+//! ```sh
+//! cargo run -p charles-datagen --bin datagen -- voc 20000 42 /tmp/voc.charles
+//! ```
+
+use charles_store::disk::write_table;
+use charles_store::{StoreError, StoreResult, Table};
+use std::path::Path;
+
+/// The named generators [`dataset_by_name`] knows, with their schemas'
+/// domains: the paper's three running examples.
+pub const DATASET_NAMES: &[&str] = &["voc", "astro", "weblog"];
+
+/// Generate one of the named datasets (`voc`, `astro`, `weblog`),
+/// deterministic for a fixed `(rows, seed)`. `None` for unknown names.
+pub fn dataset_by_name(name: &str, rows: usize, seed: u64) -> Option<Table> {
+    match name {
+        "voc" => Some(crate::voc_table(rows, seed)),
+        "astro" => Some(crate::astro_table(rows, seed)),
+        "weblog" => Some(crate::weblog_table(rows, seed)),
+        _ => None,
+    }
+}
+
+/// Save any table as a `.charles` file — a re-export of the store's
+/// writer so datagen callers need no second import.
+pub fn save_table(table: &Table, path: impl AsRef<Path>) -> StoreResult<()> {
+    write_table(table, path)
+}
+
+/// Generate a named dataset and save it in one step, returning the
+/// generated table (callers often want to advise over it immediately to
+/// compare against the loaded file).
+pub fn generate_and_save(
+    name: &str,
+    rows: usize,
+    seed: u64,
+    path: impl AsRef<Path>,
+) -> StoreResult<Table> {
+    let table = dataset_by_name(name, rows, seed).ok_or_else(|| {
+        StoreError::Parse(format!(
+            "unknown dataset {name:?} (expected one of {DATASET_NAMES:?})"
+        ))
+    })?;
+    save_table(&table, path)?;
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use charles_store::{Backend, DiskTable};
+
+    #[test]
+    fn every_named_dataset_saves_and_reloads() {
+        for (i, name) in DATASET_NAMES.iter().enumerate() {
+            let path = std::env::temp_dir().join(format!(
+                "charles-datagen-{}-{name}-{i}.charles",
+                std::process::id()
+            ));
+            let generated = generate_and_save(name, 500, 9, &path).unwrap();
+            let loaded = DiskTable::open(&path).unwrap();
+            assert_eq!(loaded.len(), 500, "{name}");
+            assert_eq!(Backend::schema(&loaded), generated.schema(), "{name}");
+            loaded.verify().unwrap();
+            std::fs::remove_file(&path).unwrap();
+        }
+    }
+
+    #[test]
+    fn unknown_dataset_is_a_typed_error() {
+        assert!(dataset_by_name("nope", 10, 1).is_none());
+        let err = generate_and_save("nope", 10, 1, "/tmp/never-written.charles").unwrap_err();
+        assert!(err.to_string().contains("unknown dataset"), "{err}");
+    }
+}

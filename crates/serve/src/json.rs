@@ -68,9 +68,20 @@ where
     out
 }
 
-/// `{"error": "..."}` — the body of every non-2xx response.
-pub fn encode_error(message: &str) -> String {
-    format!("{{\"error\":{}}}", json_string(message))
+/// `{"error":{"code":"...","message":"..."}}` — the body of every
+/// non-2xx response. `code` is a stable snake_case machine-readable
+/// identifier (clients branch on it; the set is documented in the
+/// README's serving section); `message` is the human-readable detail.
+pub fn encode_error(code: &str, message: &str) -> String {
+    debug_assert!(
+        code.chars().all(|c| c.is_ascii_lowercase() || c == '_'),
+        "error codes are stable snake_case identifiers, got {code:?}"
+    );
+    format!(
+        "{{\"error\":{{\"code\":{},\"message\":{}}}}}",
+        json_string(code),
+        json_string(message)
+    )
 }
 
 /// The wire name of a stop reason (snake_case, stable).
@@ -174,6 +185,14 @@ mod tests {
         assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
         // Non-ASCII passes through as UTF-8.
         assert_eq!(json_string("ünïcode"), "\"ünïcode\"");
+    }
+
+    #[test]
+    fn error_bodies_are_structured() {
+        assert_eq!(
+            encode_error("no_such_session", "no session \"s9\""),
+            "{\"error\":{\"code\":\"no_such_session\",\"message\":\"no session \\\"s9\\\"\"}}"
+        );
     }
 
     #[test]

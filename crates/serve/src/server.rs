@@ -19,14 +19,15 @@
 //! run, and the payload served from the cache is byte-identical to a
 //! fresh advisor run on the same canonical context.
 
-use crate::http::{parse_request, write_response, Method, Request};
+use crate::http::{parse_request, write_response, HttpError, Method, Request};
 use crate::json::{encode_advice, encode_error, json_string, json_string_array};
 use charles_core::{Advice, AdviceCache, Config, CoreError, OwnedSession};
 use charles_parallel::WorkerPool;
-use charles_store::Backend;
+use charles_store::{Backend, DiskTable};
 use std::collections::HashMap;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
@@ -47,6 +48,14 @@ pub struct ServeConfig {
     /// reached (sessions are server-side state, so an uncapped registry
     /// would let clients grow memory without bound).
     pub max_sessions: usize,
+    /// When set, `POST /session` bodies may begin with an `@<path>`
+    /// line naming a `.charles` file **under this directory**; the
+    /// session then explores that dataset (lazily loaded on first use,
+    /// cached per canonical path, each with its own advice cache)
+    /// instead of the server's default backend. `None` (the default)
+    /// disables dataset-by-path bodies entirely — paths outside the
+    /// root are rejected with `dataset_forbidden` either way.
+    pub dataset_root: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -56,8 +65,18 @@ impl Default for ServeConfig {
             cache_shards: 16,
             read_timeout: Duration::from_secs(10),
             max_sessions: 4096,
+            dataset_root: None,
         }
     }
+}
+
+/// One loaded dataset: its backend plus its own advice cache (cache
+/// keys are canonical contexts, so distinct datasets must never share
+/// one cache — identical contexts over different data would collide).
+#[derive(Clone)]
+struct Dataset {
+    backend: Arc<dyn Backend>,
+    cache: Arc<AdviceCache>,
 }
 
 struct ServerState {
@@ -67,6 +86,10 @@ struct ServerState {
     sessions: Mutex<HashMap<String, Arc<Mutex<OwnedSession>>>>,
     next_id: AtomicU64,
     max_sessions: usize,
+    dataset_root: Option<PathBuf>,
+    /// Datasets loaded through `@path` session bodies, keyed by
+    /// canonical path so aliases of one file share a single load.
+    datasets: Mutex<HashMap<PathBuf, Dataset>>,
 }
 
 /// A bound advisory server, ready to [`run`](Server::run) or
@@ -104,6 +127,8 @@ impl Server {
             sessions: Mutex::new(HashMap::new()),
             next_id: AtomicU64::new(1),
             max_sessions: config.max_sessions.max(1),
+            dataset_root: config.dataset_root.clone(),
+            datasets: Mutex::new(HashMap::new()),
         });
         Ok(Server {
             listener,
@@ -246,9 +271,23 @@ fn handle_connection(stream: TcpStream, state: &ServerState, timeout: Duration) 
     let _ = writer.set_write_timeout(Some(timeout));
     let (status, body) = match parse_request(&mut reader) {
         Ok(req) => route(state, &req),
-        Err(e) => (e.status(), encode_error(&e.to_string())),
+        Err(e) => (
+            e.status(),
+            encode_error(http_error_code(&e), &e.to_string()),
+        ),
     };
     let _ = write_response(&mut writer, status, &body);
+}
+
+/// The stable machine-readable code for a transport-layer error.
+fn http_error_code(e: &HttpError) -> &'static str {
+    match e {
+        HttpError::UnsupportedMethod(_) => "unsupported_method",
+        HttpError::UnsupportedVersion(_) => "unsupported_http_version",
+        HttpError::HeadTooLarge => "head_too_large",
+        HttpError::BodyTooLarge(_) => "body_too_large",
+        _ => "bad_request",
+    }
 }
 
 /// Split a path into non-empty segments.
@@ -287,20 +326,109 @@ fn route(state: &ServerState, req: &Request) -> (u16, String) {
             })
         }
         // Known paths with the wrong method get a 405, the rest 404.
-        (_, ["session"]) | (_, ["session", _]) | (_, ["session", _, "drill" | "back"]) => {
-            (405, encode_error("method not allowed for this route"))
-        }
-        _ => (404, encode_error("no such route")),
+        (_, ["session"]) | (_, ["session", _]) | (_, ["session", _, "drill" | "back"]) => (
+            405,
+            encode_error("method_not_allowed", "method not allowed for this route"),
+        ),
+        _ => (404, encode_error("no_such_route", "no such route")),
     }
 }
 
-fn create_session(state: &ServerState, sdl: &str) -> (u16, String) {
-    if sdl.trim().is_empty() {
-        return (400, encode_error("request body must be an SDL context"));
+/// Split an optional leading `@<path>` line off a session body,
+/// returning `(dataset path, SDL context)`.
+fn split_dataset_directive(body: &str) -> (Option<&str>, &str) {
+    let trimmed = body.trim_start();
+    let Some(rest) = trimmed.strip_prefix('@') else {
+        return (None, body);
+    };
+    match rest.split_once('\n') {
+        Some((path, sdl)) => (Some(path.trim()), sdl),
+        None => (Some(rest.trim()), ""),
     }
-    let mut session =
-        OwnedSession::with_config(Arc::clone(&state.backend), state.advisor_config.clone())
-            .with_cache(Arc::clone(&state.cache));
+}
+
+impl ServerState {
+    /// Resolve an `@path` dataset directive: confine the path to the
+    /// configured root, then load (or reuse) the `.charles` file. The
+    /// registry lock is held across `DiskTable::open`, which reads only
+    /// header + footer — a few hundred bytes — so the hold is short and
+    /// concurrent first requests for one dataset load it exactly once.
+    fn dataset(&self, rel: &str) -> Result<Dataset, (u16, String)> {
+        let Some(root) = &self.dataset_root else {
+            return Err((
+                403,
+                encode_error(
+                    "dataset_disabled",
+                    "this server has no dataset root; '@path' session bodies are disabled",
+                ),
+            ));
+        };
+        let root = root.canonicalize().map_err(|e| {
+            (
+                500,
+                encode_error("backend_failure", &format!("dataset root unavailable: {e}")),
+            )
+        })?;
+        let joined = root.join(rel);
+        let canonical = joined.canonicalize().map_err(|_| {
+            (
+                404,
+                encode_error("no_such_dataset", &format!("no dataset at {rel:?}")),
+            )
+        })?;
+        if !canonical.starts_with(&root) {
+            return Err((
+                403,
+                encode_error(
+                    "dataset_forbidden",
+                    &format!("dataset path {rel:?} escapes the dataset root"),
+                ),
+            ));
+        }
+        let mut registry = self.datasets.lock().unwrap_or_else(|p| p.into_inner());
+        if let Some(d) = registry.get(&canonical) {
+            return Ok(d.clone());
+        }
+        match DiskTable::open(&canonical) {
+            Ok(table) => {
+                let dataset = Dataset {
+                    backend: Arc::new(table),
+                    cache: Arc::new(AdviceCache::new()),
+                };
+                registry.insert(canonical, dataset.clone());
+                Ok(dataset)
+            }
+            Err(e) => Err((
+                422,
+                encode_error(
+                    "bad_dataset",
+                    &format!("failed to load dataset {rel:?}: {e}"),
+                ),
+            )),
+        }
+    }
+}
+
+fn create_session(state: &ServerState, body: &str) -> (u16, String) {
+    let (dataset_path, sdl) = split_dataset_directive(body);
+    if sdl.trim().is_empty() {
+        return (
+            400,
+            encode_error("bad_request", "request body must be an SDL context"),
+        );
+    }
+    let dataset = match dataset_path {
+        None => Dataset {
+            backend: Arc::clone(&state.backend),
+            cache: Arc::clone(&state.cache),
+        },
+        Some(rel) => match state.dataset(rel) {
+            Ok(d) => d,
+            Err(resp) => return resp,
+        },
+    };
+    let mut session = OwnedSession::with_config(dataset.backend, state.advisor_config.clone())
+        .with_cache(dataset.cache);
     match session.start(sdl) {
         Ok(_) => {
             let id = format!("s{}", state.next_id.fetch_add(1, Ordering::Relaxed));
@@ -315,6 +443,7 @@ fn create_session(state: &ServerState, sdl: &str) -> (u16, String) {
                     return (
                         503,
                         encode_error(
+                            "capacity_exhausted",
                             "session capacity exhausted; DELETE finished sessions and retry",
                         ),
                     );
@@ -335,7 +464,10 @@ fn delete_session(state: &ServerState, id: &str) -> (u16, String) {
         .remove(id);
     match removed {
         Some(_) => (204, String::new()),
-        None => (404, encode_error(&format!("no session {id:?}"))),
+        None => (
+            404,
+            encode_error("no_such_session", &format!("no session {id:?}")),
+        ),
     }
 }
 
@@ -356,7 +488,10 @@ where
             let mut session = cell.lock().unwrap_or_else(|p| p.into_inner());
             f(id, &mut session)
         }
-        None => (404, encode_error(&format!("no session {id:?}"))),
+        None => (
+            404,
+            encode_error("no_such_session", &format!("no session {id:?}")),
+        ),
     }
 }
 
@@ -388,7 +523,10 @@ fn drill_session(id: &str, session: &mut OwnedSession, body: &str) -> (u16, Stri
         _ => {
             return (
                 400,
-                encode_error("drill body must be two indices: \"rank seg\""),
+                encode_error(
+                    "bad_request",
+                    "drill body must be two indices: \"rank seg\"",
+                ),
             )
         }
     };
@@ -407,22 +545,25 @@ fn advice_envelope(id: &str, advice: &Advice) -> String {
     )
 }
 
-/// Map advisor errors onto statuses: client mistakes are 4xx, backend
-/// faults are the only 500s.
+/// Map advisor errors onto statuses and stable codes: client mistakes
+/// are 4xx, backend faults are the only 500s.
 fn core_error_response(e: &CoreError) -> (u16, String) {
-    let status = match e {
+    let (status, code) = match e {
         // The context didn't parse or validate: the request was wrong.
-        CoreError::Sdl(_) | CoreError::BadConfig(_) => 400,
+        CoreError::Sdl(_) => (400, "bad_context"),
+        CoreError::BadConfig(_) => (400, "bad_config"),
         // Stable session-state errors: the request is well-formed but
         // cannot apply to the current state.
-        CoreError::SessionNotStarted => 409,
-        CoreError::NoSuchSegment { .. } | CoreError::AtRoot => 422,
+        CoreError::SessionNotStarted => (409, "session_not_started"),
+        CoreError::NoSuchSegment { .. } => (422, "no_such_segment"),
+        CoreError::AtRoot => (422, "at_root"),
         // Semantically empty/uniform contexts are client-visible dead
         // ends, not server faults.
-        CoreError::EmptyContext | CoreError::NoCuttableAttribute => 422,
-        CoreError::Store(_) => 500,
+        CoreError::EmptyContext => (422, "empty_context"),
+        CoreError::NoCuttableAttribute => (422, "no_cuttable_attribute"),
+        CoreError::Store(_) => (500, "backend_failure"),
     };
-    (status, encode_error(&e.to_string()))
+    (status, encode_error(code, &e.to_string()))
 }
 
 #[cfg(test)]
@@ -449,6 +590,8 @@ mod tests {
             sessions: Mutex::new(HashMap::new()),
             next_id: AtomicU64::new(1),
             max_sessions: 4096,
+            dataset_root: None,
+            datasets: Mutex::new(HashMap::new()),
         }
     }
 
@@ -548,6 +691,115 @@ mod tests {
         assert_eq!(status, 200);
         assert!(stats.contains("\"runs\":1"), "{stats}");
         assert!(stats.contains("\"entries\":1"), "{stats}");
+    }
+
+    #[test]
+    fn unknown_session_errors_are_structured() {
+        // The documented error shape: {"error":{"code","message"}} with
+        // a stable code — on GET and DELETE of a dead session id alike.
+        let st = state();
+        let (status, body) = route(&st, &get("/session/s42"));
+        assert_eq!(status, 404);
+        assert_eq!(
+            body,
+            "{\"error\":{\"code\":\"no_such_session\",\"message\":\"no session \\\"s42\\\"\"}}"
+        );
+        let (status, body) = route(
+            &st,
+            &Request {
+                method: Method::Delete,
+                path: "/session/s42".into(),
+                body: String::new(),
+            },
+        );
+        assert_eq!(status, 404);
+        assert!(body.contains("\"code\":\"no_such_session\""), "{body}");
+        // Other error classes carry their own stable codes.
+        let (_, body) = route(&st, &get("/frobnicate"));
+        assert!(body.contains("\"code\":\"no_such_route\""), "{body}");
+        let (_, body) = route(&st, &get("/session/s1/drill"));
+        assert!(body.contains("\"code\":\"method_not_allowed\""), "{body}");
+        let (_, body) = route(&st, &post("/session", "(nope: )"));
+        assert!(body.contains("\"code\":\"bad_context\""), "{body}");
+    }
+
+    #[test]
+    fn dataset_directive_parsing() {
+        assert_eq!(split_dataset_directive("(kind: )"), (None, "(kind: )"));
+        assert_eq!(
+            split_dataset_directive("@boats.charles\n(kind: )"),
+            (Some("boats.charles"), "(kind: )")
+        );
+        assert_eq!(
+            split_dataset_directive("  @ sub/boats.charles \r\n(kind: )"),
+            (Some("sub/boats.charles"), "(kind: )")
+        );
+        // Directive without a context line: empty SDL (rejected later).
+        assert_eq!(
+            split_dataset_directive("@boats.charles"),
+            (Some("boats.charles"), "")
+        );
+    }
+
+    #[test]
+    fn dataset_sessions_load_from_disk_within_the_root() {
+        use charles_store::disk::write_table;
+        // A root directory holding one saved dataset.
+        let root = std::env::temp_dir().join(format!("charles-ds-root-{}", std::process::id()));
+        std::fs::create_dir_all(&root).unwrap();
+        let mut b = TableBuilder::new("saved");
+        b.add_column("kind", DataType::Str)
+            .add_column("size", DataType::Int);
+        for i in 0..40i64 {
+            let kind = if i % 2 == 0 { "even" } else { "odd" };
+            b.push_row(vec![Value::str(kind), Value::Int(i)]).unwrap();
+        }
+        let saved = b.finish();
+        write_table(&saved, root.join("boats.charles")).unwrap();
+
+        let st = ServerState {
+            dataset_root: Some(root.clone()),
+            ..state()
+        };
+
+        // A dataset session starts, drills, and is served from the file.
+        let (status, body) = route(&st, &post("/session", "@boats.charles\n(kind: , size: )"));
+        assert_eq!(status, 201, "{body}");
+        let (status, body) = route(&st, &post("/session/s1/drill", "0 0"));
+        assert_eq!(status, 200, "{body}");
+        // Same path again reuses the loaded dataset (one registry entry).
+        let (status, _) = route(&st, &post("/session", "@boats.charles\n(kind: )"));
+        assert_eq!(status, 201);
+        assert_eq!(st.datasets.lock().unwrap().len(), 1);
+
+        // Traversal out of the root is forbidden; missing files are 404;
+        // non-.charles files are rejected as bad datasets.
+        let (status, body) = route(&st, &post("/session", "@../../etc/passwd\n(kind: )"));
+        assert!(
+            status == 403 || status == 404,
+            "traversal must not resolve: {status} {body}"
+        );
+        assert!(
+            body.contains("dataset_forbidden") || body.contains("no_such_dataset"),
+            "{body}"
+        );
+        let (status, body) = route(&st, &post("/session", "@nope.charles\n(kind: )"));
+        assert_eq!(status, 404, "{body}");
+        assert!(body.contains("\"code\":\"no_such_dataset\""), "{body}");
+        std::fs::write(root.join("junk.charles"), b"not a charles file").unwrap();
+        let (status, body) = route(&st, &post("/session", "@junk.charles\n(kind: )"));
+        assert_eq!(status, 422, "{body}");
+        assert!(body.contains("\"code\":\"bad_dataset\""), "{body}");
+
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn dataset_sessions_disabled_without_a_root() {
+        let st = state();
+        let (status, body) = route(&st, &post("/session", "@boats.charles\n(kind: )"));
+        assert_eq!(status, 403, "{body}");
+        assert!(body.contains("\"code\":\"dataset_disabled\""), "{body}");
     }
 
     #[test]

@@ -34,6 +34,294 @@ pub struct BackendStats {
     pub medians: u64,
 }
 
+/// Implement [`Backend`] for a dense columnar type.
+///
+/// [`crate::Table`] (in-memory) and [`crate::DiskTable`] (lazily loaded
+/// from a `.charles` file) promise **bitwise-identical** behaviour for
+/// every operation; this macro makes that identity structural rather
+/// than hand-synchronized — both expand the exact same implementation.
+/// The target type must expose `column(&self, &str) -> StoreResult<&Column>`
+/// and `all_rows(&self) -> Bitmap`, a `schema: Schema` field, and
+/// `scans`/`counts`/`medians` `AtomicU64` counter fields. (The only
+/// behavioural difference between the two backends is that
+/// `DiskTable::column` may fault with `Io`/`Corrupt` on first touch.)
+macro_rules! impl_dense_backend {
+    ($ty:ty) => {
+        impl $crate::backend::Backend for $ty {
+            fn row_count(&self) -> usize {
+                self.rows
+            }
+
+            fn schema(&self) -> &$crate::schema::Schema {
+                &self.schema
+            }
+
+            fn eval(
+                &self,
+                pred: &$crate::predicate::StorePredicate,
+            ) -> $crate::error::StoreResult<$crate::bitmap::Bitmap> {
+                use $crate::predicate::StorePredicate;
+                match pred {
+                    StorePredicate::True => Ok(self.all_rows()),
+                    StorePredicate::Range(r) => {
+                        self.scans
+                            .fetch_add(1, ::std::sync::atomic::Ordering::Relaxed);
+                        $crate::predicate::eval_range(self.column(&r.column)?, r)
+                    }
+                    StorePredicate::Set(s) => {
+                        self.scans
+                            .fetch_add(1, ::std::sync::atomic::Ordering::Relaxed);
+                        $crate::predicate::eval_set(self.column(&s.column)?, s)
+                    }
+                    StorePredicate::And(ps) => {
+                        let mut acc: Option<$crate::bitmap::Bitmap> = None;
+                        for p in ps {
+                            let sel = $crate::backend::Backend::eval(self, p)?;
+                            acc = Some(match acc {
+                                None => sel,
+                                Some(mut a) => {
+                                    a.and_inplace(&sel);
+                                    a
+                                }
+                            });
+                            // Early exit on empty intermediate selections:
+                            // common in product cells of nearly dependent
+                            // segmentations.
+                            if acc
+                                .as_ref()
+                                .map($crate::bitmap::Bitmap::none)
+                                .unwrap_or(false)
+                            {
+                                break;
+                            }
+                        }
+                        Ok(acc.unwrap_or_else(|| self.all_rows()))
+                    }
+                }
+            }
+
+            fn count(
+                &self,
+                pred: &$crate::predicate::StorePredicate,
+            ) -> $crate::error::StoreResult<usize> {
+                // Counts get their own counter: delegating to `eval` used
+                // to record the paper's "counts over predicates" workload
+                // as plain scans, so the count metric never showed up in
+                // the experiment tables.
+                self.counts
+                    .fetch_add(1, ::std::sync::atomic::Ordering::Relaxed);
+                Ok($crate::backend::Backend::eval(self, pred)?.count_ones())
+            }
+
+            fn not_null(&self, column: &str) -> $crate::error::StoreResult<$crate::bitmap::Bitmap> {
+                Ok(self.column(column)?.validity().clone())
+            }
+
+            fn median(
+                &self,
+                column: &str,
+                sel: &$crate::bitmap::Bitmap,
+            ) -> $crate::error::StoreResult<Option<$crate::value::Value>> {
+                self.medians
+                    .fetch_add(1, ::std::sync::atomic::Ordering::Relaxed);
+                let col = self.column(column)?;
+                if !col.data_type().is_numeric() {
+                    return Err($crate::error::StoreError::TypeMismatch {
+                        column: column.to_string(),
+                        expected: "numeric".into(),
+                        found: col.data_type().name().into(),
+                    });
+                }
+                let mut buf = Vec::new();
+                col.gather_f64(sel, &mut buf)?;
+                if buf.is_empty() {
+                    return Ok(None);
+                }
+                let med = $crate::stats::exact_median(&mut buf)?;
+                Ok(Some($crate::value::numeric_value(col.data_type(), med)))
+            }
+
+            fn sampled_median(
+                &self,
+                column: &str,
+                sel: &$crate::bitmap::Bitmap,
+                sample_size: usize,
+                seed: u64,
+            ) -> $crate::error::StoreResult<Option<$crate::value::Value>> {
+                use ::rand::SeedableRng;
+                self.medians
+                    .fetch_add(1, ::std::sync::atomic::Ordering::Relaxed);
+                let col = self.column(column)?;
+                if !col.data_type().is_numeric() {
+                    return Err($crate::error::StoreError::TypeMismatch {
+                        column: column.to_string(),
+                        expected: "numeric".into(),
+                        found: col.data_type().name().into(),
+                    });
+                }
+                let mut rng = ::rand::rngs::StdRng::seed_from_u64(seed);
+                let rows = $crate::sample::reservoir_sample(sel, sample_size, &mut rng);
+                let mut buf = Vec::with_capacity(rows.len());
+                for i in rows {
+                    if let Some(v) = col.get(i).and_then(|v| v.as_f64()) {
+                        if !v.is_nan() {
+                            buf.push(v);
+                        }
+                    }
+                }
+                if buf.is_empty() {
+                    return Ok(None);
+                }
+                let med = $crate::stats::exact_median(&mut buf)?;
+                Ok(Some($crate::value::numeric_value(col.data_type(), med)))
+            }
+
+            fn quantile(
+                &self,
+                column: &str,
+                sel: &$crate::bitmap::Bitmap,
+                q: f64,
+            ) -> $crate::error::StoreResult<Option<$crate::value::Value>> {
+                self.medians
+                    .fetch_add(1, ::std::sync::atomic::Ordering::Relaxed);
+                let col = self.column(column)?;
+                let mut buf = Vec::new();
+                col.gather_f64(sel, &mut buf)?;
+                if buf.is_empty() {
+                    return Ok(None);
+                }
+                let v = $crate::stats::quantile_value(&mut buf, q)?;
+                Ok(Some($crate::value::numeric_value(col.data_type(), v)))
+            }
+
+            fn min_max(
+                &self,
+                column: &str,
+                sel: &$crate::bitmap::Bitmap,
+            ) -> $crate::error::StoreResult<Option<($crate::value::Value, $crate::value::Value)>>
+            {
+                Ok(self.column(column)?.min_max(sel))
+            }
+
+            fn mean_and_var(
+                &self,
+                column: &str,
+                sel: &$crate::bitmap::Bitmap,
+            ) -> $crate::error::StoreResult<Option<(f64, f64)>> {
+                let col = self.column(column)?;
+                let mut buf = Vec::new();
+                col.gather_f64(sel, &mut buf)?;
+                Ok($crate::stats::mean_and_var_of(&buf))
+            }
+
+            fn next_above(
+                &self,
+                column: &str,
+                sel: &$crate::bitmap::Bitmap,
+                v: &$crate::value::Value,
+            ) -> $crate::error::StoreResult<Option<$crate::value::Value>> {
+                let col = self.column(column)?;
+                let mut best: Option<$crate::value::Value> = None;
+                for i in sel.iter_ones() {
+                    let Some(x) = col.get(i) else { continue };
+                    if !matches!(x.try_cmp(v), Ok(::std::cmp::Ordering::Greater)) {
+                        continue;
+                    }
+                    if best
+                        .as_ref()
+                        .map(|b| matches!(x.try_cmp(b), Ok(::std::cmp::Ordering::Less)))
+                        .unwrap_or(true)
+                    {
+                        best = Some(x);
+                    }
+                }
+                Ok(best)
+            }
+
+            fn frequencies(
+                &self,
+                column: &str,
+                sel: &$crate::bitmap::Bitmap,
+            ) -> $crate::error::StoreResult<($crate::stats::FrequencyTable, Vec<String>)> {
+                self.scans
+                    .fetch_add(1, ::std::sync::atomic::Ordering::Relaxed);
+                let col = self.column(column)?;
+                match col.data() {
+                    $crate::column::ColumnData::Str(codes) => {
+                        let mut counts = vec![0usize; col.dict().len()];
+                        for i in sel.iter_ones() {
+                            if col.validity().get(i) {
+                                counts[codes[i] as usize] += 1;
+                            }
+                        }
+                        Ok((
+                            $crate::stats::FrequencyTable::from_counts(counts),
+                            col.dict().to_vec(),
+                        ))
+                    }
+                    $crate::column::ColumnData::Bool(vals) => {
+                        // Treat booleans as a two-entry dictionary
+                        // {false, true}.
+                        let mut counts = vec![0usize; 2];
+                        for i in sel.iter_ones() {
+                            if col.validity().get(i) {
+                                counts[vals[i] as usize] += 1;
+                            }
+                        }
+                        Ok((
+                            $crate::stats::FrequencyTable::from_counts(counts),
+                            vec!["false".into(), "true".into()],
+                        ))
+                    }
+                    _ => Err($crate::error::StoreError::TypeMismatch {
+                        column: column.to_string(),
+                        expected: "nominal".into(),
+                        found: col.data_type().name().into(),
+                    }),
+                }
+            }
+
+            fn distinct_count(
+                &self,
+                column: &str,
+                sel: &$crate::bitmap::Bitmap,
+            ) -> $crate::error::StoreResult<usize> {
+                let col = self.column(column)?;
+                match col.data() {
+                    $crate::column::ColumnData::Str(_) | $crate::column::ColumnData::Bool(_) => {
+                        let (ft, _) = $crate::backend::Backend::frequencies(self, column, sel)?;
+                        Ok(ft.cardinality())
+                    }
+                    _ => {
+                        let mut buf = Vec::new();
+                        col.gather_f64(sel, &mut buf)?;
+                        buf.sort_by(f64::total_cmp);
+                        buf.dedup();
+                        Ok(buf.len())
+                    }
+                }
+            }
+
+            fn stats(&self) -> $crate::backend::BackendStats {
+                $crate::backend::BackendStats {
+                    scans: self.scans.load(::std::sync::atomic::Ordering::Relaxed),
+                    counts: self.counts.load(::std::sync::atomic::Ordering::Relaxed),
+                    medians: self.medians.load(::std::sync::atomic::Ordering::Relaxed),
+                }
+            }
+
+            fn reset_stats(&self) {
+                self.scans.store(0, ::std::sync::atomic::Ordering::Relaxed);
+                self.counts.store(0, ::std::sync::atomic::Ordering::Relaxed);
+                self.medians
+                    .store(0, ::std::sync::atomic::Ordering::Relaxed);
+            }
+        }
+    };
+}
+
+pub(crate) use impl_dense_backend;
+
 /// The database operations the advisor needs.
 ///
 /// `Send + Sync` is a supertrait requirement: the advisor's parallel

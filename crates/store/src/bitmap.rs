@@ -239,6 +239,30 @@ impl Bitmap {
         out
     }
 
+    /// The raw 64-bit word layout (bit `i` lives at word `i / 64`, bit
+    /// position `i % 64`; bits beyond `len` in the last word are zero).
+    /// This is the layout the on-disk `.charles` format serialises
+    /// verbatim — see `docs/FORMAT.md`.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Rebuild a bitmap from its word layout (inverse of
+    /// [`Bitmap::words`]). Returns `None` when `words` is not exactly
+    /// `len.div_ceil(64)` words long or a bit beyond `len` is set — the
+    /// two ways a deserialised buffer can violate the invariants every
+    /// other operation assumes.
+    pub fn from_words(words: Vec<u64>, len: usize) -> Option<Bitmap> {
+        if words.len() != len.div_ceil(WORD_BITS) {
+            return None;
+        }
+        let bm = Bitmap { words, len };
+        if !bm.tail_is_clear() {
+            return None;
+        }
+        Some(bm)
+    }
+
     /// Iterator over the indices of set bits, ascending.
     pub fn iter_ones(&self) -> OnesIter<'_> {
         OnesIter {
@@ -305,6 +329,22 @@ impl Iterator for OnesIter<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn words_round_trip_and_reject_bad_layouts() {
+        let bm = Bitmap::from_indices(130, [0, 63, 64, 129]);
+        let rebuilt = Bitmap::from_words(bm.words().to_vec(), 130).unwrap();
+        assert_eq!(rebuilt, bm);
+        // Wrong word count.
+        assert!(Bitmap::from_words(vec![0; 2], 130).is_none());
+        assert!(Bitmap::from_words(vec![0; 4], 130).is_none());
+        // Dirty tail: bit 130 set in the last word.
+        let mut words = bm.words().to_vec();
+        words[2] |= 1 << 2;
+        assert!(Bitmap::from_words(words, 130).is_none());
+        // Degenerate empty bitmap.
+        assert_eq!(Bitmap::from_words(Vec::new(), 0).unwrap(), Bitmap::new(0));
+    }
 
     #[test]
     fn new_is_all_zero_ones_is_all_one() {

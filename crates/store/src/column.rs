@@ -28,7 +28,7 @@ pub enum ColumnData {
 }
 
 impl ColumnData {
-    fn len(&self) -> usize {
+    pub(crate) fn len(&self) -> usize {
         match self {
             ColumnData::Int(v) => v.len(),
             ColumnData::Float(v) => v.len(),
@@ -67,6 +67,25 @@ impl Column {
             data,
             validity: Bitmap::new(0),
             dict: Arc::new(Vec::new()),
+        }
+    }
+
+    /// Assemble a column directly from its physical parts (disk load
+    /// path). The caller must guarantee `data.len() == validity.len()`
+    /// and, for string columns, that every code indexes into `dict`;
+    /// the disk reader validates both before calling.
+    pub(crate) fn from_parts(
+        name: String,
+        data: ColumnData,
+        validity: Bitmap,
+        dict: Arc<Vec<String>>,
+    ) -> Column {
+        debug_assert_eq!(data.len(), validity.len());
+        Column {
+            name,
+            data,
+            validity,
+            dict,
         }
     }
 

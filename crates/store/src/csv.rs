@@ -10,47 +10,102 @@ use crate::datatype::DataType;
 use crate::error::{StoreError, StoreResult};
 use crate::table::Table;
 use crate::value::Value;
+use std::path::Path;
+
+/// Build the positional CSV error: 1-based `line` (within the original
+/// document, blank lines counted), 1-based field `column` when the
+/// failure is attributable to one field.
+fn csv_err(line: usize, column: Option<usize>, message: impl Into<String>) -> StoreError {
+    StoreError::Csv {
+        line,
+        column,
+        message: message.into(),
+    }
+}
 
 /// Parse a CSV document (with `name:type` header) into a [`Table`].
+///
+/// Parse failures report their position: the 1-based line number of the
+/// original document (blank lines count, though they are skipped) and,
+/// when one field is to blame, the 1-based column (field index) —
+/// surfaced as [`StoreError::Csv`].
 pub fn read_csv_str(name: &str, text: &str) -> StoreResult<Table> {
-    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
-    let header = lines
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty());
+    let (header_no, header) = lines
         .next()
         .ok_or_else(|| StoreError::Parse("empty CSV document".into()))?;
+    let header_no = header_no + 1;
     let mut builder = TableBuilder::new(name);
     let mut types = Vec::new();
-    for (field, _) in split_csv_line(header)? {
-        let (col, ty) = field
-            .rsplit_once(':')
-            .ok_or_else(|| StoreError::Parse(format!("header field {field:?} lacks :type")))?;
+    for (idx, (field, _)) in split_csv_line(header)
+        .map_err(|msg| csv_err(header_no, None, msg))?
+        .into_iter()
+        .enumerate()
+    {
+        let col = Some(idx + 1);
+        let (name, ty) = field.rsplit_once(':').ok_or_else(|| {
+            csv_err(
+                header_no,
+                col,
+                format!("header field {field:?} lacks :type"),
+            )
+        })?;
         let ty = DataType::parse(ty)
-            .ok_or_else(|| StoreError::Parse(format!("unknown type in header: {ty:?}")))?;
-        builder.add_column(col.trim(), ty);
+            .ok_or_else(|| csv_err(header_no, col, format!("unknown type in header: {ty:?}")))?;
+        builder.add_column(name.trim(), ty);
         types.push(ty);
     }
-    for (lineno, line) in lines.enumerate() {
-        let fields = split_csv_line(line)?;
+    for (lineno, line) in lines {
+        let lineno = lineno + 1;
+        let fields = split_csv_line(line).map_err(|msg| csv_err(lineno, None, msg))?;
         if fields.len() != types.len() {
-            return Err(StoreError::Parse(format!(
-                "line {}: expected {} fields, found {}",
-                lineno + 2,
-                types.len(),
-                fields.len()
-            )));
+            return Err(csv_err(
+                lineno,
+                None,
+                format!("expected {} fields, found {}", types.len(), fields.len()),
+            ));
         }
         let mut row: Vec<Option<Value>> = Vec::with_capacity(fields.len());
-        for ((field, quoted), ty) in fields.iter().zip(&types) {
+        for (idx, ((field, quoted), ty)) in fields.iter().zip(&types).enumerate() {
             // A bare empty field is NULL; a quoted empty field ("") is the
             // empty string (only meaningful for string columns).
             if field.is_empty() && !quoted {
                 row.push(None);
             } else {
-                row.push(Some(Value::parse_typed(field, *ty)?));
+                let v = Value::parse_typed(field, *ty).map_err(|e| {
+                    let msg = match e {
+                        StoreError::Parse(m) => m,
+                        other => other.to_string(),
+                    };
+                    csv_err(lineno, Some(idx + 1), msg)
+                })?;
+                row.push(Some(v));
             }
         }
         builder.push_row_opt(row)?;
     }
     Ok(builder.finish())
+}
+
+/// Read a CSV file (same `name:type` header format as [`read_csv_str`])
+/// into a [`Table`]. I/O failures surface as [`StoreError::Io`] with the
+/// path in the message.
+pub fn read_csv_file(name: &str, path: impl AsRef<Path>) -> StoreResult<Table> {
+    let path = path.as_ref();
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| StoreError::Io(format!("reading CSV {path:?}: {e}")))?;
+    read_csv_str(name, &text)
+}
+
+/// Write a table to a CSV file (the [`write_csv_string`] format).
+/// Overwrites any existing file.
+pub fn write_csv_file(table: &Table, path: impl AsRef<Path>) -> StoreResult<()> {
+    let path = path.as_ref();
+    std::fs::write(path, write_csv_string(table))
+        .map_err(|e| StoreError::Io(format!("writing CSV {path:?}: {e}")))
 }
 
 /// Serialise a table back to the same CSV format.
@@ -82,7 +137,8 @@ pub fn write_csv_string(table: &Table) -> String {
 /// Split one CSV line honouring double quotes (with `""` escapes).
 /// Returns each field together with whether it was quoted — needed to
 /// distinguish the empty string (`""`) from NULL (bare empty field).
-fn split_csv_line(line: &str) -> StoreResult<Vec<(String, bool)>> {
+/// Errors are bare messages; the caller attaches the line number.
+fn split_csv_line(line: &str) -> Result<Vec<(String, bool)>, String> {
     let mut fields = Vec::new();
     let mut cur = String::new();
     let mut was_quoted = false;
@@ -102,7 +158,7 @@ fn split_csv_line(line: &str) -> StoreResult<Vec<(String, bool)>> {
                 in_quotes = true;
                 was_quoted = true;
             }
-            '"' => return Err(StoreError::Parse(format!("stray quote in line {line:?}"))),
+            '"' => return Err(format!("stray quote in line {line:?}")),
             ',' if !in_quotes => {
                 fields.push((std::mem::take(&mut cur), was_quoted));
                 was_quoted = false;
@@ -111,7 +167,7 @@ fn split_csv_line(line: &str) -> StoreResult<Vec<(String, bool)>> {
         }
     }
     if in_quotes {
-        return Err(StoreError::Parse(format!("unterminated quote in {line:?}")));
+        return Err(format!("unterminated quote in {line:?}"));
     }
     fields.push((cur, was_quoted));
     Ok(fields)
@@ -218,5 +274,84 @@ tonnage:int,kind:str,built:date,score:float
         let doc = "a:int\n\n1\n\n2\n";
         let t = read_csv_str("t", doc).unwrap();
         assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_and_column() {
+        // Bad literal in field 2 of (physical) line 3.
+        let doc = "a:int,b:int\n1,2\n3,oops\n";
+        match read_csv_str("t", doc).unwrap_err() {
+            StoreError::Csv {
+                line,
+                column,
+                message,
+            } => {
+                assert_eq!((line, column), (3, Some(2)));
+                assert!(message.contains("oops"), "{message}");
+            }
+            other => panic!("expected positional CSV error, got {other}"),
+        }
+        // Blank lines count toward the reported line number.
+        let doc = "a:int\n\n\nbad\n";
+        match read_csv_str("t", doc).unwrap_err() {
+            StoreError::Csv { line, column, .. } => {
+                assert_eq!((line, column), (4, Some(1)));
+            }
+            other => panic!("expected positional CSV error, got {other}"),
+        }
+        // Arity mismatch names the line, not a column.
+        let doc = "a:int,b:int\n1\n";
+        match read_csv_str("t", doc).unwrap_err() {
+            StoreError::Csv {
+                line,
+                column,
+                message,
+            } => {
+                assert_eq!((line, column), (2, None));
+                assert!(message.contains("expected 2 fields"), "{message}");
+            }
+            other => panic!("expected positional CSV error, got {other}"),
+        }
+        // Header problems point at line 1 and the offending field.
+        match read_csv_str("t", "a:int,b\n1,2\n").unwrap_err() {
+            StoreError::Csv { line, column, .. } => {
+                assert_eq!((line, column), (1, Some(2)));
+            }
+            other => panic!("expected positional CSV error, got {other}"),
+        }
+        match read_csv_str("t", "a:blob\n1\n").unwrap_err() {
+            StoreError::Csv { line, column, .. } => {
+                assert_eq!((line, column), (1, Some(1)));
+            }
+            other => panic!("expected positional CSV error, got {other}"),
+        }
+        // Quote errors are line-level.
+        match read_csv_str("t", "a:str\n\"unterminated\n").unwrap_err() {
+            StoreError::Csv { line, column, .. } => {
+                assert_eq!((line, column), (2, None));
+            }
+            other => panic!("expected positional CSV error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn file_round_trip_and_io_errors() {
+        let t = read_csv_str("boats", DOC).unwrap();
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("charles-csv-test-{}.csv", std::process::id()));
+        write_csv_file(&t, &path).unwrap();
+        let t2 = read_csv_file("boats2", &path).unwrap();
+        assert_eq!(t2.len(), t.len());
+        for i in 0..t.len() {
+            for name in t.schema().names() {
+                assert_eq!(t.value(i, name).unwrap(), t2.value(i, name).unwrap());
+            }
+        }
+        std::fs::remove_file(&path).unwrap();
+        // Missing file → typed Io error naming the path.
+        match read_csv_file("nope", &path).unwrap_err() {
+            StoreError::Io(msg) => assert!(msg.contains("charles-csv-test"), "{msg}"),
+            other => panic!("expected Io error, got {other}"),
+        }
     }
 }

@@ -1,0 +1,205 @@
+//! Writing a [`Table`] out as a `.charles` file.
+//!
+//! The writer is eager and single-pass: header, schema block, then every
+//! column's segments in schema order, then the footer index — no seeks,
+//! so it streams through a `BufWriter`. Offsets and the whole-file CRC
+//! are tracked as bytes go out; per-segment CRCs are computed over each
+//! segment's encoded bytes before they are written.
+
+use super::{
+    io_err, type_code, ByteWriter, ColumnSegments, Crc32, SegmentRef, ENDIAN_MARKER,
+    FORMAT_VERSION, MAGIC, TRAILER_MAGIC,
+};
+use crate::column::{Column, ColumnData};
+use crate::error::StoreResult;
+use crate::table::Table;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+/// A writer that tracks the absolute offset and the running whole-file
+/// CRC of everything written through it.
+struct TrackedWriter<W: Write> {
+    inner: W,
+    offset: u64,
+    crc: Crc32,
+}
+
+impl<W: Write> TrackedWriter<W> {
+    fn new(inner: W) -> TrackedWriter<W> {
+        TrackedWriter {
+            inner,
+            offset: 0,
+            crc: Crc32::new(),
+        }
+    }
+
+    fn write(&mut self, bytes: &[u8]) -> StoreResult<()> {
+        self.inner
+            .write_all(bytes)
+            .map_err(|e| io_err("writing .charles file", e))?;
+        self.offset += bytes.len() as u64;
+        self.crc.update(bytes);
+        Ok(())
+    }
+
+    /// Write one segment and return its footer reference.
+    fn segment(&mut self, bytes: &[u8]) -> StoreResult<SegmentRef> {
+        let seg = SegmentRef {
+            offset: self.offset,
+            len: bytes.len() as u64,
+            crc: Crc32::of(bytes),
+        };
+        self.write(bytes)?;
+        Ok(seg)
+    }
+}
+
+/// Encode a column's data segment (fixed-width, little-endian; see
+/// `docs/FORMAT.md` §data-segment). Float bits are written verbatim, so
+/// any NaN payload a raw-loaded column carries round-trips bitwise.
+fn encode_data(data: &ColumnData) -> Vec<u8> {
+    match data {
+        ColumnData::Int(v) | ColumnData::Date(v) => {
+            let mut out = Vec::with_capacity(v.len() * 8);
+            for x in v {
+                out.extend_from_slice(&x.to_le_bytes());
+            }
+            out
+        }
+        ColumnData::Float(v) => {
+            let mut out = Vec::with_capacity(v.len() * 8);
+            for x in v {
+                out.extend_from_slice(&x.to_bits().to_le_bytes());
+            }
+            out
+        }
+        ColumnData::Str(v) => {
+            let mut out = Vec::with_capacity(v.len() * 4);
+            for x in v {
+                out.extend_from_slice(&x.to_le_bytes());
+            }
+            out
+        }
+        ColumnData::Bool(v) => v.iter().map(|&b| b as u8).collect(),
+    }
+}
+
+/// Encode a validity bitmap as its raw word layout.
+fn encode_validity(col: &Column) -> Vec<u8> {
+    let words = col.validity().words();
+    let mut out = Vec::with_capacity(words.len() * 8);
+    for w in words {
+        out.extend_from_slice(&w.to_le_bytes());
+    }
+    out
+}
+
+/// Encode a string dictionary (entry count, then length-prefixed UTF-8).
+fn encode_dict(dict: &[String]) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.u32(dict.len() as u32);
+    for s in dict {
+        w.string(s);
+    }
+    w.into_bytes()
+}
+
+/// Encode the schema block: table name, row count, column names/types.
+fn encode_schema(table: &Table) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.string(table.name());
+    w.u64(table.len() as u64);
+    w.u32(table.schema().arity() as u32);
+    for c in table.schema().columns() {
+        w.string(&c.name);
+        w.u8(type_code(c.ty));
+    }
+    w.into_bytes()
+}
+
+/// Encode the footer: per-column segment index plus the whole-file CRC.
+fn encode_footer(columns: &[ColumnSegments], file_crc: u32) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    let seg = |w: &mut ByteWriter, s: &SegmentRef| {
+        w.u64(s.offset);
+        w.u64(s.len);
+        w.u32(s.crc);
+    };
+    for c in columns {
+        seg(&mut w, &c.validity);
+        seg(&mut w, &c.data);
+        match &c.dict {
+            None => w.u8(0),
+            Some(d) => {
+                w.u8(1);
+                seg(&mut w, d);
+            }
+        }
+    }
+    w.u32(file_crc);
+    w.into_bytes()
+}
+
+/// Write `table` to `path` in the `.charles` v1 format (see
+/// `docs/FORMAT.md`). Overwrites any existing file. The written file
+/// round-trips bitwise: [`super::DiskTable::open`] on the result yields
+/// a backend whose every operation — and therefore the full advisor
+/// output — is identical to running against `table` directly.
+///
+/// ```no_run
+/// use charles_store::{TableBuilder, DataType, Value, disk};
+///
+/// let mut b = TableBuilder::new("boats");
+/// b.add_column("tonnage", DataType::Int);
+/// b.push_row(vec![Value::Int(1000)]).unwrap();
+/// let table = b.finish();
+/// disk::write_table(&table, "boats.charles").unwrap();
+/// let loaded = disk::DiskTable::open("boats.charles").unwrap();
+/// assert_eq!(loaded.len(), 1);
+/// ```
+pub fn write_table(table: &Table, path: impl AsRef<Path>) -> StoreResult<()> {
+    let file = std::fs::File::create(path.as_ref())
+        .map_err(|e| io_err(&format!("creating {:?}", path.as_ref()), e))?;
+    let mut w = TrackedWriter::new(BufWriter::new(file));
+
+    // Header.
+    w.write(&MAGIC)?;
+    w.write(&FORMAT_VERSION.to_le_bytes())?;
+    w.write(&ENDIAN_MARKER.to_le_bytes())?;
+
+    // Schema block, length-prefixed so the reader can slurp it without
+    // parsing ahead.
+    let schema = encode_schema(table);
+    w.write(&(schema.len() as u32).to_le_bytes())?;
+    w.write(&schema)?;
+
+    // Column segments, schema order.
+    let mut columns = Vec::with_capacity(table.columns().len());
+    for col in table.columns() {
+        let validity = w.segment(&encode_validity(col))?;
+        let data = w.segment(&encode_data(col.data()))?;
+        let dict = match col.data() {
+            ColumnData::Str(_) => Some(w.segment(&encode_dict(col.dict()))?),
+            _ => None,
+        };
+        columns.push(ColumnSegments {
+            validity,
+            data,
+            dict,
+        });
+    }
+
+    // Footer (indexed by the trailer) + its own CRC + trailer.
+    let footer_start = w.offset;
+    let file_crc = w.crc.finish();
+    let footer = encode_footer(&columns, file_crc);
+    let footer_crc = Crc32::of(&footer);
+    w.write(&footer)?;
+    w.write(&footer_crc.to_le_bytes())?;
+    w.write(&footer_start.to_le_bytes())?;
+    w.write(&TRAILER_MAGIC)?;
+    w.inner
+        .flush()
+        .map_err(|e| io_err("flushing .charles file", e))?;
+    Ok(())
+}

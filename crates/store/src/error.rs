@@ -34,8 +34,27 @@ pub enum StoreError {
     Empty(String),
     /// CSV or value parsing failure.
     Parse(String),
+    /// CSV parsing failure with a position: 1-based line and column
+    /// (column = field index within the line; `None` when the failure
+    /// concerns the line as a whole, e.g. an unterminated quote).
+    Csv {
+        /// 1-based line number within the document.
+        line: usize,
+        /// 1-based field index within the line, when attributable.
+        column: Option<usize>,
+        /// What went wrong.
+        message: String,
+    },
     /// A column name was used twice when building a schema.
     DuplicateColumn(String),
+    /// An I/O failure while reading or writing persistent storage. The
+    /// underlying `std::io::Error` is flattened to a string so the error
+    /// stays `Clone + PartialEq` like the rest of the enum.
+    Io(String),
+    /// A persistent file failed structural validation: bad magic, an
+    /// unsupported format version, a checksum mismatch, a truncation, or
+    /// an out-of-bounds segment reference.
+    Corrupt(String),
 }
 
 impl fmt::Display for StoreError {
@@ -61,7 +80,17 @@ impl fmt::Display for StoreError {
             }
             StoreError::Empty(what) => write!(f, "operation requires non-empty input: {what}"),
             StoreError::Parse(msg) => write!(f, "parse error: {msg}"),
+            StoreError::Csv {
+                line,
+                column,
+                message,
+            } => match column {
+                Some(col) => write!(f, "CSV parse error at line {line}, column {col}: {message}"),
+                None => write!(f, "CSV parse error at line {line}: {message}"),
+            },
             StoreError::DuplicateColumn(name) => write!(f, "duplicate column name: {name:?}"),
+            StoreError::Io(msg) => write!(f, "I/O error: {msg}"),
+            StoreError::Corrupt(msg) => write!(f, "corrupt file: {msg}"),
         }
     }
 }
@@ -96,6 +125,34 @@ mod tests {
     fn error_is_std_error() {
         fn takes_err(_: &dyn std::error::Error) {}
         takes_err(&StoreError::Empty("median".into()));
+    }
+
+    #[test]
+    fn display_csv_io_and_corrupt() {
+        let e = StoreError::Csv {
+            line: 3,
+            column: Some(2),
+            message: "bad int literal".into(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "CSV parse error at line 3, column 2: bad int literal"
+        );
+        let e = StoreError::Csv {
+            line: 7,
+            column: None,
+            message: "unterminated quote".into(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "CSV parse error at line 7: unterminated quote"
+        );
+        assert!(StoreError::Io("disk on fire".into())
+            .to_string()
+            .contains("disk on fire"));
+        assert!(StoreError::Corrupt("bad magic".into())
+            .to_string()
+            .contains("bad magic"));
     }
 
     #[test]

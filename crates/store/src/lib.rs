@@ -15,8 +15,10 @@
 //! [`Backend`] trait (so the paper's "column stores are well suited for
 //! Charles' workloads" claim can be measured), a **row-range sharded**
 //! engine ([`sharded::ShardedTable`]) that evaluates counts and medians
-//! shard-parallel with bitwise-identical results, plus CSV import/export,
-//! sampling, and order statistics.
+//! shard-parallel with bitwise-identical results, a **persistent on-disk
+//! columnar format** (`.charles`, spec in `docs/FORMAT.md`) with a lazy
+//! [`disk::DiskTable`] backend so datasets outlive the process, plus CSV
+//! import/export, sampling, and order statistics.
 //!
 //! Everything is deliberately index-free: the paper points out that the
 //! advisor cannot know ahead of time which columns will be queried, so
@@ -46,12 +48,15 @@
 //! assert_eq!(med, Value::Int(1100));
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod backend;
 pub mod bitmap;
 pub mod builder;
 pub mod column;
 pub mod csv;
 pub mod datatype;
+pub mod disk;
 pub mod error;
 pub mod predicate;
 pub mod rowstore;
@@ -66,8 +71,9 @@ pub use backend::{Backend, BackendStats};
 pub use bitmap::Bitmap;
 pub use builder::TableBuilder;
 pub use column::{Column, ColumnData};
-pub use csv::{read_csv_str, write_csv_string};
+pub use csv::{read_csv_file, read_csv_str, write_csv_file, write_csv_string};
 pub use datatype::DataType;
+pub use disk::{write_table, DiskTable};
 pub use error::{StoreError, StoreResult};
 pub use predicate::{RangePred, SetPred, StorePredicate};
 pub use rowstore::{Row, RowTable};

@@ -1,16 +1,10 @@
 //! The columnar relation: schema + columns + the `Backend` operations.
 
-use crate::backend::{Backend, BackendStats};
 use crate::bitmap::Bitmap;
-use crate::column::{Column, ColumnData};
+use crate::column::Column;
 use crate::error::{StoreError, StoreResult};
-use crate::predicate::{eval_range, eval_set, StorePredicate};
-use crate::sample::reservoir_sample;
 use crate::schema::Schema;
-use crate::stats::{exact_median, mean_and_var_of, quantile_value, FrequencyTable};
-use crate::value::{numeric_value, Value};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use crate::value::Value;
 use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 
 /// An immutable, in-memory columnar table.
@@ -102,229 +96,19 @@ impl Table {
     }
 }
 
-impl Backend for Table {
-    fn row_count(&self) -> usize {
-        self.rows
-    }
-
-    fn schema(&self) -> &Schema {
-        &self.schema
-    }
-
-    fn eval(&self, pred: &StorePredicate) -> StoreResult<Bitmap> {
-        match pred {
-            StorePredicate::True => Ok(self.all_rows()),
-            StorePredicate::Range(r) => {
-                self.scans.fetch_add(1, AtomicOrdering::Relaxed);
-                eval_range(self.column(&r.column)?, r)
-            }
-            StorePredicate::Set(s) => {
-                self.scans.fetch_add(1, AtomicOrdering::Relaxed);
-                eval_set(self.column(&s.column)?, s)
-            }
-            StorePredicate::And(ps) => {
-                let mut acc: Option<Bitmap> = None;
-                for p in ps {
-                    let sel = self.eval(p)?;
-                    acc = Some(match acc {
-                        None => sel,
-                        Some(mut a) => {
-                            a.and_inplace(&sel);
-                            a
-                        }
-                    });
-                    // Early exit on empty intermediate selections: common in
-                    // product cells of nearly dependent segmentations.
-                    if acc.as_ref().map(Bitmap::none).unwrap_or(false) {
-                        break;
-                    }
-                }
-                Ok(acc.unwrap_or_else(|| self.all_rows()))
-            }
-        }
-    }
-
-    fn count(&self, pred: &StorePredicate) -> StoreResult<usize> {
-        // Counts get their own counter: delegating to `eval` used to record
-        // the paper's "counts over predicates" workload as plain scans, so
-        // the count metric never showed up in the experiment tables.
-        self.counts.fetch_add(1, AtomicOrdering::Relaxed);
-        Ok(self.eval(pred)?.count_ones())
-    }
-
-    fn not_null(&self, column: &str) -> StoreResult<Bitmap> {
-        Ok(self.column(column)?.validity().clone())
-    }
-
-    fn median(&self, column: &str, sel: &Bitmap) -> StoreResult<Option<Value>> {
-        self.medians.fetch_add(1, AtomicOrdering::Relaxed);
-        let col = self.column(column)?;
-        if !col.data_type().is_numeric() {
-            return Err(StoreError::TypeMismatch {
-                column: column.to_string(),
-                expected: "numeric".into(),
-                found: col.data_type().name().into(),
-            });
-        }
-        let mut buf = Vec::new();
-        col.gather_f64(sel, &mut buf)?;
-        if buf.is_empty() {
-            return Ok(None);
-        }
-        let med = exact_median(&mut buf)?;
-        Ok(Some(numeric_value(col.data_type(), med)))
-    }
-
-    fn sampled_median(
-        &self,
-        column: &str,
-        sel: &Bitmap,
-        sample_size: usize,
-        seed: u64,
-    ) -> StoreResult<Option<Value>> {
-        self.medians.fetch_add(1, AtomicOrdering::Relaxed);
-        let col = self.column(column)?;
-        if !col.data_type().is_numeric() {
-            return Err(StoreError::TypeMismatch {
-                column: column.to_string(),
-                expected: "numeric".into(),
-                found: col.data_type().name().into(),
-            });
-        }
-        let mut rng = StdRng::seed_from_u64(seed);
-        let rows = reservoir_sample(sel, sample_size, &mut rng);
-        let mut buf = Vec::with_capacity(rows.len());
-        for i in rows {
-            if let Some(v) = col.get(i).and_then(|v| v.as_f64()) {
-                if !v.is_nan() {
-                    buf.push(v);
-                }
-            }
-        }
-        if buf.is_empty() {
-            return Ok(None);
-        }
-        let med = exact_median(&mut buf)?;
-        Ok(Some(numeric_value(col.data_type(), med)))
-    }
-
-    fn quantile(&self, column: &str, sel: &Bitmap, q: f64) -> StoreResult<Option<Value>> {
-        self.medians.fetch_add(1, AtomicOrdering::Relaxed);
-        let col = self.column(column)?;
-        let mut buf = Vec::new();
-        col.gather_f64(sel, &mut buf)?;
-        if buf.is_empty() {
-            return Ok(None);
-        }
-        let v = quantile_value(&mut buf, q)?;
-        Ok(Some(numeric_value(col.data_type(), v)))
-    }
-
-    fn min_max(&self, column: &str, sel: &Bitmap) -> StoreResult<Option<(Value, Value)>> {
-        Ok(self.column(column)?.min_max(sel))
-    }
-
-    fn mean_and_var(&self, column: &str, sel: &Bitmap) -> StoreResult<Option<(f64, f64)>> {
-        let col = self.column(column)?;
-        let mut buf = Vec::new();
-        col.gather_f64(sel, &mut buf)?;
-        Ok(mean_and_var_of(&buf))
-    }
-
-    fn next_above(&self, column: &str, sel: &Bitmap, v: &Value) -> StoreResult<Option<Value>> {
-        let col = self.column(column)?;
-        let mut best: Option<Value> = None;
-        for i in sel.iter_ones() {
-            let Some(x) = col.get(i) else { continue };
-            if !matches!(x.try_cmp(v), Ok(std::cmp::Ordering::Greater)) {
-                continue;
-            }
-            if best
-                .as_ref()
-                .map(|b| matches!(x.try_cmp(b), Ok(std::cmp::Ordering::Less)))
-                .unwrap_or(true)
-            {
-                best = Some(x);
-            }
-        }
-        Ok(best)
-    }
-
-    fn frequencies(
-        &self,
-        column: &str,
-        sel: &Bitmap,
-    ) -> StoreResult<(FrequencyTable, Vec<String>)> {
-        self.scans.fetch_add(1, AtomicOrdering::Relaxed);
-        let col = self.column(column)?;
-        match col.data() {
-            ColumnData::Str(codes) => {
-                let mut counts = vec![0usize; col.dict().len()];
-                for i in sel.iter_ones() {
-                    if col.validity().get(i) {
-                        counts[codes[i] as usize] += 1;
-                    }
-                }
-                Ok((FrequencyTable::from_counts(counts), col.dict().to_vec()))
-            }
-            ColumnData::Bool(vals) => {
-                // Treat booleans as a two-entry dictionary {false, true}.
-                let mut counts = vec![0usize; 2];
-                for i in sel.iter_ones() {
-                    if col.validity().get(i) {
-                        counts[vals[i] as usize] += 1;
-                    }
-                }
-                Ok((
-                    FrequencyTable::from_counts(counts),
-                    vec!["false".into(), "true".into()],
-                ))
-            }
-            _ => Err(StoreError::TypeMismatch {
-                column: column.to_string(),
-                expected: "nominal".into(),
-                found: col.data_type().name().into(),
-            }),
-        }
-    }
-
-    fn distinct_count(&self, column: &str, sel: &Bitmap) -> StoreResult<usize> {
-        let col = self.column(column)?;
-        match col.data() {
-            ColumnData::Str(_) | ColumnData::Bool(_) => {
-                let (ft, _) = self.frequencies(column, sel)?;
-                Ok(ft.cardinality())
-            }
-            _ => {
-                let mut buf = Vec::new();
-                col.gather_f64(sel, &mut buf)?;
-                buf.sort_by(f64::total_cmp);
-                buf.dedup();
-                Ok(buf.len())
-            }
-        }
-    }
-
-    fn stats(&self) -> BackendStats {
-        BackendStats {
-            scans: self.scans.load(AtomicOrdering::Relaxed),
-            counts: self.counts.load(AtomicOrdering::Relaxed),
-            medians: self.medians.load(AtomicOrdering::Relaxed),
-        }
-    }
-
-    fn reset_stats(&self) {
-        self.scans.store(0, AtomicOrdering::Relaxed);
-        self.counts.store(0, AtomicOrdering::Relaxed);
-        self.medians.store(0, AtomicOrdering::Relaxed);
-    }
-}
+// The `Backend` implementation is expanded from the shared
+// `impl_dense_backend` macro, verbatim the same code as `DiskTable`'s —
+// the bitwise-equivalence guarantee between the in-memory and on-disk
+// backends is structural, not hand-synchronized.
+crate::backend::impl_dense_backend!(Table);
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::backend::{Backend, BackendStats};
     use crate::builder::TableBuilder;
     use crate::datatype::DataType;
+    use crate::predicate::StorePredicate;
 
     fn boats() -> Table {
         let mut b = TableBuilder::new("boats");

@@ -5,14 +5,35 @@
 //! cache (one HB-cuts run, two sessions).
 //!
 //!     cargo run --release --example serve_client
+//!
+//! With `CHARLES_DATASET=/path/to/file.charles` the server boots onto
+//! that saved dataset instead of generating one — the persistence
+//! round trip (datagen → save → serve) that CI smoke-tests:
+//!
+//!     cargo run -p charles-datagen --bin datagen -- voc 2000 42 /tmp/voc.charles
+//!     CHARLES_DATASET=/tmp/voc.charles cargo run --release --example serve_client
 
 use charles::serve::http_request;
-use charles::{ServeConfig, Server, ShardedTable};
+use charles::{DiskTable, ServeConfig, Server, ShardedTable};
 use std::sync::Arc;
 
 fn main() {
-    // One shared backend: the VOC register split into row-range shards.
-    let table = charles::voc_table(2_000, 42);
+    // One shared backend: the VOC register split into row-range shards —
+    // regenerated in memory by default, lazily loaded from a .charles
+    // file when CHARLES_DATASET points at one.
+    let table = match std::env::var("CHARLES_DATASET") {
+        Ok(path) => {
+            let disk = DiskTable::open(&path)
+                .unwrap_or_else(|e| panic!("cannot open dataset {path:?}: {e}"));
+            println!(
+                "serving saved dataset {path} ({:?}, {} rows)",
+                disk.name(),
+                disk.len()
+            );
+            disk.to_table().expect("materialise dataset for sharding")
+        }
+        Err(_) => charles::voc_table(2_000, 42),
+    };
     let sharded = ShardedTable::from_table(&table, 4);
     let backend: Arc<dyn charles::Backend> = Arc::new(sharded);
 

@@ -185,7 +185,8 @@ fn explorer_construction_fails_cleanly_on_dead_backend() {
 /// shipped backend.
 mod contract_harness {
     use charles::{voc_table, Advisor, ShardedTable, Table};
-    use charles_store::{Backend, Bitmap, RowTable, StorePredicate, Value};
+    use charles_store::disk::write_table;
+    use charles_store::{Backend, Bitmap, DiskTable, RowTable, StorePredicate, Value};
 
     /// Odd row count so that the even row-range split puts shard
     /// boundaries off 64-bit word alignment (1543/3 → 514, 1028;
@@ -213,16 +214,45 @@ mod contract_harness {
         voc_table(ROWS, 2026)
     }
 
-    /// All backends under test, with the reference `Table` first.
+    /// Write the fixture to a unique `.charles` temp file and open it
+    /// lazily. On unix the path is unlinked immediately (the open handle
+    /// keeps the data alive), so tests never leak files.
+    fn disk_fixture(t: &Table) -> DiskTable {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static COUNTER: AtomicUsize = AtomicUsize::new(0);
+        let path = std::env::temp_dir().join(format!(
+            "charles-contract-{}-{}.charles",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        write_table(t, &path).expect("write .charles fixture");
+        let disk = DiskTable::open(&path).expect("open .charles fixture");
+        #[cfg(unix)]
+        let _ = std::fs::remove_file(&path);
+        disk
+    }
+
+    /// All backends under test, with the reference `Table` first. The
+    /// disk-backed entries prove the persistence tentpole: a lazily
+    /// loaded `.charles` file, and a `ShardedTable` over its
+    /// materialisation, honour the identical contract.
     fn backends(t: &Table) -> Vec<(String, Box<dyn Backend>)> {
         let mut out: Vec<(String, Box<dyn Backend>)> = vec![
             ("table".into(), Box::new(t.clone())),
             ("rowstore".into(), Box::new(RowTable::from_table(t))),
+            ("disk".into(), Box::new(disk_fixture(t))),
         ];
         for n in shard_counts() {
             out.push((
                 format!("sharded-{n}"),
                 Box::new(ShardedTable::from_table(t, n)),
+            ));
+            out.push((
+                format!("disk-sharded-{n}"),
+                Box::new(ShardedTable::from_table(
+                    &disk_fixture(t).to_table().expect("materialise disk table"),
+                    n,
+                )),
             ));
         }
         out
@@ -305,9 +335,10 @@ mod contract_harness {
                     want.as_ref().and_then(Value::as_f64),
                     "{name}: median over pred {i}"
                 );
-                // … and the sharded backend must fold back into the
-                // column's value space bit-for-bit like the table.
-                if name.starts_with("sharded") {
+                // … and the sharded and disk backends must fold back
+                // into the column's value space bit-for-bit like the
+                // table.
+                if name.starts_with("sharded") || name.starts_with("disk") {
                     assert_eq!(got, want, "{name}: median value space, pred {i}");
                 }
                 for q in [0.0, 0.25, 0.5, 0.9, 1.0] {
@@ -318,7 +349,7 @@ mod contract_harness {
                         want.as_ref().and_then(Value::as_f64),
                         "{name}: q={q} pred {i}"
                     );
-                    if name.starts_with("sharded") {
+                    if name.starts_with("sharded") || name.starts_with("disk") {
                         assert_eq!(got, want, "{name}: quantile value space q={q}");
                     }
                 }
@@ -369,7 +400,7 @@ mod contract_harness {
             let (wm, wv) = t.mean_and_var("tonnage", &sel).unwrap().unwrap();
             let (gm, gv) = b.mean_and_var("tonnage", &sel).unwrap().unwrap();
             assert!((wm - gm).abs() < 1e-9 && (wv - gv).abs() < 1e-6, "{name}");
-            if name.starts_with("sharded") {
+            if name.starts_with("sharded") || name.starts_with("disk") {
                 assert_eq!((gm.to_bits(), gv.to_bits()), (wm.to_bits(), wv.to_bits()));
             }
             assert_eq!(
@@ -426,6 +457,54 @@ mod contract_harness {
                 .map(|r| (r.segmentation.to_string(), r.score.entropy.to_bits()))
                 .collect();
             assert_eq!(got, reference, "advisor output diverged at {n} shards");
+        }
+    }
+
+    #[test]
+    fn advisor_output_bitwise_identical_table_vs_disk() {
+        // The persistence round trip the tentpole promises: write the
+        // fixture out, advise over the lazily loaded file (and over a
+        // sharded split of its materialisation) and demand the exact
+        // same ranked answers, entropies bit-for-bit.
+        let t = fixture();
+        let context = "(type_of_boat: , tonnage: , departure_harbour: )";
+        let reference: Vec<(String, u64)> = Advisor::new(&t)
+            .advise_str(context)
+            .unwrap()
+            .ranked
+            .iter()
+            .map(|r| (r.segmentation.to_string(), r.score.entropy.to_bits()))
+            .collect();
+        assert!(!reference.is_empty());
+        let disk = disk_fixture(&t);
+        let got: Vec<(String, u64)> = Advisor::new(&disk)
+            .advise_str(context)
+            .unwrap()
+            .ranked
+            .iter()
+            .map(|r| (r.segmentation.to_string(), r.score.entropy.to_bits()))
+            .collect();
+        assert_eq!(got, reference, "advisor output diverged on DiskTable");
+        // Only the three context attributes (plus any the advisor
+        // touches) should have been materialised — the fixture has 9.
+        assert!(
+            disk.columns_loaded() < 9,
+            "lazy loading defeated: {} of 9 columns materialised",
+            disk.columns_loaded()
+        );
+        for n in shard_counts() {
+            let sharded = ShardedTable::from_table(&disk.to_table().unwrap(), n);
+            let got: Vec<(String, u64)> = Advisor::new(&sharded)
+                .advise_str(context)
+                .unwrap()
+                .ranked
+                .iter()
+                .map(|r| (r.segmentation.to_string(), r.score.entropy.to_bits()))
+                .collect();
+            assert_eq!(
+                got, reference,
+                "advisor output diverged on disk→sharded at {n} shards"
+            );
         }
     }
 }

@@ -1,0 +1,156 @@
+//! End-to-end persistence: generate → save → load → advise, pinned.
+//!
+//! The tentpole's promise is that a dataset written to a `.charles`
+//! file and served back through [`DiskTable`] is indistinguishable from
+//! the in-memory table it came from — the advisor's ranked answers,
+//! entropies and traces are **byte-identical**, whether the file backs
+//! a plain backend, a sharded split, or an HTTP serving session.
+
+use charles::serve::http_request;
+use charles::{
+    voc_table, write_table, Advisor, Backend, DiskTable, ServeConfig, Server, ShardedTable,
+};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+static COUNTER: AtomicUsize = AtomicUsize::new(0);
+
+fn tmp_path(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!(
+        "charles-persist-{tag}-{}-{}.charles",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+const CONTEXT: &str = "(type_of_boat: , tonnage: , departure_harbour: )";
+
+/// Render advice to its stable comparison form: segmentations plus
+/// entropy bits.
+fn fingerprint(advice: &charles::Advice) -> Vec<(String, u64)> {
+    advice
+        .ranked
+        .iter()
+        .map(|r| (r.segmentation.to_string(), r.score.entropy.to_bits()))
+        .collect()
+}
+
+#[test]
+fn generate_save_load_advise_round_trip() {
+    let table = voc_table(4_000, 77);
+    let path = tmp_path("advise");
+    write_table(&table, &path).unwrap();
+
+    let reference = Advisor::new(&table).advise_str(CONTEXT).unwrap();
+    assert!(!reference.ranked.is_empty());
+
+    // Plain disk backend.
+    let disk = DiskTable::open(&path).unwrap();
+    let from_disk = Advisor::new(&disk).advise_str(CONTEXT).unwrap();
+    assert_eq!(fingerprint(&from_disk), fingerprint(&reference));
+
+    // Re-opened handle (fresh lazy state) → same again.
+    let disk2 = DiskTable::open(&path).unwrap();
+    let again = Advisor::new(&disk2).advise_str(CONTEXT).unwrap();
+    assert_eq!(fingerprint(&again), fingerprint(&reference));
+
+    // Sharded over the materialised file.
+    let sharded = ShardedTable::from_table(&disk.to_table().unwrap(), 5);
+    let from_sharded = Advisor::new(&sharded).advise_str(CONTEXT).unwrap();
+    assert_eq!(fingerprint(&from_sharded), fingerprint(&reference));
+
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn server_boots_from_a_saved_file() {
+    // The serving wire-up: a server whose backend is a lazily loaded
+    // .charles file answers sessions exactly like one over the original
+    // table.
+    let table = voc_table(2_000, 78);
+    let path = tmp_path("serve");
+    write_table(&table, &path).unwrap();
+
+    let disk: Arc<dyn Backend> = Arc::new(DiskTable::open(&path).unwrap());
+    let server = Server::bind("127.0.0.1:0", disk, ServeConfig::default()).unwrap();
+    let addr = server.local_addr().unwrap();
+    let handle = server.spawn().unwrap();
+
+    let (status, body) = http_request(addr, "POST", "/session", CONTEXT).unwrap();
+    assert_eq!(status, 201, "{body}");
+
+    // The advice payload served from disk is byte-identical to the
+    // direct advisor run over the in-memory table.
+    let direct = Advisor::new(&table)
+        .advise(
+            charles::parse_query(CONTEXT, table.schema())
+                .unwrap()
+                .canonicalized(),
+        )
+        .unwrap();
+    let expected = charles::serve::json::encode_advice(&direct);
+    assert!(
+        body.contains(&expected),
+        "served advice diverged from the in-memory oracle"
+    );
+
+    let (status, _) = http_request(addr, "POST", "/session/s1/drill", "0 0").unwrap();
+    assert_eq!(status, 200);
+    let (status, _) = http_request(addr, "DELETE", "/session/s1", "").unwrap();
+    assert_eq!(status, 204);
+
+    handle.shutdown();
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn dataset_by_path_sessions_over_real_http() {
+    // The @path body over a real socket: a server with a dataset root
+    // serves sessions from files clients name, with the documented
+    // structured errors for bad paths.
+    let root = std::env::temp_dir().join(format!(
+        "charles-persist-root-{}-{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&root).unwrap();
+    let table = voc_table(1_500, 79);
+    write_table(&table, root.join("fleet.charles")).unwrap();
+
+    let default_backend: Arc<dyn Backend> = Arc::new(voc_table(100, 1));
+    let server = Server::bind(
+        "127.0.0.1:0",
+        default_backend,
+        ServeConfig {
+            dataset_root: Some(root.clone()),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr().unwrap();
+    let handle = server.spawn().unwrap();
+
+    let body = format!("@fleet.charles\n{CONTEXT}");
+    let (status, resp) = http_request(addr, "POST", "/session", &body).unwrap();
+    assert_eq!(status, 201, "{resp}");
+    // Advice comes from the 1500-row file, not the 100-row default.
+    assert!(resp.contains("\"context_size\":1500"), "{resp}");
+
+    // Escaping the root and naming a missing file both answer the
+    // documented structured errors.
+    let (status, resp) =
+        http_request(addr, "POST", "/session", "@../escape.charles\n(tonnage: )").unwrap();
+    assert!(status == 403 || status == 404, "{status} {resp}");
+    assert!(
+        resp.contains("\"code\":\"dataset_forbidden\"")
+            || resp.contains("\"code\":\"no_such_dataset\""),
+        "{resp}"
+    );
+    let (status, resp) =
+        http_request(addr, "POST", "/session", "@missing.charles\n(tonnage: )").unwrap();
+    assert_eq!(status, 404, "{resp}");
+    assert!(resp.contains("\"code\":\"no_such_dataset\""), "{resp}");
+
+    handle.shutdown();
+    std::fs::remove_dir_all(&root).unwrap();
+}
