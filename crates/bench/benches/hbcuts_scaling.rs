@@ -1,0 +1,51 @@
+//! HB-cuts pair-argmin scaling: incremental (`hb_cuts`) vs the naive
+//! O(k²)-probes reference (`hb_cuts_naive`) as the candidate count
+//! grows. Both produce bitwise-identical advice (pinned by
+//! `tests/hbcuts_equivalence.rs`), so this measures pure execution
+//! strategy: run-local pair carrying + O(k) frontier fan-out against
+//! per-iteration full re-enumeration of the mutexed memo with String
+//! fingerprint re-renders.
+//!
+//! The companion probe-count table (INDEP memo probes per run, the
+//! `≥ 2×` acceptance number) comes from
+//! `cargo run -p charles-bench --bin experiments -- e13`.
+
+use charles_bench::context_over;
+use charles_core::{hb_cuts, hb_cuts_naive, Config, Explorer};
+use charles_datagen::sweep_table;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+const CANDIDATES: [usize; 4] = [4, 8, 12, 16];
+
+fn bench_hbcuts_scaling(c: &mut Criterion) {
+    // A deep composing run (max_indep = 1.0) is the worst case for the
+    // pair argmin: the loop runs until the depth bound.
+    let cfg = Config::default().with_max_indep(1.0).with_max_depth(48);
+
+    let mut group = c.benchmark_group("hbcuts_scaling");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    for &k in &CANDIDATES {
+        let table = sweep_table(10_000, k, 11);
+        let ctx = context_over(&table, k);
+        group.bench_function(BenchmarkId::new("incremental", k), |b| {
+            b.iter(|| {
+                let ex = Explorer::new(&table, cfg.clone(), ctx.clone()).unwrap();
+                hb_cuts(&ex).unwrap()
+            })
+        });
+        group.bench_function(BenchmarkId::new("naive", k), |b| {
+            b.iter(|| {
+                let ex = Explorer::new(&table, cfg.clone(), ctx.clone()).unwrap();
+                hb_cuts_naive(&ex).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hbcuts_scaling);
+criterion_main!(benches);

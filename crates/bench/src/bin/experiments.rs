@@ -18,8 +18,8 @@ use charles_core::baselines::{
     CliqueOptions, ExhaustiveOptions, RandomOptions,
 };
 use charles_core::{
-    adaptive_segmentations, compose, cut_segmentation, hb_cuts, indep, product, quantile_cut_query,
-    AdaptiveOptions, Advisor, Config, Explorer, LazyGenerator, MedianStrategy,
+    adaptive_segmentations, compose, cut_segmentation, hb_cuts, hb_cuts_naive, indep, product,
+    quantile_cut_query, AdaptiveOptions, Advisor, Config, Explorer, LazyGenerator, MedianStrategy,
 };
 use charles_datagen::{
     astro_table, correlated_pair_table, sweep_table, voc_table, weblog_table, DependencyKind,
@@ -34,6 +34,7 @@ use std::path::{Path, PathBuf};
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let mut dataset: Option<PathBuf> = None;
+    let mut json: Option<PathBuf> = None;
     let mut args: Vec<String> = Vec::new();
     let mut it = raw.into_iter();
     while let Some(a) = it.next() {
@@ -43,6 +44,12 @@ fn main() {
                 std::process::exit(2);
             });
             dataset = Some(PathBuf::from(path));
+        } else if a == "--json" {
+            let path = it.next().unwrap_or_else(|| {
+                eprintln!("--json requires an output path (e.g. BENCH_hbcuts.json)");
+                std::process::exit(2);
+            });
+            json = Some(PathBuf::from(path));
         } else {
             args.push(a.to_lowercase());
         }
@@ -84,6 +91,9 @@ fn main() {
     }
     if want("e12") {
         e12_homogeneity_surprise();
+    }
+    if want("e13") {
+        e13_hbcuts_scaling(json.as_deref());
     }
 }
 
@@ -804,6 +814,78 @@ fn e12_homogeneity_surprise() {
             r.score.entropy,
             r.segmentation.attributes()
         );
+    }
+}
+
+/// E13 — incremental vs naive HB-cuts pair argmin: wall time and INDEP
+/// memo probes as the candidate count grows (the `hbcuts_scaling`
+/// criterion bench times the same sweep; this one also counts probes
+/// and can emit a machine-readable baseline with `--json <path>`).
+fn e13_hbcuts_scaling(json: Option<&Path>) {
+    banner(
+        "E13",
+        "HB-cuts argmin scaling: incremental vs naive (10k rows, deep runs)",
+    );
+    // max_indep = 1.0 keeps the loop composing to the depth bound — the
+    // worst case for the pair argmin.
+    let cfg = Config::default().with_max_indep(1.0).with_max_depth(48);
+    header(&[
+        "candidates",
+        "incremental",
+        "naive",
+        "inc probes",
+        "naive probes",
+        "probe ratio",
+    ]);
+    let mut rows_json: Vec<String> = Vec::new();
+    for k in [4usize, 8, 12, 16] {
+        let table = sweep_table(10_000, k, 11);
+        let ctx = charles_bench::context_over(&table, k);
+        let run = |naive: bool| {
+            let ex = Explorer::new(&table, cfg.clone(), ctx.clone()).unwrap();
+            let (d, out) = time_once(|| {
+                if naive {
+                    hb_cuts_naive(&ex).unwrap()
+                } else {
+                    hb_cuts(&ex).unwrap()
+                }
+            });
+            (d, out, ex.cache_stats().indep_probes())
+        };
+        let (d_inc, out_inc, probes_inc) = run(false);
+        let (d_naive, out_naive, probes_naive) = run(true);
+        // The two paths must agree — this harness double-checks the
+        // equivalence contract on every baseline it emits.
+        assert_eq!(
+            out_inc.ranked.len(),
+            out_naive.ranked.len(),
+            "naive and incremental disagreed at k = {k}"
+        );
+        let ratio = probes_naive as f64 / probes_inc.max(1) as f64;
+        row(&[
+            format!("{k}"),
+            fmt_duration(d_inc),
+            fmt_duration(d_naive),
+            format!("{probes_inc}"),
+            format!("{probes_naive}"),
+            format!("{ratio:.2}x"),
+        ]);
+        rows_json.push(format!(
+            "{{\"candidates\":{k},\"incremental_us\":{},\"naive_us\":{},\"incremental_probes\":{probes_inc},\"naive_probes\":{probes_naive},\"probe_ratio\":{ratio:.4}}}",
+            d_inc.as_micros(),
+            d_naive.as_micros()
+        ));
+    }
+    if let Some(path) = json {
+        let payload = format!(
+            "{{\"bench\":\"hbcuts_scaling\",\"rows\":10000,\"config\":{{\"max_indep\":1.0,\"max_depth\":48}},\"series\":[{}]}}\n",
+            rows_json.join(",")
+        );
+        std::fs::write(path, payload).unwrap_or_else(|e| {
+            eprintln!("cannot write {path:?}: {e}");
+            std::process::exit(1);
+        });
+        println!("\nwrote {}", path.display());
     }
 }
 

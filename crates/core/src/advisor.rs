@@ -85,6 +85,7 @@ impl<'a> Advisor<'a> {
                     seeds: Vec::new(),
                     skipped: ex.attributes().iter().map(|s| s.to_string()).collect(),
                     steps: Vec::new(),
+                    skipped_pairs: Vec::new(),
                     stop: Some(crate::hbcuts::StopReason::ExhaustedCandidates),
                 };
                 (Vec::new(), trace)

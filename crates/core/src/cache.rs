@@ -22,6 +22,14 @@
 //! Errors are cached too: the advisor is a deterministic function of
 //! (backend, config, context), so a failed context keeps failing and
 //! re-running it would only burn backend operations.
+//!
+//! A cache built with [`AdviceCache::bounded`] additionally enforces a
+//! capacity: once a shard is full, inserting a new context evicts its
+//! least-recently-used **settled** entry (in-flight computations are
+//! never evicted, so single-flight semantics — and the exactness of the
+//! `runs` counter per resident key — are preserved). A long-running
+//! server therefore no longer grows without bound with the number of
+//! distinct contexts ever advised.
 
 use crate::advisor::{Advice, Advisor};
 use crate::error::{CoreError, CoreResult};
@@ -34,6 +42,13 @@ use std::sync::{Arc, Mutex, OnceLock};
 
 /// One cache slot: settled exactly once, then shared by reference.
 type Slot = Arc<OnceLock<Result<Arc<Advice>, CoreError>>>;
+
+/// A slot plus the logical timestamp of its last touch (for LRU
+/// eviction in bounded caches).
+struct Entry {
+    slot: Slot,
+    last_used: u64,
+}
 
 /// Counters describing cache effectiveness. `runs` is exact even under
 /// contention (it is incremented inside the single-flight initializer),
@@ -49,32 +64,64 @@ pub struct AdviceCacheStats {
     pub misses: u64,
     /// Advisor executions actually performed.
     pub runs: u64,
+    /// Entries evicted to stay within a bounded cache's capacity
+    /// (always 0 for unbounded caches). A re-requested evicted context
+    /// is recomputed, so `runs` counts it again.
+    pub evictions: u64,
 }
 
 /// A sharded, single-flight cache of advice keyed by canonical context.
 pub struct AdviceCache {
-    shards: Vec<Mutex<HashMap<String, Slot>>>,
+    shards: Vec<Mutex<HashMap<String, Entry>>>,
+    /// Per-shard entry bound; `None` = unbounded.
+    shard_capacity: Option<usize>,
+    /// Logical clock driving LRU recency.
+    tick: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
     runs: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl AdviceCache {
-    /// Cache with the default shard count (16).
+    /// Unbounded cache with the default shard count (16).
     pub fn new() -> AdviceCache {
         AdviceCache::with_shards(16)
     }
 
-    /// Cache with an explicit shard count (clamped to ≥ 1). More shards
-    /// mean less lock contention on the entry lookup; the advisor runs
-    /// themselves never hold a shard lock.
+    /// Unbounded cache with an explicit shard count (clamped to ≥ 1).
+    /// More shards mean less lock contention on the entry lookup; the
+    /// advisor runs themselves never hold a shard lock.
     pub fn with_shards(shards: usize) -> AdviceCache {
+        AdviceCache::build(shards, None)
+    }
+
+    /// Bounded cache: at most ~`capacity` entries total, evicting the
+    /// least-recently-used settled entry of a full shard on insert.
+    /// The bound is enforced per shard (`⌈capacity / shards⌉` each), so
+    /// a skewed key distribution can evict slightly early; in-flight
+    /// entries are never evicted, so a shard whose entries are all
+    /// mid-computation may transiently exceed its bound rather than
+    /// break single-flight. The shard count is clamped to at most
+    /// `capacity` (and both to ≥ 1), so the effective total —
+    /// [`AdviceCache::capacity`] — exceeds the request by at most
+    /// `shards − 1` rounding slack, never by a multiple of it.
+    pub fn bounded(shards: usize, capacity: usize) -> AdviceCache {
+        let capacity = capacity.max(1);
+        let n = shards.max(1).min(capacity);
+        AdviceCache::build(n, Some(capacity.div_ceil(n)))
+    }
+
+    fn build(shards: usize, shard_capacity: Option<usize>) -> AdviceCache {
         let n = shards.max(1);
         AdviceCache {
             shards: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
+            shard_capacity,
+            tick: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             runs: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
     }
 
@@ -96,12 +143,18 @@ impl AdviceCache {
         self.len() == 0
     }
 
+    /// The configured total capacity (`None` = unbounded).
+    pub fn capacity(&self) -> Option<usize> {
+        self.shard_capacity.map(|c| c * self.shards.len())
+    }
+
     /// Effectiveness counters so far.
     pub fn stats(&self) -> AdviceCacheStats {
         AdviceCacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             runs: self.runs.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
 
@@ -115,11 +168,26 @@ impl AdviceCache {
     pub fn advise_cached(&self, advisor: &Advisor<'_>, context: Query) -> CoreResult<Arc<Advice>> {
         let canonical = context.canonicalized();
         let key = canonical.to_string();
+        let now = self.tick.fetch_add(1, Ordering::Relaxed);
         let slot: Slot = {
             let mut shard = self.shards[self.shard_index(&key)]
                 .lock()
                 .expect("advice cache shard poisoned");
-            shard.entry(key).or_default().clone()
+            if let Some(entry) = shard.get_mut(&key) {
+                entry.last_used = now;
+                entry.slot.clone()
+            } else {
+                if let Some(cap) = self.shard_capacity {
+                    if shard.len() >= cap {
+                        self.evict_lru(&mut shard);
+                    }
+                }
+                let entry = shard.entry(key).or_insert(Entry {
+                    slot: Slot::default(),
+                    last_used: now,
+                });
+                entry.slot.clone()
+            }
         };
         if slot.get().is_some() {
             self.hits.fetch_add(1, Ordering::Relaxed);
@@ -131,6 +199,24 @@ impl AdviceCache {
             advisor.advise(canonical.clone()).map(Arc::new)
         })
         .clone()
+    }
+
+    /// Evict the least-recently-used *settled* entry of a full shard.
+    /// In-flight entries (unsettled `OnceLock`s with callers blocked on
+    /// them) are skipped: removing one would let a later request start a
+    /// duplicate run for the same key while the first is still going.
+    /// If every entry is in flight, nothing is evicted and the shard
+    /// transiently exceeds its bound.
+    fn evict_lru(&self, shard: &mut HashMap<String, Entry>) {
+        let victim = shard
+            .iter()
+            .filter(|(_, e)| e.slot.get().is_some())
+            .min_by_key(|(_, e)| e.last_used)
+            .map(|(k, _)| k.clone());
+        if let Some(k) = victim {
+            shard.remove(&k);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     fn shard_index(&self, key: &str) -> usize {
@@ -225,6 +311,110 @@ mod tests {
         let e2 = cache.advise_cached(&advisor, q).unwrap_err();
         assert_eq!(e1, e2);
         assert_eq!(cache.stats().runs, 1, "the failing run must not repeat");
+    }
+
+    #[test]
+    fn bounded_cache_evicts_lru_and_stays_within_capacity() {
+        let t = table();
+        let advisor = Advisor::new(&t);
+        // One shard so the LRU order is fully observable.
+        let cache = AdviceCache::bounded(1, 2);
+        assert_eq!(cache.capacity(), Some(2));
+        let schema = Backend::schema(&t);
+        let q = |s: &str| parse_query(s, schema).unwrap();
+        cache.advise_cached(&advisor, q("(kind: )")).unwrap();
+        cache.advise_cached(&advisor, q("(size: )")).unwrap();
+        // Touch the first key so the second becomes the LRU victim.
+        cache.advise_cached(&advisor, q("(kind: )")).unwrap();
+        cache
+            .advise_cached(&advisor, q("(kind: , size: )"))
+            .unwrap();
+        assert_eq!(cache.len(), 2, "capacity bound enforced");
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 1);
+        // The touched key survived: re-requesting it is a hit...
+        let runs_before = cache.stats().runs;
+        cache.advise_cached(&advisor, q("(kind: )")).unwrap();
+        assert_eq!(cache.stats().runs, runs_before);
+        // ...while the evicted key is recomputed (runs grows again).
+        cache.advise_cached(&advisor, q("(size: )")).unwrap();
+        assert_eq!(cache.stats().runs, runs_before + 1);
+    }
+
+    #[test]
+    fn long_running_use_does_not_grow_without_bound() {
+        let t = table();
+        let advisor = Advisor::new(&t);
+        let cache = AdviceCache::bounded(4, 8);
+        let schema = Backend::schema(&t);
+        // Many distinct contexts — far more than the capacity.
+        for lo in 0..40i64 {
+            let q = parse_query(&format!("(size: [{lo},{}], kind: )", lo + 3), schema).unwrap();
+            cache.advise_cached(&advisor, q).unwrap();
+        }
+        assert!(
+            cache.len() <= 8,
+            "bounded cache grew to {} entries",
+            cache.len()
+        );
+        let stats = cache.stats();
+        assert!(stats.evictions >= 32, "evictions: {}", stats.evictions);
+        assert_eq!(stats.runs, 40, "every distinct context ran once");
+    }
+
+    #[test]
+    fn small_capacities_are_not_inflated_by_sharding() {
+        // Requesting capacity 4 over 16 shards must not admit 16
+        // entries: the shard count clamps to the capacity.
+        let cache = AdviceCache::bounded(16, 4);
+        assert_eq!(cache.capacity(), Some(4));
+        assert_eq!(cache.shard_count(), 4);
+        let t = table();
+        let advisor = Advisor::new(&t);
+        let schema = Backend::schema(&t);
+        for lo in 0..12i64 {
+            let q = parse_query(&format!("(size: [{lo},{}], kind: )", lo + 2), schema).unwrap();
+            cache.advise_cached(&advisor, q).unwrap();
+        }
+        assert!(cache.len() <= 4, "grew to {}", cache.len());
+        // Default server shape stays exact: 1024 over 16 shards.
+        assert_eq!(AdviceCache::bounded(16, 1024).capacity(), Some(1024));
+    }
+
+    #[test]
+    fn unbounded_cache_never_evicts() {
+        let t = table();
+        let advisor = Advisor::new(&t);
+        let cache = AdviceCache::with_shards(2);
+        assert_eq!(cache.capacity(), None);
+        let schema = Backend::schema(&t);
+        for lo in 0..20i64 {
+            let q = parse_query(&format!("(size: [{lo},{}], kind: )", lo + 3), schema).unwrap();
+            cache.advise_cached(&advisor, q).unwrap();
+        }
+        assert_eq!(cache.len(), 20);
+        assert_eq!(cache.stats().evictions, 0);
+    }
+
+    #[test]
+    fn bounded_single_flight_still_runs_once_per_resident_key() {
+        let t = table();
+        let cache = Arc::new(AdviceCache::bounded(4, 16));
+        let threads = 8;
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let cache = Arc::clone(&cache);
+                let t = &t;
+                scope.spawn(move || {
+                    let advisor = Advisor::new(t);
+                    let q = parse_query("(kind: , size: )", Backend::schema(t)).unwrap();
+                    cache.advise_cached(&advisor, q).unwrap()
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(stats.runs, 1);
+        assert_eq!(stats.evictions, 0);
     }
 
     #[test]

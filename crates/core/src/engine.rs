@@ -31,10 +31,27 @@ pub struct CacheStats {
     pub indep_misses: u64,
 }
 
+impl CacheStats {
+    /// Total INDEP memo-layer probes: lookups that hit plus pair values
+    /// actually computed (each computed value is exactly one probe that
+    /// came back empty). This is the counter the `hbcuts_scaling` bench
+    /// tracks: the incremental pair maintenance in [`crate::hb_cuts`]
+    /// carries known pairs in run-local state, so it probes the shared
+    /// memo only for the O(k) frontier pairs per iteration, where the
+    /// naive argmin re-probes all O(k²) pairs every iteration.
+    pub fn indep_probes(&self) -> u64 {
+        self.indep_hits + self.indep_misses
+    }
+}
+
 #[derive(Default)]
 struct Caches {
     selections: HashMap<String, Arc<Bitmap>>,
-    indep: HashMap<(String, String), f64>,
+    /// INDEP memo as a two-level map keyed by the *ordered* fingerprint
+    /// pair (`outer ≤ inner`). Two levels instead of a `(String, String)`
+    /// key so probes can borrow `&str`s — the hot argmin paths probe
+    /// without allocating; Strings are only built when a value is stored.
+    indep: HashMap<String, HashMap<String, f64>>,
     stats: CacheStats,
 }
 
@@ -172,14 +189,15 @@ impl<'a> Explorer<'a> {
     }
 
     /// Look up a memoized INDEP value for an (unordered) pair of
-    /// segmentation fingerprints.
+    /// segmentation fingerprints. The probe borrows both keys — no
+    /// allocation happens on this path, hit or miss.
     pub(crate) fn cached_indep(&self, fp1: &str, fp2: &str) -> Option<f64> {
         if !self.config.memoize {
             return None;
         }
-        let key = pair_key(fp1, fp2);
+        let (a, b) = ordered(fp1, fp2);
         let mut caches = self.caches.lock();
-        let hit = caches.indep.get(&key).copied();
+        let hit = caches.indep.get(a).and_then(|m| m.get(b)).copied();
         if hit.is_some() {
             caches.stats.indep_hits += 1;
         }
@@ -188,10 +206,15 @@ impl<'a> Explorer<'a> {
 
     /// Store an INDEP value for a pair of fingerprints.
     pub(crate) fn store_indep(&self, fp1: &str, fp2: &str, value: f64) {
+        let (a, b) = ordered(fp1, fp2);
         let mut caches = self.caches.lock();
         caches.stats.indep_misses += 1;
         if self.config.memoize {
-            caches.indep.insert(pair_key(fp1, fp2), value);
+            caches
+                .indep
+                .entry(a.to_string())
+                .or_default()
+                .insert(b.to_string(), value);
         }
     }
 }
@@ -204,11 +227,11 @@ pub fn fingerprint(seg: &Segmentation) -> String {
     parts.join(" | ")
 }
 
-fn pair_key(a: &str, b: &str) -> (String, String) {
+fn ordered<'s>(a: &'s str, b: &'s str) -> (&'s str, &'s str) {
     if a <= b {
-        (a.to_string(), b.to_string())
+        (a, b)
     } else {
-        (b.to_string(), a.to_string())
+        (b, a)
     }
 }
 

@@ -23,15 +23,40 @@
 //! 25     return sort(output)
 //! ```
 //!
+//! # Incremental pair maintenance
+//!
+//! Line 11 is the hot loop of the whole system. [`hb_cuts`] maintains a
+//! per-run pair state (`PairState`): every candidate is interned to an
+//! integer id
+//! when it is created (seeded or composed) and its fingerprint is
+//! rendered exactly once; pair INDEP values live in a triangular matrix
+//! indexed by id pairs. After composing `(i, j)` only the O(k) pairs
+//! touching the new candidate are unknown — they are evaluated in one
+//! parallel fan-out — while every other pair's value is carried over as
+//! a plain array read: no re-render, no lock, no allocation. The argmin
+//! itself scans the matrix in the exact `(i, j)` enumeration order of
+//! the naive nested loop, so first-wins tie-breaks — and hence the
+//! chosen pair, the trace and the advice — are bitwise identical to
+//! [`hb_cuts_naive`], the O(k²)-probes reference implementation kept for
+//! the equivalence suite and the `hbcuts_scaling` bench.
+//!
+//! A best pair whose composition fails (no attribute cuttable) no longer
+//! aborts the run: it is recorded in [`Trace::skipped_pairs`], banned for
+//! as long as both candidates live, and the loop falls back to the
+//! next-most-dependent pair — matching the paper's greedy intent.
+//! [`StopReason::ComposeFailed`] now only fires when *every* remaining
+//! pair is uncomposable.
+//!
 //! The [`Trace`] records every seed and composition step so the execution
 //! tree of Figure 3 can be checked and displayed.
 
-use crate::engine::Explorer;
+use crate::engine::{fingerprint, Explorer};
 use crate::error::{CoreError, CoreResult};
 use crate::metrics::{score, Score};
 use crate::primitives::{compose, cut_segmentation};
 use crate::ranking::{rank, Ranked};
 use charles_sdl::Segmentation;
+use std::collections::HashSet;
 
 /// Why the composition loop ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,7 +68,8 @@ pub enum StopReason {
     DepthLimit,
     /// Fewer than two candidates remain — no pair to compose.
     ExhaustedCandidates,
-    /// The best pair could not be composed (no attribute was cuttable).
+    /// No remaining pair could be composed (every pair was skipped as
+    /// uncomposable — see [`Trace::skipped_pairs`]).
     ComposeFailed,
 }
 
@@ -62,6 +88,19 @@ pub struct ComposeStep {
     pub accepted: bool,
 }
 
+/// A most-dependent pair whose composition failed (no attribute of the
+/// right operand was cuttable in any piece of the left). The loop skips
+/// it and falls back to the next-most-dependent pair.
+#[derive(Debug, Clone)]
+pub struct SkippedPair {
+    /// Attributes of the first operand.
+    pub left_attrs: Vec<String>,
+    /// Attributes of the second operand.
+    pub right_attrs: Vec<String>,
+    /// INDEP of the skipped pair.
+    pub indep: f64,
+}
+
 /// Record of an HB-cuts execution (the Figure 3 tree).
 #[derive(Debug, Clone, Default)]
 pub struct Trace {
@@ -71,6 +110,9 @@ pub struct Trace {
     pub skipped: Vec<String>,
     /// Composition steps in order.
     pub steps: Vec<ComposeStep>,
+    /// Best pairs that could not be composed and were skipped in favour
+    /// of the next-most-dependent pair, in the order encountered.
+    pub skipped_pairs: Vec<SkippedPair>,
     /// Why the loop stopped.
     pub stop: Option<StopReason>,
 }
@@ -96,13 +138,119 @@ impl HbCutsOutput {
     }
 }
 
-/// Run HB-cuts over an explorer's context (Figure 4, lines 1–26).
-pub fn hb_cuts(ex: &Explorer<'_>) -> CoreResult<HbCutsOutput> {
-    let mut trace = Trace::default();
+/// Per-run incremental pair state over interned candidate ids.
+///
+/// Ids are assigned once per candidate lifetime (never reused), so pair
+/// values and the uncomposable ban set survive the `swap_remove`
+/// shuffles of the live-candidate vector untouched.
+#[derive(Default)]
+pub(crate) struct PairState {
+    /// Fingerprint per interned id, rendered exactly once at creation.
+    fps: Vec<String>,
+    /// Lower-triangular INDEP matrix by id pair; NaN = not yet computed
+    /// (INDEP itself is always finite — a quotient of finite entropies,
+    /// clamped to ≤ 1).
+    tri: Vec<f64>,
+    /// Id pairs proven uncomposable this run.
+    uncomposable: HashSet<(u32, u32)>,
+}
 
-    // Lines 2–5: seed with one binary cut per attribute. The per-attribute
-    // cuts are independent (median scan + two selections each), so they
-    // fan out across threads; the zip below keeps attribute order.
+fn uid_key(a: u32, b: u32) -> (u32, u32) {
+    if a < b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+impl PairState {
+    /// Intern a candidate: assign the next id and render its fingerprint
+    /// (the only time this segmentation is ever rendered by the loop).
+    pub(crate) fn intern(&mut self, seg: &Segmentation) -> u32 {
+        let id = self.fps.len() as u32;
+        self.fps.push(fingerprint(seg));
+        // Grow the triangle by one row: pairs (0..id, id).
+        self.tri.extend(std::iter::repeat_n(f64::NAN, id as usize));
+        id
+    }
+
+    fn idx(a: u32, b: u32) -> usize {
+        let (lo, hi) = uid_key(a, b);
+        hi as usize * (hi as usize - 1) / 2 + lo as usize
+    }
+
+    /// Pair value, NaN when not yet computed.
+    pub(crate) fn get(&self, a: u32, b: u32) -> f64 {
+        self.tri[Self::idx(a, b)]
+    }
+
+    pub(crate) fn set(&mut self, a: u32, b: u32, v: f64) {
+        let i = Self::idx(a, b);
+        self.tri[i] = v;
+    }
+
+    /// The interned fingerprint of `id`.
+    pub(crate) fn fp(&self, id: u32) -> &str {
+        &self.fps[id as usize]
+    }
+
+    /// Mark an id pair as uncomposable for the rest of the run.
+    pub(crate) fn ban(&mut self, a: u32, b: u32) {
+        self.uncomposable.insert(uid_key(a, b));
+    }
+
+    /// The `(i, j)` position pairs to (re)compute this iteration.
+    ///
+    /// With memoization on, that is the pairs whose value is still
+    /// unknown — all of them on the first iteration, afterwards exactly
+    /// the O(k) pairs touching the newly composed candidate. With
+    /// memoization off (the §5.1 ablation: *nothing* is reused from one
+    /// iteration to the next) it is every pair, every iteration —
+    /// matching the naive loop bit-for-bit, because `E(S1 × S2)` is
+    /// summed in operand order and a recomputation after a
+    /// `swap_remove` reshuffle can visit the operands swapped, which
+    /// moves the last ulp. Carrying values across iterations is reuse,
+    /// so the ablation must not do it.
+    pub(crate) fn frontier(&self, ids: &[u32], memoize: bool) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for i in 0..ids.len() {
+            for j in (i + 1)..ids.len() {
+                if !memoize || self.get(ids[i], ids[j]).is_nan() {
+                    out.push((i, j));
+                }
+            }
+        }
+        out
+    }
+
+    /// Skip-aware argmin over the stored pair values, in the exact naive
+    /// `(i, j)` enumeration order (first-wins ties), excluding banned
+    /// pairs. Every live pair's value must already be stored.
+    pub(crate) fn best_pair(&self, ids: &[u32]) -> Option<(usize, usize, f64)> {
+        let mut best: Option<(usize, usize, f64)> = None;
+        for i in 0..ids.len() {
+            for j in (i + 1)..ids.len() {
+                if self.uncomposable.contains(&uid_key(ids[i], ids[j])) {
+                    continue;
+                }
+                let v = self.get(ids[i], ids[j]);
+                if best.map(|(_, _, b)| v < b).unwrap_or(true) {
+                    best = Some((i, j, v));
+                }
+            }
+        }
+        best
+    }
+}
+
+fn attrs_of(seg: &Segmentation) -> Vec<String> {
+    seg.attributes().iter().map(|s| s.to_string()).collect()
+}
+
+/// Lines 2–5: seed with one binary cut per attribute. The per-attribute
+/// cuts are independent (median scan + two selections each), so they fan
+/// out across threads; the zip keeps attribute order.
+fn seed_candidates(ex: &Explorer<'_>, trace: &mut Trace) -> CoreResult<Vec<Segmentation>> {
     let base = Segmentation::singleton(ex.context().clone());
     let attrs = ex.attributes();
     let seed_cuts = crate::par::try_map(&attrs, |attr| cut_segmentation(ex, &base, attr))?;
@@ -119,67 +267,71 @@ pub fn hb_cuts(ex: &Explorer<'_>) -> CoreResult<HbCutsOutput> {
     if cand.is_empty() {
         return Err(CoreError::NoCuttableAttribute);
     }
+    Ok(cand)
+}
 
-    let mut output: Vec<Segmentation> = Vec::new();
+/// Outcome of one selection round (argmin + compose with fallback).
+enum RoundOutcome {
+    /// Composition accepted at live positions `(i, j)`.
+    Accept {
+        i: usize,
+        j: usize,
+        seg: Segmentation,
+    },
+    /// A stop criterion fired and was recorded in the trace.
+    Stop,
+}
+
+/// Lines 11–20 of one iteration: pick the most dependent pair, compose
+/// it, apply the stopping criteria. An uncomposable best pair is banned,
+/// recorded in the trace, and the argmin falls back to the
+/// next-most-dependent pair; only when no composable pair remains does
+/// the loop stop with [`StopReason::ComposeFailed`]. Shared verbatim by
+/// the incremental and naive paths so their selection semantics cannot
+/// drift apart.
+fn compose_round(
+    ex: &Explorer<'_>,
+    cand: &[Segmentation],
+    ids: &[u32],
+    state: &mut PairState,
+    trace: &mut Trace,
+) -> CoreResult<RoundOutcome> {
     let max_indep = ex.config().max_indep;
     let max_depth = ex.config().max_depth;
-
-    // Lines 10–22: compose the most dependent pair until a stop fires.
     loop {
-        if cand.len() < 2 {
-            trace.stop = Some(StopReason::ExhaustedCandidates);
-            break;
-        }
-        // Line 11: argmin over unordered candidate pairs. INDEP values are
-        // pure functions of the data, so the uncached pairs evaluate in
-        // parallel; the argmin itself runs sequentially over the same
-        // (i, j) enumeration as the nested loop, keeping first-wins
-        // tie-breaks — and hence the chosen pair — identical to the
-        // sequential path.
-        //
-        // From the second iteration on, every pair not involving the
-        // newly composed candidate is a memo hit, so the cache is probed
-        // sequentially first (cheap hash lookups) and only the misses —
-        // O(cand) of them per iteration — fan out to worker threads.
-        let pairs: Vec<(usize, usize)> = (0..cand.len())
-            .flat_map(|i| ((i + 1)..cand.len()).map(move |j| (i, j)))
-            .collect();
-        let fps: Vec<String> = cand.iter().map(crate::engine::fingerprint).collect();
-        let cached: Vec<Option<f64>> = pairs
-            .iter()
-            .map(|&(i, j)| ex.cached_indep(&fps[i], &fps[j]))
-            .collect();
-        let misses: Vec<(usize, usize)> = pairs
-            .iter()
-            .zip(&cached)
-            .filter(|(_, hit)| hit.is_none())
-            .map(|(&p, _)| p)
-            .collect();
-        let fresh = crate::par::try_map(&misses, |&(i, j)| {
-            crate::indep::indep_with_fingerprints(ex, &cand[i], &cand[j], &fps[i], &fps[j])
-        })?;
-        let mut fresh_iter = fresh.into_iter();
-        let values: Vec<f64> = cached
-            .into_iter()
-            .map(|hit| hit.unwrap_or_else(|| fresh_iter.next().expect("one value per miss")))
-            .collect();
-        let mut best: Option<(usize, usize, f64)> = None;
-        for (&(i, j), &v) in pairs.iter().zip(&values) {
-            if best.map(|(_, _, b)| v < b).unwrap_or(true) {
-                best = Some((i, j, v));
-            }
-        }
-        let (i, j, ind) = best.expect("cand.len() >= 2");
-
-        // Line 12: compose.
-        let Some(new_seg) = compose(ex, &cand[i], &cand[j])? else {
+        // Line 11: argmin over unordered candidate pairs, first-wins
+        // tie-breaks over the same (i, j) enumeration as the naive
+        // nested loop.
+        let Some((i, j, ind)) = state.best_pair(ids) else {
             trace.stop = Some(StopReason::ComposeFailed);
-            break;
+            return Ok(RoundOutcome::Stop);
+        };
+
+        // Line 12: compose; an uncomposable pair is skipped (greedy
+        // fallback) rather than aborting the run — unless even this
+        // most-dependent pair is past the independence threshold, in
+        // which case every remaining pair is too and line 15's stop
+        // fires directly (no composition exists to record as a step).
+        // Without this check the fallback would ban its way through
+        // past-threshold pairs, burning compose work and misreporting
+        // ComposeFailed.
+        let Some(new_seg) = compose(ex, &cand[i], &cand[j])? else {
+            if ind >= max_indep {
+                trace.stop = Some(StopReason::IndependenceThreshold);
+                return Ok(RoundOutcome::Stop);
+            }
+            state.ban(ids[i], ids[j]);
+            trace.skipped_pairs.push(SkippedPair {
+                left_attrs: attrs_of(&cand[i]),
+                right_attrs: attrs_of(&cand[j]),
+                indep: ind,
+            });
+            continue;
         };
         let dep = new_seg.depth();
         let step = ComposeStep {
-            left_attrs: cand[i].attributes().iter().map(|s| s.to_string()).collect(),
-            right_attrs: cand[j].attributes().iter().map(|s| s.to_string()).collect(),
+            left_attrs: attrs_of(&cand[i]),
+            right_attrs: attrs_of(&cand[j]),
             indep: ind,
             depth: dep,
             accepted: false,
@@ -189,37 +341,166 @@ pub fn hb_cuts(ex: &Explorer<'_>) -> CoreResult<HbCutsOutput> {
         if ind >= max_indep {
             trace.steps.push(step);
             trace.stop = Some(StopReason::IndependenceThreshold);
-            break;
+            return Ok(RoundOutcome::Stop);
         }
         if dep >= max_depth {
             trace.steps.push(step);
             trace.stop = Some(StopReason::DepthLimit);
-            break;
+            return Ok(RoundOutcome::Stop);
         }
 
-        // Lines 18–20: accept — replace the pair by the composition.
         trace.steps.push(ComposeStep {
             accepted: true,
             ..step
         });
-        // Remove j first (j > i) so indices stay valid.
-        let s2 = cand.swap_remove(j);
-        let s1 = cand.swap_remove(i);
-        output.push(s1);
-        output.push(s2);
-        cand.push(new_seg);
+        return Ok(RoundOutcome::Accept { i, j, seg: new_seg });
     }
+}
 
+/// Score, rank and truncate the collected output (lines 23–25).
+fn finish(
+    ex: &Explorer<'_>,
+    mut output: Vec<Segmentation>,
+    cand: Vec<Segmentation>,
+    trace: Trace,
+) -> CoreResult<HbCutsOutput> {
     // Line 23: everything still in cand is also returned.
     output.extend(cand);
 
-    // Line 25: sort by entropy (descending), with deterministic tie-breaks.
-    // Scoring each segmentation is independent work; order is preserved.
+    // Line 25: sort by entropy (descending), with deterministic
+    // tie-breaks. Scoring each segmentation is independent work; order
+    // is preserved.
     let scores = crate::par::try_map(&output, |seg| score(ex, seg))?;
     let scored: Vec<(Segmentation, Score)> = output.into_iter().zip(scores).collect();
     let mut ranked = rank(scored);
     ranked.truncate(ex.config().max_results);
     Ok(HbCutsOutput { ranked, trace })
+}
+
+/// Run HB-cuts over an explorer's context (Figure 4, lines 1–26).
+///
+/// This is the incremental-argmin implementation (see the module docs):
+/// per iteration it evaluates INDEP only for the O(k) frontier pairs
+/// touching the newly composed candidate and carries every other pair
+/// value in run-local state. Output — ranked answers and trace,
+/// including first-wins tie-breaks — is bitwise identical to
+/// [`hb_cuts_naive`].
+pub fn hb_cuts(ex: &Explorer<'_>) -> CoreResult<HbCutsOutput> {
+    let mut trace = Trace::default();
+    let mut cand = seed_candidates(ex, &mut trace)?;
+
+    let mut state = PairState::default();
+    let mut ids: Vec<u32> = cand.iter().map(|seg| state.intern(seg)).collect();
+
+    let mut output: Vec<Segmentation> = Vec::new();
+
+    // Lines 10–22: compose the most dependent pair until a stop fires.
+    loop {
+        if cand.len() < 2 {
+            trace.stop = Some(StopReason::ExhaustedCandidates);
+            break;
+        }
+        // Evaluate the unknown pairs (the incremental frontier) in one
+        // parallel fan-out; results land in the triangular matrix. The
+        // fan-out still consults the explorer's shared memo first, so a
+        // second run over the same explorer reuses its values.
+        let frontier = state.frontier(&ids, ex.config().memoize);
+        if !frontier.is_empty() {
+            let fps: Vec<&str> = ids.iter().map(|&id| state.fp(id)).collect();
+            let fresh = crate::indep::indep_frontier(ex, &cand, &fps, &frontier)?;
+            for (&(i, j), v) in frontier.iter().zip(fresh) {
+                state.set(ids[i], ids[j], v);
+            }
+        }
+
+        match compose_round(ex, &cand, &ids, &mut state, &mut trace)? {
+            RoundOutcome::Stop => break,
+            RoundOutcome::Accept { i, j, seg } => {
+                // Lines 18–20: replace the pair by the composition.
+                // Remove j first (j > i) so indices stay valid.
+                let s2 = cand.swap_remove(j);
+                ids.swap_remove(j);
+                let s1 = cand.swap_remove(i);
+                ids.swap_remove(i);
+                output.push(s1);
+                output.push(s2);
+                ids.push(state.intern(&seg));
+                cand.push(seg);
+            }
+        }
+    }
+
+    finish(ex, output, cand, trace)
+}
+
+/// The naive O(k²)-probes reference implementation of HB-cuts.
+///
+/// Per iteration it re-renders every candidate fingerprint and probes
+/// the explorer's shared memo for **all** unordered pairs, exactly as
+/// the pre-incremental advisor did. Selection semantics (argmin order,
+/// tie-breaks, compose fallback, stop criteria) are shared code with
+/// [`hb_cuts`], so the two produce bitwise-identical output — the
+/// contract pinned by `tests/hbcuts_equivalence.rs` and measured (in
+/// memo probes) by the `hbcuts_scaling` bench.
+pub fn hb_cuts_naive(ex: &Explorer<'_>) -> CoreResult<HbCutsOutput> {
+    let mut trace = Trace::default();
+    let mut cand = seed_candidates(ex, &mut trace)?;
+
+    // The ban set still needs stable identities across swap_remove
+    // shuffles, so candidates are interned here too — but fingerprints
+    // are deliberately re-rendered every iteration below.
+    let mut state = PairState::default();
+    let mut ids: Vec<u32> = cand.iter().map(|seg| state.intern(seg)).collect();
+
+    let mut output: Vec<Segmentation> = Vec::new();
+
+    loop {
+        if cand.len() < 2 {
+            trace.stop = Some(StopReason::ExhaustedCandidates);
+            break;
+        }
+        // Full O(k²) enumeration: probe the shared memo for every pair,
+        // fan the misses out in parallel, zip hits and fresh values back
+        // into enumeration order.
+        let k = cand.len();
+        let pairs: Vec<(usize, usize)> = (0..k)
+            .flat_map(|i| ((i + 1)..k).map(move |j| (i, j)))
+            .collect();
+        let fps_owned: Vec<String> = cand.iter().map(fingerprint).collect();
+        let fps: Vec<&str> = fps_owned.iter().map(String::as_str).collect();
+        let cached: Vec<Option<f64>> = pairs
+            .iter()
+            .map(|&(i, j)| ex.cached_indep(fps[i], fps[j]))
+            .collect();
+        let misses: Vec<(usize, usize)> = pairs
+            .iter()
+            .zip(&cached)
+            .filter(|(_, hit)| hit.is_none())
+            .map(|(&p, _)| p)
+            .collect();
+        let fresh = crate::indep::indep_frontier(ex, &cand, &fps, &misses)?;
+        let mut fresh_iter = fresh.into_iter();
+        for (&(i, j), hit) in pairs.iter().zip(&cached) {
+            let v = hit.unwrap_or_else(|| fresh_iter.next().expect("one value per miss"));
+            state.set(ids[i], ids[j], v);
+        }
+
+        match compose_round(ex, &cand, &ids, &mut state, &mut trace)? {
+            RoundOutcome::Stop => break,
+            RoundOutcome::Accept { i, j, seg } => {
+                let s2 = cand.swap_remove(j);
+                ids.swap_remove(j);
+                let s1 = cand.swap_remove(i);
+                ids.swap_remove(i);
+                output.push(s1);
+                output.push(s2);
+                ids.push(state.intern(&seg));
+                cand.push(seg);
+            }
+        }
+    }
+
+    finish(ex, output, cand, trace)
 }
 
 #[cfg(test)]
@@ -254,6 +535,25 @@ mod tests {
                 Value::Int(a5),
             ])
             .unwrap();
+        }
+        b.finish()
+    }
+
+    /// Table where the most dependent pair is uncomposable: `a` and `b`
+    /// are identical binary columns (INDEP exactly ½, but each half is
+    /// constant in the other attribute so COMPOSE finds nothing to cut),
+    /// while `c` tracks `a` loosely and composes fine.
+    fn uncomposable_best_pair_table() -> charles_store::Table {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut b = TableBuilder::new("t");
+        b.add_column("a", DataType::Int)
+            .add_column("b", DataType::Int)
+            .add_column("c", DataType::Int);
+        for _ in 0..2000 {
+            let a: i64 = rng.gen_range(0..2);
+            let c = a * 50 + rng.gen_range(0i64..40);
+            b.push_row(vec![Value::Int(a), Value::Int(a), Value::Int(c)])
+                .unwrap();
         }
         b.finish()
     }
@@ -427,5 +727,131 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn uncomposable_best_pair_falls_back() {
+        // The most dependent pair (a, b) has INDEP = ½ but cannot be
+        // composed; the loop must skip it (recording the skip) and
+        // compose a weaker — but composable — pair instead of aborting.
+        let t = uncomposable_best_pair_table();
+        let ex = Explorer::new(&t, Config::default(), Query::wildcard(&["a", "b", "c"])).unwrap();
+        let out = hb_cuts(&ex).unwrap();
+        assert!(
+            !out.trace.skipped_pairs.is_empty(),
+            "the uncomposable (a, b) pair must be recorded: {:?}",
+            out.trace
+        );
+        let skipped = &out.trace.skipped_pairs[0];
+        let mut pair: Vec<&str> = skipped
+            .left_attrs
+            .iter()
+            .chain(&skipped.right_attrs)
+            .map(|s| s.as_str())
+            .collect();
+        pair.sort();
+        assert_eq!(pair, ["a", "b"]);
+        assert!((skipped.indep - 0.5).abs() < 1e-9, "{}", skipped.indep);
+        assert!(
+            out.trace.steps.iter().any(|s| s.accepted),
+            "a weaker composable pair must be composed: {:?}",
+            out.trace
+        );
+        assert_ne!(out.trace.stop, Some(StopReason::ComposeFailed));
+    }
+
+    #[test]
+    fn all_pairs_uncomposable_stops_compose_failed() {
+        // Three identical binary columns: every pair is maximally
+        // dependent and none is composable — the loop must record every
+        // skip and stop with ComposeFailed, returning just the seeds.
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut b = TableBuilder::new("t");
+        b.add_column("a", DataType::Int)
+            .add_column("b", DataType::Int)
+            .add_column("d", DataType::Int);
+        for _ in 0..1000 {
+            let v: i64 = rng.gen_range(0..2);
+            b.push_row(vec![Value::Int(v), Value::Int(v), Value::Int(v)])
+                .unwrap();
+        }
+        let t = b.finish();
+        let ex = Explorer::new(&t, Config::default(), Query::wildcard(&["a", "b", "d"])).unwrap();
+        let out = hb_cuts(&ex).unwrap();
+        assert_eq!(out.trace.stop, Some(StopReason::ComposeFailed));
+        assert_eq!(out.trace.skipped_pairs.len(), 3, "{:?}", out.trace);
+        assert!(out.trace.steps.is_empty());
+        assert_eq!(out.ranked.len(), 3, "only the three seeds return");
+    }
+
+    #[test]
+    fn past_threshold_uncomposable_pair_stops_on_independence() {
+        // When even the most dependent pair is past max_indep, the loop
+        // must stop on the independence threshold whether or not that
+        // pair happens to compose — not ban its way through every
+        // remaining (equally past-threshold) pair into ComposeFailed.
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut b = TableBuilder::new("t");
+        b.add_column("a", DataType::Int)
+            .add_column("b", DataType::Int)
+            .add_column("d", DataType::Int);
+        for _ in 0..1000 {
+            let v: i64 = rng.gen_range(0..2);
+            b.push_row(vec![Value::Int(v), Value::Int(v), Value::Int(v)])
+                .unwrap();
+        }
+        let t = b.finish();
+        // Identical columns pair at INDEP = ½ exactly; a threshold of
+        // 0.4 puts every pair past it.
+        let cfg = Config::default().with_max_indep(0.4);
+        let ex = Explorer::new(&t, cfg, Query::wildcard(&["a", "b", "d"])).unwrap();
+        let out = hb_cuts(&ex).unwrap();
+        assert_eq!(out.trace.stop, Some(StopReason::IndependenceThreshold));
+        assert!(out.trace.skipped_pairs.is_empty(), "{:?}", out.trace);
+        assert!(out.trace.steps.is_empty());
+        assert_eq!(out.ranked.len(), 3);
+    }
+
+    #[test]
+    fn naive_reference_matches_incremental_on_figure3() {
+        let t = figure3_table(1500);
+        let ctx = Query::wildcard(&["att1", "att2", "att3", "att4", "att5"]);
+        let inc = {
+            let ex = Explorer::new(&t, Config::default(), ctx.clone()).unwrap();
+            hb_cuts(&ex).unwrap()
+        };
+        let naive = {
+            let ex = Explorer::new(&t, Config::default(), ctx).unwrap();
+            hb_cuts_naive(&ex).unwrap()
+        };
+        assert_eq!(format!("{:?}", inc.trace), format!("{:?}", naive.trace));
+        let fp = |out: &HbCutsOutput| {
+            out.ranked
+                .iter()
+                .map(|r| (r.segmentation.to_string(), r.score.entropy.to_bits()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(fp(&inc), fp(&naive));
+    }
+
+    #[test]
+    fn incremental_probes_the_memo_less() {
+        let t = figure3_table(1500);
+        let ctx = Query::wildcard(&["att1", "att2", "att3", "att4", "att5"]);
+        let probes = |naive: bool| {
+            let ex = Explorer::new(&t, Config::default(), ctx.clone()).unwrap();
+            if naive {
+                hb_cuts_naive(&ex).unwrap();
+            } else {
+                hb_cuts(&ex).unwrap();
+            }
+            ex.cache_stats().indep_probes()
+        };
+        let inc = probes(false);
+        let naive = probes(true);
+        assert!(
+            inc < naive,
+            "incremental must probe the memo less: {inc} vs {naive}"
+        );
     }
 }

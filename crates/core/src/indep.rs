@@ -58,6 +58,26 @@ pub fn indep(ex: &Explorer<'_>, s1: &Segmentation, s2: &Segmentation) -> CoreRes
     indep_with_fingerprints(ex, s1, s2, &fingerprint(s1), &fingerprint(s2))
 }
 
+/// Evaluate INDEP for a *frontier* of candidate position pairs in one
+/// order-preserving parallel fan-out (`fps` runs parallel to `cand`).
+///
+/// This is the only place the HB-cuts argmin paths touch INDEP: the
+/// incremental path passes the O(k) pairs involving the newly composed
+/// candidate, the naive reference passes its per-iteration memo misses.
+/// Each evaluation consults the explorer's shared memo first (one
+/// borrowed-key probe), so repeat runs over one explorer still reuse
+/// values across calls.
+pub(crate) fn indep_frontier(
+    ex: &Explorer<'_>,
+    cand: &[Segmentation],
+    fps: &[&str],
+    frontier: &[(usize, usize)],
+) -> CoreResult<Vec<f64>> {
+    crate::par::try_map(frontier, |&(i, j)| {
+        indep_with_fingerprints(ex, &cand[i], &cand[j], fps[i], fps[j])
+    })
+}
+
 /// [`indep`] with caller-supplied fingerprints, so hot loops that
 /// already maintain them (the HB-cuts pair argmin) don't re-render the
 /// segmentations for every cache miss.

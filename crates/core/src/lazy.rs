@@ -14,8 +14,7 @@
 
 use crate::engine::Explorer;
 use crate::error::CoreResult;
-use crate::hbcuts::StopReason;
-use crate::indep::indep;
+use crate::hbcuts::{PairState, StopReason};
 use crate::metrics::{score, Score};
 use crate::primitives::{compose, cut_segmentation};
 use charles_sdl::Segmentation;
@@ -31,10 +30,19 @@ enum Phase {
 
 /// Incremental HB-cuts: call [`LazyGenerator::next_segmentation`]
 /// repeatedly; `None` means the answer space is exhausted.
+///
+/// The composing phase shares the eager loop's incremental pair state:
+/// candidates are interned once, pair INDEP values persist across
+/// `next()` calls, and each step only evaluates the O(k) pairs touching
+/// the previously composed candidate. An uncomposable best pair is
+/// skipped in favour of the next-most-dependent one, mirroring
+/// [`crate::hb_cuts`]'s fallback.
 pub struct LazyGenerator<'e, 'a> {
     ex: &'e Explorer<'a>,
     attrs: Vec<String>,
     cand: Vec<Segmentation>,
+    ids: Vec<u32>,
+    state: PairState,
     phase: Phase,
 }
 
@@ -45,6 +53,8 @@ impl<'e, 'a> LazyGenerator<'e, 'a> {
             ex,
             attrs: ex.attributes().iter().map(|s| s.to_string()).collect(),
             cand: Vec::new(),
+            ids: Vec::new(),
+            state: PairState::default(),
             phase: Phase::Seeding(0),
         }
     }
@@ -70,6 +80,7 @@ impl<'e, 'a> LazyGenerator<'e, 'a> {
                     let base = Segmentation::singleton(self.ex.context().clone());
                     if let Some(seg) = cut_segmentation(self.ex, &base, &self.attrs[idx])? {
                         let s = score(self.ex, &seg)?;
+                        self.ids.push(self.state.intern(&seg));
                         self.cand.push(seg.clone());
                         return Ok(Some((seg, s)));
                     }
@@ -80,33 +91,47 @@ impl<'e, 'a> LazyGenerator<'e, 'a> {
                         self.phase = Phase::Done(StopReason::ExhaustedCandidates);
                         return Ok(None);
                     }
-                    let mut best: Option<(usize, usize, f64)> = None;
-                    for i in 0..self.cand.len() {
-                        for j in (i + 1)..self.cand.len() {
-                            let v = indep(self.ex, &self.cand[i], &self.cand[j])?;
-                            if best.map(|(_, _, b)| v < b).unwrap_or(true) {
-                                best = Some((i, j, v));
-                            }
+                    // Fill the incremental frontier (all pairs on the
+                    // first composing step, O(k) afterwards — or every
+                    // pair when the §5.1 reuse is ablated away).
+                    let frontier = self.state.frontier(&self.ids, self.ex.config().memoize);
+                    if !frontier.is_empty() {
+                        let fps: Vec<&str> = self.ids.iter().map(|&id| self.state.fp(id)).collect();
+                        let fresh =
+                            crate::indep::indep_frontier(self.ex, &self.cand, &fps, &frontier)?;
+                        for (&(i, j), v) in frontier.iter().zip(fresh) {
+                            self.state.set(self.ids[i], self.ids[j], v);
                         }
                     }
-                    let (i, j, ind) = best.expect("len >= 2");
-                    if ind >= self.ex.config().max_indep {
-                        self.phase = Phase::Done(StopReason::IndependenceThreshold);
-                        return Ok(None);
+                    loop {
+                        let Some((i, j, ind)) = self.state.best_pair(&self.ids) else {
+                            // Every remaining pair is uncomposable.
+                            self.phase = Phase::Done(StopReason::ComposeFailed);
+                            return Ok(None);
+                        };
+                        if ind >= self.ex.config().max_indep {
+                            self.phase = Phase::Done(StopReason::IndependenceThreshold);
+                            return Ok(None);
+                        }
+                        let Some(new_seg) = compose(self.ex, &self.cand[i], &self.cand[j])? else {
+                            // Skip the uncomposable pair, fall back to
+                            // the next-most-dependent one.
+                            self.state.ban(self.ids[i], self.ids[j]);
+                            continue;
+                        };
+                        if new_seg.depth() >= self.ex.config().max_depth {
+                            self.phase = Phase::Done(StopReason::DepthLimit);
+                            return Ok(None);
+                        }
+                        self.cand.swap_remove(j);
+                        self.ids.swap_remove(j);
+                        self.cand.swap_remove(i);
+                        self.ids.swap_remove(i);
+                        let s = score(self.ex, &new_seg)?;
+                        self.ids.push(self.state.intern(&new_seg));
+                        self.cand.push(new_seg.clone());
+                        return Ok(Some((new_seg, s)));
                     }
-                    let Some(new_seg) = compose(self.ex, &self.cand[i], &self.cand[j])? else {
-                        self.phase = Phase::Done(StopReason::ComposeFailed);
-                        return Ok(None);
-                    };
-                    if new_seg.depth() >= self.ex.config().max_depth {
-                        self.phase = Phase::Done(StopReason::DepthLimit);
-                        return Ok(None);
-                    }
-                    self.cand.swap_remove(j);
-                    self.cand.swap_remove(i);
-                    let s = score(self.ex, &new_seg)?;
-                    self.cand.push(new_seg.clone());
-                    return Ok(Some((new_seg, s)));
                 }
                 Phase::Done(_) => return Ok(None),
             }

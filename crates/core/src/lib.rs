@@ -68,7 +68,9 @@ pub use cache::{AdviceCache, AdviceCacheStats};
 pub use config::{Config, MedianStrategy};
 pub use engine::{fingerprint, CacheStats, Explorer};
 pub use error::{CoreError, CoreResult};
-pub use hbcuts::{hb_cuts, ComposeStep, HbCutsOutput, StopReason, Trace};
+pub use hbcuts::{
+    hb_cuts, hb_cuts_naive, ComposeStep, HbCutsOutput, SkippedPair, StopReason, Trace,
+};
 pub use homogeneity::{homogeneity, Homogeneity};
 pub use indep::{indep, is_independent, product_entropy};
 pub use lazy::LazyGenerator;

@@ -12,6 +12,13 @@
 //! which short-circuits) and then surfaces the **first** error in input
 //! order, so the observable `Err` is the same one the sequential loop
 //! would have produced.
+//!
+//! The hottest caller is the HB-cuts INDEP fan-out
+//! (`indep::indep_frontier`): since the incremental pair maintenance
+//! landed it receives only the O(k) frontier pairs touching the newly
+//! composed candidate per iteration — the input is small but each
+//! element is coarse (bitmap AND-count grids), which is exactly the
+//! shape this order-preserving map is for.
 
 use crate::error::CoreResult;
 

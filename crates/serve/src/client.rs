@@ -1,7 +1,9 @@
 //! A one-shot HTTP client, just big enough to drive the advisory
 //! server from tests, examples and smoke checks without pulling in a
-//! dependency. One request per connection (`Connection: close`), which
-//! matches the server's framing.
+//! dependency. It sends `Connection: close` and reads to EOF — the
+//! server honours the request by answering with `Connection: close`
+//! and hanging up (persistent connections are available to clients
+//! that don't ask to close; this helper simply doesn't need them).
 
 use std::io::{Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};

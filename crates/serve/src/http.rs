@@ -1,10 +1,16 @@
 //! A minimal, panic-free HTTP/1.1 request parser and response writer.
 //!
 //! Only what the advisory protocol needs: `GET`/`POST`/`DELETE`, a
-//! `Content-Length`-framed body, `Connection: close` semantics (one
-//! request per connection). Every malformed input path returns an
-//! [`HttpError`] with a 4xx/5xx status — never a panic — which the
-//! proptest suite pins by feeding the parser arbitrary bytes.
+//! `Content-Length`-framed body, and standard `Connection` semantics —
+//! HTTP/1.1 connections persist by default (the server loops reading
+//! requests until the client asks to close or an idle deadline fires),
+//! HTTP/1.0 closes unless the client sends `Connection: keep-alive`.
+//! Every response states its framing explicitly (`Connection:
+//! keep-alive` or `Connection: close`), so conforming clients never
+//! attempt to reuse a connection the server is about to reset. Every
+//! malformed input path returns an [`HttpError`] with a 4xx/5xx status
+//! — never a panic — which the proptest suite pins by feeding the
+//! parser arbitrary bytes.
 
 use std::io::{BufRead, Write};
 
@@ -35,7 +41,7 @@ impl Method {
     }
 }
 
-/// A parsed request: method, path, UTF-8 body.
+/// A parsed request: method, path, UTF-8 body, connection intent.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Request {
     /// Request method.
@@ -44,6 +50,10 @@ pub struct Request {
     pub path: String,
     /// Decoded body (empty when no `Content-Length`).
     pub body: String,
+    /// Whether the connection may serve another request after this one:
+    /// HTTP/1.1 unless the client sent `Connection: close`, HTTP/1.0
+    /// only when it sent `Connection: keep-alive`.
+    pub keep_alive: bool,
 }
 
 /// Everything that can go wrong while reading a request.
@@ -59,6 +69,12 @@ pub enum HttpError {
     BadHeader(String),
     /// `Content-Length` was missing digits or duplicated inconsistently.
     BadContentLength(String),
+    /// The request declared a `Transfer-Encoding` this server does not
+    /// implement. Accepting and mis-framing such a body would desync a
+    /// persistent connection (the chunk data would be parsed as the
+    /// next request — a smuggling primitive behind proxies), so it is
+    /// rejected outright per RFC 7230 §3.3.1.
+    UnsupportedTransferEncoding(String),
     /// Request line + headers exceeded [`MAX_HEAD_BYTES`].
     HeadTooLarge,
     /// Declared body length exceeded [`MAX_BODY_BYTES`].
@@ -81,7 +97,7 @@ impl HttpError {
             | HttpError::BodyNotUtf8
             | HttpError::UnexpectedEof
             | HttpError::Io(_) => 400,
-            HttpError::UnsupportedMethod(_) => 501,
+            HttpError::UnsupportedMethod(_) | HttpError::UnsupportedTransferEncoding(_) => 501,
             HttpError::UnsupportedVersion(_) => 505,
             HttpError::HeadTooLarge => 431,
             HttpError::BodyTooLarge(_) => 413,
@@ -97,6 +113,9 @@ impl std::fmt::Display for HttpError {
             HttpError::UnsupportedVersion(v) => write!(f, "unsupported HTTP version: {v:?}"),
             HttpError::BadHeader(h) => write!(f, "malformed header: {h:?}"),
             HttpError::BadContentLength(v) => write!(f, "bad Content-Length: {v:?}"),
+            HttpError::UnsupportedTransferEncoding(v) => {
+                write!(f, "unsupported Transfer-Encoding: {v:?}")
+            }
             HttpError::HeadTooLarge => write!(f, "request head exceeds {MAX_HEAD_BYTES} bytes"),
             HttpError::BodyTooLarge(n) => {
                 write!(f, "declared body of {n} bytes exceeds {MAX_BODY_BYTES}")
@@ -166,6 +185,10 @@ pub fn parse_request<R: BufRead>(reader: &mut R) -> Result<Request, HttpError> {
     }
 
     let mut content_length: Option<usize> = None;
+    // Persistence default per version; a Connection header overrides
+    // ("close" beats "keep-alive" no matter the token order).
+    let mut keep_alive = version == "HTTP/1.1";
+    let mut close_requested = false;
     loop {
         let line = read_line_limited(reader, &mut budget)?;
         if line.is_empty() {
@@ -174,7 +197,8 @@ pub fn parse_request<R: BufRead>(reader: &mut R) -> Result<Request, HttpError> {
         let Some((name, value)) = line.split_once(':') else {
             return Err(HttpError::BadHeader(line));
         };
-        if name.trim().eq_ignore_ascii_case("content-length") {
+        let name = name.trim();
+        if name.eq_ignore_ascii_case("content-length") {
             let value = value.trim();
             let parsed: usize = value
                 .parse()
@@ -185,7 +209,29 @@ pub fn parse_request<R: BufRead>(reader: &mut R) -> Result<Request, HttpError> {
                 }
             }
             content_length = Some(parsed);
+        } else if name.eq_ignore_ascii_case("transfer-encoding") {
+            // This server only frames bodies by Content-Length; any
+            // transfer coding (chunked included) would desync the
+            // connection if ignored. "identity" is a no-op and legal.
+            let value = value.trim();
+            if !value.eq_ignore_ascii_case("identity") {
+                return Err(HttpError::UnsupportedTransferEncoding(value.to_string()));
+            }
+        } else if name.eq_ignore_ascii_case("connection") {
+            // Token list: "close" wins over anything else; "keep-alive"
+            // opts an HTTP/1.0 client in.
+            for token in value.split(',') {
+                let token = token.trim();
+                if token.eq_ignore_ascii_case("close") {
+                    close_requested = true;
+                } else if token.eq_ignore_ascii_case("keep-alive") {
+                    keep_alive = true;
+                }
+            }
         }
+    }
+    if close_requested {
+        keep_alive = false;
     }
 
     let body = match content_length {
@@ -208,6 +254,7 @@ pub fn parse_request<R: BufRead>(reader: &mut R) -> Result<Request, HttpError> {
         method,
         path: path.to_string(),
         body,
+        keep_alive,
     })
 }
 
@@ -232,14 +279,24 @@ pub fn status_reason(status: u16) -> &'static str {
     }
 }
 
-/// Write a complete JSON response (`Connection: close` framing).
-pub fn write_response<W: Write>(writer: &mut W, status: u16, body: &str) -> std::io::Result<()> {
+/// Write a complete JSON response. The `Connection` header always
+/// states what the server will actually do next — `keep-alive` when it
+/// will read another request from this connection, `close` when it is
+/// about to hang up — so conforming clients never try to reuse a
+/// connection that is being torn down.
+pub fn write_response<W: Write>(
+    writer: &mut W,
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+) -> std::io::Result<()> {
     write!(
         writer,
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n{}",
         status,
         status_reason(status),
         body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
         body
     )?;
     writer.flush()
@@ -262,6 +319,7 @@ mod tests {
         assert_eq!(req.method, Method::Post);
         assert_eq!(req.path, "/session");
         assert_eq!(req.body, "(kind: , s)");
+        assert!(req.keep_alive, "HTTP/1.1 persists by default");
     }
 
     #[test]
@@ -270,6 +328,41 @@ mod tests {
         assert_eq!(req.method, Method::Get);
         assert_eq!(req.path, "/session/s1");
         assert_eq!(req.body, "");
+    }
+
+    #[test]
+    fn connection_semantics_follow_version_and_header() {
+        // HTTP/1.1 defaults to keep-alive; Connection: close opts out.
+        assert!(parse(b"GET / HTTP/1.1\r\n\r\n").unwrap().keep_alive);
+        assert!(
+            !parse(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+                .unwrap()
+                .keep_alive
+        );
+        assert!(
+            !parse(b"GET / HTTP/1.1\r\nConnection: CLOSE\r\n\r\n")
+                .unwrap()
+                .keep_alive,
+            "token match is case-insensitive"
+        );
+        // HTTP/1.0 defaults to close; Connection: keep-alive opts in.
+        assert!(!parse(b"GET / HTTP/1.0\r\n\r\n").unwrap().keep_alive);
+        assert!(
+            parse(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
+                .unwrap()
+                .keep_alive
+        );
+        // "close" wins regardless of token order.
+        assert!(
+            !parse(b"GET / HTTP/1.1\r\nConnection: close, keep-alive\r\n\r\n")
+                .unwrap()
+                .keep_alive
+        );
+        assert!(
+            !parse(b"GET / HTTP/1.0\r\nConnection: keep-alive, close\r\n\r\n")
+                .unwrap()
+                .keep_alive
+        );
     }
 
     #[test]
@@ -327,6 +420,30 @@ mod tests {
     }
 
     #[test]
+    fn rejects_transfer_encodings() {
+        // Chunked (or any non-identity coding) must be rejected, not
+        // silently mis-framed — on a persistent connection the chunk
+        // data would otherwise be read as the next request.
+        assert!(matches!(
+            parse(b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n5\r\nhello\r\n0\r\n\r\n"),
+            Err(HttpError::UnsupportedTransferEncoding(_))
+        ));
+        assert!(matches!(
+            parse(b"POST / HTTP/1.1\r\nTransfer-Encoding: gzip, chunked\r\n\r\n"),
+            Err(HttpError::UnsupportedTransferEncoding(_))
+        ));
+        assert_eq!(
+            HttpError::UnsupportedTransferEncoding("chunked".into()).status(),
+            501
+        );
+        // "identity" is a no-op and stays accepted.
+        let req =
+            parse(b"POST / HTTP/1.1\r\nTransfer-Encoding: identity\r\nContent-Length: 2\r\n\r\nok")
+                .unwrap();
+        assert_eq!(req.body, "ok");
+    }
+
+    #[test]
     fn rejects_oversized_head() {
         let mut req = b"GET / HTTP/1.1\r\n".to_vec();
         req.extend(std::iter::repeat_n(b'a', MAX_HEAD_BYTES + 10));
@@ -348,11 +465,30 @@ mod tests {
     #[test]
     fn status_lines_render() {
         let mut out = Vec::new();
-        write_response(&mut out, 201, "{\"x\":1}").unwrap();
+        write_response(&mut out, 201, "{\"x\":1}", false).unwrap();
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 201 Created\r\n"));
         assert!(text.contains("Content-Length: 7\r\n"));
         assert!(text.ends_with("{\"x\":1}"));
+    }
+
+    #[test]
+    fn responses_always_state_their_connection_framing() {
+        // The header must match what the server will do: close on the
+        // last response of a connection, keep-alive otherwise. (The bug
+        // this pins: a server that closes after every response but
+        // never says so invites conforming clients to reuse the
+        // connection and hit resets.)
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "{}", false).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("\r\nConnection: close\r\n"), "{text}");
+
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "{}", true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("\r\nConnection: keep-alive\r\n"), "{text}");
+        assert!(!text.contains("Connection: close"), "{text}");
     }
 
     #[test]
@@ -363,6 +499,7 @@ mod tests {
             HttpError::UnsupportedVersion("x".into()),
             HttpError::BadHeader("x".into()),
             HttpError::BadContentLength("x".into()),
+            HttpError::UnsupportedTransferEncoding("chunked".into()),
             HttpError::HeadTooLarge,
             HttpError::BodyTooLarge(9),
             HttpError::BodyNotUtf8,

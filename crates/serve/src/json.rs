@@ -17,7 +17,7 @@
 //!   but the encoder cannot prove that) become `null` instead of
 //!   invalid tokens.
 
-use charles_core::hbcuts::{ComposeStep, StopReason, Trace};
+use charles_core::hbcuts::{ComposeStep, SkippedPair, StopReason, Trace};
 use charles_core::{Advice, Ranked, Score};
 
 /// Escape and double-quote a string.
@@ -128,6 +128,16 @@ pub fn encode_step(step: &ComposeStep) -> String {
     )
 }
 
+/// Encode one skipped (uncomposable) pair of the trace.
+pub fn encode_skipped_pair(pair: &SkippedPair) -> String {
+    format!(
+        "{{\"left\":{},\"right\":{},\"indep\":{}}}",
+        json_string_array(&pair.left_attrs),
+        json_string_array(&pair.right_attrs),
+        json_f64(pair.indep)
+    )
+}
+
 /// Encode the HB-cuts execution trace.
 pub fn encode_trace(trace: &Trace) -> String {
     let mut steps = String::from("[");
@@ -138,15 +148,24 @@ pub fn encode_trace(trace: &Trace) -> String {
         steps.push_str(&encode_step(s));
     }
     steps.push(']');
+    let mut skipped_pairs = String::from("[");
+    for (i, p) in trace.skipped_pairs.iter().enumerate() {
+        if i > 0 {
+            skipped_pairs.push(',');
+        }
+        skipped_pairs.push_str(&encode_skipped_pair(p));
+    }
+    skipped_pairs.push(']');
     let stop = match trace.stop {
         Some(s) => json_string(stop_reason_name(s)),
         None => "null".to_string(),
     };
     format!(
-        "{{\"seeds\":{},\"skipped\":{},\"steps\":{},\"stop\":{}}}",
+        "{{\"seeds\":{},\"skipped\":{},\"steps\":{},\"skipped_pairs\":{},\"stop\":{}}}",
         json_string_array(&trace.seeds),
         json_string_array(&trace.skipped),
         steps,
+        skipped_pairs,
         stop
     )
 }

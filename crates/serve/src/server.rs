@@ -39,11 +39,27 @@ pub struct ServeConfig {
     pub workers: usize,
     /// Shard count of the cross-session advice cache.
     pub cache_shards: usize,
-    /// Whole-request read deadline: a connection that has not delivered
-    /// its complete request within this window is dropped, no matter
-    /// how steadily it trickles bytes (anti-slowloris — a fixed worker
-    /// pool must not be pinnable by slow clients).
+    /// Upper bound on cached advice entries (per cache — the default
+    /// backend's and each loaded dataset's). Once full, the
+    /// least-recently-used settled entry is evicted, so a long-running
+    /// server does not grow without bound with the number of distinct
+    /// contexts ever advised. `0` disables the bound entirely.
+    pub cache_capacity: usize,
+    /// Whole-request read deadline, re-armed per request on persistent
+    /// connections: a connection that has not delivered its complete
+    /// next request within this window — whether idle between requests
+    /// or trickling bytes — is dropped (anti-slowloris: a fixed worker
+    /// pool must not be pinnable by slow or idle clients).
     pub read_timeout: Duration,
+    /// Upper bound on requests served over one keep-alive connection;
+    /// the last allowed response is sent with `Connection: close`. Keeps
+    /// a single client from pinning a pool worker indefinitely — note
+    /// the bound this buys: a client pacing tiny requests just inside
+    /// the read deadline can hold one worker for up to
+    /// `max_requests_per_connection × read_timeout` (~21 min at the
+    /// defaults) before it must reconnect. Facing untrusted clients,
+    /// lower one or both (or raise `workers`).
+    pub max_requests_per_connection: usize,
     /// Upper bound on live sessions; `POST /session` answers 503 once
     /// reached (sessions are server-side state, so an uncapped registry
     /// would let clients grow memory without bound).
@@ -63,7 +79,9 @@ impl Default for ServeConfig {
         ServeConfig {
             workers: 8,
             cache_shards: 16,
+            cache_capacity: 1024,
             read_timeout: Duration::from_secs(10),
+            max_requests_per_connection: 128,
             max_sessions: 4096,
             dataset_root: None,
         }
@@ -86,10 +104,24 @@ struct ServerState {
     sessions: Mutex<HashMap<String, Arc<Mutex<OwnedSession>>>>,
     next_id: AtomicU64,
     max_sessions: usize,
+    /// Advice-cache shard count and entry bound (0 = unbounded),
+    /// applied to every cache this server creates — the default
+    /// backend's and each loaded dataset's.
+    cache_shards: usize,
+    cache_capacity: usize,
     dataset_root: Option<PathBuf>,
     /// Datasets loaded through `@path` session bodies, keyed by
     /// canonical path so aliases of one file share a single load.
     datasets: Mutex<HashMap<PathBuf, Dataset>>,
+}
+
+/// Build an advice cache honouring the configured bound (0 = unbounded).
+fn new_cache(shards: usize, capacity: usize) -> AdviceCache {
+    if capacity == 0 {
+        AdviceCache::with_shards(shards)
+    } else {
+        AdviceCache::bounded(shards, capacity)
+    }
 }
 
 /// A bound advisory server, ready to [`run`](Server::run) or
@@ -123,10 +155,12 @@ impl Server {
         let state = Arc::new(ServerState {
             backend,
             advisor_config,
-            cache: Arc::new(AdviceCache::with_shards(config.cache_shards)),
+            cache: Arc::new(new_cache(config.cache_shards, config.cache_capacity)),
             sessions: Mutex::new(HashMap::new()),
             next_id: AtomicU64::new(1),
             max_sessions: config.max_sessions.max(1),
+            cache_shards: config.cache_shards,
+            cache_capacity: config.cache_capacity,
             dataset_root: config.dataset_root.clone(),
             datasets: Mutex::new(HashMap::new()),
         });
@@ -166,7 +200,8 @@ impl Server {
             };
             let state = Arc::clone(&self.state);
             let timeout = self.config.read_timeout;
-            pool.execute(move || handle_connection(stream, &state, timeout));
+            let max_requests = self.config.max_requests_per_connection.max(1);
+            pool.execute(move || handle_connection(stream, &state, timeout, max_requests));
         }
         // Dropping the pool drains in-flight connections.
     }
@@ -258,7 +293,17 @@ impl std::io::Read for DeadlineStream {
     }
 }
 
-fn handle_connection(stream: TcpStream, state: &ServerState, timeout: Duration) {
+/// Serve requests from one connection until the client closes, asks to
+/// close, errs, exhausts its request budget, or goes idle past the
+/// deadline (HTTP/1.1 keep-alive — the ROADMAP follow-up from the
+/// one-request-per-connection first cut).
+fn handle_connection(
+    stream: TcpStream,
+    state: &ServerState,
+    timeout: Duration,
+    max_requests: usize,
+) {
+    use std::io::BufRead;
     let reader = match stream.try_clone() {
         Ok(s) => DeadlineStream {
             stream: s,
@@ -269,14 +314,34 @@ fn handle_connection(stream: TcpStream, state: &ServerState, timeout: Duration) 
     let mut reader = BufReader::new(reader);
     let mut writer = stream;
     let _ = writer.set_write_timeout(Some(timeout));
-    let (status, body) = match parse_request(&mut reader) {
-        Ok(req) => route(state, &req),
-        Err(e) => (
-            e.status(),
-            encode_error(http_error_code(&e), &e.to_string()),
-        ),
-    };
-    let _ = write_response(&mut writer, status, &body);
+    for served in 1..=max_requests {
+        // Each request gets a fresh whole-request deadline; the time a
+        // persistent connection sits idle counts against it too.
+        reader.get_mut().deadline = std::time::Instant::now() + timeout;
+        // Peek before parsing: a connection closed (or idle-expired)
+        // between requests ends quietly, with no error response.
+        match reader.fill_buf() {
+            Ok([]) => return, // clean EOF between requests
+            Ok(_) => {}       // next request has begun
+            Err(_) => return, // idle deadline or transport error
+        }
+        let (status, body, keep_alive) = match parse_request(&mut reader) {
+            Ok(req) => {
+                let keep = req.keep_alive && served < max_requests;
+                let (status, body) = route(state, &req);
+                (status, body, keep)
+            }
+            // A malformed request poisons the framing: answer and close.
+            Err(e) => (
+                e.status(),
+                encode_error(http_error_code(&e), &e.to_string()),
+                false,
+            ),
+        };
+        if write_response(&mut writer, status, &body, keep_alive).is_err() || !keep_alive {
+            return;
+        }
+    }
 }
 
 /// The stable machine-readable code for a transport-layer error.
@@ -284,6 +349,7 @@ fn http_error_code(e: &HttpError) -> &'static str {
     match e {
         HttpError::UnsupportedMethod(_) => "unsupported_method",
         HttpError::UnsupportedVersion(_) => "unsupported_http_version",
+        HttpError::UnsupportedTransferEncoding(_) => "unsupported_transfer_encoding",
         HttpError::HeadTooLarge => "head_too_large",
         HttpError::BodyTooLarge(_) => "body_too_large",
         _ => "bad_request",
@@ -301,14 +367,20 @@ fn route(state: &ServerState, req: &Request) -> (u16, String) {
         (Method::Get, ["healthz"]) => (200, "{\"ok\":true}".to_string()),
         (Method::Get, ["cache", "stats"]) => {
             let stats = state.cache.stats();
+            let capacity = match state.cache.capacity() {
+                Some(c) => c.to_string(),
+                None => "null".to_string(),
+            };
             (
                 200,
                 format!(
-                    "{{\"hits\":{},\"misses\":{},\"runs\":{},\"entries\":{}}}",
+                    "{{\"hits\":{},\"misses\":{},\"runs\":{},\"evictions\":{},\"entries\":{},\"capacity\":{}}}",
                     stats.hits,
                     stats.misses,
                     stats.runs,
-                    state.cache.len()
+                    stats.evictions,
+                    state.cache.len(),
+                    capacity
                 ),
             )
         }
@@ -393,7 +465,7 @@ impl ServerState {
             Ok(table) => {
                 let dataset = Dataset {
                     backend: Arc::new(table),
-                    cache: Arc::new(AdviceCache::new()),
+                    cache: Arc::new(new_cache(self.cache_shards, self.cache_capacity)),
                 };
                 registry.insert(canonical, dataset.clone());
                 Ok(dataset)
@@ -586,10 +658,12 @@ mod tests {
         ServerState {
             backend: backend(),
             advisor_config: Config::default(),
-            cache: Arc::new(AdviceCache::with_shards(4)),
+            cache: Arc::new(AdviceCache::bounded(4, 64)),
             sessions: Mutex::new(HashMap::new()),
             next_id: AtomicU64::new(1),
             max_sessions: 4096,
+            cache_shards: 4,
+            cache_capacity: 64,
             dataset_root: None,
             datasets: Mutex::new(HashMap::new()),
         }
@@ -600,6 +674,7 @@ mod tests {
             method: Method::Post,
             path: path.to_string(),
             body: body.to_string(),
+            keep_alive: true,
         }
     }
 
@@ -608,6 +683,7 @@ mod tests {
             method: Method::Get,
             path: path.to_string(),
             body: String::new(),
+            keep_alive: true,
         }
     }
 
@@ -640,6 +716,7 @@ mod tests {
                 method: Method::Delete,
                 path: "/session/s1".into(),
                 body: String::new(),
+                keep_alive: true,
             },
         );
         assert_eq!(status, 204);
@@ -691,6 +768,37 @@ mod tests {
         assert_eq!(status, 200);
         assert!(stats.contains("\"runs\":1"), "{stats}");
         assert!(stats.contains("\"entries\":1"), "{stats}");
+        assert!(stats.contains("\"evictions\":0"), "{stats}");
+        assert!(stats.contains("\"capacity\":64"), "{stats}");
+    }
+
+    #[test]
+    fn cache_stats_report_evictions_and_the_bound_holds() {
+        // A tiny bounded cache: more distinct contexts than capacity
+        // must evict rather than grow, and /cache/stats must say so.
+        let st = ServerState {
+            cache: Arc::new(AdviceCache::bounded(1, 2)),
+            cache_capacity: 2,
+            ..state()
+        };
+        for body in ["(kind: )", "(size: )", "(kind: , size: )", "(size: [3,9])"] {
+            let (status, resp) = route(&st, &post("/session", body));
+            assert_eq!(status, 201, "{resp}");
+        }
+        assert!(st.cache.len() <= 2, "cache grew to {}", st.cache.len());
+        let stats = st.cache.stats();
+        assert_eq!(stats.runs, 4, "every distinct context ran");
+        assert!(stats.evictions >= 2, "evictions: {}", stats.evictions);
+        let (_, body) = route(&st, &get("/cache/stats"));
+        assert!(body.contains("\"capacity\":2"), "{body}");
+        let evictions_field = body
+            .split("\"evictions\":")
+            .nth(1)
+            .and_then(|s| s.split(',').next())
+            .unwrap()
+            .parse::<u64>()
+            .unwrap();
+        assert!(evictions_field >= 2, "{body}");
     }
 
     #[test]
@@ -710,6 +818,7 @@ mod tests {
                 method: Method::Delete,
                 path: "/session/s42".into(),
                 body: String::new(),
+                keep_alive: true,
             },
         );
         assert_eq!(status, 404);
@@ -829,11 +938,154 @@ mod tests {
                 method: Method::Delete,
                 path: "/session/s1".into(),
                 body: String::new(),
+                keep_alive: true,
             },
         );
         assert_eq!(status, 204);
         let (status, _) = route(&st, &post("/session", "(size: )"));
         assert_eq!(status, 201);
+    }
+
+    /// Read one `Content-Length`-framed response off a keep-alive
+    /// connection, returning (status line, Connection header, body).
+    fn read_framed_response(stream: &mut TcpStream) -> (String, String, String) {
+        use std::io::Read;
+        let mut head = Vec::new();
+        let mut byte = [0u8; 1];
+        while !head.ends_with(b"\r\n\r\n") {
+            stream.read_exact(&mut byte).expect("response head");
+            head.push(byte[0]);
+        }
+        let head = String::from_utf8(head).unwrap();
+        let status = head.lines().next().unwrap().to_string();
+        let mut connection = String::new();
+        let mut len = 0usize;
+        for line in head.lines().skip(1) {
+            if let Some((name, value)) = line.split_once(':') {
+                match name.trim().to_ascii_lowercase().as_str() {
+                    "connection" => connection = value.trim().to_string(),
+                    "content-length" => len = value.trim().parse().unwrap(),
+                    _ => {}
+                }
+            }
+        }
+        let mut body = vec![0u8; len];
+        stream.read_exact(&mut body).expect("response body");
+        (status, connection, String::from_utf8(body).unwrap())
+    }
+
+    #[test]
+    fn keep_alive_serves_multiple_requests_on_one_connection() {
+        use std::io::Write;
+        let server = Server::bind("127.0.0.1:0", backend(), ServeConfig::default()).unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = server.spawn().unwrap();
+
+        let mut stream = TcpStream::connect(addr).unwrap();
+        // Three requests, one connection: the first two persist...
+        for _ in 0..2 {
+            stream
+                .write_all(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+                .unwrap();
+            let (status, connection, body) = read_framed_response(&mut stream);
+            assert!(status.starts_with("HTTP/1.1 200"), "{status}");
+            assert_eq!(connection, "keep-alive");
+            assert_eq!(body, "{\"ok\":true}");
+        }
+        // ...and a request asking to close is answered with close and
+        // the connection actually ends.
+        stream
+            .write_all(b"GET /cache/stats HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n")
+            .unwrap();
+        let (status, connection, _) = read_framed_response(&mut stream);
+        assert!(status.starts_with("HTTP/1.1 200"), "{status}");
+        assert_eq!(connection, "close");
+        let mut rest = Vec::new();
+        std::io::Read::read_to_end(&mut stream, &mut rest).unwrap();
+        assert!(rest.is_empty(), "server must close after Connection: close");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn http10_without_keep_alive_closes_after_one_response() {
+        use std::io::{Read, Write};
+        let server = Server::bind("127.0.0.1:0", backend(), ServeConfig::default()).unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = server.spawn().unwrap();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(b"GET /healthz HTTP/1.0\r\nHost: x\r\n\r\n")
+            .unwrap();
+        let mut all = String::new();
+        stream.read_to_string(&mut all).unwrap();
+        assert!(all.starts_with("HTTP/1.1 200"), "{all}");
+        assert!(all.contains("\r\nConnection: close\r\n"), "{all}");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn request_budget_closes_the_connection_with_notice() {
+        use std::io::Write;
+        let server = Server::bind(
+            "127.0.0.1:0",
+            backend(),
+            ServeConfig {
+                max_requests_per_connection: 2,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = server.spawn().unwrap();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        let (_, connection, _) = read_framed_response(&mut stream);
+        assert_eq!(connection, "keep-alive");
+        stream
+            .write_all(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        let (_, connection, _) = read_framed_response(&mut stream);
+        assert_eq!(connection, "close", "budget exhausted → close announced");
+        let mut rest = Vec::new();
+        std::io::Read::read_to_end(&mut stream, &mut rest).unwrap();
+        assert!(rest.is_empty());
+        handle.shutdown();
+    }
+
+    #[test]
+    fn idle_keep_alive_connections_are_reaped_at_the_deadline() {
+        use std::io::{Read, Write};
+        let server = Server::bind(
+            "127.0.0.1:0",
+            backend(),
+            ServeConfig {
+                read_timeout: Duration::from_millis(200),
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = server.spawn().unwrap();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        let (_, connection, _) = read_framed_response(&mut stream);
+        assert_eq!(connection, "keep-alive");
+        // Go idle: the server must hang up (quietly) at the deadline
+        // instead of pinning a pool worker forever.
+        let start = std::time::Instant::now();
+        let mut rest = Vec::new();
+        stream.read_to_end(&mut rest).unwrap();
+        assert!(rest.is_empty(), "idle reap sends no error response");
+        assert!(
+            start.elapsed() < Duration::from_secs(3),
+            "idle connection not reaped: {:?}",
+            start.elapsed()
+        );
+        handle.shutdown();
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! Failing seeds are pinned in `proptest-regressions/proptests.txt`,
 //! matching the store/sdl convention.
 
-use charles_core::hbcuts::{ComposeStep, StopReason, Trace};
+use charles_core::hbcuts::{ComposeStep, SkippedPair, StopReason, Trace};
 use charles_core::{Advice, Ranked, Score};
 use charles_sdl::{Constraint, Predicate, Query, Segmentation};
 use charles_serve::http::{parse_request, HttpError, MAX_BODY_BYTES};
@@ -349,6 +349,11 @@ fn arb_advice() -> impl Strategy<Value = Advice> {
                         seeds: attrs.clone(),
                         skipped: vec!["control\u{1}char".to_string()],
                         steps,
+                        skipped_pairs: vec![SkippedPair {
+                            left_attrs: attrs,
+                            right_attrs: vec!["quote\"attr".to_string()],
+                            indep: 0.5,
+                        }],
                         stop,
                     },
                     backend_ops: Default::default(),

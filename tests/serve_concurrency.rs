@@ -257,17 +257,21 @@ fn concurrent_sessions_serve_oracle_bytes_and_share_one_cache() {
         "a miss either ran the advisor or blocked on the flight that did: {stats:?}"
     );
 
-    // The HTTP view of the same counters agrees.
+    // The HTTP view of the same counters agrees. (Capacity reports the
+    // effective per-shard-rounded bound; no eviction can have happened
+    // with this few distinct contexts.)
     let (status, body) = http_request(addr, "GET", "/cache/stats", "").unwrap();
     assert_eq!(status, 200);
+    let capacity = cache.capacity().expect("server caches are bounded");
     assert_eq!(
         body,
         format!(
-            "{{\"hits\":{},\"misses\":{},\"runs\":{},\"entries\":{}}}",
+            "{{\"hits\":{},\"misses\":{},\"runs\":{},\"evictions\":0,\"entries\":{},\"capacity\":{}}}",
             stats.hits,
             stats.misses,
             stats.runs,
-            distinct.len()
+            distinct.len(),
+            capacity
         )
     );
 
