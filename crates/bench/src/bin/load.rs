@@ -1,0 +1,279 @@
+//! `charles-load` — drive load scenarios against `charles-serve`.
+//!
+//! ```text
+//! cargo run --release -p charles-bench --bin load -- <mode> [options]
+//!
+//! Modes:
+//!   smoke [--json PATH] [--addr HOST:PORT]
+//!       The pinned CI scenario. Boots an in-process server (or targets
+//!       a live one via --addr — it must serve the VOC schema), prints
+//!       the report, optionally writes the charles-load/v1 artefact.
+//!       Exits non-zero on ANY error or non-2xx response.
+//!   grid [--results PATH] [--rerun]
+//!       Sweep shards × cache capacity × server workers. Completed
+//!       configs are read from the results cache instead of re-run
+//!       (--rerun ignores the cache).
+//!   ab [--results PATH] [--rerun]
+//!       A/B the charles-parallel dispatch cutoff: library default vs
+//!       threshold 1 (every par_map call forks, the pre-cutoff
+//!       behaviour), same workload otherwise.
+//!   check PATH
+//!       Validate a charles-load/v1 artefact (CI gate for the
+//!       committed BENCH_serve.json): schema, field presence,
+//!       percentile monotonicity, op accounting, clean-run invariants.
+//! ```
+
+use charles_bench::load::{
+    comparison_table, run_against, run_in_process, validate, LoadResult, ResultsCache,
+    ScenarioConfig,
+};
+use charles_bench::mini_json;
+use std::time::Duration;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("smoke") => smoke(&args[1..]),
+        Some("grid") => grid(&args[1..]),
+        Some("ab") => ab(&args[1..]),
+        Some("check") => check(&args[1..]),
+        _ => {
+            eprintln!("usage: load <smoke|grid|ab|check> [options] (see --help in the source)");
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+/// Pull `--flag VALUE` out of an option list.
+fn opt_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn has_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+fn report(result: &LoadResult) {
+    print!("{}", comparison_table(std::slice::from_ref(result)));
+    println!(
+        "  ops: {} total = {} measured + {} warmup + {} errors | mean {}µs | {} client connects | server: {} conns, {} reqs ({} 2xx / {} 4xx / {} 5xx) | cache: {} hits / {} misses / {} runs / {} evictions",
+        result.ops_total,
+        result.ops_measured,
+        result.ops_warmup,
+        result.errors,
+        result.latency.mean,
+        result.client_connects,
+        result.server.connections,
+        result.server.requests,
+        result.server.responses_2xx,
+        result.server.responses_4xx,
+        result.server.responses_5xx,
+        result.cache.hits,
+        result.cache.misses,
+        result.cache.runs,
+        result.cache.evictions,
+    );
+    if let Some(err) = &result.first_error {
+        println!("  first error: {err}");
+    }
+}
+
+fn smoke(args: &[String]) -> i32 {
+    let cfg = ScenarioConfig::smoke();
+    println!(
+        "smoke: {} ops at {} ops/s over {} connections (warmup {}ms)",
+        cfg.total_ops(),
+        cfg.target_rps,
+        cfg.connections,
+        cfg.warmup.as_millis()
+    );
+    let run = match opt_value(args, "--addr") {
+        Some(addr) => match addr.parse() {
+            Ok(addr) => run_against(addr, &cfg),
+            Err(e) => {
+                eprintln!("smoke: bad --addr {addr:?}: {e}");
+                return 2;
+            }
+        },
+        None => run_in_process(&cfg),
+    };
+    let result = match run {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("smoke: harness failed: {e}");
+            return 1;
+        }
+    };
+    report(&result);
+    if let Some(path) = opt_value(args, "--json") {
+        if let Err(e) = std::fs::write(&path, result.to_json() + "\n") {
+            eprintln!("smoke: writing {path}: {e}");
+            return 1;
+        }
+        println!("  wrote {path}");
+    }
+    let non_2xx = result.server.responses_4xx + result.server.responses_5xx;
+    if result.errors > 0 || non_2xx > 0 {
+        eprintln!(
+            "smoke: FAILED — {} client errors, {} non-2xx responses",
+            result.errors, non_2xx
+        );
+        return 1;
+    }
+    println!("smoke: OK");
+    0
+}
+
+/// The grid and A/B modes share one cached-run executor.
+fn run_cached(cfg: &ScenarioConfig, cache: &mut ResultsCache, rerun: bool) -> Option<LoadResult> {
+    if !rerun {
+        if let Some(result) = cache.get(&cfg.fingerprint()) {
+            println!("  {} — cached, skipping", cfg.name);
+            return Some(result);
+        }
+    }
+    println!("  {} — running ({} ops)…", cfg.name, cfg.total_ops());
+    match run_in_process(cfg) {
+        Ok(result) => {
+            if let Err(e) = cache.put(&result) {
+                eprintln!("  {}: could not persist result: {e}", cfg.name);
+            }
+            Some(result)
+        }
+        Err(e) => {
+            eprintln!("  {}: harness failed: {e}", cfg.name);
+            None
+        }
+    }
+}
+
+fn results_cache(args: &[String]) -> ResultsCache {
+    let path = opt_value(args, "--results")
+        .unwrap_or_else(|| "target/charles-load-results.tsv".to_string());
+    let cache = ResultsCache::load(path);
+    if !cache.is_empty() {
+        println!(
+            "{} completed config(s) in {} (pass --rerun to ignore)",
+            cache.len(),
+            cache.path().display()
+        );
+    }
+    cache
+}
+
+fn grid(args: &[String]) -> i32 {
+    let mut cache = results_cache(args);
+    let rerun = has_flag(args, "--rerun");
+    // A shorter, grid-sized variant of the smoke shape.
+    let base = ScenarioConfig {
+        duration: Duration::from_millis(2_000),
+        warmup: Duration::from_millis(400),
+        target_rps: 120.0,
+        ..ScenarioConfig::smoke()
+    };
+    let mut results = Vec::new();
+    let mut failed = false;
+    for shards in [1usize, 4] {
+        for cache_capacity in [0usize, 1024] {
+            for server_workers in [2usize, 8] {
+                let cfg = ScenarioConfig {
+                    name: format!("grid-s{shards}-c{cache_capacity}-w{server_workers}"),
+                    shards,
+                    cache_capacity,
+                    server_workers,
+                    ..base.clone()
+                };
+                match run_cached(&cfg, &mut cache, rerun) {
+                    Some(r) => results.push(r),
+                    None => failed = true,
+                }
+            }
+        }
+    }
+    println!("\n{}", comparison_table(&results));
+    if failed {
+        1
+    } else {
+        0
+    }
+}
+
+fn ab(args: &[String]) -> i32 {
+    let mut cache = results_cache(args);
+    let rerun = has_flag(args, "--rerun");
+    // Hot-heavy and drill-dense: the advise path runs par_map over
+    // small fan-outs constantly, which is exactly where the dispatch
+    // cutoff pays (threshold 1 forks a worker pool for 2–3 items).
+    let base = ScenarioConfig {
+        duration: Duration::from_millis(2_500),
+        warmup: Duration::from_millis(500),
+        target_rps: 120.0,
+        hot_percent: 50,
+        ..ScenarioConfig::smoke()
+    };
+    let variants = [("ab-cutoff-default", 0usize), ("ab-cutoff-off", 1usize)];
+    let mut results = Vec::new();
+    for (name, par_threshold) in variants {
+        let cfg = ScenarioConfig {
+            name: name.to_string(),
+            par_threshold,
+            ..base.clone()
+        };
+        match run_cached(&cfg, &mut cache, rerun) {
+            Some(r) => results.push(r),
+            None => return 1,
+        }
+    }
+    println!("\n{}", comparison_table(&results));
+    if let [with_cutoff, without_cutoff] = results.as_slice() {
+        let delta = |a: u64, b: u64| -> String {
+            if b == 0 {
+                "n/a".to_string()
+            } else {
+                format!("{:+.1}%", 100.0 * (a as f64 - b as f64) / b as f64)
+            }
+        };
+        println!(
+            "cutoff-default vs cutoff-off: p50 {} | p95 {} | p99 {}",
+            delta(with_cutoff.latency.p50, without_cutoff.latency.p50),
+            delta(with_cutoff.latency.p95, without_cutoff.latency.p95),
+            delta(with_cutoff.latency.p99, without_cutoff.latency.p99),
+        );
+    }
+    0
+}
+
+fn check(args: &[String]) -> i32 {
+    let Some(path) = args.first() else {
+        eprintln!("usage: load check PATH");
+        return 2;
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("check: reading {path}: {e}");
+            return 1;
+        }
+    };
+    let doc = match mini_json::parse(text.trim()) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("check: {path} is not valid JSON: {e}");
+            return 1;
+        }
+    };
+    match validate(&doc) {
+        Ok(()) => {
+            println!("check: {path} is a valid charles-load/v1 artefact");
+            0
+        }
+        Err(e) => {
+            eprintln!("check: {path} FAILED validation: {e}");
+            1
+        }
+    }
+}

@@ -11,6 +11,9 @@
 //!   one-shot harness that prints every experiment's table (the rows
 //!   recorded in EXPERIMENTS.md).
 
+pub mod load;
+pub mod mini_json;
+
 use charles_core::{Config, Explorer};
 use charles_sdl::Query;
 use charles_store::Backend;

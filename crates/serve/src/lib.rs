@@ -40,6 +40,8 @@ pub mod http;
 pub mod json;
 pub mod server;
 
-pub use client::http_request;
+pub use client::{
+    http_request, http_request_timeout, http_request_with, Client, ClientConfig, Response,
+};
 pub use http::{Method, Request};
-pub use server::{ServeConfig, Server, ServerHandle};
+pub use server::{MetricsSnapshot, ServeConfig, Server, ServerHandle, ServerMetrics};

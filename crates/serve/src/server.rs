@@ -9,6 +9,7 @@
 //! | `POST /session/{id}/back` | — | pop one breadcrumb |
 //! | `DELETE /session/{id}` | — | drop the session → 204 |
 //! | `GET /cache/stats` | — | shared-cache counters |
+//! | `GET /metrics` | — | serving-layer counters |
 //! | `GET /healthz` | — | liveness probe |
 //!
 //! Requests are handled by a fixed [`WorkerPool`]; per-session state is
@@ -97,6 +98,59 @@ struct Dataset {
     cache: Arc<AdviceCache>,
 }
 
+/// Monotonic serving-layer counters, incremented at the connection
+/// layer (so the pure `route` dispatcher stays side-effect free).
+/// Exposed in-process via [`Server::metrics`]/[`ServerHandle::metrics`]
+/// and over the wire at `GET /metrics` — the load harness reads both
+/// ends to cross-check that every request it sent was accounted for.
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    connections: AtomicU64,
+    requests: AtomicU64,
+    responses_2xx: AtomicU64,
+    responses_4xx: AtomicU64,
+    responses_5xx: AtomicU64,
+}
+
+impl ServerMetrics {
+    fn record_response(&self, status: u16) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        match status {
+            200..=299 => &self.responses_2xx,
+            400..=499 => &self.responses_4xx,
+            _ => &self.responses_5xx,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough copy of the counters (each is read
+    /// atomically; the set is not a snapshot under concurrent traffic).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            connections: self.connections.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            responses_2xx: self.responses_2xx.load(Ordering::Relaxed),
+            responses_4xx: self.responses_4xx.load(Ordering::Relaxed),
+            responses_5xx: self.responses_5xx.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time copy of [`ServerMetrics`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Requests answered (every response, success or error).
+    pub requests: u64,
+    /// Responses with a 2xx status.
+    pub responses_2xx: u64,
+    /// Responses with a 4xx status.
+    pub responses_4xx: u64,
+    /// Responses with a 5xx status (or any status outside 2xx/4xx).
+    pub responses_5xx: u64,
+}
+
 struct ServerState {
     backend: Arc<dyn Backend>,
     advisor_config: Config,
@@ -113,6 +167,16 @@ struct ServerState {
     /// Datasets loaded through `@path` session bodies, keyed by
     /// canonical path so aliases of one file share a single load.
     datasets: Mutex<HashMap<PathBuf, Dataset>>,
+    metrics: Arc<ServerMetrics>,
+    /// Clones of every live connection's socket, so shutdown can
+    /// `shutdown(2)` them and unblock workers parked in reads. Without
+    /// this, draining the pool waits out the full read deadline of every
+    /// idle keep-alive connection — a stop that should take milliseconds
+    /// took `read_timeout` (10 s at the defaults); the load harness,
+    /// which starts and stops a server per scenario, made that stall
+    /// impossible to ignore.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    conn_seq: AtomicU64,
 }
 
 /// Build an advice cache honouring the configured bound (0 = unbounded).
@@ -163,6 +227,9 @@ impl Server {
             cache_capacity: config.cache_capacity,
             dataset_root: config.dataset_root.clone(),
             datasets: Mutex::new(HashMap::new()),
+            metrics: Arc::new(ServerMetrics::default()),
+            conns: Mutex::new(HashMap::new()),
+            conn_seq: AtomicU64::new(0),
         });
         Ok(Server {
             listener,
@@ -179,6 +246,11 @@ impl Server {
     /// The shared advice cache (for in-process stats inspection).
     pub fn cache(&self) -> Arc<AdviceCache> {
         Arc::clone(&self.state.cache)
+    }
+
+    /// The serving-layer counters (for in-process inspection).
+    pub fn metrics(&self) -> Arc<ServerMetrics> {
+        Arc::clone(&self.state.metrics)
     }
 
     /// Serve connections until `shutdown` flips true (checked between
@@ -198,10 +270,50 @@ impl Server {
                     continue;
                 }
             };
+            // Advice exchanges are one small write per direction — the
+            // worst case for Nagle's algorithm, which would hold a tiny
+            // response back waiting for an ACK that the client's
+            // delayed-ACK timer won't send for tens of ms. Best-effort:
+            // a socket that rejects the option still gets served.
+            let _ = stream.set_nodelay(true);
+            self.state
+                .metrics
+                .connections
+                .fetch_add(1, Ordering::Relaxed);
             let state = Arc::clone(&self.state);
             let timeout = self.config.read_timeout;
             let max_requests = self.config.max_requests_per_connection.max(1);
-            pool.execute(move || handle_connection(stream, &state, timeout, max_requests));
+            // Register the socket so shutdown can unblock the worker if
+            // it is parked reading this connection when the flag flips.
+            let conn_id = state.conn_seq.fetch_add(1, Ordering::Relaxed);
+            if let Ok(clone) = stream.try_clone() {
+                state
+                    .conns
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .insert(conn_id, clone);
+            }
+            pool.execute(move || {
+                handle_connection(stream, &state, timeout, max_requests);
+                state
+                    .conns
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .remove(&conn_id);
+            });
+        }
+        // Force every live connection closed before draining the pool:
+        // a worker blocked in a read returns immediately instead of
+        // waiting out its deadline, so shutdown is bounded by in-flight
+        // *work*, not by idle keep-alive timers.
+        for (_, conn) in self
+            .state
+            .conns
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .drain()
+        {
+            let _ = conn.shutdown(std::net::Shutdown::Both);
         }
         // Dropping the pool drains in-flight connections.
     }
@@ -216,12 +328,14 @@ impl Server {
     pub fn spawn(self) -> std::io::Result<ServerHandle> {
         let addr = self.local_addr()?;
         let cache = self.cache();
+        let metrics = self.metrics();
         let shutdown = Arc::new(AtomicBool::new(false));
         let flag = Arc::clone(&shutdown);
         let thread = std::thread::spawn(move || self.serve(flag));
         Ok(ServerHandle {
             addr,
             cache,
+            metrics,
             shutdown,
             thread: Some(thread),
         })
@@ -232,6 +346,7 @@ impl Server {
 pub struct ServerHandle {
     addr: SocketAddr,
     cache: Arc<AdviceCache>,
+    metrics: Arc<ServerMetrics>,
     shutdown: Arc<AtomicBool>,
     thread: Option<std::thread::JoinHandle<()>>,
 }
@@ -245,6 +360,11 @@ impl ServerHandle {
     /// The server's shared advice cache.
     pub fn cache(&self) -> Arc<AdviceCache> {
         Arc::clone(&self.cache)
+    }
+
+    /// The server's serving-layer counters.
+    pub fn metrics(&self) -> Arc<ServerMetrics> {
+        Arc::clone(&self.metrics)
     }
 
     /// Stop accepting, drain in-flight requests, join the accept loop.
@@ -338,6 +458,7 @@ fn handle_connection(
                 false,
             ),
         };
+        state.metrics.record_response(status);
         if write_response(&mut writer, status, &body, keep_alive).is_err() || !keep_alive {
             return;
         }
@@ -381,6 +502,16 @@ fn route(state: &ServerState, req: &Request) -> (u16, String) {
                     stats.evictions,
                     state.cache.len(),
                     capacity
+                ),
+            )
+        }
+        (Method::Get, ["metrics"]) => {
+            let m = state.metrics.snapshot();
+            (
+                200,
+                format!(
+                    "{{\"connections\":{},\"requests\":{},\"responses_2xx\":{},\"responses_4xx\":{},\"responses_5xx\":{}}}",
+                    m.connections, m.requests, m.responses_2xx, m.responses_4xx, m.responses_5xx
                 ),
             )
         }
@@ -666,6 +797,9 @@ mod tests {
             cache_capacity: 64,
             dataset_root: None,
             datasets: Mutex::new(HashMap::new()),
+            metrics: Arc::new(ServerMetrics::default()),
+            conns: Mutex::new(HashMap::new()),
+            conn_seq: AtomicU64::new(0),
         }
     }
 
