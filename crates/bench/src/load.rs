@@ -1017,6 +1017,36 @@ mod tests {
     use super::*;
 
     #[test]
+    fn harness_contexts_pass_admission_analysis() {
+        // The server now statically analyzes contexts at admission: a
+        // harness context that failed analysis would 422 and poison the
+        // whole run's expectations. Pin every hot context and a sample
+        // of cold ones as valid + satisfiable against the VOC schema.
+        let t = charles_datagen::voc_table(16, 1);
+        let schema = charles_store::Backend::schema(&t);
+        let mut contexts: Vec<String> = HOT_CONTEXTS.iter().map(|s| s.to_string()).collect();
+        for n in 0..5u64 {
+            // The cold-context shape from `SessionScript::next_op`.
+            contexts.push(format!("(type_of_boat: , tonnage: [0, {}])", 100_000 + n));
+        }
+        for (i, ctx) in contexts.iter().enumerate() {
+            let q = charles_sdl::parse_query(ctx, schema).unwrap_or_else(|e| {
+                panic!("context {i} {ctx:?} does not parse: {e}");
+            });
+            let report = charles_sdl::analyze(&q, schema);
+            assert!(
+                report.is_valid(),
+                "context {i} {ctx:?}: {:?}",
+                report.diagnostics
+            );
+            assert!(
+                report.is_satisfiable(),
+                "context {i} {ctx:?} is provably empty"
+            );
+        }
+    }
+
+    #[test]
     fn histogram_is_exact_below_the_linear_range() {
         let mut h = Histogram::new();
         for v in [0u64, 1, 5, 5, 63] {

@@ -7,10 +7,10 @@
 
 use crate::config::Config;
 use crate::engine::{CacheStats, Explorer};
-use crate::error::CoreResult;
+use crate::error::{CoreError, CoreResult};
 use crate::hbcuts::{hb_cuts, Trace};
 use crate::ranking::Ranked;
-use charles_sdl::{parse_query, Query};
+use charles_sdl::{parse_query, Query, QueryReport};
 use charles_store::{Backend, BackendStats};
 
 /// The advisor: owns nothing but a reference to the data and the tuning.
@@ -66,13 +66,57 @@ impl<'a> Advisor<'a> {
         self.backend
     }
 
+    /// Statically analyze a context against this advisor's backend
+    /// schema, without advising on it. Pure and row-free; see
+    /// [`charles_sdl::analyze()`] for the report's contents.
+    pub fn analyze(&self, context: &Query) -> QueryReport {
+        charles_sdl::analyze(context, self.backend.schema())
+    }
+
+    /// Admission gate shared by [`Advisor::advise`] and the advice
+    /// cache: analyze the context and decide what (if anything) the
+    /// expensive machinery should see.
+    ///
+    /// * ill-typed → [`CoreError::InvalidContext`] with the diagnostics;
+    /// * provably empty → [`CoreError::UnsatisfiableContext`], before
+    ///   any backend operation;
+    /// * repeated attributes → the normalized (merged) query;
+    /// * otherwise → the context untouched, so analysis is invisible on
+    ///   every context the parser accepted before analysis existed.
+    ///
+    /// With `config.analysis` off, every context passes through verbatim.
+    pub(crate) fn admit(&self, context: Query) -> CoreResult<Query> {
+        if !self.config.analysis {
+            return Ok(context);
+        }
+        let report = self.analyze(&context);
+        if !report.is_valid() {
+            return Err(CoreError::InvalidContext(report.into_errors()));
+        }
+        if !report.is_satisfiable() {
+            return Err(CoreError::UnsatisfiableContext);
+        }
+        if context.has_repeated_attributes() {
+            return Ok(report
+                .into_normalized()
+                .expect("valid satisfiable reports carry a normalized query"));
+        }
+        Ok(context)
+    }
+
     /// Advise on a context given as an SDL query.
+    ///
+    /// The context is statically analyzed first (unless disabled via
+    /// [`Config::analysis`]): ill-typed or provably-empty contexts
+    /// error out with zero backend operations, and repeated-attribute
+    /// conjunctions are merged before advising.
     ///
     /// A context whose rows are uniform in every attribute (nothing is
     /// cuttable) is a legitimate leaf of the exploration, not a failure:
     /// it yields an `Advice` with an empty `ranked` list. Other errors
     /// (bad config, empty context, backend failures) propagate.
     pub fn advise(&self, context: Query) -> CoreResult<Advice> {
+        let context = self.admit(context)?;
         self.backend.reset_stats();
         let ex = Explorer::new(self.backend, self.config.clone(), context.clone())?;
         let (ranked, trace) = match hb_cuts(&ex) {
@@ -204,5 +248,119 @@ mod tests {
         let advice = advisor.advise_str("(type: , tonnage: )").unwrap();
         assert_eq!(advice.ranked.len(), 1);
         assert_eq!(advisor.config().max_results, 1);
+    }
+
+    #[test]
+    fn ill_typed_contexts_are_rejected_with_diagnostics() {
+        use charles_sdl::DiagnosticCode;
+        use charles_sdl::{Constraint, Predicate};
+        let t = voc_like();
+        let advisor = Advisor::new(&t);
+        // A quoted literal on an int column is the one ill-typed form
+        // the parser lets through (a quoted literal is always a string).
+        match advisor.advise_str("(tonnage: {'abc'})") {
+            Err(CoreError::InvalidContext(diags)) => {
+                assert_eq!(diags.len(), 1);
+                assert_eq!(diags[0].code, DiagnosticCode::TypeMismatch);
+                assert_eq!(diags[0].attr, "tonnage");
+            }
+            other => panic!("expected InvalidContext, got {other:?}"),
+        }
+        // The other error codes need hand-built queries (the parser's
+        // validating constructors reject them textually); `advise` must
+        // still catch them for programmatic callers.
+        let cases: [(Query, DiagnosticCode); 4] = [
+            (Query::wildcard(&["nope"]), DiagnosticCode::UnknownAttribute),
+            (
+                Query::conjunction(vec![Predicate::new(
+                    "tonnage",
+                    Constraint::Range {
+                        lo: Value::Int(9),
+                        hi: Value::Int(1),
+                        hi_inclusive: true,
+                    },
+                )]),
+                DiagnosticCode::EmptyRange,
+            ),
+            (
+                Query::conjunction(vec![Predicate::new("type", Constraint::Set(vec![]))]),
+                DiagnosticCode::EmptySet,
+            ),
+            (
+                Query::conjunction(vec![Predicate::new(
+                    "tonnage",
+                    Constraint::Set(vec![Value::Int(1), Value::str("abc")]),
+                )]),
+                DiagnosticCode::MixedTypeSet,
+            ),
+        ];
+        for (q, code) in cases {
+            match advisor.advise(q.clone()) {
+                Err(CoreError::InvalidContext(diags)) => {
+                    assert_eq!(diags[0].code, code, "{q}");
+                }
+                other => panic!("{q}: expected InvalidContext, got {other:?}"),
+            }
+        }
+        assert_eq!(
+            t.stats(),
+            BackendStats::default(),
+            "rejection reads no rows"
+        );
+    }
+
+    #[test]
+    fn unsatisfiable_context_costs_zero_backend_ops() {
+        let t = voc_like();
+        // Warm the stats with a real run so the test proves `advise`
+        // resets nothing and reads nothing on the pruned path.
+        let advisor = Advisor::new(&t);
+        advisor.advise_str("(type: , tonnage: )").unwrap();
+        let before = t.stats();
+        assert!(before.scans > 0);
+        let err = advisor
+            .advise_str("(tonnage: [0,100], tonnage: [200,300])")
+            .unwrap_err();
+        assert_eq!(err, CoreError::UnsatisfiableContext);
+        assert_eq!(t.stats(), before, "pruning must not touch the backend");
+    }
+
+    #[test]
+    fn redundant_conjuncts_merge_before_advising() {
+        let t = voc_like();
+        let advisor = Advisor::new(&t);
+        let merged = advisor
+            .advise_str("(tonnage: [0,2000], tonnage: [500,9999], type: )")
+            .unwrap();
+        let plain = advisor.advise_str("(tonnage: [500,2000], type: )").unwrap();
+        assert_eq!(merged.context, plain.context.canonicalized());
+        assert_eq!(merged.context_size, plain.context_size);
+        assert_eq!(
+            format!("{:?}", merged.ranked),
+            format!("{:?}", plain.ranked)
+        );
+    }
+
+    #[test]
+    fn analysis_off_feeds_contexts_verbatim() {
+        let t = voc_like();
+        let advisor = Advisor::with_config(&t, Config::default().with_analysis(false));
+        // Unsatisfiable conjunction now reaches evaluation and selects
+        // zero rows — the pre-analysis behavior.
+        let err = advisor
+            .advise_str("(tonnage: [0,100], tonnage: [200,300])")
+            .unwrap_err();
+        assert_eq!(err, CoreError::EmptyContext);
+        assert!(t.stats().scans > 0, "backend was consulted");
+    }
+
+    #[test]
+    fn analyze_is_pure_reporting() {
+        let t = voc_like();
+        let advisor = Advisor::new(&t);
+        let q = parse_query("(tonnage: [0,100])", t.schema()).unwrap();
+        let report = advisor.analyze(&q);
+        assert!(report.is_valid() && report.is_satisfiable());
+        assert_eq!(t.stats(), BackendStats::default());
     }
 }

@@ -158,15 +158,23 @@ impl AdviceCache {
         }
     }
 
-    /// Advise on `context` through the cache: canonicalize, look up, and
-    /// either reuse the settled answer or run `advisor` exactly once for
-    /// this key (concurrent callers of the same key block on that run).
+    /// Advise on `context` through the cache: admit (statically analyze
+    /// and normalize), canonicalize, look up, and either reuse the
+    /// settled answer or run `advisor` exactly once for this key
+    /// (concurrent callers of the same key block on that run).
+    ///
+    /// Admission happens *before* keying, so redundant-conjunct
+    /// spellings of one context — `(a: [0,100], a: [50,200])` and
+    /// `(a: [50,100])` — collapse to a single entry. Admission failures
+    /// (ill-typed or provably-empty contexts) are not cached: they cost
+    /// zero backend operations to re-derive, and keeping them out keeps
+    /// the capacity for answers that were expensive to compute.
     ///
     /// The caller owns the pairing of cache and advisor: one cache must
     /// only ever be used with advisors over the same backend and config,
     /// otherwise keys would conflate answers from different sources.
     pub fn advise_cached(&self, advisor: &Advisor<'_>, context: Query) -> CoreResult<Arc<Advice>> {
-        let canonical = context.canonicalized();
+        let canonical = advisor.admit(context)?.canonicalized();
         let key = canonical.to_string();
         let now = self.tick.fetch_add(1, Ordering::Relaxed);
         let slot: Slot = {
@@ -284,6 +292,48 @@ mod tests {
             assert_eq!(c.segmentation, d.segmentation);
             assert_eq!(c.score, d.score);
         }
+    }
+
+    #[test]
+    fn redundant_conjunct_spellings_share_one_entry() {
+        let t = table();
+        let advisor = Advisor::new(&t);
+        let cache = AdviceCache::with_shards(4);
+        let schema = Backend::schema(&t);
+        // Three spellings of (size: [10,40], kind: ) — analysis merges
+        // the duplicated attribute before the cache keys the context.
+        let spellings = [
+            "(size: [10,40], kind: )",
+            "(size: [0,40], size: [10,99], kind: )",
+            "(kind: , size: [10,50], size: [0,40])",
+        ];
+        let advices: Vec<_> = spellings
+            .iter()
+            .map(|s| {
+                cache
+                    .advise_cached(&advisor, parse_query(s, schema).unwrap())
+                    .unwrap()
+            })
+            .collect();
+        assert!(Arc::ptr_eq(&advices[0], &advices[1]));
+        assert!(Arc::ptr_eq(&advices[0], &advices[2]));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stats().runs, 1, "one run for all spellings");
+    }
+
+    #[test]
+    fn admission_failures_are_not_cached() {
+        let t = table();
+        let advisor = Advisor::new(&t);
+        let cache = AdviceCache::new();
+        let schema = Backend::schema(&t);
+        let unsat = parse_query("(size: [0,10], size: [20,30])", schema).unwrap();
+        let e1 = cache.advise_cached(&advisor, unsat.clone()).unwrap_err();
+        let e2 = cache.advise_cached(&advisor, unsat).unwrap_err();
+        assert_eq!(e1, CoreError::UnsatisfiableContext);
+        assert_eq!(e1, e2);
+        assert!(cache.is_empty(), "pruned contexts take no cache slot");
+        assert_eq!(cache.stats().runs, 0, "and never reach the advisor");
     }
 
     #[test]

@@ -48,6 +48,12 @@ pub struct Config {
     /// entropy can be reused from one iteration to the next"). Disabling
     /// this is the ablation measured by experiment E5.
     pub memoize: bool,
+    /// Statically analyze every context at admission: reject ill-typed
+    /// queries with structured diagnostics, prune provably-empty
+    /// conjunctions before any backend work, and merge redundant
+    /// conjuncts so equivalent contexts share one cache entry. Disable
+    /// to feed contexts to the advisor verbatim (equivalence testing).
+    pub analysis: bool,
 }
 
 impl Default for Config {
@@ -60,6 +66,7 @@ impl Default for Config {
             prune_empty_products: true,
             max_results: 64,
             memoize: true,
+            analysis: true,
         }
     }
 }
@@ -118,6 +125,12 @@ impl Config {
         self.memoize = v;
         self
     }
+
+    /// Builder-style setter for static context analysis.
+    pub fn with_analysis(mut self, v: bool) -> Config {
+        self.analysis = v;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -131,7 +144,9 @@ mod tests {
         assert_eq!(c.max_depth, 12);
         assert_eq!(c.nominal_freq_sort_limit, 20);
         assert_eq!(c.median, MedianStrategy::Exact);
-        assert!(c.validate().is_ok());
+        assert!(c.analysis, "analysis is on by default");
+        assert!(!c.with_analysis(false).analysis);
+        assert!(Config::default().validate().is_ok());
     }
 
     #[test]

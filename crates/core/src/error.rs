@@ -1,6 +1,6 @@
 //! Error type for the advisor core.
 
-use charles_sdl::SdlError;
+use charles_sdl::{Diagnostic, SdlError};
 use charles_store::StoreError;
 use std::fmt;
 
@@ -30,6 +30,15 @@ pub enum CoreError {
     },
     /// `back` was called at the root of the breadcrumb trail.
     AtRoot,
+    /// Static analysis rejected the context as ill-typed for the
+    /// backend's schema. Carries the error-class diagnostics so callers
+    /// (e.g. the HTTP server) can report every finding, not just the
+    /// first.
+    InvalidContext(Vec<Diagnostic>),
+    /// Static analysis proved the context selects no rows of *any*
+    /// dataset (contradictory conjunction) — the advisor answers
+    /// without touching the backend.
+    UnsatisfiableContext,
 }
 
 impl fmt::Display for CoreError {
@@ -48,6 +57,19 @@ impl fmt::Display for CoreError {
                 "no segment ({rank_idx}, {seg_idx}) in the current advice"
             ),
             CoreError::AtRoot => write!(f, "already at the root of the session"),
+            CoreError::InvalidContext(diags) => {
+                write!(f, "context failed static analysis")?;
+                for d in diags {
+                    write!(f, "; {d}")?;
+                }
+                Ok(())
+            }
+            CoreError::UnsatisfiableContext => {
+                write!(
+                    f,
+                    "context is provably empty: its conjuncts contradict each other"
+                )
+            }
         }
     }
 }
@@ -108,5 +130,20 @@ mod tests {
         .to_string()
         .contains("(3, 1)"));
         assert!(CoreError::AtRoot.to_string().contains("root"));
+        assert!(CoreError::UnsatisfiableContext
+            .to_string()
+            .contains("provably empty"));
+    }
+
+    #[test]
+    fn invalid_context_lists_every_diagnostic() {
+        use charles_sdl::DiagnosticCode;
+        let e = CoreError::InvalidContext(vec![
+            Diagnostic::new(DiagnosticCode::UnknownAttribute, "nope", "no such column"),
+            Diagnostic::new(DiagnosticCode::EmptySet, "kind", "set has no values"),
+        ]);
+        let s = e.to_string();
+        assert!(s.contains("unknown_attribute"));
+        assert!(s.contains("empty_set"));
     }
 }

@@ -429,6 +429,35 @@ mod tests {
     }
 
     #[test]
+    fn repeated_attribute_context_collapses_to_merged_breadcrumb() {
+        let backend: Arc<dyn Backend> = Arc::new(table());
+        let mut s = OwnedSession::new(backend);
+        s.start("(size: [0,40], size: [10,99], kind: )").unwrap();
+        // The breadcrumb is the analyzed context: merged and canonical.
+        assert_eq!(s.context().unwrap().to_string(), "(kind: , size: [10,40])");
+        assert!(!s.context().unwrap().has_repeated_attributes());
+    }
+
+    #[test]
+    fn unsatisfiable_start_leaves_the_session_unstarted() {
+        let backend: Arc<dyn Backend> = Arc::new(table());
+        let mut s = OwnedSession::new(backend);
+        assert_eq!(
+            s.start("(size: [0,10], size: [20,30])").unwrap_err(),
+            CoreError::UnsatisfiableContext
+        );
+        assert!(s.current().is_none());
+        assert_eq!(s.depth(), 0);
+        // And an ill-typed context reports its diagnostics.
+        match s.start("(size: {'abc'})").unwrap_err() {
+            CoreError::InvalidContext(diags) => {
+                assert_eq!(diags[0].code, charles_sdl::DiagnosticCode::TypeMismatch);
+            }
+            other => panic!("expected InvalidContext, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn owned_sessions_share_advice_through_the_cache() {
         let backend: Arc<dyn Backend> = Arc::new(table());
         let cache = Arc::new(crate::cache::AdviceCache::with_shards(4));

@@ -15,6 +15,17 @@ pub enum SdlError {
     },
     /// A constraint mixes incompatible value types (e.g. `[1, 'abc']`).
     Malformed(String),
+    /// The query names an attribute the schema does not contain. Kept
+    /// distinct from [`SdlError::Syntax`] so admission layers (e.g. the
+    /// HTTP server) can answer with a structured `invalid_context`
+    /// diagnostic instead of a generic parse error.
+    UnknownAttribute {
+        /// The attribute as written.
+        attr: String,
+        /// Byte position in the parsed input (0 when the error was not
+        /// produced by the parser).
+        position: usize,
+    },
     /// The underlying store rejected an operation.
     Store(StoreError),
 }
@@ -26,6 +37,9 @@ impl fmt::Display for SdlError {
                 write!(f, "SDL syntax error at byte {position}: {message}")
             }
             SdlError::Malformed(msg) => write!(f, "malformed SDL: {msg}"),
+            SdlError::UnknownAttribute { attr, position } => {
+                write!(f, "unknown attribute {attr:?} at byte {position}")
+            }
             SdlError::Store(e) => write!(f, "store error: {e}"),
         }
     }
@@ -60,6 +74,16 @@ mod tests {
             message: "expected ':'".into(),
         };
         assert!(e.to_string().contains("byte 7"));
+    }
+
+    #[test]
+    fn unknown_attribute_display_names_the_attr() {
+        let e = SdlError::UnknownAttribute {
+            attr: "nope".into(),
+            position: 1,
+        };
+        assert!(e.to_string().contains("\"nope\""));
+        assert!(e.to_string().contains("byte 1"));
     }
 
     #[test]

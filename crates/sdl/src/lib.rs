@@ -30,6 +30,7 @@
 //! assert_eq!(q.constrained_attributes(), vec!["date", "type"]);
 //! ```
 
+pub mod analyze;
 pub mod display;
 pub mod error;
 pub mod eval;
@@ -39,6 +40,7 @@ pub mod query;
 pub mod segmentation;
 pub mod sql;
 
+pub use analyze::{analyze, Diagnostic, DiagnosticCode, QueryReport, Satisfiability};
 pub use error::{SdlError, SdlResult};
 pub use eval::{cover, selection};
 pub use parser::{parse_query, parse_segmentation};

@@ -133,7 +133,7 @@ impl<'a> Parser<'a> {
         self.skip_ws();
         if self.peek() == Some(')') {
             self.bump();
-            return Query::new(predicates);
+            return Ok(Query::conjunction(predicates));
         }
         loop {
             predicates.push(self.predicate()?);
@@ -145,7 +145,12 @@ impl<'a> Parser<'a> {
                 None => return Err(self.err("unterminated query".into())),
             }
         }
-        Query::new(predicates)
+        // A repeated attribute is a legal conjunction (`a ∈ X ∧ a ∈ Y`),
+        // not a syntax error: the static analyzer merges the conjuncts
+        // per attribute or proves the conjunction empty, so admission
+        // layers can answer with a semantic verdict instead of a parse
+        // failure.
+        Ok(Query::conjunction(predicates))
     }
 
     fn predicate(&mut self) -> SdlResult<Predicate> {
@@ -154,7 +159,10 @@ impl<'a> Parser<'a> {
         let ty = self
             .schema
             .type_of(&attr)
-            .map_err(|_| self.err(format!("unknown attribute {attr:?}")))?;
+            .map_err(|_| SdlError::UnknownAttribute {
+                attr: attr.clone(),
+                position: self.pos,
+            })?;
         self.expect(':')?;
         self.skip_ws();
         let constraint = match self.peek() {
@@ -374,8 +382,22 @@ mod tests {
     }
 
     #[test]
-    fn duplicate_attribute_rejected() {
-        assert!(parse_query("(tonnage: , tonnage: )", &schema()).is_err());
+    fn duplicate_attributes_parse_as_conjunction() {
+        // Repeated attributes are structurally legal (AND semantics);
+        // the static analyzer decides whether they merge or contradict.
+        let q = parse_query("(tonnage: [0,100], tonnage: [50,200])", &schema()).unwrap();
+        assert!(q.has_repeated_attributes());
+        assert_eq!(q.predicates().len(), 2);
+        assert!(q.matches_row(|_| Some(Value::Int(75))));
+        assert!(!q.matches_row(|_| Some(Value::Int(10))));
+    }
+
+    #[test]
+    fn unknown_attribute_gets_a_dedicated_error() {
+        match parse_query("(nope: [1,2])", &schema()) {
+            Err(SdlError::UnknownAttribute { attr, .. }) => assert_eq!(attr, "nope"),
+            other => panic!("expected UnknownAttribute, got {other:?}"),
+        }
     }
 
     #[test]

@@ -37,6 +37,29 @@ impl Query {
         Ok(Query { predicates })
     }
 
+    /// Build a raw conjunction from predicates, **permitting repeated
+    /// attributes** — `(a: [0,100], a: [50,200])` is a legal conjunction
+    /// meaning `a ∈ [0,100] ∧ a ∈ [50,200]`. Every evaluation path
+    /// (lowering, [`Query::matches_row`], canonicalization) already
+    /// treats the predicate list as an AND, so repeats are sound; the
+    /// static analyzer ([`crate::analyze()`]) merges them into one
+    /// constraint per attribute (or proves the conjunction empty). Use
+    /// [`Query::new`] when repeated attributes should be an error.
+    pub fn conjunction(predicates: Vec<Predicate>) -> Query {
+        Query { predicates }
+    }
+
+    /// Whether any attribute appears in more than one conjunct (only
+    /// possible for queries built with [`Query::conjunction`], e.g. by
+    /// the parser). Such queries are advised on in merged, normalized
+    /// form — see [`crate::analyze()`].
+    pub fn has_repeated_attributes(&self) -> bool {
+        self.predicates
+            .iter()
+            .enumerate()
+            .any(|(i, p)| self.predicates[..i].iter().any(|q| q.attr == p.attr))
+    }
+
     /// The predicates in declaration order.
     pub fn predicates(&self) -> &[Predicate] {
         &self.predicates
@@ -175,6 +198,29 @@ mod tests {
     fn duplicate_attributes_rejected() {
         let err = Query::new(vec![Predicate::any("a"), Predicate::any("a")]).unwrap_err();
         assert!(matches!(err, SdlError::Malformed(_)));
+    }
+
+    #[test]
+    fn conjunction_permits_and_detects_repeats() {
+        let q = Query::conjunction(vec![Predicate::any("a"), Predicate::any("a")]);
+        assert!(q.has_repeated_attributes());
+        assert_eq!(q.predicates().len(), 2);
+        // AND semantics: both conjuncts must hold.
+        let q = Query::conjunction(vec![
+            Predicate::new(
+                "a",
+                Constraint::range(Value::Int(0), Value::Int(10)).unwrap(),
+            ),
+            Predicate::new(
+                "a",
+                Constraint::range(Value::Int(5), Value::Int(20)).unwrap(),
+            ),
+        ]);
+        assert!(q.matches_row(|_| Some(Value::Int(7))));
+        assert!(!q.matches_row(|_| Some(Value::Int(3))));
+        assert!(!q.matches_row(|_| Some(Value::Int(15))));
+        // Duplicate-free queries report no repeats.
+        assert!(!Query::wildcard(&["a", "b"]).has_repeated_attributes());
     }
 
     #[test]

@@ -36,7 +36,16 @@ pub fn sql_ident(name: &str) -> String {
 }
 
 /// The `WHERE` condition of a query, or `"TRUE"` for an unconstrained one.
+///
+/// Expects an analyzed (or constructor-validated) query: no repeated
+/// attributes, no empty ranges or mixed-type sets. Rendering a malformed
+/// query would ship the inconsistency into an external SQL engine where
+/// it fails far from its cause, so this is debug-asserted here.
 pub fn where_clause(query: &Query) -> String {
+    debug_assert!(
+        crate::analyze::well_formed(query),
+        "where_clause expects an analyzed query; run charles_sdl::analyze first: {query}"
+    );
     let parts: Vec<String> = query
         .predicates()
         .iter()

@@ -84,6 +84,41 @@ pub fn encode_error(code: &str, message: &str) -> String {
     )
 }
 
+/// [`encode_error`] with the static-analysis findings attached:
+/// `{"error":{"code":…,"message":…,"diagnostics":[{"code":…,"attr":…,"detail":…},…]}}`.
+/// Each diagnostic's `code` is its stable snake_case
+/// [`charles_sdl::DiagnosticCode`] name, so clients can branch per
+/// finding, not just per response.
+pub fn encode_error_with_diagnostics(
+    code: &str,
+    message: &str,
+    diagnostics: &[charles_sdl::Diagnostic],
+) -> String {
+    debug_assert!(
+        code.chars().all(|c| c.is_ascii_lowercase() || c == '_'),
+        "error codes are stable snake_case identifiers, got {code:?}"
+    );
+    let mut diags = String::from("[");
+    for (i, d) in diagnostics.iter().enumerate() {
+        if i > 0 {
+            diags.push(',');
+        }
+        diags.push_str(&format!(
+            "{{\"code\":{},\"attr\":{},\"detail\":{}}}",
+            json_string(d.code.name()),
+            json_string(&d.attr),
+            json_string(&d.detail)
+        ));
+    }
+    diags.push(']');
+    format!(
+        "{{\"error\":{{\"code\":{},\"message\":{},\"diagnostics\":{}}}}}",
+        json_string(code),
+        json_string(message),
+        diags
+    )
+}
+
 /// The wire name of a stop reason (snake_case, stable).
 pub fn stop_reason_name(stop: StopReason) -> &'static str {
     match stop {
@@ -247,6 +282,30 @@ mod tests {
         assert!(one.contains("\"trace\":{\"seeds\":"));
         // No stray raw control characters or trailing whitespace.
         assert!(!one.chars().any(|c| (c as u32) < 0x20));
+    }
+
+    #[test]
+    fn error_with_diagnostics_shape_is_pinned() {
+        use charles_sdl::{Diagnostic, DiagnosticCode};
+        let body = encode_error_with_diagnostics(
+            "invalid_context",
+            "context failed static analysis",
+            &[
+                Diagnostic::new(DiagnosticCode::UnknownAttribute, "nope", "no such column"),
+                Diagnostic::new(DiagnosticCode::TypeMismatch, "size", "got \"str\""),
+            ],
+        );
+        assert_eq!(
+            body,
+            "{\"error\":{\"code\":\"invalid_context\",\
+             \"message\":\"context failed static analysis\",\
+             \"diagnostics\":[\
+             {\"code\":\"unknown_attribute\",\"attr\":\"nope\",\"detail\":\"no such column\"},\
+             {\"code\":\"type_mismatch\",\"attr\":\"size\",\"detail\":\"got \\\"str\\\"\"}]}}"
+        );
+        // Empty diagnostics still produce a valid (empty) array.
+        let body = encode_error_with_diagnostics("invalid_context", "m", &[]);
+        assert!(body.ends_with("\"diagnostics\":[]}}"));
     }
 
     #[test]

@@ -21,9 +21,12 @@
 //! fresh advisor run on the same canonical context.
 
 use crate::http::{parse_request, write_response, HttpError, Method, Request};
-use crate::json::{encode_advice, encode_error, json_string, json_string_array};
+use crate::json::{
+    encode_advice, encode_error, encode_error_with_diagnostics, json_string, json_string_array,
+};
 use charles_core::{Advice, AdviceCache, Config, CoreError, OwnedSession};
 use charles_parallel::WorkerPool;
+use charles_sdl::{Diagnostic, DiagnosticCode, SdlError};
 use charles_store::{Backend, DiskTable};
 use std::collections::HashMap;
 use std::io::BufReader;
@@ -110,6 +113,8 @@ pub struct ServerMetrics {
     responses_2xx: AtomicU64,
     responses_4xx: AtomicU64,
     responses_5xx: AtomicU64,
+    analysis_rejects: AtomicU64,
+    analysis_prunes: AtomicU64,
 }
 
 impl ServerMetrics {
@@ -123,6 +128,14 @@ impl ServerMetrics {
         .fetch_add(1, Ordering::Relaxed);
     }
 
+    fn record_analysis_reject(&self) {
+        self.analysis_rejects.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn record_analysis_prune(&self) {
+        self.analysis_prunes.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// A consistent-enough copy of the counters (each is read
     /// atomically; the set is not a snapshot under concurrent traffic).
     pub fn snapshot(&self) -> MetricsSnapshot {
@@ -132,6 +145,8 @@ impl ServerMetrics {
             responses_2xx: self.responses_2xx.load(Ordering::Relaxed),
             responses_4xx: self.responses_4xx.load(Ordering::Relaxed),
             responses_5xx: self.responses_5xx.load(Ordering::Relaxed),
+            analysis_rejects: self.analysis_rejects.load(Ordering::Relaxed),
+            analysis_prunes: self.analysis_prunes.load(Ordering::Relaxed),
         }
     }
 }
@@ -149,6 +164,12 @@ pub struct MetricsSnapshot {
     pub responses_4xx: u64,
     /// Responses with a 5xx status (or any status outside 2xx/4xx).
     pub responses_5xx: u64,
+    /// Contexts rejected at admission by static analysis (ill-typed for
+    /// the dataset's schema: unknown attribute, type mismatch, …).
+    pub analysis_rejects: u64,
+    /// Contexts pruned at admission as provably empty — answered with
+    /// zero backend operations.
+    pub analysis_prunes: u64,
 }
 
 struct ServerState {
@@ -510,8 +531,14 @@ fn route(state: &ServerState, req: &Request) -> (u16, String) {
             (
                 200,
                 format!(
-                    "{{\"connections\":{},\"requests\":{},\"responses_2xx\":{},\"responses_4xx\":{},\"responses_5xx\":{}}}",
-                    m.connections, m.requests, m.responses_2xx, m.responses_4xx, m.responses_5xx
+                    "{{\"connections\":{},\"requests\":{},\"responses_2xx\":{},\"responses_4xx\":{},\"responses_5xx\":{},\"analysis_rejects\":{},\"analysis_prunes\":{}}}",
+                    m.connections,
+                    m.requests,
+                    m.responses_2xx,
+                    m.responses_4xx,
+                    m.responses_5xx,
+                    m.analysis_rejects,
+                    m.analysis_prunes
                 ),
             )
         }
@@ -520,7 +547,8 @@ fn route(state: &ServerState, req: &Request) -> (u16, String) {
         (Method::Delete, ["session", id]) => delete_session(state, id),
         (Method::Post, ["session", id, "drill"]) => {
             let body = req.body.clone();
-            with_session(state, id, move |id, s| drill_session(id, s, &body))
+            let metrics = &state.metrics;
+            with_session(state, id, move |id, s| drill_session(metrics, id, s, &body))
         }
         (Method::Post, ["session", id, "back"]) => {
             with_session(state, id, |id, s| match s.try_back() {
@@ -632,31 +660,28 @@ fn create_session(state: &ServerState, body: &str) -> (u16, String) {
     };
     let mut session = OwnedSession::with_config(dataset.backend, state.advisor_config.clone())
         .with_cache(dataset.cache);
-    match session.start(sdl) {
-        Ok(_) => {
-            let id = format!("s{}", state.next_id.fetch_add(1, Ordering::Relaxed));
-            let advice = session.current().expect("start succeeded").clone();
-            {
-                // Cap check and insert under one lock so racing creates
-                // cannot overshoot the bound. (The advise work above is
-                // not wasted on rejection: it landed in the shared
-                // cache.)
-                let mut sessions = state.sessions.lock().unwrap_or_else(|p| p.into_inner());
-                if sessions.len() >= state.max_sessions {
-                    return (
-                        503,
-                        encode_error(
-                            "capacity_exhausted",
-                            "session capacity exhausted; DELETE finished sessions and retry",
-                        ),
-                    );
-                }
-                sessions.insert(id.clone(), Arc::new(Mutex::new(session)));
-            }
-            (201, advice_envelope(&id, &advice))
+    let advice = match session.start(sdl) {
+        Ok(advice) => Arc::clone(advice),
+        Err(e) => return admission_error_response(&state.metrics, &e),
+    };
+    let id = format!("s{}", state.next_id.fetch_add(1, Ordering::Relaxed));
+    {
+        // Cap check and insert under one lock so racing creates cannot
+        // overshoot the bound. (The advise work above is not wasted on
+        // rejection: it landed in the shared cache.)
+        let mut sessions = state.sessions.lock().unwrap_or_else(|p| p.into_inner());
+        if sessions.len() >= state.max_sessions {
+            return (
+                503,
+                encode_error(
+                    "capacity_exhausted",
+                    "session capacity exhausted; DELETE finished sessions and retry",
+                ),
+            );
         }
-        Err(e) => core_error_response(&e),
+        sessions.insert(id.clone(), Arc::new(Mutex::new(session)));
     }
+    (201, advice_envelope(&id, &advice))
 }
 
 fn delete_session(state: &ServerState, id: &str) -> (u16, String) {
@@ -715,7 +740,12 @@ fn session_info(id: &str, session: &mut OwnedSession) -> (u16, String) {
     )
 }
 
-fn drill_session(id: &str, session: &mut OwnedSession, body: &str) -> (u16, String) {
+fn drill_session(
+    metrics: &ServerMetrics,
+    id: &str,
+    session: &mut OwnedSession,
+    body: &str,
+) -> (u16, String) {
     let mut parts = body.split_ascii_whitespace();
     let (rank_idx, seg_idx) = match (
         parts.next().and_then(|t| t.parse::<usize>().ok()),
@@ -735,7 +765,7 @@ fn drill_session(id: &str, session: &mut OwnedSession, body: &str) -> (u16, Stri
     };
     match session.drill(rank_idx, seg_idx) {
         Ok(advice) => (200, advice_envelope(id, advice)),
-        Err(e) => core_error_response(&e),
+        Err(e) => admission_error_response(metrics, &e),
     }
 }
 
@@ -752,6 +782,32 @@ fn advice_envelope(id: &str, advice: &Advice) -> String {
 /// are 4xx, backend faults are the only 500s.
 fn core_error_response(e: &CoreError) -> (u16, String) {
     let (status, code) = match e {
+        // Static-analysis rejections: the context parsed but is
+        // ill-typed for this dataset's schema. 422 with the findings
+        // attached, so clients see every problem at once.
+        CoreError::InvalidContext(diags) => {
+            return (
+                422,
+                encode_error_with_diagnostics("invalid_context", &e.to_string(), diags),
+            );
+        }
+        // An unknown attribute surfaces from the parser (it resolves
+        // names against the schema), but to a client it is the same
+        // admission failure — answer it in the same shape.
+        CoreError::Sdl(SdlError::UnknownAttribute { attr, .. }) => {
+            let diag = Diagnostic::new(
+                DiagnosticCode::UnknownAttribute,
+                attr.clone(),
+                format!("the dataset's schema has no attribute {attr:?}"),
+            );
+            return (
+                422,
+                encode_error_with_diagnostics("invalid_context", &e.to_string(), &[diag]),
+            );
+        }
+        // Provably-empty conjunction: valid, but answered without any
+        // backend work.
+        CoreError::UnsatisfiableContext => (422, "unsatisfiable_context"),
         // The context didn't parse or validate: the request was wrong.
         CoreError::Sdl(_) => (400, "bad_context"),
         CoreError::BadConfig(_) => (400, "bad_config"),
@@ -767,6 +823,22 @@ fn core_error_response(e: &CoreError) -> (u16, String) {
         CoreError::Store(_) => (500, "backend_failure"),
     };
     (status, encode_error(code, &e.to_string()))
+}
+
+/// [`core_error_response`] for the two routes that advise (`POST
+/// /session` and drill), additionally counting static-analysis
+/// outcomes: rejects (ill-typed contexts) and prunes (provably-empty
+/// contexts answered with zero backend operations). Kept separate so
+/// `core_error_response` stays a pure mapping.
+fn admission_error_response(metrics: &ServerMetrics, e: &CoreError) -> (u16, String) {
+    match e {
+        CoreError::InvalidContext(_) | CoreError::Sdl(SdlError::UnknownAttribute { .. }) => {
+            metrics.record_analysis_reject();
+        }
+        CoreError::UnsatisfiableContext => metrics.record_analysis_prune(),
+        _ => {}
+    }
+    core_error_response(e)
 }
 
 #[cfg(test)]
@@ -861,8 +933,12 @@ mod tests {
     #[test]
     fn error_statuses() {
         let st = state();
-        // Bad SDL → 400.
+        // Unknown attribute → 422 admission rejection (see
+        // `analysis_rejections_are_structured_and_counted`).
         let (status, _) = route(&st, &post("/session", "(nope: )"));
+        assert_eq!(status, 422);
+        // Unparseable SDL → 400.
+        let (status, _) = route(&st, &post("/session", "garbage"));
         assert_eq!(status, 400);
         // Empty body → 400.
         let (status, _) = route(&st, &post("/session", "   "));
@@ -962,8 +1038,100 @@ mod tests {
         assert!(body.contains("\"code\":\"no_such_route\""), "{body}");
         let (_, body) = route(&st, &get("/session/s1/drill"));
         assert!(body.contains("\"code\":\"method_not_allowed\""), "{body}");
-        let (_, body) = route(&st, &post("/session", "(nope: )"));
+        let (_, body) = route(&st, &post("/session", "garbage"));
         assert!(body.contains("\"code\":\"bad_context\""), "{body}");
+    }
+
+    #[test]
+    fn analysis_rejections_are_structured_and_counted() {
+        let st = state();
+        // Unknown attribute: previously a 400 parse error; now a 422
+        // admission rejection carrying a machine-readable diagnostic.
+        let (status, body) = route(&st, &post("/session", "(nope: , kind: )"));
+        assert_eq!(status, 422, "{body}");
+        assert!(body.contains("\"code\":\"invalid_context\""), "{body}");
+        assert!(body.contains("\"diagnostics\":["), "{body}");
+        assert!(body.contains("\"code\":\"unknown_attribute\""), "{body}");
+        assert!(body.contains("\"attr\":\"nope\""), "{body}");
+        // Ill-typed literal: previously crossed admission and died at
+        // eval as a 500 backend failure; now a 422 with the finding.
+        let (status, body) = route(&st, &post("/session", "(size: {'abc'})"));
+        assert_eq!(status, 422, "{body}");
+        assert!(body.contains("\"code\":\"invalid_context\""), "{body}");
+        assert!(body.contains("\"code\":\"type_mismatch\""), "{body}");
+        assert!(body.contains("\"attr\":\"size\""), "{body}");
+        assert_eq!(st.metrics.snapshot().analysis_rejects, 2);
+        assert_eq!(st.metrics.snapshot().analysis_prunes, 0);
+    }
+
+    #[test]
+    fn unsatisfiable_context_is_pruned_without_backend_work() {
+        let st = state();
+        // Warm up with a real session so backend counters are non-zero
+        // and would move if the pruned request touched the backend.
+        let (status, _) = route(&st, &post("/session", "(kind: , size: )"));
+        assert_eq!(status, 201);
+        let before = st.backend.stats();
+        assert!(before.scans > 0);
+        let (status, body) = route(
+            &st,
+            &post("/session", "(size: [0,10], size: [20,30], kind: )"),
+        );
+        assert_eq!(status, 422, "{body}");
+        assert!(
+            body.contains("\"code\":\"unsatisfiable_context\""),
+            "{body}"
+        );
+        assert!(body.contains("provably empty"), "{body}");
+        assert_eq!(
+            st.backend.stats(),
+            before,
+            "pruned context must cost zero backend operations"
+        );
+        assert_eq!(st.metrics.snapshot().analysis_prunes, 1);
+        // The counters are on the wire too. (`route` is the pure
+        // dispatcher — 4xx/5xx totals are recorded at the connection
+        // layer, covered by the end-to-end tests below.)
+        let (status, metrics) = route(&st, &get("/metrics"));
+        assert_eq!(status, 200);
+        assert!(metrics.contains("\"analysis_prunes\":1"), "{metrics}");
+        assert!(metrics.contains("\"analysis_rejects\":0"), "{metrics}");
+    }
+
+    #[test]
+    fn repeated_attribute_contexts_share_one_cache_entry() {
+        let st = state();
+        // Three spellings of one context: a plain one, a redundant
+        // conjunction, and its permutation. Analysis normalizes all
+        // three to a single cache key.
+        for body in [
+            "(size: [10,40], kind: )",
+            "(size: [0,40], size: [10,99], kind: )",
+            "(kind: , size: [10,50], size: [0,40])",
+        ] {
+            let (status, resp) = route(&st, &post("/session", body));
+            assert_eq!(status, 201, "{resp}");
+        }
+        assert_eq!(st.cache.stats().runs, 1, "one advisor run for all three");
+        assert_eq!(st.cache.len(), 1);
+        // The session's breadcrumb is the merged canonical context.
+        let (_, info) = route(&st, &get("/session/s2"));
+        assert!(
+            info.contains("\"breadcrumbs\":[\"(kind: , size: [10,40])\"]"),
+            "{info}"
+        );
+    }
+
+    #[test]
+    fn drill_requests_count_analysis_metrics_too() {
+        let st = state();
+        let (status, _) = route(&st, &post("/session", "(kind: , size: )"));
+        assert_eq!(status, 201);
+        // A plain out-of-range drill is not an analysis event.
+        let (status, _) = route(&st, &post("/session/s1/drill", "99 0"));
+        assert_eq!(status, 422);
+        let snap = st.metrics.snapshot();
+        assert_eq!(snap.analysis_rejects + snap.analysis_prunes, 0);
     }
 
     #[test]

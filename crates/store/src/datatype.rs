@@ -38,6 +38,17 @@ impl DataType {
         !self.is_numeric()
     }
 
+    /// Whether values of this type and `other` belong to the same
+    /// comparison family: the numerics (`Int`, `Float`, `Date`) compare
+    /// with each other, every other type only with itself. This is the
+    /// type-level counterpart of [`crate::Value::comparable_with`] — a
+    /// literal whose type fails this test against its column's type can
+    /// never match a row, which is what the SDL static analyzer flags as
+    /// a type mismatch before any evaluation runs.
+    pub fn comparable_with(self, other: DataType) -> bool {
+        self == other || (self.is_numeric() && other.is_numeric())
+    }
+
     /// Short lowercase name used in schemas and CSV headers.
     pub fn name(self) -> &'static str {
         match self {
@@ -117,5 +128,15 @@ mod tests {
     #[test]
     fn display_uses_short_name() {
         assert_eq!(DataType::Date.to_string(), "date");
+    }
+
+    #[test]
+    fn comparability_is_family_wise() {
+        assert!(DataType::Int.comparable_with(DataType::Float));
+        assert!(DataType::Float.comparable_with(DataType::Date));
+        assert!(DataType::Str.comparable_with(DataType::Str));
+        assert!(!DataType::Str.comparable_with(DataType::Int));
+        assert!(!DataType::Bool.comparable_with(DataType::Str));
+        assert!(!DataType::Bool.comparable_with(DataType::Int));
     }
 }

@@ -66,6 +66,13 @@ impl Schema {
         self.columns.iter().find(|c| c.name == name)
     }
 
+    /// Whether the schema has a column of this name. Convenience for
+    /// admission-time validation (the SDL analyzer asks this for every
+    /// attribute a context mentions).
+    pub fn contains(&self, name: &str) -> bool {
+        self.index_of(name).is_some()
+    }
+
     /// Type of a column, as a result (for operations that require it).
     pub fn type_of(&self, name: &str) -> StoreResult<DataType> {
         self.column(name)
@@ -108,6 +115,8 @@ mod tests {
         assert_eq!(s.index_of("kind"), Some(1));
         assert_eq!(s.type_of("tonnage").unwrap(), DataType::Int);
         assert!(s.type_of("nope").is_err());
+        assert!(s.contains("kind"));
+        assert!(!s.contains("nope"));
     }
 
     #[test]

@@ -110,8 +110,13 @@ fn client_script(addr: std::net::SocketAddr, spelling: &str, oracle: &Oracle) ->
         );
         advised += 1;
 
-        // Bad SDL and bad drill bodies answer 4xx without advising.
-        let (status, _) = http_request(addr, "POST", "/session", "(no_such_column: )").unwrap();
+        // Bad SDL and bad drill bodies answer 4xx without advising:
+        // unknown attributes are a 422 admission rejection (static
+        // analysis), unparseable bodies stay 400.
+        let (status, err) = http_request(addr, "POST", "/session", "(no_such_column: )").unwrap();
+        assert_eq!(status, 422, "{err}");
+        assert!(err.contains("\"code\":\"invalid_context\""), "{err}");
+        let (status, _) = http_request(addr, "POST", "/session", "not sdl at all").unwrap();
         assert_eq!(status, 400);
         let (status, _) =
             http_request(addr, "POST", &format!("/session/{id}/drill"), "zero one").unwrap();
