@@ -4,28 +4,38 @@
 //! cargo run --release -p charles-bench --bin load -- <mode> [options]
 //!
 //! Modes:
-//!   smoke [--json PATH] [--addr HOST:PORT]
+//!   smoke [--json PATH] [--addr HOST:PORT] [--proto http|binary]
 //!       The pinned CI scenario. Boots an in-process server (or targets
-//!       a live one via --addr — it must serve the VOC schema), prints
+//!       a live one via --addr — it must serve the VOC schema; with
+//!       --proto binary the address is the wire listener's), prints
 //!       the report, optionally writes the charles-load/v1 artefact.
-//!       Exits non-zero on ANY error or non-2xx response.
+//!       Exits non-zero on ANY error, non-2xx response or error frame.
 //!   grid [--results PATH] [--rerun]
 //!       Sweep shards × cache capacity × server workers. Completed
 //!       configs are read from the results cache instead of re-run
 //!       (--rerun ignores the cache).
-//!   ab [--results PATH] [--rerun]
-//!       A/B the charles-parallel dispatch cutoff: library default vs
-//!       threshold 1 (every par_map call forks, the pre-cutoff
-//!       behaviour), same workload otherwise.
+//!   ab [--dim cutoff|proto] [--results PATH] [--rerun] [--json PATH]
+//!       A/B one dimension, same workload otherwise:
+//!         cutoff (default) — the charles-parallel dispatch cutoff:
+//!             library default vs threshold 1 (every par_map forks).
+//!         proto — HTTP/JSON vs the pipelined binary wire protocol on
+//!             the saturation scenario; prints the cached-advice
+//!             speedup, fails unless it clears the 5× bar, and with
+//!             --json writes the charles-wire-ab/v1 artefact
+//!             (committed as BENCH_wire.json).
 //!   check PATH
-//!       Validate a charles-load/v1 artefact (CI gate for the
-//!       committed BENCH_serve.json): schema, field presence,
-//!       percentile monotonicity, op accounting, clean-run invariants.
+//!       Validate a result artefact (CI gate for the committed
+//!       BENCH_serve.json / BENCH_wire.json), dispatching on the
+//!       schema tag: charles-load/v1 — field presence, percentile
+//!       monotonicity, op accounting, clean-run invariants;
+//!       charles-wire-ab/v1 — both embedded legs plus the ≥5×
+//!       speedup gate.
 //! ```
 
 use charles_bench::load::{
-    comparison_table, run_against, run_in_process, validate, LoadResult, ResultsCache,
-    ScenarioConfig,
+    comparison_table, run_against, run_in_process, validate, validate_wire_ab, wire_ab_speedup,
+    wire_ab_to_json, LoadResult, Proto, ResultsCache, ScenarioConfig, WIRE_AB_MIN_SPEEDUP,
+    WIRE_AB_SCHEMA,
 };
 use charles_bench::mini_json;
 use std::time::Duration;
@@ -82,14 +92,33 @@ fn report(result: &LoadResult) {
     }
 }
 
+fn parse_proto(args: &[String]) -> Result<Proto, String> {
+    match opt_value(args, "--proto") {
+        None => Ok(Proto::Http),
+        Some(v) => Proto::parse(&v).ok_or(v),
+    }
+    .map_err(|v| format!("bad --proto {v:?} (want http or binary)"))
+}
+
 fn smoke(args: &[String]) -> i32 {
-    let cfg = ScenarioConfig::smoke();
+    let proto = match parse_proto(args) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("smoke: {e}");
+            return 2;
+        }
+    };
+    let cfg = ScenarioConfig {
+        proto,
+        ..ScenarioConfig::smoke()
+    };
     println!(
-        "smoke: {} ops at {} ops/s over {} connections (warmup {}ms)",
+        "smoke: {} ops at {} ops/s over {} connections (warmup {}ms, proto {})",
         cfg.total_ops(),
         cfg.target_rps,
         cfg.connections,
-        cfg.warmup.as_millis()
+        cfg.warmup.as_millis(),
+        cfg.proto.as_str(),
     );
     let run = match opt_value(args, "--addr") {
         Some(addr) => match addr.parse() {
@@ -203,6 +232,17 @@ fn grid(args: &[String]) -> i32 {
 }
 
 fn ab(args: &[String]) -> i32 {
+    match opt_value(args, "--dim").as_deref() {
+        None | Some("cutoff") => ab_cutoff(args),
+        Some("proto") => ab_proto(args),
+        Some(other) => {
+            eprintln!("ab: bad --dim {other:?} (want cutoff or proto)");
+            2
+        }
+    }
+}
+
+fn ab_cutoff(args: &[String]) -> i32 {
     let mut cache = results_cache(args);
     let rerun = has_flag(args, "--rerun");
     // Hot-heavy and drill-dense: the advise path runs par_map over
@@ -247,6 +287,55 @@ fn ab(args: &[String]) -> i32 {
     0
 }
 
+/// A/B the two listeners on the saturation scenario: same workload,
+/// same box, run serially — the achieved-rate ratio IS the per-core
+/// cached-advice speedup the binary protocol must prove.
+fn ab_proto(args: &[String]) -> i32 {
+    let mut cache = results_cache(args);
+    let rerun = has_flag(args, "--rerun");
+    let mut results = Vec::new();
+    for proto in [Proto::Http, Proto::Binary] {
+        let cfg = ScenarioConfig::throughput(proto);
+        match run_cached(&cfg, &mut cache, rerun) {
+            Some(r) => results.push(r),
+            None => return 1,
+        }
+    }
+    println!("\n{}", comparison_table(&results));
+    let [http, binary] = results.as_slice() else {
+        return 1;
+    };
+    let speedup = wire_ab_speedup(http, binary);
+    println!(
+        "binary vs http: {:.1} vs {:.1} cached-advice ops/s → {speedup:.2}× (bar: {WIRE_AB_MIN_SPEEDUP}×)",
+        binary.achieved_rps, http.achieved_rps,
+    );
+    if let Some(path) = opt_value(args, "--json") {
+        if let Err(e) = std::fs::write(&path, wire_ab_to_json(http, binary) + "\n") {
+            eprintln!("ab: writing {path}: {e}");
+            return 1;
+        }
+        println!("  wrote {path}");
+    }
+    let errors = http.errors + binary.errors;
+    let non_2xx = http.server.responses_4xx
+        + http.server.responses_5xx
+        + binary.server.responses_4xx
+        + binary.server.responses_5xx;
+    if errors > 0 || non_2xx > 0 {
+        eprintln!("ab: FAILED — {errors} client errors, {non_2xx} non-2xx responses");
+        return 1;
+    }
+    if speedup < WIRE_AB_MIN_SPEEDUP {
+        eprintln!(
+            "ab: FAILED — binary speedup {speedup:.2}× is below the {WIRE_AB_MIN_SPEEDUP}× bar"
+        );
+        return 1;
+    }
+    println!("ab: OK");
+    0
+}
+
 fn check(args: &[String]) -> i32 {
     let Some(path) = args.first() else {
         eprintln!("usage: load check PATH");
@@ -266,9 +355,13 @@ fn check(args: &[String]) -> i32 {
             return 1;
         }
     };
-    match validate(&doc) {
+    let (schema, result) = match doc.get("schema").and_then(mini_json::Json::as_str) {
+        Some(WIRE_AB_SCHEMA) => (WIRE_AB_SCHEMA, validate_wire_ab(&doc)),
+        _ => ("charles-load/v1", validate(&doc)),
+    };
+    match result {
         Ok(()) => {
-            println!("check: {path} is a valid charles-load/v1 artefact");
+            println!("check: {path} is a valid {schema} artefact");
             0
         }
         Err(e) => {

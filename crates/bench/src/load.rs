@@ -10,9 +10,12 @@
 //! behind it, which is what a production client would experience.
 //!
 //! The workload is the paper's interactive loop at scale: N keep-alive
-//! connections ([`charles_serve::Client`]) each replay drill/back
-//! sessions against a live server — `POST /session`, then
-//! `drill "0 0"` / `back` pairs, then `DELETE`. Session contexts are
+//! connections each replay drill/back sessions against a live server —
+//! `POST /session`, then `drill "0 0"` / `back` pairs, then `DELETE`.
+//! A [`Proto`] switch picks the listener: the HTTP/JSON one (one
+//! [`charles_serve::Client`] request per round trip) or the binary
+//! wire-protocol one (a pipelined [`WireConn`], whole session bursts
+//! staged per write). Session contexts are
 //! drawn **hot** (a small fixed pool of canonical contexts, so repeat
 //! sessions hit the shared [`charles_core::AdviceCache`]) or **cold**
 //! (a never-repeating range predicate, so every advise runs HB-cuts)
@@ -30,9 +33,12 @@
 
 use crate::mini_json::{self, Json};
 use charles_datagen::voc_table;
-use charles_serve::{http_request, Client, ClientConfig, ServeConfig, Server, ServerHandle};
+use charles_serve::{
+    http_request, wire_request, Client, ClientConfig, ServeConfig, Server, ServerHandle, WireConn,
+    WireError, WireRequest, WireResponse,
+};
 use charles_store::{Backend, ShardedTable};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -163,6 +169,38 @@ impl Histogram {
 // Scenario configuration
 // ---------------------------------------------------------------------------
 
+/// Which listener a scenario drives: the JSON/HTTP one or the binary
+/// wire-protocol one. Both dispatch through the same API layer on the
+/// server, so a scenario measures pure framing + pipelining overhead
+/// when only this knob changes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Proto {
+    /// HTTP/1.1 keep-alive, one request per round trip ([`Client`]).
+    #[default]
+    Http,
+    /// Length-prefixed binary frames, pipelined ([`WireConn`]).
+    Binary,
+}
+
+impl Proto {
+    /// Stable lowercase name (fingerprints, flags, artefacts).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Proto::Http => "http",
+            Proto::Binary => "binary",
+        }
+    }
+
+    /// Parse a `--proto` flag value.
+    pub fn parse(s: &str) -> Option<Proto> {
+        match s {
+            "http" => Some(Proto::Http),
+            "binary" => Some(Proto::Binary),
+            _ => None,
+        }
+    }
+}
+
 /// One load scenario: dataset shape, server knobs and offered load.
 /// [`fingerprint`](ScenarioConfig::fingerprint) is the identity the
 /// [`ResultsCache`] keys on — every field that changes the measurement
@@ -198,6 +236,8 @@ pub struct ScenarioConfig {
     /// `charles_parallel` dispatch cutoff forced for this run
     /// (0 = library default). The A/B mode flips this.
     pub par_threshold: usize,
+    /// Which listener to drive (HTTP/JSON or the binary wire protocol).
+    pub proto: Proto,
 }
 
 impl ScenarioConfig {
@@ -220,6 +260,28 @@ impl ScenarioConfig {
             hot_percent: 90,
             drills_per_session: 2,
             par_threshold: 0,
+            proto: Proto::Http,
+        }
+    }
+
+    /// The saturation scenario the proto A/B runs on both listeners:
+    /// 100% hot contexts (every advise is a cache hit), drill-dense
+    /// sessions (long pipelinable bursts between session starts), and a
+    /// target rate far past what either listener can serve — the
+    /// open-loop schedule is permanently behind, so workers issue
+    /// back-to-back and `achieved_rps` measures saturation throughput
+    /// of cached-advice traffic.
+    pub fn throughput(proto: Proto) -> ScenarioConfig {
+        ScenarioConfig {
+            name: format!("throughput-{}", proto.as_str()),
+            target_rps: 1_000_000.0,
+            duration: Duration::from_millis(48),
+            warmup: Duration::from_millis(12),
+            connections: 2,
+            hot_percent: 100,
+            drills_per_session: 16,
+            proto,
+            ..ScenarioConfig::smoke()
         }
     }
 
@@ -227,7 +289,7 @@ impl ScenarioConfig {
     /// pipe-joined. Cached results are keyed by this.
     pub fn fingerprint(&self) -> String {
         format!(
-            "name={}|rows={}|shards={}|sworkers={}|cshards={}|ccap={}|conns={}|rate={:.3}|dur={}|warm={}|hot={}|drills={}|pth={}",
+            "name={}|rows={}|shards={}|sworkers={}|cshards={}|ccap={}|conns={}|rate={:.3}|dur={}|warm={}|hot={}|drills={}|pth={}|proto={}",
             self.name,
             self.rows,
             self.shards,
@@ -241,6 +303,7 @@ impl ScenarioConfig {
             self.hot_percent,
             self.drills_per_session,
             self.par_threshold,
+            self.proto.as_str(),
         )
     }
 
@@ -264,6 +327,18 @@ const HOT_CONTEXTS: [&str; 4] = [
     "(type_of_boat: , built: )",
     "(departure_harbour: , tonnage: , trip: )",
 ];
+
+/// Context for session number `n`: drawn from the hot pool
+/// `hot_percent`% of the time, otherwise a never-repeating cold
+/// predicate. Shared by the HTTP and wire scripts so a proto A/B
+/// offers byte-identical context streams.
+fn choose_context(n: u64, hot_percent: u32) -> String {
+    if (n % 100) < hot_percent as u64 {
+        HOT_CONTEXTS[(n % HOT_CONTEXTS.len() as u64) as usize].to_string()
+    } else {
+        format!("(type_of_boat: , tonnage: [0, {}])", 100_000 + n)
+    }
+}
 
 /// One planned request: method, path, body and the status a healthy
 /// server must answer with.
@@ -313,11 +388,7 @@ impl SessionScript {
     fn next_op(&mut self) -> PlannedOp {
         if self.session_id.is_none() {
             let n = self.session_seq.fetch_add(1, Ordering::Relaxed);
-            self.context = if (n % 100) < self.hot_percent as u64 {
-                HOT_CONTEXTS[(n % HOT_CONTEXTS.len() as u64) as usize].to_string()
-            } else {
-                format!("(type_of_boat: , tonnage: [0, {}])", 100_000 + n)
-            };
+            self.context = choose_context(n, self.hot_percent);
             self.step = 0;
             return PlannedOp {
                 method: "POST",
@@ -386,6 +457,116 @@ fn extract_session_id(body: &str) -> Option<String> {
     let rest = body.split_once("\"session\":\"")?.1;
     let id = rest.split_once('"')?.0;
     (!id.is_empty()).then(|| id.to_string())
+}
+
+// ---------------------------------------------------------------------------
+// Wire session script (the pipelined twin of SessionScript)
+// ---------------------------------------------------------------------------
+
+/// One planned wire operation (owned, so it can sit in the in-flight
+/// queue while later frames are staged behind it).
+enum WirePlan {
+    Start(String),
+    Drill(String),
+    Back(String),
+    Delete(String),
+}
+
+impl WirePlan {
+    /// The status a healthy server must answer with (wire responses
+    /// carry HTTP-equivalent statuses).
+    fn expect(&self) -> u16 {
+        match self {
+            WirePlan::Start(_) => 201,
+            WirePlan::Drill(_) | WirePlan::Back(_) => 200,
+            WirePlan::Delete(_) => 204,
+        }
+    }
+}
+
+/// The same `start → (drill → back) × drills → delete` state machine
+/// as [`SessionScript`], restructured for pipelining: every op after a
+/// session's start depends only on the session **id**, so once the
+/// `Started` response has resolved the id, the whole drill/back/delete
+/// tail — plus the *next* session's start — can be staged back-to-back
+/// without waiting for any response. The only pipeline bubble is
+/// [`blocked`](WireScript::blocked): a start is in flight and its id
+/// is not yet known.
+struct WireScript {
+    session_seq: Arc<AtomicU64>,
+    hot_percent: u32,
+    drills_per_session: usize,
+    session_id: Option<String>,
+    /// A start frame is in flight; ops that need its id must wait.
+    start_pending: bool,
+    step: usize,
+}
+
+impl WireScript {
+    fn new(session_seq: Arc<AtomicU64>, hot_percent: u32, drills_per_session: usize) -> WireScript {
+        WireScript {
+            session_seq,
+            hot_percent,
+            drills_per_session,
+            session_id: None,
+            start_pending: false,
+            step: 0,
+        }
+    }
+
+    /// True while the next op cannot be planned yet (start in flight).
+    fn blocked(&self) -> bool {
+        self.start_pending
+    }
+
+    /// Plan the next op. Must not be called while [`blocked`](Self::blocked).
+    fn next_op(&mut self) -> WirePlan {
+        match self.session_id.clone() {
+            None => {
+                let n = self.session_seq.fetch_add(1, Ordering::Relaxed);
+                self.start_pending = true;
+                self.step = 0;
+                WirePlan::Start(choose_context(n, self.hot_percent))
+            }
+            Some(id) => {
+                if self.step < 2 * self.drills_per_session {
+                    let drilling = self.step.is_multiple_of(2);
+                    self.step += 1;
+                    if drilling {
+                        WirePlan::Drill(id)
+                    } else {
+                        WirePlan::Back(id)
+                    }
+                } else {
+                    // The delete is staged, not answered — but nothing
+                    // later references this session, so the next plan
+                    // can start a fresh one immediately.
+                    self.session_id = None;
+                    WirePlan::Delete(id)
+                }
+            }
+        }
+    }
+
+    /// The in-flight start resolved (id from the `Started` envelope;
+    /// `None` — a protocol bug — falls through to a fresh session).
+    fn started(&mut self, id: Option<String>) {
+        self.start_pending = false;
+        self.session_id = id;
+    }
+
+    /// The in-flight start failed; plan a fresh session next.
+    fn start_failed(&mut self) {
+        self.start_pending = false;
+        self.session_id = None;
+    }
+
+    /// Transport loss: every in-flight op is gone, start over.
+    fn reset(&mut self) {
+        self.session_id = None;
+        self.start_pending = false;
+        self.step = 0;
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -671,6 +852,110 @@ pub fn validate(doc: &Json) -> Result<(), String> {
 }
 
 // ---------------------------------------------------------------------------
+// Proto A/B artefact (BENCH_wire.json)
+// ---------------------------------------------------------------------------
+
+/// Schema tag of the proto A/B artefact committed as `BENCH_wire.json`.
+pub const WIRE_AB_SCHEMA: &str = "charles-wire-ab/v1";
+
+/// Cached-advice throughput multiple the binary listener must prove
+/// over the JSON/HTTP path (per core; both legs run on the same box).
+pub const WIRE_AB_MIN_SPEEDUP: f64 = 5.0;
+
+/// Render the proto A/B artefact: both legs' full `charles-load/v1`
+/// documents plus the headline speedup and the core count they shared
+/// (the legs run serially on the same machine, so requests/sec-per-core
+/// divides out to the plain `achieved_rps` ratio).
+pub fn wire_ab_to_json(http: &LoadResult, binary: &LoadResult) -> String {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    format!(
+        "{{\"schema\":\"{WIRE_AB_SCHEMA}\",\"cores\":{cores},\"speedup\":{:.3},\"http\":{},\"binary\":{}}}",
+        wire_ab_speedup(http, binary),
+        http.to_json(),
+        binary.to_json(),
+    )
+}
+
+/// Binary-over-HTTP throughput ratio (0 when the HTTP leg recorded no
+/// throughput — a failed run, caught by validation).
+pub fn wire_ab_speedup(http: &LoadResult, binary: &LoadResult) -> f64 {
+    if http.achieved_rps > 0.0 {
+        binary.achieved_rps / http.achieved_rps
+    } else {
+        0.0
+    }
+}
+
+/// Validate a parsed `charles-wire-ab/v1` document — the CI gate for
+/// the committed `BENCH_wire.json`. Both embedded legs must pass the
+/// full [`validate`] clean-run contract (zero client errors, zero
+/// non-2xx / error frames), they must describe the *same* workload
+/// apart from name and proto, the headline speedup must match the
+/// legs' achieved rates, and it must clear [`WIRE_AB_MIN_SPEEDUP`].
+pub fn validate_wire_ab(doc: &Json) -> Result<(), String> {
+    match doc.get("schema").and_then(Json::as_str) {
+        Some(WIRE_AB_SCHEMA) => {}
+        other => return Err(format!("schema is {other:?}, want {WIRE_AB_SCHEMA:?}")),
+    }
+    match doc.get("cores").and_then(Json::as_u64) {
+        Some(n) if n >= 1 => {}
+        other => return Err(format!("cores must be a positive integer, got {other:?}")),
+    }
+    let mut fingerprints = Vec::new();
+    let mut rates = Vec::new();
+    for key in ["http", "binary"] {
+        let leg = doc.get(key).ok_or_else(|| format!("missing {key:?} leg"))?;
+        validate(leg).map_err(|e| format!("{key} leg: {e}"))?;
+        let fp = leg.get("fingerprint").and_then(Json::as_str).unwrap_or("");
+        if !fp.ends_with(&format!("|proto={key}")) {
+            return Err(format!("{key} leg fingerprint {fp:?} ran proto != {key}"));
+        }
+        fingerprints.push(fp.to_string());
+        rates.push(
+            leg.get("achieved_rps")
+                .and_then(Json::as_f64)
+                .unwrap_or_default(),
+        );
+    }
+    let workload = |fp: &str| -> String {
+        fp.split('|')
+            .filter(|kv| !kv.starts_with("name=") && !kv.starts_with("proto="))
+            .collect::<Vec<_>>()
+            .join("|")
+    };
+    if workload(&fingerprints[0]) != workload(&fingerprints[1]) {
+        return Err(format!(
+            "legs ran different workloads: {:?} vs {:?}",
+            fingerprints[0], fingerprints[1]
+        ));
+    }
+    let speedup = doc
+        .get("speedup")
+        .and_then(Json::as_f64)
+        .ok_or_else(|| "missing numeric field \"speedup\"".to_string())?;
+    let recomputed = if rates[0] > 0.0 {
+        rates[1] / rates[0]
+    } else {
+        0.0
+    };
+    // The artefact rounds to 3 decimals; allow that much slack.
+    if (speedup - recomputed).abs() > 0.002 + 1e-6 * recomputed.abs() {
+        return Err(format!(
+            "speedup {speedup} does not match achieved rates ({:.3} binary / {:.3} http = {recomputed:.3})",
+            rates[1], rates[0]
+        ));
+    }
+    if speedup < WIRE_AB_MIN_SPEEDUP {
+        return Err(format!(
+            "binary listener is only {speedup:.2}× the HTTP path (must be ≥ {WIRE_AB_MIN_SPEEDUP}×)"
+        ));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
 // The driver
 // ---------------------------------------------------------------------------
 
@@ -680,6 +965,265 @@ struct WorkerOutcome {
     errors: u64,
     first_error: Option<String>,
     connects: u64,
+}
+
+impl WorkerOutcome {
+    fn new() -> WorkerOutcome {
+        WorkerOutcome {
+            warm: Histogram::new(),
+            measured: Histogram::new(),
+            errors: 0,
+            first_error: None,
+            connects: 0,
+        }
+    }
+}
+
+/// Everything one worker thread needs: the target, the shared op
+/// schedule, and the scenario knobs that shape its session stream.
+struct WorkerCtx {
+    addr: std::net::SocketAddr,
+    next_op: Arc<AtomicU64>,
+    session_seq: Arc<AtomicU64>,
+    start: Instant,
+    total_ops: u64,
+    warmup_ops: u64,
+    rate: f64,
+    hot_percent: u32,
+    drills_per_session: usize,
+}
+
+/// The HTTP worker: one keep-alive [`Client`], one request per round
+/// trip, latency billed from each op's scheduled start.
+fn http_worker(ctx: WorkerCtx) -> WorkerOutcome {
+    let mut outcome = WorkerOutcome::new();
+    let mut client = match Client::new(ctx.addr, ClientConfig::default()) {
+        Ok(c) => c,
+        Err(e) => {
+            outcome.errors += 1;
+            outcome.first_error = Some(format!("client setup: {e}"));
+            return outcome;
+        }
+    };
+    let mut script = SessionScript::new(
+        Arc::clone(&ctx.session_seq),
+        ctx.hot_percent,
+        ctx.drills_per_session,
+    );
+    loop {
+        let i = ctx.next_op.fetch_add(1, Ordering::Relaxed);
+        if i >= ctx.total_ops {
+            break;
+        }
+        let sched = ctx.start + Duration::from_secs_f64(i as f64 / ctx.rate);
+        let now = Instant::now();
+        if sched > now {
+            std::thread::sleep(sched - now);
+        }
+        let op = script.next_op();
+        let result = client.request(op.method, &op.path, &op.body);
+        let latency_us = Instant::now()
+            .saturating_duration_since(sched)
+            .as_micros()
+            .min(u64::MAX as u128) as u64;
+        match &result {
+            Ok(resp) if resp.status == op.expect => {
+                if i < ctx.warmup_ops {
+                    outcome.warm.record(latency_us);
+                } else {
+                    outcome.measured.record(latency_us);
+                }
+                script.observe(&op, OpOutcome::Ok(&resp.body));
+            }
+            Ok(resp) => {
+                outcome.errors += 1;
+                outcome.first_error.get_or_insert_with(|| {
+                    format!(
+                        "{} {} → {} (want {}): {}",
+                        op.method,
+                        op.path,
+                        resp.status,
+                        op.expect,
+                        &resp.body[..resp.body.len().min(200)]
+                    )
+                });
+                script.observe(&op, OpOutcome::Failed);
+            }
+            Err(e) => {
+                outcome.errors += 1;
+                outcome
+                    .first_error
+                    .get_or_insert_with(|| format!("{} {} → {e}", op.method, op.path));
+                script.observe(&op, OpOutcome::Failed);
+            }
+        }
+    }
+    outcome.connects = client.connects();
+    outcome
+}
+
+/// Frames the wire worker keeps in flight ahead of the oldest
+/// unanswered response. Deep enough to amortize syscalls over a whole
+/// session burst (`2 × drills + 2` frames), comfortably under the
+/// server's own bounded response queue.
+const WIRE_PIPELINE_WINDOW: usize = 16;
+
+/// The binary-protocol worker: one [`WireConn`], pipelined. Frames are
+/// staged while the schedule is behind and the script can plan (the
+/// only stall is an unresolved session start), flushed as one write,
+/// and responses settle FIFO against the in-flight queue — each op's
+/// latency still billed from its open-loop scheduled start. Under an
+/// under-offered schedule the queue drains before each send, so pacing
+/// is honoured exactly like the HTTP worker's; at saturation the
+/// window fills and throughput comes from batched syscalls.
+fn wire_worker(ctx: WorkerCtx) -> WorkerOutcome {
+    struct InFlight {
+        index: u64,
+        sched: Instant,
+        expect: u16,
+        is_start: bool,
+    }
+    let mut outcome = WorkerOutcome::new();
+    let mut conn = match WireConn::connect(&ctx.addr, &ClientConfig::default()) {
+        Ok(c) => {
+            outcome.connects += 1;
+            c
+        }
+        Err(e) => {
+            outcome.errors += 1;
+            outcome.first_error = Some(format!("client setup: {e}"));
+            return outcome;
+        }
+    };
+    let mut script = WireScript::new(
+        Arc::clone(&ctx.session_seq),
+        ctx.hot_percent,
+        ctx.drills_per_session,
+    );
+    let mut inflight: VecDeque<InFlight> = VecDeque::new();
+    // An op index claimed from the shared schedule whose time hasn't
+    // come yet (claims are not returnable; it is staged next round).
+    let mut carry: Option<u64> = None;
+    let mut done = false;
+    loop {
+        // Stage phase: fill the window as far as the schedule and the
+        // script allow.
+        while !done && inflight.len() < WIRE_PIPELINE_WINDOW && !script.blocked() {
+            let i = match carry.take() {
+                Some(i) => i,
+                None => ctx.next_op.fetch_add(1, Ordering::Relaxed),
+            };
+            if i >= ctx.total_ops {
+                done = true;
+                break;
+            }
+            let sched = ctx.start + Duration::from_secs_f64(i as f64 / ctx.rate);
+            let now = Instant::now();
+            if sched > now {
+                if inflight.is_empty() && conn.staged_bytes() == 0 {
+                    std::thread::sleep(sched - now);
+                } else {
+                    // Not due yet — drain in-flight work first so the
+                    // open-loop schedule is never sent ahead of plan.
+                    carry = Some(i);
+                    break;
+                }
+            }
+            let plan = script.next_op();
+            match &plan {
+                WirePlan::Start(context) => conn.stage(&WireRequest::Start { body: context }),
+                WirePlan::Drill(id) => conn.stage(&WireRequest::Drill {
+                    id,
+                    rank: 0,
+                    seg: 0,
+                }),
+                WirePlan::Back(id) => conn.stage(&WireRequest::Back { id }),
+                WirePlan::Delete(id) => conn.stage(&WireRequest::Delete { id }),
+            }
+            inflight.push_back(InFlight {
+                index: i,
+                sched,
+                expect: plan.expect(),
+                is_start: matches!(plan, WirePlan::Start(_)),
+            });
+        }
+        // One write for the whole staged burst.
+        let flush_err = conn.flush().err();
+        if inflight.is_empty() && flush_err.is_none() {
+            if done {
+                break;
+            }
+            continue;
+        }
+        // Settle the oldest response, freeing a window slot (and, after
+        // a start, unblocking the script).
+        let step = match flush_err {
+            Some(e) => Err(WireError::from(e)),
+            None => conn.recv_summary(),
+        };
+        match step {
+            Ok(summary) => match inflight.pop_front() {
+                Some(inf) => {
+                    let latency_us = Instant::now()
+                        .saturating_duration_since(inf.sched)
+                        .as_micros()
+                        .min(u64::MAX as u128) as u64;
+                    if summary.status == inf.expect {
+                        if inf.index < ctx.warmup_ops {
+                            outcome.warm.record(latency_us);
+                        } else {
+                            outcome.measured.record(latency_us);
+                        }
+                        if inf.is_start {
+                            script.started(summary.session_id);
+                        }
+                    } else {
+                        outcome.errors += 1;
+                        outcome.first_error.get_or_insert_with(|| {
+                            let detail =
+                                summary.error.map(|e| format!(": {e}")).unwrap_or_default();
+                            format!("wire op → {} (want {}){detail}", summary.status, inf.expect)
+                        });
+                        if inf.is_start {
+                            script.start_failed();
+                        }
+                        // Later frames of a failed session fail on
+                        // their own and are counted as they settle.
+                    }
+                }
+                None => {
+                    // A response with nothing in flight: frame desync,
+                    // a can't-happen server bug. Abandon the run.
+                    outcome.errors += 1 + carry.is_some() as u64;
+                    outcome
+                        .first_error
+                        .get_or_insert_with(|| "unsolicited wire response frame".to_string());
+                    break;
+                }
+            },
+            Err(e) => {
+                // Transport loss: every in-flight op fails. Reconnect
+                // once and continue with the remaining schedule.
+                outcome.errors += inflight.len().max(1) as u64;
+                outcome
+                    .first_error
+                    .get_or_insert_with(|| format!("wire transport: {e}"));
+                inflight.clear();
+                script.reset();
+                match WireConn::connect(&ctx.addr, &ClientConfig::default()) {
+                    Ok(c) => {
+                        outcome.connects += 1;
+                        conn = c;
+                    }
+                    Err(_) => {
+                        outcome.errors += carry.is_some() as u64;
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    outcome
 }
 
 /// Drive one scenario against a live server at `addr`.
@@ -703,77 +1247,21 @@ pub fn run_against(
 
     let workers: Vec<std::thread::JoinHandle<WorkerOutcome>> = (0..cfg.connections.max(1))
         .map(|_| {
-            let next_op = Arc::clone(&next_op);
-            let session_seq = Arc::clone(&session_seq);
-            let cfg = cfg.clone();
-            std::thread::spawn(move || {
-                let mut outcome = WorkerOutcome {
-                    warm: Histogram::new(),
-                    measured: Histogram::new(),
-                    errors: 0,
-                    first_error: None,
-                    connects: 0,
-                };
-                let mut client = match Client::new(addr, ClientConfig::default()) {
-                    Ok(c) => c,
-                    Err(e) => {
-                        outcome.errors += 1;
-                        outcome.first_error = Some(format!("client setup: {e}"));
-                        return outcome;
-                    }
-                };
-                let mut script =
-                    SessionScript::new(session_seq, cfg.hot_percent, cfg.drills_per_session);
-                loop {
-                    let i = next_op.fetch_add(1, Ordering::Relaxed);
-                    if i >= total_ops {
-                        break;
-                    }
-                    let sched = start + Duration::from_secs_f64(i as f64 / rate);
-                    let now = Instant::now();
-                    if sched > now {
-                        std::thread::sleep(sched - now);
-                    }
-                    let op = script.next_op();
-                    let result = client.request(op.method, &op.path, &op.body);
-                    let latency_us = Instant::now()
-                        .saturating_duration_since(sched)
-                        .as_micros()
-                        .min(u64::MAX as u128) as u64;
-                    match &result {
-                        Ok(resp) if resp.status == op.expect => {
-                            if i < warmup_ops {
-                                outcome.warm.record(latency_us);
-                            } else {
-                                outcome.measured.record(latency_us);
-                            }
-                            script.observe(&op, OpOutcome::Ok(&resp.body));
-                        }
-                        Ok(resp) => {
-                            outcome.errors += 1;
-                            outcome.first_error.get_or_insert_with(|| {
-                                format!(
-                                    "{} {} → {} (want {}): {}",
-                                    op.method,
-                                    op.path,
-                                    resp.status,
-                                    op.expect,
-                                    &resp.body[..resp.body.len().min(200)]
-                                )
-                            });
-                            script.observe(&op, OpOutcome::Failed);
-                        }
-                        Err(e) => {
-                            outcome.errors += 1;
-                            outcome
-                                .first_error
-                                .get_or_insert_with(|| format!("{} {} → {e}", op.method, op.path));
-                            script.observe(&op, OpOutcome::Failed);
-                        }
-                    }
-                }
-                outcome.connects = client.connects();
-                outcome
+            let ctx = WorkerCtx {
+                addr,
+                next_op: Arc::clone(&next_op),
+                session_seq: Arc::clone(&session_seq),
+                start,
+                total_ops,
+                warmup_ops,
+                rate,
+                hot_percent: cfg.hot_percent,
+                drills_per_session: cfg.drills_per_session,
+            };
+            let proto = cfg.proto;
+            std::thread::spawn(move || match proto {
+                Proto::Http => http_worker(ctx),
+                Proto::Binary => wire_worker(ctx),
             })
         })
         .collect();
@@ -800,8 +1288,15 @@ pub fn run_against(
         .as_secs_f64()
         .max(1e-9);
 
-    let cache = fetch_cache_counters(addr)?;
-    let server = fetch_server_counters(addr)?;
+    // Fetch both ends' counters over the same listener the run used —
+    // a binary run must not require the HTTP port to be reachable.
+    let (cache, server) = match cfg.proto {
+        Proto::Http => (fetch_cache_counters(addr)?, fetch_server_counters(addr)?),
+        Proto::Binary => (
+            fetch_cache_counters_wire(addr)?,
+            fetch_server_counters_wire(addr)?,
+        ),
+    };
 
     Ok(LoadResult {
         name: cfg.name.clone(),
@@ -857,8 +1352,44 @@ fn fetch_server_counters(addr: std::net::SocketAddr) -> std::io::Result<ServerCo
     })
 }
 
+fn fetch_cache_counters_wire(addr: std::net::SocketAddr) -> std::io::Result<CacheCounters> {
+    match wire_request(addr, &WireRequest::CacheStats) {
+        Ok(WireResponse::CacheStats(s)) => Ok(CacheCounters {
+            hits: s.hits,
+            misses: s.misses,
+            runs: s.runs,
+            evictions: s.evictions,
+            entries: s.entries,
+        }),
+        Ok(other) => Err(stats_error(
+            "wire cache-stats",
+            format!("unexpected response (status {})", other.status()),
+        )),
+        Err(e) => Err(stats_error("wire cache-stats", e.to_string())),
+    }
+}
+
+fn fetch_server_counters_wire(addr: std::net::SocketAddr) -> std::io::Result<ServerCounters> {
+    match wire_request(addr, &WireRequest::Metrics) {
+        Ok(WireResponse::Metrics(m)) => Ok(ServerCounters {
+            connections: m.connections,
+            requests: m.requests,
+            responses_2xx: m.responses_2xx,
+            responses_4xx: m.responses_4xx,
+            responses_5xx: m.responses_5xx,
+        }),
+        Ok(other) => Err(stats_error(
+            "wire metrics",
+            format!("unexpected response (status {})", other.status()),
+        )),
+        Err(e) => Err(stats_error("wire metrics", e.to_string())),
+    }
+}
+
 /// Boot an in-process server over a synthetic VOC backend shaped by
-/// the scenario (rows, shards, worker and cache knobs).
+/// the scenario (rows, shards, worker and cache knobs). Both listeners
+/// are always bound (the wire one on its own ephemeral port), so one
+/// booted server can serve either protocol's scenarios.
 pub fn boot(cfg: &ScenarioConfig) -> std::io::Result<ServerHandle> {
     let table = voc_table(cfg.rows, 0xC1DA);
     let backend: Arc<dyn Backend> = if cfg.shards <= 1 {
@@ -876,6 +1407,7 @@ pub fn boot(cfg: &ScenarioConfig) -> std::io::Result<ServerHandle> {
             ..ServeConfig::default()
         },
     )?
+    .with_wire_listener("127.0.0.1:0")?
     .spawn()
 }
 
@@ -888,7 +1420,16 @@ pub fn run_in_process(cfg: &ScenarioConfig) -> std::io::Result<LoadResult> {
         charles_parallel::set_par_threshold(cfg.par_threshold);
     }
     let handle = boot(cfg)?;
-    let result = run_against(handle.addr(), cfg);
+    let target = match cfg.proto {
+        Proto::Http => handle.addr(),
+        Proto::Binary => handle.wire_addr().ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::AddrNotAvailable,
+                "booted server has no wire listener",
+            )
+        })?,
+    };
+    let result = run_against(target, cfg);
     handle.shutdown();
     if cfg.par_threshold != 0 {
         charles_parallel::set_par_threshold(0);
@@ -1196,6 +1737,13 @@ mod tests {
                     ..base.clone()
                 },
             ),
+            (
+                "proto",
+                ScenarioConfig {
+                    proto: Proto::Binary,
+                    ..base.clone()
+                },
+            ),
         ] {
             assert_ne!(
                 fp,
@@ -1309,6 +1857,93 @@ mod tests {
         std::fs::write(&path, "garbage-fingerprint\t{not json}\n").unwrap();
         assert!(ResultsCache::load(&path).is_empty());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wire_script_stages_whole_sessions_between_starts() {
+        let seq = Arc::new(AtomicU64::new(0));
+        let mut script = WireScript::new(seq, 100, 2);
+        assert!(!script.blocked());
+        let start = script.next_op();
+        assert!(matches!(&start, WirePlan::Start(ctx) if ctx == HOT_CONTEXTS[0]));
+        assert_eq!(start.expect(), 201);
+        // The start is unresolved: nothing further can be planned.
+        assert!(script.blocked());
+        script.started(Some("s9".to_string()));
+        assert!(!script.blocked());
+        // The whole tail — and the next session's start — plan without
+        // any interleaved responses.
+        type PlanCheck<'a> = (&'a dyn Fn(&WirePlan) -> bool, u16);
+        let expected: [PlanCheck; 6] = [
+            (&|p| matches!(p, WirePlan::Drill(id) if id == "s9"), 200),
+            (&|p| matches!(p, WirePlan::Back(id) if id == "s9"), 200),
+            (&|p| matches!(p, WirePlan::Drill(id) if id == "s9"), 200),
+            (&|p| matches!(p, WirePlan::Back(id) if id == "s9"), 200),
+            (&|p| matches!(p, WirePlan::Delete(id) if id == "s9"), 204),
+            (&|p| matches!(p, WirePlan::Start(_)), 201),
+        ];
+        for (i, (matcher, status)) in expected.iter().enumerate() {
+            assert!(!script.blocked(), "blocked before step {i}");
+            let plan = script.next_op();
+            assert!(matcher(&plan), "step {i} planned the wrong op");
+            assert_eq!(plan.expect(), *status, "step {i}");
+        }
+        assert!(script.blocked(), "second start must block until resolved");
+        // A failed start falls through to a fresh session, not a hang.
+        script.start_failed();
+        assert!(!script.blocked());
+        assert!(matches!(script.next_op(), WirePlan::Start(_)));
+    }
+
+    #[test]
+    fn wire_ab_artefact_validates_and_gates_the_speedup() {
+        let mut http = sample_result();
+        http.fingerprint = ScenarioConfig::throughput(Proto::Http).fingerprint();
+        http.achieved_rps = 100.0;
+        let mut binary = sample_result();
+        binary.fingerprint = ScenarioConfig::throughput(Proto::Binary).fingerprint();
+        binary.achieved_rps = 612.5;
+
+        let json = wire_ab_to_json(&http, &binary);
+        let doc = mini_json::parse(&json).expect("artefact parses");
+        validate_wire_ab(&doc).expect("clean 6.1× artefact validates");
+
+        // Below the 5× bar → rejected.
+        let mut slow = binary.clone();
+        slow.achieved_rps = 499.0;
+        let doc = mini_json::parse(&wire_ab_to_json(&http, &slow)).unwrap();
+        let err = validate_wire_ab(&doc).unwrap_err();
+        assert!(err.contains("must be ≥"), "{err}");
+
+        // A dirty leg fails the embedded clean-run contract.
+        let mut dirty = binary.clone();
+        dirty.server.responses_5xx = 1;
+        let doc = mini_json::parse(&wire_ab_to_json(&http, &dirty)).unwrap();
+        let err = validate_wire_ab(&doc).unwrap_err();
+        assert!(err.starts_with("binary leg:"), "{err}");
+
+        // Legs must be the same workload apart from name and proto.
+        let mut other = binary.clone();
+        other.fingerprint = ScenarioConfig {
+            rows: 1,
+            ..ScenarioConfig::throughput(Proto::Binary)
+        }
+        .fingerprint();
+        let doc = mini_json::parse(&wire_ab_to_json(&http, &other)).unwrap();
+        let err = validate_wire_ab(&doc).unwrap_err();
+        assert!(err.contains("different workloads"), "{err}");
+
+        // Legs must actually be the protos they claim.
+        let doc = mini_json::parse(&wire_ab_to_json(&http, &http)).unwrap();
+        let err = validate_wire_ab(&doc).unwrap_err();
+        assert!(err.contains("proto"), "{err}");
+
+        // A tampered headline speedup is caught.
+        let forged =
+            wire_ab_to_json(&http, &binary).replace("\"speedup\":6.125", "\"speedup\":9.000");
+        let doc = mini_json::parse(&forged).unwrap();
+        let err = validate_wire_ab(&doc).unwrap_err();
+        assert!(err.contains("does not match"), "{err}");
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! in both hot and cold regimes, and an emitted artefact that passes
 //! the same validation CI applies to the committed `BENCH_serve.json`.
 
-use charles_bench::load::{run_in_process, validate, ScenarioConfig};
+use charles_bench::load::{run_in_process, validate, Proto, ScenarioConfig};
 use charles_bench::mini_json;
 use std::time::Duration;
 
@@ -25,6 +25,7 @@ fn tiny(name: &str) -> ScenarioConfig {
         hot_percent: 100,
         drills_per_session: 1,
         par_threshold: 0,
+        proto: Proto::Http,
     }
 }
 
@@ -94,6 +95,33 @@ fn cold_traffic_runs_the_advisor_instead_of_hitting() {
     assert!(
         result.cache.runs > 8,
         "cold traffic barely ran the advisor: {:?}",
+        result.cache
+    );
+    let doc = mini_json::parse(&result.to_json()).expect("artefact parses");
+    validate(&doc).expect("artefact validates");
+}
+
+#[test]
+fn binary_proto_run_accounts_for_every_op_and_validates() {
+    // The same pinned accounting invariants over the wire listener:
+    // the pipelined worker must settle every claimed op exactly once
+    // and produce an artefact that passes the same CI validation.
+    let cfg = ScenarioConfig {
+        proto: Proto::Binary,
+        ..tiny("it-wire")
+    };
+    let result = run_in_process(&cfg).expect("harness runs");
+    assert_eq!(result.errors, 0, "first error: {:?}", result.first_error);
+    assert_eq!(
+        result.ops_total,
+        result.ops_measured + result.ops_warmup + result.errors
+    );
+    assert_eq!(result.ops_total, cfg.total_ops());
+    assert_eq!(result.server.responses_4xx, 0);
+    assert_eq!(result.server.responses_5xx, 0);
+    assert!(
+        result.cache.hits > result.cache.misses,
+        "hot traffic should be hit-dominated: {:?}",
         result.cache
     );
     let doc = mini_json::parse(&result.to_json()).expect("artefact parses");

@@ -73,8 +73,10 @@ fn invalid(msg: impl Into<String>) -> std::io::Error {
 }
 
 /// Resolve `addr` and connect within `config`'s deadline, applying the
-/// configured socket options.
-fn connect(addr: &SocketAddr, config: &ClientConfig) -> std::io::Result<TcpStream> {
+/// configured socket options. Shared with the binary-protocol client
+/// ([`crate::wire::WireConn`]) so both transports get identical
+/// connect/read/write deadlines and `TCP_NODELAY` handling.
+pub(crate) fn connect(addr: &SocketAddr, config: &ClientConfig) -> std::io::Result<TcpStream> {
     let stream = TcpStream::connect_timeout(addr, config.connect_timeout)?;
     stream.set_read_timeout(Some(config.read_timeout))?;
     stream.set_write_timeout(Some(config.write_timeout))?;

@@ -420,6 +420,26 @@ mod tests {
     }
 
     #[test]
+    fn accepts_agreeing_duplicate_content_lengths() {
+        // RFC 7230 §3.3.2: repeated Content-Length headers whose values
+        // all agree are treated as one; only *inconsistent* duplicates
+        // are invalid (rejected above).
+        let req =
+            parse(b"POST / HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 2\r\n\r\nab").unwrap();
+        assert_eq!(req.body, "ab");
+        // Agreement is on the parsed value, not the spelling.
+        let req =
+            parse(b"POST / HTTP/1.1\r\nContent-Length: 02\r\nContent-Length: 2\r\n\r\nab").unwrap();
+        assert_eq!(req.body, "ab");
+        // Three-way agreement still frames one body.
+        let req = parse(
+            b"POST / HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 2\r\nContent-Length: 2\r\n\r\nab",
+        )
+        .unwrap();
+        assert_eq!(req.body, "ab");
+    }
+
+    #[test]
     fn rejects_transfer_encodings() {
         // Chunked (or any non-identity coding) must be rejected, not
         // silently mis-framed — on a persistent connection the chunk

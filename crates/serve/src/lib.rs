@@ -12,7 +12,10 @@
 //! in this build environment): a std `TcpListener` accept loop feeding
 //! a [`charles_parallel::WorkerPool`], a hand-rolled HTTP/1.1 request
 //! parser ([`http`]), and a deterministic JSON encoder ([`json`]) for
-//! `Advice`/`Ranked`/`Trace` payloads.
+//! `Advice`/`Ranked`/`Trace` payloads. A versioned, length-prefixed
+//! binary protocol ([`wire`]) can be served on a second listener for
+//! pipelined high-throughput clients; both listeners dispatch through
+//! the same API layer, so they differ only in framing.
 //!
 //! Determinism contract: served advice — cached or not, under any
 //! interleaving — is byte-identical to
@@ -39,9 +42,13 @@ pub mod client;
 pub mod http;
 pub mod json;
 pub mod server;
+pub mod wire;
 
 pub use client::{
     http_request, http_request_timeout, http_request_with, Client, ClientConfig, Response,
 };
 pub use http::{Method, Request};
 pub use server::{MetricsSnapshot, ServeConfig, Server, ServerHandle, ServerMetrics};
+pub use wire::{
+    wire_request, WireClient, WireConn, WireError, WireRequest, WireResponse, WireSummary,
+};

@@ -118,7 +118,7 @@ pub struct ServerMetrics {
 }
 
 impl ServerMetrics {
-    fn record_response(&self, status: u16) {
+    pub(crate) fn record_response(&self, status: u16) {
         self.requests.fetch_add(1, Ordering::Relaxed);
         match status {
             200..=299 => &self.responses_2xx,
@@ -172,7 +172,68 @@ pub struct MetricsSnapshot {
     pub analysis_prunes: u64,
 }
 
-struct ServerState {
+/// One successful API outcome, listener-agnostic: the HTTP listener
+/// renders these to JSON ([`render_ok`]), the binary listener to typed
+/// frames (`wire::encode_api_reply`). Keeping the session logic behind
+/// this seam is what makes the two listeners answer with the *same
+/// decisions* by construction — only the encoding differs.
+pub(crate) enum ApiOk {
+    /// `POST /session` → 201.
+    Created { id: String, advice: Arc<Advice> },
+    /// Drill / back → 200.
+    Advice { id: String, advice: Arc<Advice> },
+    /// `GET /session/{id}` → 200.
+    Info {
+        id: String,
+        depth: usize,
+        breadcrumbs: Vec<String>,
+        advice: Arc<Advice>,
+    },
+    /// `DELETE /session/{id}` → 204, empty body.
+    Deleted,
+    /// `GET /cache/stats`.
+    CacheStats(CacheStatsReply),
+    /// `GET /metrics`.
+    Metrics(MetricsSnapshot),
+    /// `GET /healthz`.
+    Health,
+}
+
+/// Shared-cache counters as served to clients.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct CacheStatsReply {
+    pub hits: u64,
+    pub misses: u64,
+    pub runs: u64,
+    pub evictions: u64,
+    pub entries: u64,
+    /// `None` = unbounded cache.
+    pub capacity: Option<u64>,
+}
+
+/// One failed API outcome: status, stable snake_case code, human
+/// detail, and (for admission rejections) the static-analysis findings.
+pub(crate) struct ApiError {
+    pub status: u16,
+    pub code: &'static str,
+    pub message: String,
+    /// `Some` ⇒ the JSON rendering attaches a `diagnostics` array
+    /// (even when empty, matching the established wire shape).
+    pub diagnostics: Option<Vec<Diagnostic>>,
+}
+
+impl ApiError {
+    fn new(status: u16, code: &'static str, message: impl Into<String>) -> ApiError {
+        ApiError {
+            status,
+            code,
+            message: message.into(),
+            diagnostics: None,
+        }
+    }
+}
+
+pub(crate) struct ServerState {
     backend: Arc<dyn Backend>,
     advisor_config: Config,
     cache: Arc<AdviceCache>,
@@ -213,6 +274,10 @@ fn new_cache(shards: usize, capacity: usize) -> AdviceCache {
 /// [`spawn`](Server::spawn).
 pub struct Server {
     listener: TcpListener,
+    /// Optional second listener speaking the binary wire protocol
+    /// (see [`crate::wire`]); both listeners share one worker pool,
+    /// session registry, advice cache, and metrics.
+    wire_listener: Option<TcpListener>,
     state: Arc<ServerState>,
     config: ServeConfig,
 }
@@ -254,14 +319,32 @@ impl Server {
         });
         Ok(Server {
             listener,
+            wire_listener: None,
             state,
             config,
         })
     }
 
+    /// Additionally listen for the binary wire protocol on `addr` (use
+    /// port 0 for an ephemeral port). Wire connections are served by
+    /// the same worker pool and operate on the same sessions, caches,
+    /// and metrics as HTTP ones — a session started over HTTP can be
+    /// drilled over the wire protocol and vice versa.
+    pub fn with_wire_listener(mut self, addr: impl ToSocketAddrs) -> std::io::Result<Server> {
+        self.wire_listener = Some(TcpListener::bind(addr)?);
+        Ok(self)
+    }
+
     /// The bound address (resolves port 0).
     pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
         self.listener.local_addr()
+    }
+
+    /// The binary wire listener's address, if one was configured.
+    pub fn wire_addr(&self) -> Option<SocketAddr> {
+        self.wire_listener
+            .as_ref()
+            .and_then(|l| l.local_addr().ok())
     }
 
     /// The shared advice cache (for in-process stats inspection).
@@ -275,53 +358,31 @@ impl Server {
     }
 
     /// Serve connections until `shutdown` flips true (checked between
-    /// accepts; connect once after flipping to unblock the accept).
+    /// accepts; connect once per listener after flipping to unblock the
+    /// accepts).
     fn serve(self, shutdown: Arc<AtomicBool>) {
-        let pool = WorkerPool::new(self.config.workers);
-        for stream in self.listener.incoming() {
-            if shutdown.load(Ordering::SeqCst) {
-                break;
-            }
-            let stream = match stream {
-                Ok(s) => s,
-                Err(_) => {
-                    // Transient accept failures (fd exhaustion, aborted
-                    // handshakes) must not busy-spin the accept thread.
-                    std::thread::sleep(Duration::from_millis(10));
-                    continue;
-                }
-            };
-            // Advice exchanges are one small write per direction — the
-            // worst case for Nagle's algorithm, which would hold a tiny
-            // response back waiting for an ACK that the client's
-            // delayed-ACK timer won't send for tens of ms. Best-effort:
-            // a socket that rejects the option still gets served.
-            let _ = stream.set_nodelay(true);
-            self.state
-                .metrics
-                .connections
-                .fetch_add(1, Ordering::Relaxed);
+        let pool = Arc::new(WorkerPool::new(self.config.workers));
+        // The wire listener (if any) accepts on its own thread; both
+        // loops hand connections to the one shared pool.
+        let wire_thread = self.wire_listener.map(|listener| {
             let state = Arc::clone(&self.state);
-            let timeout = self.config.read_timeout;
-            let max_requests = self.config.max_requests_per_connection.max(1);
-            // Register the socket so shutdown can unblock the worker if
-            // it is parked reading this connection when the flag flips.
-            let conn_id = state.conn_seq.fetch_add(1, Ordering::Relaxed);
-            if let Ok(clone) = stream.try_clone() {
-                state
-                    .conns
-                    .lock()
-                    .unwrap_or_else(|p| p.into_inner())
-                    .insert(conn_id, clone);
-            }
-            pool.execute(move || {
-                handle_connection(stream, &state, timeout, max_requests);
-                state
-                    .conns
-                    .lock()
-                    .unwrap_or_else(|p| p.into_inner())
-                    .remove(&conn_id);
-            });
+            let pool = Arc::clone(&pool);
+            let config = self.config.clone();
+            let flag = Arc::clone(&shutdown);
+            std::thread::spawn(move || {
+                accept_loop(listener, &state, &pool, &config, &flag, ConnKind::Wire)
+            })
+        });
+        accept_loop(
+            self.listener,
+            &self.state,
+            &pool,
+            &self.config,
+            &shutdown,
+            ConnKind::Http,
+        );
+        if let Some(thread) = wire_thread {
+            let _ = thread.join();
         }
         // Force every live connection closed before draining the pool:
         // a worker blocked in a read returns immediately instead of
@@ -348,6 +409,7 @@ impl Server {
     /// stops the server when dropped (or via [`ServerHandle::shutdown`]).
     pub fn spawn(self) -> std::io::Result<ServerHandle> {
         let addr = self.local_addr()?;
+        let wire_addr = self.wire_addr();
         let cache = self.cache();
         let metrics = self.metrics();
         let shutdown = Arc::new(AtomicBool::new(false));
@@ -355,6 +417,7 @@ impl Server {
         let thread = std::thread::spawn(move || self.serve(flag));
         Ok(ServerHandle {
             addr,
+            wire_addr,
             cache,
             metrics,
             shutdown,
@@ -366,6 +429,7 @@ impl Server {
 /// Handle to a background server; shuts the server down on drop.
 pub struct ServerHandle {
     addr: SocketAddr,
+    wire_addr: Option<SocketAddr>,
     cache: Arc<AdviceCache>,
     metrics: Arc<ServerMetrics>,
     shutdown: Arc<AtomicBool>,
@@ -376,6 +440,11 @@ impl ServerHandle {
     /// The address the server is listening on.
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The binary wire listener's address, if one was configured.
+    pub fn wire_addr(&self) -> Option<SocketAddr> {
+        self.wire_addr
     }
 
     /// The server's shared advice cache.
@@ -398,8 +467,11 @@ impl ServerHandle {
             return;
         };
         self.shutdown.store(true, Ordering::SeqCst);
-        // Unblock the accept call with one throwaway connection.
+        // Unblock each accept call with one throwaway connection.
         let _ = TcpStream::connect(self.addr);
+        if let Some(wire) = self.wire_addr {
+            let _ = TcpStream::connect(wire);
+        }
         let _ = thread.join();
     }
 }
@@ -415,9 +487,24 @@ impl Drop for ServerHandle {
 /// with the time remaining, so a client trickling one byte per
 /// near-timeout interval still gets cut off at the deadline instead of
 /// resetting the clock with each byte.
-struct DeadlineStream {
+pub(crate) struct DeadlineStream {
     stream: TcpStream,
     deadline: std::time::Instant,
+}
+
+impl DeadlineStream {
+    pub(crate) fn new(stream: TcpStream, timeout: Duration) -> DeadlineStream {
+        DeadlineStream {
+            stream,
+            deadline: std::time::Instant::now() + timeout,
+        }
+    }
+
+    /// Start a fresh whole-request deadline (once per request on a
+    /// persistent connection — idle time between requests counts too).
+    pub(crate) fn rearm(&mut self, timeout: Duration) {
+        self.deadline = std::time::Instant::now() + timeout;
+    }
 }
 
 impl std::io::Read for DeadlineStream {
@@ -434,6 +521,70 @@ impl std::io::Read for DeadlineStream {
     }
 }
 
+/// Which protocol a listener's connections speak.
+#[derive(Clone, Copy)]
+enum ConnKind {
+    Http,
+    Wire,
+}
+
+/// Accept connections until `shutdown` flips true, handing each to the
+/// shared worker pool with the per-kind connection handler.
+fn accept_loop(
+    listener: TcpListener,
+    state: &Arc<ServerState>,
+    pool: &Arc<WorkerPool>,
+    config: &ServeConfig,
+    shutdown: &Arc<AtomicBool>,
+    kind: ConnKind,
+) {
+    for stream in listener.incoming() {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = match stream {
+            Ok(s) => s,
+            Err(_) => {
+                // Transient accept failures (fd exhaustion, aborted
+                // handshakes) must not busy-spin the accept thread.
+                std::thread::sleep(Duration::from_millis(10));
+                continue;
+            }
+        };
+        // Advice exchanges are one small write per direction — the
+        // worst case for Nagle's algorithm, which would hold a tiny
+        // response back waiting for an ACK that the client's
+        // delayed-ACK timer won't send for tens of ms. Best-effort:
+        // a socket that rejects the option still gets served.
+        let _ = stream.set_nodelay(true);
+        state.metrics.connections.fetch_add(1, Ordering::Relaxed);
+        let state = Arc::clone(state);
+        let timeout = config.read_timeout;
+        let max_requests = config.max_requests_per_connection.max(1);
+        // Register the socket so shutdown can unblock the worker if
+        // it is parked reading this connection when the flag flips.
+        let conn_id = state.conn_seq.fetch_add(1, Ordering::Relaxed);
+        if let Ok(clone) = stream.try_clone() {
+            state
+                .conns
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .insert(conn_id, clone);
+        }
+        pool.execute(move || {
+            match kind {
+                ConnKind::Http => handle_connection(stream, &state, timeout, max_requests),
+                ConnKind::Wire => crate::wire::handle_wire_connection(stream, &state, timeout),
+            }
+            state
+                .conns
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .remove(&conn_id);
+        });
+    }
+}
+
 /// Serve requests from one connection until the client closes, asks to
 /// close, errs, exhausts its request budget, or goes idle past the
 /// deadline (HTTP/1.1 keep-alive — the ROADMAP follow-up from the
@@ -446,10 +597,7 @@ fn handle_connection(
 ) {
     use std::io::BufRead;
     let reader = match stream.try_clone() {
-        Ok(s) => DeadlineStream {
-            stream: s,
-            deadline: std::time::Instant::now() + timeout,
-        },
+        Ok(s) => DeadlineStream::new(s, timeout),
         Err(_) => return,
     };
     let mut reader = BufReader::new(reader);
@@ -458,7 +606,7 @@ fn handle_connection(
     for served in 1..=max_requests {
         // Each request gets a fresh whole-request deadline; the time a
         // persistent connection sits idle counts against it too.
-        reader.get_mut().deadline = std::time::Instant::now() + timeout;
+        reader.get_mut().rearm(timeout);
         // Peek before parsing: a connection closed (or idle-expired)
         // between requests ends quietly, with no error response.
         match reader.fill_buf() {
@@ -503,59 +651,29 @@ fn segments(path: &str) -> Vec<&str> {
     path.split('/').filter(|s| !s.is_empty()).collect()
 }
 
-/// Dispatch one request to (status, JSON body).
+/// Dispatch one request to (status, JSON body). Everything that can
+/// also arrive over the binary listener goes through the shared `api_*`
+/// layer; only HTTP-specific concerns (path routing, the textual drill
+/// body) live here.
 fn route(state: &ServerState, req: &Request) -> (u16, String) {
     match (req.method, segments(&req.path).as_slice()) {
-        (Method::Get, ["healthz"]) => (200, "{\"ok\":true}".to_string()),
-        (Method::Get, ["cache", "stats"]) => {
-            let stats = state.cache.stats();
-            let capacity = match state.cache.capacity() {
-                Some(c) => c.to_string(),
-                None => "null".to_string(),
-            };
-            (
-                200,
-                format!(
-                    "{{\"hits\":{},\"misses\":{},\"runs\":{},\"evictions\":{},\"entries\":{},\"capacity\":{}}}",
-                    stats.hits,
-                    stats.misses,
-                    stats.runs,
-                    stats.evictions,
-                    state.cache.len(),
-                    capacity
+        (Method::Get, ["healthz"]) => render(Ok(ApiOk::Health)),
+        (Method::Get, ["cache", "stats"]) => render(Ok(api_cache_stats(state))),
+        (Method::Get, ["metrics"]) => render(Ok(api_metrics(state))),
+        (Method::Post, ["session"]) => render(api_create_session(state, &req.body)),
+        (Method::Get, ["session", id]) => render(api_session_info(state, id)),
+        (Method::Delete, ["session", id]) => render(api_delete_session(state, id)),
+        (Method::Post, ["session", id, "drill"]) => match parse_drill_body(&req.body) {
+            Some((rank, seg)) => render(api_drill(state, id, rank, seg)),
+            None => (
+                400,
+                encode_error(
+                    "bad_request",
+                    "drill body must be two indices: \"rank seg\"",
                 ),
-            )
-        }
-        (Method::Get, ["metrics"]) => {
-            let m = state.metrics.snapshot();
-            (
-                200,
-                format!(
-                    "{{\"connections\":{},\"requests\":{},\"responses_2xx\":{},\"responses_4xx\":{},\"responses_5xx\":{},\"analysis_rejects\":{},\"analysis_prunes\":{}}}",
-                    m.connections,
-                    m.requests,
-                    m.responses_2xx,
-                    m.responses_4xx,
-                    m.responses_5xx,
-                    m.analysis_rejects,
-                    m.analysis_prunes
-                ),
-            )
-        }
-        (Method::Post, ["session"]) => create_session(state, &req.body),
-        (Method::Get, ["session", id]) => with_session(state, id, session_info),
-        (Method::Delete, ["session", id]) => delete_session(state, id),
-        (Method::Post, ["session", id, "drill"]) => {
-            let body = req.body.clone();
-            let metrics = &state.metrics;
-            with_session(state, id, move |id, s| drill_session(metrics, id, s, &body))
-        }
-        (Method::Post, ["session", id, "back"]) => {
-            with_session(state, id, |id, s| match s.try_back() {
-                Ok(advice) => (200, advice_envelope(id, advice)),
-                Err(e) => core_error_response(&e),
-            })
-        }
+            ),
+        },
+        (Method::Post, ["session", id, "back"]) => render(api_back(state, id)),
         // Known paths with the wrong method get a 405, the rest 404.
         (_, ["session"]) | (_, ["session", _]) | (_, ["session", _, "drill" | "back"]) => (
             405,
@@ -563,6 +681,85 @@ fn route(state: &ServerState, req: &Request) -> (u16, String) {
         ),
         _ => (404, encode_error("no_such_route", "no such route")),
     }
+}
+
+/// Parse an HTTP drill body: exactly two whitespace-separated indices.
+fn parse_drill_body(body: &str) -> Option<(usize, usize)> {
+    let mut parts = body.split_ascii_whitespace();
+    match (
+        parts.next().and_then(|t| t.parse::<usize>().ok()),
+        parts.next().and_then(|t| t.parse::<usize>().ok()),
+        parts.next(),
+    ) {
+        (Some(rank), Some(seg), None) => Some((rank, seg)),
+        _ => None,
+    }
+}
+
+/// Render an API outcome as this listener's (status, JSON body).
+fn render(result: Result<ApiOk, ApiError>) -> (u16, String) {
+    match result {
+        Ok(ok) => render_ok(&ok),
+        Err(e) => render_err(&e),
+    }
+}
+
+fn render_ok(ok: &ApiOk) -> (u16, String) {
+    match ok {
+        ApiOk::Created { id, advice } => (201, advice_envelope(id, advice)),
+        ApiOk::Advice { id, advice } => (200, advice_envelope(id, advice)),
+        ApiOk::Info {
+            id,
+            depth,
+            breadcrumbs,
+            advice,
+        } => (
+            200,
+            format!(
+                "{{\"session\":{},\"depth\":{},\"breadcrumbs\":{},\"advice\":{}}}",
+                json_string(id),
+                depth,
+                json_string_array(breadcrumbs),
+                encode_advice(advice)
+            ),
+        ),
+        ApiOk::Deleted => (204, String::new()),
+        ApiOk::CacheStats(c) => {
+            let capacity = match c.capacity {
+                Some(cap) => cap.to_string(),
+                None => "null".to_string(),
+            };
+            (
+                200,
+                format!(
+                    "{{\"hits\":{},\"misses\":{},\"runs\":{},\"evictions\":{},\"entries\":{},\"capacity\":{}}}",
+                    c.hits, c.misses, c.runs, c.evictions, c.entries, capacity
+                ),
+            )
+        }
+        ApiOk::Metrics(m) => (
+            200,
+            format!(
+                "{{\"connections\":{},\"requests\":{},\"responses_2xx\":{},\"responses_4xx\":{},\"responses_5xx\":{},\"analysis_rejects\":{},\"analysis_prunes\":{}}}",
+                m.connections,
+                m.requests,
+                m.responses_2xx,
+                m.responses_4xx,
+                m.responses_5xx,
+                m.analysis_rejects,
+                m.analysis_prunes
+            ),
+        ),
+        ApiOk::Health => (200, "{\"ok\":true}".to_string()),
+    }
+}
+
+fn render_err(e: &ApiError) -> (u16, String) {
+    let body = match &e.diagnostics {
+        Some(diags) => encode_error_with_diagnostics(e.code, &e.message, diags),
+        None => encode_error(e.code, &e.message),
+    };
+    (e.status, body)
 }
 
 /// Split an optional leading `@<path>` line off a session body,
@@ -584,36 +781,30 @@ impl ServerState {
     /// registry lock is held across `DiskTable::open`, which reads only
     /// header + footer — a few hundred bytes — so the hold is short and
     /// concurrent first requests for one dataset load it exactly once.
-    fn dataset(&self, rel: &str) -> Result<Dataset, (u16, String)> {
+    fn dataset(&self, rel: &str) -> Result<Dataset, ApiError> {
         let Some(root) = &self.dataset_root else {
-            return Err((
+            return Err(ApiError::new(
                 403,
-                encode_error(
-                    "dataset_disabled",
-                    "this server has no dataset root; '@path' session bodies are disabled",
-                ),
+                "dataset_disabled",
+                "this server has no dataset root; '@path' session bodies are disabled",
             ));
         };
         let root = root.canonicalize().map_err(|e| {
-            (
+            ApiError::new(
                 500,
-                encode_error("backend_failure", &format!("dataset root unavailable: {e}")),
+                "backend_failure",
+                format!("dataset root unavailable: {e}"),
             )
         })?;
         let joined = root.join(rel);
-        let canonical = joined.canonicalize().map_err(|_| {
-            (
-                404,
-                encode_error("no_such_dataset", &format!("no dataset at {rel:?}")),
-            )
-        })?;
+        let canonical = joined
+            .canonicalize()
+            .map_err(|_| ApiError::new(404, "no_such_dataset", format!("no dataset at {rel:?}")))?;
         if !canonical.starts_with(&root) {
-            return Err((
+            return Err(ApiError::new(
                 403,
-                encode_error(
-                    "dataset_forbidden",
-                    &format!("dataset path {rel:?} escapes the dataset root"),
-                ),
+                "dataset_forbidden",
+                format!("dataset path {rel:?} escapes the dataset root"),
             ));
         }
         let mut registry = self.datasets.lock().unwrap_or_else(|p| p.into_inner());
@@ -629,40 +820,41 @@ impl ServerState {
                 registry.insert(canonical, dataset.clone());
                 Ok(dataset)
             }
-            Err(e) => Err((
+            Err(e) => Err(ApiError::new(
                 422,
-                encode_error(
-                    "bad_dataset",
-                    &format!("failed to load dataset {rel:?}: {e}"),
-                ),
+                "bad_dataset",
+                format!("failed to load dataset {rel:?}: {e}"),
             )),
         }
     }
+
+    /// The serving-layer counters (for the binary listener's handler).
+    pub(crate) fn metrics(&self) -> &ServerMetrics {
+        &self.metrics
+    }
 }
 
-fn create_session(state: &ServerState, body: &str) -> (u16, String) {
+pub(crate) fn api_create_session(state: &ServerState, body: &str) -> Result<ApiOk, ApiError> {
     let (dataset_path, sdl) = split_dataset_directive(body);
     if sdl.trim().is_empty() {
-        return (
+        return Err(ApiError::new(
             400,
-            encode_error("bad_request", "request body must be an SDL context"),
-        );
+            "bad_request",
+            "request body must be an SDL context",
+        ));
     }
     let dataset = match dataset_path {
         None => Dataset {
             backend: Arc::clone(&state.backend),
             cache: Arc::clone(&state.cache),
         },
-        Some(rel) => match state.dataset(rel) {
-            Ok(d) => d,
-            Err(resp) => return resp,
-        },
+        Some(rel) => state.dataset(rel)?,
     };
     let mut session = OwnedSession::with_config(dataset.backend, state.advisor_config.clone())
         .with_cache(dataset.cache);
     let advice = match session.start(sdl) {
         Ok(advice) => Arc::clone(advice),
-        Err(e) => return admission_error_response(&state.metrics, &e),
+        Err(e) => return Err(admission_error(&state.metrics, &e)),
     };
     let id = format!("s{}", state.next_id.fetch_add(1, Ordering::Relaxed));
     {
@@ -671,39 +863,98 @@ fn create_session(state: &ServerState, body: &str) -> (u16, String) {
         // rejection: it landed in the shared cache.)
         let mut sessions = state.sessions.lock().unwrap_or_else(|p| p.into_inner());
         if sessions.len() >= state.max_sessions {
-            return (
+            return Err(ApiError::new(
                 503,
-                encode_error(
-                    "capacity_exhausted",
-                    "session capacity exhausted; DELETE finished sessions and retry",
-                ),
-            );
+                "capacity_exhausted",
+                "session capacity exhausted; DELETE finished sessions and retry",
+            ));
         }
         sessions.insert(id.clone(), Arc::new(Mutex::new(session)));
     }
-    (201, advice_envelope(&id, &advice))
+    Ok(ApiOk::Created { id, advice })
 }
 
-fn delete_session(state: &ServerState, id: &str) -> (u16, String) {
+pub(crate) fn api_delete_session(state: &ServerState, id: &str) -> Result<ApiOk, ApiError> {
     let removed = state
         .sessions
         .lock()
         .unwrap_or_else(|p| p.into_inner())
         .remove(id);
     match removed {
-        Some(_) => (204, String::new()),
-        None => (
-            404,
-            encode_error("no_such_session", &format!("no session {id:?}")),
-        ),
+        Some(_) => Ok(ApiOk::Deleted),
+        None => Err(no_such_session(id)),
     }
+}
+
+pub(crate) fn api_session_info(state: &ServerState, id: &str) -> Result<ApiOk, ApiError> {
+    with_session(state, id, |id, session| {
+        let Some(advice) = session.current() else {
+            return Err(core_error(&CoreError::SessionNotStarted));
+        };
+        let advice = Arc::clone(advice);
+        Ok(ApiOk::Info {
+            id: id.to_string(),
+            depth: session.depth(),
+            breadcrumbs: session
+                .breadcrumbs()
+                .iter()
+                .map(|q| q.to_string())
+                .collect(),
+            advice,
+        })
+    })
+}
+
+pub(crate) fn api_drill(
+    state: &ServerState,
+    id: &str,
+    rank: usize,
+    seg: usize,
+) -> Result<ApiOk, ApiError> {
+    with_session(state, id, |id, session| match session.drill(rank, seg) {
+        Ok(advice) => Ok(ApiOk::Advice {
+            id: id.to_string(),
+            advice: Arc::clone(advice),
+        }),
+        Err(e) => Err(admission_error(&state.metrics, &e)),
+    })
+}
+
+pub(crate) fn api_back(state: &ServerState, id: &str) -> Result<ApiOk, ApiError> {
+    with_session(state, id, |id, session| match session.try_back() {
+        Ok(advice) => Ok(ApiOk::Advice {
+            id: id.to_string(),
+            advice: Arc::clone(advice),
+        }),
+        Err(e) => Err(core_error(&e)),
+    })
+}
+
+pub(crate) fn api_cache_stats(state: &ServerState) -> ApiOk {
+    let stats = state.cache.stats();
+    ApiOk::CacheStats(CacheStatsReply {
+        hits: stats.hits,
+        misses: stats.misses,
+        runs: stats.runs,
+        evictions: stats.evictions,
+        entries: state.cache.len() as u64,
+        capacity: state.cache.capacity().map(|c| c as u64),
+    })
+}
+
+pub(crate) fn api_metrics(state: &ServerState) -> ApiOk {
+    ApiOk::Metrics(state.metrics.snapshot())
+}
+
+fn no_such_session(id: &str) -> ApiError {
+    ApiError::new(404, "no_such_session", format!("no session {id:?}"))
 }
 
 /// Look a session up and run `f` on it under its own lock (the registry
 /// lock is released first, so sessions never serialize on each other).
-fn with_session<F>(state: &ServerState, id: &str, f: F) -> (u16, String)
+fn with_session<F>(state: &ServerState, id: &str, f: F) -> Result<ApiOk, ApiError>
 where
-    F: FnOnce(&str, &mut OwnedSession) -> (u16, String),
+    F: FnOnce(&str, &mut OwnedSession) -> Result<ApiOk, ApiError>,
 {
     let session = state
         .sessions
@@ -716,56 +967,7 @@ where
             let mut session = cell.lock().unwrap_or_else(|p| p.into_inner());
             f(id, &mut session)
         }
-        None => (
-            404,
-            encode_error("no_such_session", &format!("no session {id:?}")),
-        ),
-    }
-}
-
-fn session_info(id: &str, session: &mut OwnedSession) -> (u16, String) {
-    let Some(advice) = session.current() else {
-        return core_error_response(&CoreError::SessionNotStarted);
-    };
-    let crumbs = json_string_array(session.breadcrumbs().iter().map(|q| q.to_string()));
-    (
-        200,
-        format!(
-            "{{\"session\":{},\"depth\":{},\"breadcrumbs\":{},\"advice\":{}}}",
-            json_string(id),
-            session.depth(),
-            crumbs,
-            encode_advice(advice)
-        ),
-    )
-}
-
-fn drill_session(
-    metrics: &ServerMetrics,
-    id: &str,
-    session: &mut OwnedSession,
-    body: &str,
-) -> (u16, String) {
-    let mut parts = body.split_ascii_whitespace();
-    let (rank_idx, seg_idx) = match (
-        parts.next().and_then(|t| t.parse::<usize>().ok()),
-        parts.next().and_then(|t| t.parse::<usize>().ok()),
-        parts.next(),
-    ) {
-        (Some(r), Some(s), None) => (r, s),
-        _ => {
-            return (
-                400,
-                encode_error(
-                    "bad_request",
-                    "drill body must be two indices: \"rank seg\"",
-                ),
-            )
-        }
-    };
-    match session.drill(rank_idx, seg_idx) {
-        Ok(advice) => (200, advice_envelope(id, advice)),
-        Err(e) => admission_error_response(metrics, &e),
+        None => Err(no_such_session(id)),
     }
 }
 
@@ -780,16 +982,19 @@ fn advice_envelope(id: &str, advice: &Advice) -> String {
 
 /// Map advisor errors onto statuses and stable codes: client mistakes
 /// are 4xx, backend faults are the only 500s.
-fn core_error_response(e: &CoreError) -> (u16, String) {
+fn core_error(e: &CoreError) -> ApiError {
+    let message = e.to_string();
     let (status, code) = match e {
         // Static-analysis rejections: the context parsed but is
         // ill-typed for this dataset's schema. 422 with the findings
         // attached, so clients see every problem at once.
         CoreError::InvalidContext(diags) => {
-            return (
-                422,
-                encode_error_with_diagnostics("invalid_context", &e.to_string(), diags),
-            );
+            return ApiError {
+                status: 422,
+                code: "invalid_context",
+                message,
+                diagnostics: Some(diags.clone()),
+            };
         }
         // An unknown attribute surfaces from the parser (it resolves
         // names against the schema), but to a client it is the same
@@ -800,10 +1005,12 @@ fn core_error_response(e: &CoreError) -> (u16, String) {
                 attr.clone(),
                 format!("the dataset's schema has no attribute {attr:?}"),
             );
-            return (
-                422,
-                encode_error_with_diagnostics("invalid_context", &e.to_string(), &[diag]),
-            );
+            return ApiError {
+                status: 422,
+                code: "invalid_context",
+                message,
+                diagnostics: Some(vec![diag]),
+            };
         }
         // Provably-empty conjunction: valid, but answered without any
         // backend work.
@@ -822,15 +1029,15 @@ fn core_error_response(e: &CoreError) -> (u16, String) {
         CoreError::NoCuttableAttribute => (422, "no_cuttable_attribute"),
         CoreError::Store(_) => (500, "backend_failure"),
     };
-    (status, encode_error(code, &e.to_string()))
+    ApiError::new(status, code, message)
 }
 
-/// [`core_error_response`] for the two routes that advise (`POST
-/// /session` and drill), additionally counting static-analysis
-/// outcomes: rejects (ill-typed contexts) and prunes (provably-empty
-/// contexts answered with zero backend operations). Kept separate so
-/// `core_error_response` stays a pure mapping.
-fn admission_error_response(metrics: &ServerMetrics, e: &CoreError) -> (u16, String) {
+/// [`core_error`] for the two operations that advise (start and drill),
+/// additionally counting static-analysis outcomes: rejects (ill-typed
+/// contexts) and prunes (provably-empty contexts answered with zero
+/// backend operations). Kept separate so `core_error` stays a pure
+/// mapping.
+fn admission_error(metrics: &ServerMetrics, e: &CoreError) -> ApiError {
     match e {
         CoreError::InvalidContext(_) | CoreError::Sdl(SdlError::UnknownAttribute { .. }) => {
             metrics.record_analysis_reject();
@@ -838,7 +1045,7 @@ fn admission_error_response(metrics: &ServerMetrics, e: &CoreError) -> (u16, Str
         CoreError::UnsatisfiableContext => metrics.record_analysis_prune(),
         _ => {}
     }
-    core_error_response(e)
+    core_error(e)
 }
 
 #[cfg(test)]

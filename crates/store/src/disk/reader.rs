@@ -836,6 +836,70 @@ mod tests {
     }
 
     #[test]
+    fn inverted_or_oversized_footer_offsets_are_corrupt_not_panics() {
+        // Regression for the corrupt-trailer bounds bug: the footer
+        // length `footer_end - footer_start` used to be computed (and
+        // fed to `vec![0u8; ...]`) straight from untrusted trailer
+        // bytes, so a trailer claiming `footer_start > footer_end`
+        // subtracted past zero — a panic in debug builds, an absurd
+        // allocation attempt in release. Every such trailer must land
+        // in `Corrupt` before any allocation.
+        let t = fixture();
+        let path = tmp_path("inverted-footer");
+        write_table(&t, &path).unwrap();
+        let pristine = std::fs::read(&path).unwrap();
+        let file_len = pristine.len() as u64;
+        let footer_end = file_len - TRAILER_LEN;
+        let trailer_at = pristine.len() - TRAILER_LEN as usize;
+
+        let reject_offset = |footer_start: u64, what: &str| {
+            let mut bad = pristine.clone();
+            bad[trailer_at..trailer_at + 8].copy_from_slice(&footer_start.to_le_bytes());
+            std::fs::write(&path, &bad).unwrap();
+            match DiskTable::open(&path) {
+                Err(StoreError::Corrupt(msg)) => {
+                    assert!(msg.contains("out of bounds"), "{what}: {msg}")
+                }
+                Err(other) => panic!("{what}: expected Corrupt, got {other}"),
+                Ok(_) => panic!("{what}: bogus footer offset accepted"),
+            }
+        };
+
+        // footer_start one past footer_end: the subtraction would go
+        // negative.
+        reject_offset(footer_end + 1, "start just past end");
+        // footer_start at the very end of the file.
+        reject_offset(file_len, "start at file length");
+        // footer_start leaving no room for the footer's own CRC.
+        reject_offset(footer_end - 3, "no room for footer CRC");
+        // footer_start inside the header (underruns the schema block).
+        reject_offset(0, "start at zero");
+        reject_offset(HEADER_LEN + 3, "start inside the length prefix");
+        // Length-flavoured extremes: offsets so large the implied
+        // footer length (or `footer_start + 4`) wraps u64.
+        reject_offset(u64::MAX, "u64::MAX");
+        reject_offset(u64::MAX - 4, "u64::MAX - 4");
+
+        // Single byte flips in the trailer offset field — the cheapest
+        // real-world corruption — must also never panic: whatever the
+        // flipped offset implies, the outcome is a typed error (Corrupt
+        // for bad bounds, or a checksum/decode error when the offset
+        // stays in range but points at the wrong bytes).
+        for bit in 0..64 {
+            let mut bad = pristine.clone();
+            bad[trailer_at + bit / 8] ^= 1 << (bit % 8);
+            std::fs::write(&path, &bad).unwrap();
+            match DiskTable::open(&path) {
+                Ok(_) => panic!("bit flip {bit} in footer offset accepted"),
+                Err(StoreError::Corrupt(_)) | Err(StoreError::Io(_)) => {}
+                Err(other) => panic!("bit flip {bit}: unexpected error {other}"),
+            }
+        }
+
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
     fn crafted_extreme_fields_cannot_overflow() {
         // Adversarial values near u64::MAX in untrusted fields must land
         // in Corrupt via checked arithmetic — never an overflow panic

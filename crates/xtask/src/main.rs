@@ -9,10 +9,11 @@
 //!
 //! 1. **No panicking calls in server request paths.** `.unwrap()` and
 //!    `.expect(` are forbidden in the non-test portions of
-//!    `crates/serve/src/server.rs` and `crates/serve/src/http.rs`: a
-//!    panic there kills a pool worker mid-connection instead of
-//!    answering 5xx. Lines may opt out with a trailing
-//!    `// lint:allow(panic)` comment stating why.
+//!    `crates/serve/src/server.rs`, `crates/serve/src/http.rs` and
+//!    `crates/serve/src/wire.rs`: a panic there kills a pool worker
+//!    mid-connection instead of answering 5xx (or an error frame).
+//!    Lines may opt out with a trailing `// lint:allow(panic)` comment
+//!    stating why.
 //! 2. **No ambient clocks in the core.** `Instant::now`/`SystemTime::now`
 //!    are forbidden in `crates/core/src/*.rs`: the advisor is a
 //!    deterministic function of (backend, config, context), and clock
@@ -72,7 +73,11 @@ type Violation = String;
 
 fn run_lint(root: &Path) -> Vec<Violation> {
     let mut violations = Vec::new();
-    for rel in ["crates/serve/src/server.rs", "crates/serve/src/http.rs"] {
+    for rel in [
+        "crates/serve/src/server.rs",
+        "crates/serve/src/http.rs",
+        "crates/serve/src/wire.rs",
+    ] {
         match fs::read_to_string(root.join(rel)) {
             Ok(src) => check_no_panics(rel, &src, &mut violations),
             Err(e) => violations.push(format!("{rel}: unreadable: {e}")),

@@ -23,6 +23,7 @@
 
 use charles::serve::http_request;
 use charles::serve::json::encode_advice;
+use charles::serve::wire::{wire_request, WireClient, WireRequest, WireResponse};
 use charles::{Advisor, Backend, Query, ServeConfig, Server, ShardedTable};
 use std::collections::HashSet;
 use std::sync::{Arc, Barrier};
@@ -188,6 +189,149 @@ fn client_script(addr: std::net::SocketAddr, spelling: &str, oracle: &Oracle) ->
     advised
 }
 
+/// The binary-listener mirror of [`client_script`]: the same lifecycle
+/// over wire frames, every response rendered back to HTTP form via
+/// [`WireResponse::to_http`] and asserted byte-equal against the same
+/// oracle strings the HTTP clients use. (The one HTTP-only step —
+/// the unparseable `"zero one"` drill body — has no wire analogue:
+/// drill indices are typed fields there and cannot be malformed.)
+fn wire_client_script(addr: std::net::SocketAddr, spelling: &str, oracle: &Oracle) -> usize {
+    let mut client = WireClient::new(addr);
+    let mut advised = 0;
+    for _ in 0..ITERATIONS {
+        // Start a session; the served advice must equal the oracle's.
+        let resp = client
+            .request(&WireRequest::Start { body: spelling })
+            .unwrap();
+        let WireResponse::Started { id, .. } = &resp else {
+            panic!("start failed: {resp:?}");
+        };
+        let id = id.clone();
+        let (status, body) = resp.to_http();
+        assert_eq!(status, 201, "start failed: {body}");
+        assert_eq!(
+            body,
+            format!("{{\"session\":\"{id}\",\"advice\":{}}}", oracle.root_json),
+            "served root advice differs from the direct advisor oracle (binary listener)"
+        );
+        advised += 1;
+
+        // Bad SDL answers the same 4xx codes and bodies as HTTP.
+        let (status, err) = client
+            .request(&WireRequest::Start {
+                body: "(no_such_column: )",
+            })
+            .unwrap()
+            .to_http();
+        assert_eq!(status, 422, "{err}");
+        assert!(err.contains("\"code\":\"invalid_context\""), "{err}");
+        let (status, _) = client
+            .request(&WireRequest::Start {
+                body: "not sdl at all",
+            })
+            .unwrap()
+            .to_http();
+        assert_eq!(status, 400);
+
+        // Inspect: depth 1, canonical breadcrumb, same advice bytes.
+        let (status, info) = client
+            .request(&WireRequest::Inspect { id: &id })
+            .unwrap()
+            .to_http();
+        assert_eq!(status, 200);
+        assert_eq!(
+            info,
+            format!(
+                "{{\"session\":\"{id}\",\"depth\":1,\"breadcrumbs\":[{}],\"advice\":{}}}",
+                charles::serve::json::json_string(&oracle.root_crumb),
+                oracle.root_json
+            )
+        );
+
+        // Out-of-range drill: stable 422, session state untouched.
+        let (status, err) = client
+            .request(&WireRequest::Drill {
+                id: &id,
+                rank: 99,
+                seg: 424242,
+            })
+            .unwrap()
+            .to_http();
+        assert_eq!(status, 422, "{err}");
+        assert!(err.contains("(99, 424242)"), "{err}");
+
+        // Back at root: stable 422.
+        let (status, err) = client
+            .request(&WireRequest::Back { id: &id })
+            .unwrap()
+            .to_http();
+        assert_eq!(status, 422, "{err}");
+
+        // Drill (0, 0): byte-equal to the oracle's drilled advice.
+        let (status, body) = client
+            .request(&WireRequest::Drill {
+                id: &id,
+                rank: 0,
+                seg: 0,
+            })
+            .unwrap()
+            .to_http();
+        assert_eq!(status, 200, "drill failed: {body}");
+        assert_eq!(
+            body,
+            format!("{{\"session\":\"{id}\",\"advice\":{}}}", oracle.drill_json),
+            "served drilled advice differs from the direct advisor oracle (binary listener)"
+        );
+        advised += 1;
+
+        // Breadcrumbs now two deep, both canonical.
+        let (status, info) = client
+            .request(&WireRequest::Inspect { id: &id })
+            .unwrap()
+            .to_http();
+        assert_eq!(status, 200);
+        assert_eq!(
+            info,
+            format!(
+                "{{\"session\":\"{id}\",\"depth\":2,\"breadcrumbs\":[{},{}],\"advice\":{}}}",
+                charles::serve::json::json_string(&oracle.root_crumb),
+                charles::serve::json::json_string(&oracle.drill_crumb),
+                oracle.drill_json
+            )
+        );
+
+        // Back out: the root advice again, bit for bit.
+        let (status, body) = client
+            .request(&WireRequest::Back { id: &id })
+            .unwrap()
+            .to_http();
+        assert_eq!(status, 200);
+        assert_eq!(
+            body,
+            format!("{{\"session\":\"{id}\",\"advice\":{}}}", oracle.root_json)
+        );
+
+        // Delete; the id is then gone for every verb.
+        let (status, body) = client
+            .request(&WireRequest::Delete { id: &id })
+            .unwrap()
+            .to_http();
+        assert_eq!(status, 204, "{body}");
+        assert_eq!(body, "");
+        let (status, _) = client
+            .request(&WireRequest::Inspect { id: &id })
+            .unwrap()
+            .to_http();
+        assert_eq!(status, 404);
+        let (status, _) = client
+            .request(&WireRequest::Delete { id: &id })
+            .unwrap()
+            .to_http();
+        assert_eq!(status, 404);
+    }
+    advised
+}
+
 #[test]
 fn concurrent_sessions_serve_oracle_bytes_and_share_one_cache() {
     let shards = shard_count();
@@ -211,14 +355,19 @@ fn concurrent_sessions_serve_oracle_bytes_and_share_one_cache() {
             ..ServeConfig::default()
         },
     )
-    .expect("bind ephemeral port");
+    .expect("bind ephemeral port")
+    .with_wire_listener("127.0.0.1:0")
+    .expect("bind wire listener");
     let addr = server.local_addr().unwrap();
+    let wire_addr = server.wire_addr().expect("wire listener bound");
     let cache = server.cache();
     let handle = server.spawn().expect("spawn server");
 
     // ≥ 8 clients, all released at once for maximal interleaving. Each
     // uses one of the four contexts, alternating between the canonical
-    // and the permuted spelling.
+    // and the permuted spelling — and between the HTTP and binary
+    // listeners, so both protocols race each other over the one cache
+    // and must serve the same oracle bytes.
     let pool = context_pool();
     let barrier = Arc::new(Barrier::new(CLIENT_THREADS));
     let advised: usize = std::thread::scope(|scope| {
@@ -230,7 +379,11 @@ fn concurrent_sessions_serve_oracle_bytes_and_share_one_cache() {
             let barrier = Arc::clone(&barrier);
             handles.push(scope.spawn(move || {
                 barrier.wait();
-                client_script(addr, spelling, oracle)
+                if t % 2 == 0 {
+                    client_script(addr, spelling, oracle)
+                } else {
+                    wire_client_script(wire_addr, spelling, oracle)
+                }
             }));
         }
         handles.into_iter().map(|h| h.join().expect("client")).sum()
@@ -279,6 +432,94 @@ fn concurrent_sessions_serve_oracle_bytes_and_share_one_cache() {
             capacity
         )
     );
+
+    // And the binary listener's view of the same counters renders to
+    // the very same HTTP bytes (stats queries don't touch the advice
+    // cache, so the counters are stable between the two reads).
+    let (wire_status, wire_body) = wire_request(wire_addr, &WireRequest::CacheStats)
+        .expect("wire cache-stats")
+        .to_http();
+    assert_eq!(wire_status, status);
+    assert_eq!(wire_body, body);
+
+    handle.shutdown();
+}
+
+/// Pipelining: many frames written in one burst are answered in request
+/// order, each response byte-equal to what sequential requests produce.
+#[test]
+fn pipelined_wire_frames_answer_in_order() {
+    use charles::serve::wire::WireConn;
+    use charles::serve::ClientConfig;
+
+    let table = charles::voc_table(400, 7);
+    let sharded = ShardedTable::from_table(&table, shard_count());
+    let backend: Arc<dyn Backend> = Arc::new(sharded);
+    let server = Server::bind("127.0.0.1:0", backend, ServeConfig::default())
+        .unwrap()
+        .with_wire_listener("127.0.0.1:0")
+        .unwrap();
+    let wire_addr = server.wire_addr().unwrap();
+    let handle = server.spawn().unwrap();
+
+    let mut conn = WireConn::connect(&wire_addr, &ClientConfig::default()).unwrap();
+
+    // Burst 1: start a session, then immediately pipeline inspects,
+    // an out-of-range drill, a real drill and a back behind it —
+    // without reading a single response first. The session id is
+    // assigned server-side, so the lifecycle ops name the id the
+    // start *will* produce: ids are deterministic ("s1" first).
+    conn.stage(&WireRequest::Start {
+        body: "(master: , tonnage: )",
+    });
+    conn.stage(&WireRequest::Inspect { id: "s1" });
+    conn.stage(&WireRequest::Drill {
+        id: "s1",
+        rank: 99,
+        seg: 424242,
+    });
+    conn.stage(&WireRequest::Drill {
+        id: "s1",
+        rank: 0,
+        seg: 0,
+    });
+    conn.stage(&WireRequest::Back { id: "s1" });
+    conn.stage(&WireRequest::Delete { id: "s1" });
+    conn.stage(&WireRequest::Health);
+    conn.flush().unwrap();
+
+    let started = conn.recv().unwrap();
+    let WireResponse::Started { id, advice } = &started else {
+        panic!("expected Started, got {started:?}");
+    };
+    assert_eq!(id, "s1", "first session id is deterministic");
+    let root_json = advice.to_json();
+
+    let info = conn.recv().unwrap();
+    let WireResponse::Info { depth, advice, .. } = &info else {
+        panic!("expected Info, got {info:?}");
+    };
+    assert_eq!(*depth, 1);
+    assert_eq!(advice.to_json(), root_json, "inspect echoes root advice");
+
+    let bad = conn.recv().unwrap();
+    assert_eq!(bad.status(), 422, "out-of-range drill: {bad:?}");
+
+    let drilled = conn.recv().unwrap();
+    let WireResponse::Advice { advice, .. } = &drilled else {
+        panic!("expected Advice, got {drilled:?}");
+    };
+    let drill_json = advice.to_json();
+    assert_ne!(drill_json, root_json, "drill changes the context");
+
+    let back = conn.recv().unwrap();
+    let WireResponse::Advice { advice, .. } = &back else {
+        panic!("expected Advice, got {back:?}");
+    };
+    assert_eq!(advice.to_json(), root_json, "back restores root bytes");
+
+    assert_eq!(conn.recv().unwrap().status(), 204, "delete");
+    assert_eq!(conn.recv().unwrap().status(), 200, "health");
 
     handle.shutdown();
 }
