@@ -1,0 +1,66 @@
+//! Store scaling: dense vs Roaring-compressed selection bitmaps on the
+//! operations the advisor's merge path leans on — `and`, `or`,
+//! `and_count` and iteration — at selectivities from full scans down to
+//! the sparse drill-downs where compression pays. Correctness is pinned
+//! elsewhere (`crates/store/tests/bitmap_containers.rs` drives every op
+//! against a dense oracle); this measures the time side of the
+//! memory/time trade the `e14` experiment quantifies in
+//! `BENCH_store.json`.
+
+use charles_store::Bitmap;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+/// Ten million rows: big enough that container effects dominate, small
+/// enough for a bench iteration budget.
+const ROWS: usize = 10_000_000;
+
+/// A selection keeping every `stride`-th row (dense layout).
+fn strided(rows: usize, stride: usize) -> Bitmap {
+    Bitmap::from_indices(rows, (0..rows).step_by(stride)).to_dense()
+}
+
+fn bench_store_scaling(c: &mut Criterion) {
+    // (label, stride): 50% scan, 1% filter, 0.1% drill-down.
+    let cases = [("half", 2usize), ("percent", 100), ("permille", 1000)];
+
+    for (label, stride) in cases {
+        let a_dense = strided(ROWS, stride);
+        let b_dense = strided(ROWS, stride + 1);
+        let a_comp = a_dense.compress();
+        let b_comp = b_dense.compress();
+
+        let mut g = c.benchmark_group(format!("store_scaling_{label}"));
+        g.sample_size(10)
+            .warm_up_time(Duration::from_millis(300))
+            .measurement_time(Duration::from_secs(2));
+        g.bench_function(BenchmarkId::new("and", "dense"), |b| {
+            b.iter(|| a_dense.and(&b_dense).count_ones())
+        });
+        g.bench_function(BenchmarkId::new("and", "compressed"), |b| {
+            b.iter(|| a_comp.and(&b_comp).count_ones())
+        });
+        g.bench_function(BenchmarkId::new("or", "dense"), |b| {
+            b.iter(|| a_dense.or(&b_dense).count_ones())
+        });
+        g.bench_function(BenchmarkId::new("or", "compressed"), |b| {
+            b.iter(|| a_comp.or(&b_comp).count_ones())
+        });
+        g.bench_function(BenchmarkId::new("and_count", "dense"), |b| {
+            b.iter(|| a_dense.and_count(&b_dense))
+        });
+        g.bench_function(BenchmarkId::new("and_count", "compressed"), |b| {
+            b.iter(|| a_comp.and_count(&b_comp))
+        });
+        g.bench_function(BenchmarkId::new("iter_ones", "dense"), |b| {
+            b.iter(|| a_dense.iter_ones().sum::<usize>())
+        });
+        g.bench_function(BenchmarkId::new("iter_ones", "compressed"), |b| {
+            b.iter(|| a_comp.iter_ones().sum::<usize>())
+        });
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_store_scaling);
+criterion_main!(benches);

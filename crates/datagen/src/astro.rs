@@ -8,7 +8,7 @@
 //! it. The class drives the distributions — stars have zero redshift,
 //! quasars are faint and far — giving HB-cuts real structure to find.
 
-use charles_store::{DataType, Table, TableBuilder, Value};
+use charles_store::{DataType, Schema, Table, TableBuilder, Value};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -19,66 +19,83 @@ fn gauss(rng: &mut StdRng) -> f64 {
     (0..12).map(|_| rng.gen::<f64>()).sum::<f64>() - 6.0
 }
 
+/// The sky-survey relation's schema, shared by the eager and streaming
+/// paths.
+pub fn astro_schema() -> Schema {
+    let mut s = Schema::new();
+    for (name, ty) in [
+        ("ra", DataType::Float),
+        ("dec", DataType::Float),
+        ("magnitude", DataType::Float),
+        ("redshift", DataType::Float),
+        ("class", DataType::Str),
+        ("survey", DataType::Str),
+    ] {
+        s.add(name, ty).expect("static schema is well-formed");
+    }
+    s
+}
+
+/// One catalogue object, advancing the shared RNG.
+fn astro_row(rng: &mut StdRng) -> Vec<Value> {
+    let class_pick: f64 = rng.gen();
+    // (class, share): stars dominate, then galaxies, quasars, nebulae.
+    let class = if class_pick < 0.45 {
+        "star"
+    } else if class_pick < 0.80 {
+        "galaxy"
+    } else if class_pick < 0.95 {
+        "quasar"
+    } else {
+        "nebula"
+    };
+    let (mag, z) = match class {
+        // Bright, local.
+        "star" => (12.0 + 2.5 * gauss(rng).abs(), 0.0),
+        // Mid-range magnitude, modest redshift.
+        "galaxy" => (17.0 + 1.5 * gauss(rng), (0.08 + 0.05 * gauss(rng)).max(0.0)),
+        // Faint and far.
+        "quasar" => (20.0 + 1.0 * gauss(rng), (2.0 + 0.8 * gauss(rng)).max(0.2)),
+        // Extended local objects.
+        _ => (15.0 + 2.0 * gauss(rng).abs(), 0.0),
+    };
+    // Two survey footprints: "north" covers dec > 0, "south" dec < 10 —
+    // overlapping bands, so survey correlates with position.
+    let dec = gauss(rng) * 30.0;
+    let survey = if dec > 10.0 {
+        "NGS"
+    } else if dec < 0.0 {
+        "SGS"
+    } else if rng.gen_bool(0.5) {
+        "NGS"
+    } else {
+        "SGS"
+    };
+    vec![
+        Value::Float(rng.gen::<f64>() * 360.0),
+        Value::Float(dec),
+        Value::Float(mag.clamp(5.0, 28.0)),
+        Value::Float(z.min(7.0)),
+        Value::str(class),
+        Value::str(survey),
+    ]
+}
+
+/// The `n` objects of `astro_table(n, seed)` as a replayable row
+/// iterator (the streaming producer).
+pub fn astro_rows(n: usize, seed: u64) -> impl Iterator<Item = Vec<Value>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(move |_| astro_row(&mut rng))
+}
+
 /// Generate an `n`-object catalogue (deterministic per seed).
 pub fn astro_table(n: usize, seed: u64) -> Table {
-    let mut rng = StdRng::seed_from_u64(seed);
     let mut b = TableBuilder::new("sky");
-    b.add_column("ra", DataType::Float)
-        .add_column("dec", DataType::Float)
-        .add_column("magnitude", DataType::Float)
-        .add_column("redshift", DataType::Float)
-        .add_column("class", DataType::Str)
-        .add_column("survey", DataType::Str);
-
-    for _ in 0..n {
-        let class_pick: f64 = rng.gen();
-        // (class, share): stars dominate, then galaxies, quasars, nebulae.
-        let class = if class_pick < 0.45 {
-            "star"
-        } else if class_pick < 0.80 {
-            "galaxy"
-        } else if class_pick < 0.95 {
-            "quasar"
-        } else {
-            "nebula"
-        };
-        let (mag, z) = match class {
-            // Bright, local.
-            "star" => (12.0 + 2.5 * gauss(&mut rng).abs(), 0.0),
-            // Mid-range magnitude, modest redshift.
-            "galaxy" => (
-                17.0 + 1.5 * gauss(&mut rng),
-                (0.08 + 0.05 * gauss(&mut rng)).max(0.0),
-            ),
-            // Faint and far.
-            "quasar" => (
-                20.0 + 1.0 * gauss(&mut rng),
-                (2.0 + 0.8 * gauss(&mut rng)).max(0.2),
-            ),
-            // Extended local objects.
-            _ => (15.0 + 2.0 * gauss(&mut rng).abs(), 0.0),
-        };
-        // Two survey footprints: "north" covers dec > 0, "south" dec < 10 —
-        // overlapping bands, so survey correlates with position.
-        let dec = gauss(&mut rng) * 30.0;
-        let survey = if dec > 10.0 {
-            "NGS"
-        } else if dec < 0.0 {
-            "SGS"
-        } else if rng.gen_bool(0.5) {
-            "NGS"
-        } else {
-            "SGS"
-        };
-        b.push_row(vec![
-            Value::Float(rng.gen::<f64>() * 360.0),
-            Value::Float(dec),
-            Value::Float(mag.clamp(5.0, 28.0)),
-            Value::Float(z.min(7.0)),
-            Value::str(class),
-            Value::str(survey),
-        ])
-        .expect("schema matches");
+    for c in astro_schema().columns() {
+        b.add_column(&c.name, c.ty);
+    }
+    for row in astro_rows(n, seed) {
+        b.push_row(row).expect("schema matches");
     }
     b.finish()
 }

@@ -22,6 +22,10 @@
 //! * [`persist`] — save any generated dataset as a `.charles` file
 //!   (and the `datagen` binary that does it from the shell), so a
 //!   dataset is generated once and served from disk forever after.
+//!   [`persist::generate_and_save_streaming`] writes the same file with
+//!   one generator pass per column through the store's `StreamWriter`,
+//!   keeping peak memory independent of the row count — the path that
+//!   makes 10⁸-row files producible.
 
 pub mod astro;
 pub mod persist;
@@ -31,7 +35,10 @@ pub mod weblog;
 pub mod zipf;
 
 pub use astro::astro_table;
-pub use persist::{dataset_by_name, generate_and_save, save_table, DATASET_NAMES};
+pub use persist::{
+    dataset_by_name, dataset_rows, dataset_schema, generate_and_save, generate_and_save_streaming,
+    save_table, DATASET_NAMES,
+};
 pub use synthetic::{correlated_pair_table, sweep_table, DependencyKind};
 pub use voc::voc_table;
 pub use weblog::weblog_table;

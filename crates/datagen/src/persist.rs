@@ -14,9 +14,22 @@
 //! ```sh
 //! cargo run -p charles-datagen --bin datagen -- voc 20000 42 /tmp/voc.charles
 //! ```
+//!
+//! Two write paths share the generators. [`generate_and_save`] builds the
+//! whole [`Table`] in memory and hands it to `write_table` — simple, but
+//! resident memory scales with the row count, which caps it far below the
+//! 10⁸-row files the scaled store is meant to serve.
+//! [`generate_and_save_streaming`] instead drives the store's
+//! [`StreamWriter`] with one generator pass **per column**: because every
+//! generator is a deterministic function of `(rows, seed)`, replaying the
+//! row stream once per column costs only CPU, and peak memory is one
+//! column's validity bitmap plus its string dictionary regardless of row
+//! count. Both paths produce value-identical files (pinned by tests
+//! below) — only segment order differs, which the format's offset-driven
+//! footer makes unobservable.
 
 use charles_store::disk::write_table;
-use charles_store::{StoreError, StoreResult, Table};
+use charles_store::{Schema, StoreError, StoreResult, StreamWriter, Table, Value};
 use std::path::Path;
 
 /// The named generators [`dataset_by_name`] knows, with their schemas'
@@ -30,6 +43,32 @@ pub fn dataset_by_name(name: &str, rows: usize, seed: u64) -> Option<Table> {
         "voc" => Some(crate::voc_table(rows, seed)),
         "astro" => Some(crate::astro_table(rows, seed)),
         "weblog" => Some(crate::weblog_table(rows, seed)),
+        _ => None,
+    }
+}
+
+/// The table name and schema a named generator produces, without
+/// generating any rows. `None` for unknown names.
+pub fn dataset_schema(name: &str) -> Option<(&'static str, Schema)> {
+    match name {
+        "voc" => Some(("voc", crate::voc::voc_schema())),
+        "astro" => Some(("sky", crate::astro::astro_schema())),
+        "weblog" => Some(("weblog", crate::weblog::weblog_schema())),
+        _ => None,
+    }
+}
+
+/// The row stream a named generator produces — the replayable producer
+/// behind [`generate_and_save_streaming`]. `None` for unknown names.
+pub fn dataset_rows(
+    name: &str,
+    rows: usize,
+    seed: u64,
+) -> Option<Box<dyn Iterator<Item = Vec<Value>>>> {
+    match name {
+        "voc" => Some(Box::new(crate::voc::voc_rows(rows, seed))),
+        "astro" => Some(Box::new(crate::astro::astro_rows(rows, seed))),
+        "weblog" => Some(Box::new(crate::weblog::weblog_rows(rows, seed))),
         _ => None,
     }
 }
@@ -58,6 +97,39 @@ pub fn generate_and_save(
     Ok(table)
 }
 
+/// Generate a named dataset and save it **without materialising the
+/// table**: one generator pass per column through the store's
+/// [`StreamWriter`]. Peak memory is independent of `rows` (one validity
+/// bitmap plus one string dictionary), which is what makes 10⁸-row
+/// `.charles` files producible at all. The output is value-identical to
+/// [`generate_and_save`]'s for the same `(name, rows, seed)`.
+pub fn generate_and_save_streaming(
+    name: &str,
+    rows: usize,
+    seed: u64,
+    path: impl AsRef<Path>,
+) -> StoreResult<()> {
+    let (table_name, schema) = dataset_schema(name).ok_or_else(|| {
+        StoreError::Parse(format!(
+            "unknown dataset {name:?} (expected one of {DATASET_NAMES:?})"
+        ))
+    })?;
+    let mut w = StreamWriter::create(path, table_name, schema.clone(), rows)?;
+    for col in 0..schema.arity() {
+        // The generators are deterministic in (rows, seed), so each
+        // column pass replays the identical row stream and projects out
+        // its one column. CPU trades for memory: arity × generation cost,
+        // O(1) resident rows.
+        let stream = dataset_rows(name, rows, seed).expect("name validated above");
+        for mut row in stream {
+            debug_assert_eq!(row.len(), schema.arity());
+            w.append(Some(row.swap_remove(col)))?;
+        }
+        w.end_column()?;
+    }
+    w.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -84,5 +156,90 @@ mod tests {
         assert!(dataset_by_name("nope", 10, 1).is_none());
         let err = generate_and_save("nope", 10, 1, "/tmp/never-written.charles").unwrap_err();
         assert!(err.to_string().contains("unknown dataset"), "{err}");
+        let err =
+            generate_and_save_streaming("nope", 10, 1, "/tmp/never-written.charles").unwrap_err();
+        assert!(err.to_string().contains("unknown dataset"), "{err}");
+        assert!(dataset_schema("nope").is_none());
+        assert!(dataset_rows("nope", 10, 1).is_none());
+    }
+
+    #[test]
+    fn declared_schemas_match_generated_tables() {
+        for name in DATASET_NAMES {
+            let (table_name, schema) = dataset_schema(name).unwrap();
+            let t = dataset_by_name(name, 3, 1).unwrap();
+            assert_eq!(t.name(), table_name, "{name}");
+            assert_eq!(t.schema(), &schema, "{name}");
+        }
+    }
+
+    #[test]
+    fn row_streams_replay_the_eager_tables() {
+        for name in DATASET_NAMES {
+            let t = dataset_by_name(name, 200, 11).unwrap();
+            let rows: Vec<Vec<Value>> = dataset_rows(name, 200, 11).unwrap().collect();
+            assert_eq!(rows.len(), 200, "{name}");
+            for (i, row) in rows.iter().enumerate() {
+                for (c, col) in t.schema().names().iter().enumerate() {
+                    assert_eq!(
+                        t.value(i, col).unwrap().as_ref(),
+                        Some(&row[c]),
+                        "{name} row {i} col {col}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn streamed_files_are_value_identical_to_eager_ones() {
+        for name in DATASET_NAMES {
+            let pid = std::process::id();
+            let eager_path =
+                std::env::temp_dir().join(format!("charles-datagen-eager-{pid}-{name}.charles"));
+            let stream_path =
+                std::env::temp_dir().join(format!("charles-datagen-stream-{pid}-{name}.charles"));
+            let table = generate_and_save(name, 700, 42, &eager_path).unwrap();
+            generate_and_save_streaming(name, 700, 42, &stream_path).unwrap();
+
+            let eager = DiskTable::open(&eager_path).unwrap();
+            let streamed = DiskTable::open(&stream_path).unwrap();
+            streamed.verify().unwrap();
+            assert_eq!(
+                Backend::schema(&streamed),
+                Backend::schema(&eager),
+                "{name}"
+            );
+            assert_eq!(streamed.len(), eager.len(), "{name}");
+            for col in table.schema().names() {
+                let cs = streamed.column(col).unwrap();
+                let ce = eager.column(col).unwrap();
+                for i in 0..eager.len() {
+                    assert_eq!(cs.get(i), ce.get(i), "{name} row {i} col {col}");
+                }
+                // The advisor's three workload primitives agree too.
+                let all_s = streamed.all_rows();
+                let all_e = eager.all_rows();
+                if matches!(
+                    Backend::schema(&eager).type_of(col).unwrap(),
+                    charles_store::DataType::Str
+                ) {
+                    let (ft_s, dict_s) = streamed.frequencies(col, &all_s).unwrap();
+                    let (ft_e, dict_e) = eager.frequencies(col, &all_e).unwrap();
+                    // Dictionary codes (not just decoded strings) match:
+                    // interning order is first-occurrence in both paths.
+                    assert_eq!(dict_s, dict_e, "{name} {col}");
+                    assert_eq!(ft_s.entries(), ft_e.entries(), "{name} {col}");
+                } else {
+                    assert_eq!(
+                        streamed.median(col, &all_s).unwrap(),
+                        eager.median(col, &all_e).unwrap(),
+                        "{name} {col}"
+                    );
+                }
+            }
+            std::fs::remove_file(&eager_path).unwrap();
+            std::fs::remove_file(&stream_path).unwrap();
+        }
     }
 }

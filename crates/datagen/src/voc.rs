@@ -14,7 +14,7 @@
 //! * `master` and `trip` are high-cardinality, near-independent columns —
 //!   noise the advisor should ignore.
 
-use charles_store::{DataType, Table, TableBuilder, Value};
+use charles_store::{DataType, Schema, Table, TableBuilder, Value};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -46,53 +46,77 @@ const YARDS: [(&str, i64, i64); 4] = [
     ("Hoorn", 1600, 1670),
 ];
 
+/// The VOC relation's schema, shared by the eager and streaming paths.
+pub fn voc_schema() -> Schema {
+    let mut s = Schema::new();
+    for (name, ty) in [
+        ("type_of_boat", DataType::Str),
+        ("tonnage", DataType::Int),
+        ("built", DataType::Date),
+        ("yard", DataType::Str),
+        ("departure_date", DataType::Date),
+        ("departure_harbour", DataType::Str),
+        ("cape_arrival", DataType::Str),
+        ("trip", DataType::Int),
+        ("master", DataType::Str),
+    ] {
+        s.add(name, ty).expect("static schema is well-formed");
+    }
+    s
+}
+
+/// One synthetic voyage, advancing the shared RNG (the deterministic
+/// unit both [`voc_table`] and [`voc_rows`] are built from).
+fn voc_row(rng: &mut StdRng) -> Vec<Value> {
+    let (class, t_lo, t_hi, y_lo, y_hi) = CLASSES[rng.gen_range(0..CLASSES.len())];
+    let tonnage = rng.gen_range(t_lo..=t_hi);
+    let built_year = rng.gen_range(y_lo..=y_hi);
+    // Yard chosen among those active when the ship was built.
+    let active: Vec<&str> = YARDS
+        .iter()
+        .filter(|(_, a, b)| built_year >= *a && built_year <= *b)
+        .map(|(name, _, _)| *name)
+        .collect();
+    let yard = if active.is_empty() {
+        "Amsterdam"
+    } else {
+        active[rng.gen_range(0..active.len())]
+    };
+    // Ships sail 0–25 years after construction.
+    let dep_year = built_year + rng.gen_range(0i64..=25);
+    let (harbour, arrival) = pick_route(rng);
+    let trip = rng.gen_range(1..=8);
+    let master = format!("master_{:03}", rng.gen_range(0..150));
+    vec![
+        Value::str(class),
+        Value::Int(tonnage),
+        Value::date_ymd(built_year, rng.gen_range(1..=12), rng.gen_range(1..=28)),
+        Value::str(yard),
+        Value::date_ymd(dep_year, rng.gen_range(1..=12), rng.gen_range(1..=28)),
+        Value::str(harbour),
+        Value::str(arrival),
+        Value::Int(trip),
+        Value::Str(master),
+    ]
+}
+
+/// The `n` voyages of `voc_table(n, seed)` as a row iterator — the
+/// streaming producer: re-creating this iterator replays the identical
+/// rows, which is what lets `generate_and_save_streaming` make one pass
+/// per column without materialising the table.
+pub fn voc_rows(n: usize, seed: u64) -> impl Iterator<Item = Vec<Value>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(move |_| voc_row(&mut rng))
+}
+
 /// Generate `n` synthetic VOC voyages (deterministic per seed).
 pub fn voc_table(n: usize, seed: u64) -> Table {
-    let mut rng = StdRng::seed_from_u64(seed);
     let mut b = TableBuilder::new("voc");
-    b.add_column("type_of_boat", DataType::Str)
-        .add_column("tonnage", DataType::Int)
-        .add_column("built", DataType::Date)
-        .add_column("yard", DataType::Str)
-        .add_column("departure_date", DataType::Date)
-        .add_column("departure_harbour", DataType::Str)
-        .add_column("cape_arrival", DataType::Str)
-        .add_column("trip", DataType::Int)
-        .add_column("master", DataType::Str);
-
-    for _ in 0..n {
-        let (class, t_lo, t_hi, y_lo, y_hi) = CLASSES[rng.gen_range(0..CLASSES.len())];
-        let tonnage = rng.gen_range(t_lo..=t_hi);
-        let built_year = rng.gen_range(y_lo..=y_hi);
-        // Yard chosen among those active when the ship was built.
-        let active: Vec<&str> = YARDS
-            .iter()
-            .filter(|(_, a, b)| built_year >= *a && built_year <= *b)
-            .map(|(name, _, _)| *name)
-            .collect();
-        let yard = if active.is_empty() {
-            "Amsterdam"
-        } else {
-            active[rng.gen_range(0..active.len())]
-        };
-        // Ships sail 0–25 years after construction.
-        let dep_year = built_year + rng.gen_range(0i64..=25);
-        let (harbour, arrival) = pick_route(&mut rng);
-        let trip = rng.gen_range(1..=8);
-        let master = format!("master_{:03}", rng.gen_range(0..150));
-
-        b.push_row(vec![
-            Value::str(class),
-            Value::Int(tonnage),
-            Value::date_ymd(built_year, rng.gen_range(1..=12), rng.gen_range(1..=28)),
-            Value::str(yard),
-            Value::date_ymd(dep_year, rng.gen_range(1..=12), rng.gen_range(1..=28)),
-            Value::str(harbour),
-            Value::str(arrival),
-            Value::Int(trip),
-            Value::Str(master),
-        ])
-        .expect("schema matches");
+    for c in voc_schema().columns() {
+        b.add_column(&c.name, c.ty);
+    }
+    for row in voc_rows(n, seed) {
+        b.push_row(row).expect("schema matches");
     }
     b.finish()
 }

@@ -8,7 +8,7 @@
 //! hour-of-day pattern that differs per country.
 
 use crate::zipf::Zipf;
-use charles_store::{DataType, Table, TableBuilder, Value};
+use charles_store::{DataType, Schema, Table, TableBuilder, Value};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -23,74 +23,98 @@ const COUNTRIES: [(&str, f64, i64); 5] = [
 
 const SECTIONS: [&str; 6] = ["home", "search", "product", "cart", "api", "admin"];
 
-/// Generate `n` log lines (deterministic per seed).
-pub fn weblog_table(n: usize, seed: u64) -> Table {
+/// The web-log relation's schema, shared by the eager and streaming
+/// paths.
+pub fn weblog_schema() -> Schema {
+    let mut s = Schema::new();
+    for (name, ty) in [
+        ("section", DataType::Str),
+        ("method", DataType::Str),
+        ("status", DataType::Int),
+        ("bytes", DataType::Int),
+        ("latency_ms", DataType::Float),
+        ("country", DataType::Str),
+        ("hour", DataType::Int),
+    ] {
+        s.add(name, ty).expect("static schema is well-formed");
+    }
+    s
+}
+
+/// One log line, advancing the shared RNG (the Zipf sampler is
+/// stateless between rows, so it is passed by reference).
+fn weblog_row(rng: &mut StdRng, paths: &Zipf) -> Vec<Value> {
+    let section = SECTIONS[paths.sample(rng)];
+    let method = match section {
+        "cart" | "api" if rng.gen_bool(0.6) => "POST",
+        _ => "GET",
+    };
+    // Status depends on the section: admin 403s, api 500s, rest mostly 200.
+    let status: i64 = match section {
+        "admin" => {
+            if rng.gen_bool(0.7) {
+                403
+            } else {
+                200
+            }
+        }
+        "api" => {
+            let r: f64 = rng.gen();
+            if r < 0.85 {
+                200
+            } else if r < 0.95 {
+                500
+            } else {
+                404
+            }
+        }
+        _ => {
+            if rng.gen_bool(0.95) {
+                200
+            } else {
+                404
+            }
+        }
+    };
+    // Pareto-ish heavy tails for bytes and latency.
+    let u: f64 = rng.gen::<f64>().max(1e-9);
+    let bytes = (500.0 / u.powf(0.6)).min(5e7) as i64;
+    let u2: f64 = rng.gen::<f64>().max(1e-9);
+    let mut latency = 5.0 / u2.powf(0.8);
+    if status == 500 {
+        latency *= 10.0; // errors are slow
+    }
+    let (country, peak) = pick_country(rng);
+    // Diurnal curve: hours cluster around the country's peak.
+    let spread: i64 = rng.gen_range(-4i64..=4) + rng.gen_range(-4i64..=4);
+    let hour = (peak + spread).rem_euclid(24);
+    vec![
+        Value::str(section),
+        Value::str(method),
+        Value::Int(status),
+        Value::Int(bytes),
+        Value::Float(latency.min(120_000.0)),
+        Value::str(country),
+        Value::Int(hour),
+    ]
+}
+
+/// The `n` log lines of `weblog_table(n, seed)` as a replayable row
+/// iterator (the streaming producer).
+pub fn weblog_rows(n: usize, seed: u64) -> impl Iterator<Item = Vec<Value>> {
     let mut rng = StdRng::seed_from_u64(seed);
     let paths = Zipf::new(SECTIONS.len(), 1.1);
-    let mut b = TableBuilder::new("weblog");
-    b.add_column("section", DataType::Str)
-        .add_column("method", DataType::Str)
-        .add_column("status", DataType::Int)
-        .add_column("bytes", DataType::Int)
-        .add_column("latency_ms", DataType::Float)
-        .add_column("country", DataType::Str)
-        .add_column("hour", DataType::Int);
+    (0..n).map(move |_| weblog_row(&mut rng, &paths))
+}
 
-    for _ in 0..n {
-        let section = SECTIONS[paths.sample(&mut rng)];
-        let method = match section {
-            "cart" | "api" if rng.gen_bool(0.6) => "POST",
-            _ => "GET",
-        };
-        // Status depends on the section: admin 403s, api 500s, rest mostly 200.
-        let status: i64 = match section {
-            "admin" => {
-                if rng.gen_bool(0.7) {
-                    403
-                } else {
-                    200
-                }
-            }
-            "api" => {
-                let r: f64 = rng.gen();
-                if r < 0.85 {
-                    200
-                } else if r < 0.95 {
-                    500
-                } else {
-                    404
-                }
-            }
-            _ => {
-                if rng.gen_bool(0.95) {
-                    200
-                } else {
-                    404
-                }
-            }
-        };
-        // Pareto-ish heavy tails for bytes and latency.
-        let u: f64 = rng.gen::<f64>().max(1e-9);
-        let bytes = (500.0 / u.powf(0.6)).min(5e7) as i64;
-        let u2: f64 = rng.gen::<f64>().max(1e-9);
-        let mut latency = 5.0 / u2.powf(0.8);
-        if status == 500 {
-            latency *= 10.0; // errors are slow
-        }
-        let (country, peak) = pick_country(&mut rng);
-        // Diurnal curve: hours cluster around the country's peak.
-        let spread: i64 = rng.gen_range(-4i64..=4) + rng.gen_range(-4i64..=4);
-        let hour = (peak + spread).rem_euclid(24);
-        b.push_row(vec![
-            Value::str(section),
-            Value::str(method),
-            Value::Int(status),
-            Value::Int(bytes),
-            Value::Float(latency.min(120_000.0)),
-            Value::str(country),
-            Value::Int(hour),
-        ])
-        .expect("schema matches");
+/// Generate `n` log lines (deterministic per seed).
+pub fn weblog_table(n: usize, seed: u64) -> Table {
+    let mut b = TableBuilder::new("weblog");
+    for c in weblog_schema().columns() {
+        b.add_column(&c.name, c.ty);
+    }
+    for row in weblog_rows(n, seed) {
+        b.push_row(row).expect("schema matches");
     }
     b.finish()
 }

@@ -1,0 +1,806 @@
+//! Roaring-style compressed chunk containers for [`super::Bitmap`].
+//!
+//! The bit universe is cut into 64 Ki-bit **chunks**; each chunk stores
+//! its set bits in whichever of three container shapes is smallest:
+//!
+//! * [`Container::Array`] — sorted `u16` offsets, 2 bytes per set bit
+//!   (sparse chunks, at most [`ARRAY_MAX`] values);
+//! * [`Container::Runs`] — sorted inclusive `(start, end)` intervals,
+//!   4 bytes per run (long stretches: all-set chunks cost 4 bytes);
+//! * [`Container::Words`] — the dense 1024-word block, 8 KiB flat
+//!   (chunks with no exploitable structure).
+//!
+//! [`Container::Empty`] is the fourth, heap-free state. Containers
+//! produced by whole-chunk operations go through [`from_block`], which
+//! picks the smallest shape (canonicalisation); point mutations keep
+//! whatever shape is cheapest to update and only *promote* when a
+//! shape outgrows its budget, so a container's kind is an encoding
+//! detail — equality, hashing and every set operation in the parent
+//! module are defined on content, never on shape.
+//!
+//! Everything here is `pub(crate)`: the only public surface is the
+//! `Bitmap` API one level up, which dispatches per chunk through
+//! [`ChunkView`] so dense bitmaps (whose chunks are plain word slices)
+//! and compressed bitmaps flow through the same operation kernels.
+
+/// Bits per chunk: the `u16` offset space of one container.
+pub(crate) const CHUNK_BITS: usize = 1 << 16;
+/// 64-bit words per fully materialised chunk block.
+pub(crate) const CHUNK_WORDS: usize = CHUNK_BITS / 64;
+/// Largest array container: beyond 4096 values the 8 KiB word block is
+/// no bigger, so the array shape stops paying for itself.
+pub(crate) const ARRAY_MAX: usize = 4096;
+/// Largest run container kept through point mutations: 2048 runs cost
+/// exactly one word block, so past that the block wins.
+pub(crate) const RUNS_MAX: usize = CHUNK_WORDS * 8 / 4;
+
+/// One chunk's worth of set bits, in its current encoding.
+#[derive(Clone, Debug)]
+pub(crate) enum Container {
+    /// No bit set; costs nothing.
+    Empty,
+    /// Sorted, deduplicated bit offsets.
+    Array(Vec<u16>),
+    /// Sorted, disjoint, non-adjacent inclusive intervals.
+    Runs(Vec<(u16, u16)>),
+    /// The dense 1024-word block.
+    Words(Box<[u64; CHUNK_WORDS]>),
+}
+
+/// A borrowed, read-only view of one chunk's content. Dense bitmaps
+/// expose their word slices through [`ChunkView::Words`] (trailing
+/// all-zero words may be absent), so every operation kernel below
+/// serves both representations.
+#[derive(Clone, Copy)]
+pub(crate) enum ChunkView<'a> {
+    /// No bit set in this chunk.
+    Empty,
+    /// Sorted bit offsets.
+    Array(&'a [u16]),
+    /// Sorted inclusive intervals.
+    Runs(&'a [(u16, u16)]),
+    /// Dense words; words beyond the slice are implicitly zero.
+    Words(&'a [u64]),
+}
+
+impl Container {
+    /// Read-only view of this container.
+    pub(crate) fn view(&self) -> ChunkView<'_> {
+        match self {
+            Container::Empty => ChunkView::Empty,
+            Container::Array(a) => ChunkView::Array(a),
+            Container::Runs(r) => ChunkView::Runs(r),
+            Container::Words(w) => ChunkView::Words(&w[..]),
+        }
+    }
+
+    /// Number of set bits.
+    pub(crate) fn card(&self) -> usize {
+        view_card(self.view())
+    }
+
+    /// Is bit `v` set?
+    pub(crate) fn contains(&self, v: u16) -> bool {
+        view_contains(self.view(), v)
+    }
+
+    /// Largest set bit, if any (the tail-invariant probe).
+    pub(crate) fn max(&self) -> Option<usize> {
+        match self {
+            Container::Empty => None,
+            Container::Array(a) => a.last().map(|&v| v as usize),
+            Container::Runs(r) => r.last().map(|&(_, e)| e as usize),
+            Container::Words(w) => w
+                .iter()
+                .rposition(|&x| x != 0)
+                .map(|wi| wi * 64 + 63 - w[wi].leading_zeros() as usize),
+        }
+    }
+
+    /// Heap bytes held by this container's payload (the resident-size
+    /// figure `BENCH_store.json` reports; capacity slack is ignored so
+    /// the number is deterministic).
+    pub(crate) fn heap_bytes(&self) -> usize {
+        match self {
+            Container::Empty => 0,
+            Container::Array(a) => a.len() * 2,
+            Container::Runs(r) => r.len() * 4,
+            Container::Words(_) => CHUNK_WORDS * 8,
+        }
+    }
+
+    /// Set bit `v`, promoting the container when its shape outgrows
+    /// its budget ([`ARRAY_MAX`] values / [`RUNS_MAX`] runs — the
+    /// replacement shape is re-picked by [`from_block`], so an array
+    /// that grew into a solid prefix promotes to runs, not words).
+    pub(crate) fn insert(&mut self, v: u16) {
+        match self {
+            Container::Empty => *self = Container::Array(vec![v]),
+            Container::Array(a) => {
+                if a.last().is_none_or(|&last| last < v) {
+                    a.push(v); // ascending fill: the `push`/`set`-in-order hot path
+                } else {
+                    match a.binary_search(&v) {
+                        Ok(_) => return,
+                        Err(i) => a.insert(i, v),
+                    }
+                }
+                if a.len() > ARRAY_MAX {
+                    let mut block = [0u64; CHUNK_WORDS];
+                    for &x in a.iter() {
+                        block[x as usize / 64] |= 1u64 << (x % 64);
+                    }
+                    *self = from_block(&block);
+                }
+            }
+            Container::Runs(rs) => {
+                let i = match rs.binary_search_by_key(&v, |&(s, _)| s) {
+                    Ok(_) => return, // v starts an existing run
+                    Err(i) => i,
+                };
+                if i > 0 && rs[i - 1].1 >= v {
+                    return; // covered by the previous run
+                }
+                let prev_adj = i > 0 && rs[i - 1].1 as usize + 1 == v as usize;
+                let next_adj = i < rs.len() && v as usize + 1 == rs[i].0 as usize;
+                match (prev_adj, next_adj) {
+                    (true, true) => {
+                        rs[i - 1].1 = rs[i].1;
+                        rs.remove(i);
+                    }
+                    (true, false) => rs[i - 1].1 = v,
+                    (false, true) => rs[i].0 = v,
+                    (false, false) => rs.insert(i, (v, v)),
+                }
+                if rs.len() > RUNS_MAX {
+                    let mut block = [0u64; CHUNK_WORDS];
+                    for &(s, e) in rs.iter() {
+                        set_range_in_block(&mut block, s as usize, e as usize);
+                    }
+                    *self = from_block(&block);
+                }
+            }
+            Container::Words(w) => w[v as usize / 64] |= 1u64 << (v % 64),
+        }
+    }
+
+    /// Clear bit `v`. May leave the container non-canonical (e.g. a
+    /// nearly empty word block); that is fine because every consumer is
+    /// shape-agnostic, and the next whole-chunk operation re-picks the
+    /// smallest shape.
+    pub(crate) fn remove(&mut self, v: u16) {
+        match self {
+            Container::Empty => {}
+            Container::Array(a) => {
+                if let Ok(i) = a.binary_search(&v) {
+                    a.remove(i);
+                    if a.is_empty() {
+                        *self = Container::Empty;
+                    }
+                }
+            }
+            Container::Runs(rs) => {
+                let i = match rs.binary_search_by_key(&v, |&(s, _)| s) {
+                    Ok(i) => i,
+                    Err(0) => return,
+                    Err(i) => i - 1,
+                };
+                let (s, e) = rs[i];
+                if v < s || v > e {
+                    return;
+                }
+                if s == e {
+                    rs.remove(i);
+                    if rs.is_empty() {
+                        *self = Container::Empty;
+                    }
+                } else if v == s {
+                    rs[i].0 = s + 1;
+                } else if v == e {
+                    rs[i].1 = e - 1;
+                } else {
+                    rs[i].1 = v - 1;
+                    rs.insert(i + 1, (v + 1, e));
+                }
+            }
+            Container::Words(w) => w[v as usize / 64] &= !(1u64 << (v % 64)),
+        }
+    }
+}
+
+/// Number of set bits in a view.
+pub(crate) fn view_card(v: ChunkView<'_>) -> usize {
+    match v {
+        ChunkView::Empty => 0,
+        ChunkView::Array(a) => a.len(),
+        ChunkView::Runs(rs) => rs.iter().map(|&(s, e)| e as usize - s as usize + 1).sum(),
+        ChunkView::Words(ws) => ws.iter().map(|w| w.count_ones() as usize).sum(),
+    }
+}
+
+/// Is bit `x` set in the view?
+pub(crate) fn view_contains(v: ChunkView<'_>, x: u16) -> bool {
+    match v {
+        ChunkView::Empty => false,
+        ChunkView::Array(a) => a.binary_search(&x).is_ok(),
+        ChunkView::Runs(rs) => match rs.binary_search_by_key(&x, |&(s, _)| s) {
+            Ok(_) => true,
+            Err(0) => false,
+            Err(i) => rs[i - 1].1 >= x,
+        },
+        ChunkView::Words(ws) => ws
+            .get(x as usize / 64)
+            .is_some_and(|w| w >> (x % 64) & 1 == 1),
+    }
+}
+
+/// Materialise a view into a zeroed 1024-word block.
+pub(crate) fn to_block(v: ChunkView<'_>, block: &mut [u64; CHUNK_WORDS]) {
+    block.fill(0);
+    match v {
+        ChunkView::Empty => {}
+        ChunkView::Array(a) => {
+            for &x in a {
+                block[x as usize / 64] |= 1u64 << (x % 64);
+            }
+        }
+        ChunkView::Runs(rs) => {
+            for &(s, e) in rs {
+                set_range_in_block(block, s as usize, e as usize);
+            }
+        }
+        ChunkView::Words(ws) => block[..ws.len()].copy_from_slice(ws),
+    }
+}
+
+/// Set the inclusive bit range `[a, b]` in a word block.
+pub(crate) fn set_range_in_block(block: &mut [u64; CHUNK_WORDS], a: usize, b: usize) {
+    debug_assert!(a <= b && b < CHUNK_BITS);
+    let (wa, wb) = (a / 64, b / 64);
+    let ma = !0u64 << (a % 64);
+    let mb = !0u64 >> (63 - b % 64);
+    if wa == wb {
+        block[wa] |= ma & mb;
+    } else {
+        block[wa] |= ma;
+        for w in &mut block[wa + 1..wb] {
+            *w = !0;
+        }
+        block[wb] |= mb;
+    }
+}
+
+/// Canonicalise a block into the smallest container shape: bytes are
+/// `2·card` (array, only if `card ≤ ARRAY_MAX`), `4·runs`, or the flat
+/// 8 KiB block; ties prefer the array (cheapest to intersect).
+pub(crate) fn from_block(block: &[u64; CHUNK_WORDS]) -> Container {
+    let mut card = 0usize;
+    let mut runs = 0usize;
+    let mut prev_msb = 0u64;
+    for &w in block.iter() {
+        card += w.count_ones() as usize;
+        // A run starts at every set bit whose predecessor bit is clear.
+        runs += (w & !((w << 1) | prev_msb)).count_ones() as usize;
+        prev_msb = w >> 63;
+    }
+    if card == 0 {
+        return Container::Empty;
+    }
+    let runs_bytes = 4 * runs;
+    if card <= ARRAY_MAX && 2 * card <= runs_bytes {
+        let mut a = Vec::with_capacity(card);
+        for (wi, &w) in block.iter().enumerate() {
+            let mut w = w;
+            while w != 0 {
+                a.push((wi * 64 + w.trailing_zeros() as usize) as u16);
+                w &= w - 1;
+            }
+        }
+        Container::Array(a)
+    } else if runs_bytes < CHUNK_WORDS * 8 {
+        Container::Runs(runs_of_block(block, runs))
+    } else {
+        Container::Words(Box::new(*block))
+    }
+}
+
+/// Extract the sorted inclusive runs of a block (`nruns` known from the
+/// counting pass, so the vec allocates once).
+fn runs_of_block(block: &[u64; CHUNK_WORDS], nruns: usize) -> Vec<(u16, u16)> {
+    let mut out = Vec::with_capacity(nruns);
+    let mut in_run = false;
+    let mut start = 0usize;
+    for (wi, &w) in block.iter().enumerate() {
+        if !in_run && w == 0 {
+            continue;
+        }
+        if in_run && w == !0u64 {
+            continue;
+        }
+        for b in 0..64 {
+            let bit = w >> b & 1 == 1;
+            let pos = wi * 64 + b;
+            if bit && !in_run {
+                start = pos;
+            }
+            if !bit && in_run {
+                out.push((start as u16, (pos - 1) as u16));
+            }
+            in_run = bit;
+        }
+    }
+    if in_run {
+        out.push((start as u16, (CHUNK_BITS - 1) as u16));
+    }
+    out
+}
+
+/// Deep-copy a view into an owned container of the same shape (word
+/// views shorter than a full block are zero-padded).
+pub(crate) fn to_container(v: ChunkView<'_>) -> Container {
+    match v {
+        ChunkView::Empty => Container::Empty,
+        ChunkView::Array(a) => {
+            if a.is_empty() {
+                Container::Empty
+            } else {
+                Container::Array(a.to_vec())
+            }
+        }
+        ChunkView::Runs(rs) => {
+            if rs.is_empty() {
+                Container::Empty
+            } else {
+                Container::Runs(rs.to_vec())
+            }
+        }
+        ChunkView::Words(ws) => {
+            let mut b = Box::new([0u64; CHUNK_WORDS]);
+            b[..ws.len()].copy_from_slice(ws);
+            from_shaped_words(b)
+        }
+    }
+}
+
+/// Keep a word block as a `Words` container unless it is empty.
+fn from_shaped_words(b: Box<[u64; CHUNK_WORDS]>) -> Container {
+    if b.iter().all(|&w| w == 0) {
+        Container::Empty
+    } else {
+        Container::Words(b)
+    }
+}
+
+/// `|a ∩ b|` without materialising — the INDEP-search hot kernel, with
+/// a fast path per shape pair.
+pub(crate) fn and_count_views(a: ChunkView<'_>, b: ChunkView<'_>) -> usize {
+    use ChunkView as V;
+    match (a, b) {
+        (V::Empty, _) | (_, V::Empty) => 0,
+        (V::Array(x), V::Array(y)) => {
+            // Two-pointer merge over sorted offsets.
+            let (mut i, mut j, mut n) = (0usize, 0usize, 0usize);
+            while i < x.len() && j < y.len() {
+                match x[i].cmp(&y[j]) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        n += 1;
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+            n
+        }
+        (V::Array(x), other) | (other, V::Array(x)) => {
+            x.iter().filter(|&&v| view_contains(other, v)).count()
+        }
+        (V::Words(x), V::Words(y)) => x
+            .iter()
+            .zip(y)
+            .map(|(p, q)| (p & q).count_ones() as usize)
+            .sum(),
+        (V::Runs(rs), V::Words(ws)) | (V::Words(ws), V::Runs(rs)) => rs
+            .iter()
+            .map(|&(s, e)| popcount_range(ws, s as usize, e as usize))
+            .sum(),
+        (V::Runs(x), V::Runs(y)) => {
+            // Two-pointer interval intersection.
+            let (mut i, mut j, mut n) = (0usize, 0usize, 0usize);
+            while i < x.len() && j < y.len() {
+                let lo = x[i].0.max(y[j].0) as usize;
+                let hi = x[i].1.min(y[j].1) as usize;
+                if lo <= hi {
+                    n += hi - lo + 1;
+                }
+                if x[i].1 <= y[j].1 {
+                    i += 1;
+                } else {
+                    j += 1;
+                }
+            }
+            n
+        }
+    }
+}
+
+/// Popcount of the inclusive bit range `[s, e]` of a word slice (words
+/// beyond the slice are implicitly zero).
+fn popcount_range(ws: &[u64], s: usize, e: usize) -> usize {
+    let get = |i: usize| ws.get(i).copied().unwrap_or(0);
+    let (wa, wb) = (s / 64, e / 64);
+    let ma = !0u64 << (s % 64);
+    let mb = !0u64 >> (63 - e % 64);
+    if wa == wb {
+        return (get(wa) & ma & mb).count_ones() as usize;
+    }
+    let mut n = (get(wa) & ma).count_ones() as usize + (get(wb) & mb).count_ones() as usize;
+    if wa + 1 < ws.len() {
+        for w in &ws[wa + 1..wb.min(ws.len())] {
+            n += w.count_ones() as usize;
+        }
+    }
+    n
+}
+
+/// `a ∩ b` as a canonical container.
+pub(crate) fn and_views(a: ChunkView<'_>, b: ChunkView<'_>) -> Container {
+    use ChunkView as V;
+    match (a, b) {
+        (V::Empty, _) | (_, V::Empty) => Container::Empty,
+        (V::Array(x), other) | (other, V::Array(x)) => {
+            let vals: Vec<u16> = x
+                .iter()
+                .copied()
+                .filter(|&v| view_contains(other, v))
+                .collect();
+            if vals.is_empty() {
+                Container::Empty
+            } else {
+                Container::Array(vals)
+            }
+        }
+        _ => {
+            let mut ba = [0u64; CHUNK_WORDS];
+            let mut bb = [0u64; CHUNK_WORDS];
+            to_block(a, &mut ba);
+            to_block(b, &mut bb);
+            for (p, q) in ba.iter_mut().zip(bb.iter()) {
+                *p &= q;
+            }
+            from_block(&ba)
+        }
+    }
+}
+
+/// `a ∪ b` as a canonical container.
+pub(crate) fn or_views(a: ChunkView<'_>, b: ChunkView<'_>) -> Container {
+    use ChunkView as V;
+    match (a, b) {
+        (V::Empty, v) | (v, V::Empty) => to_container(v),
+        _ => {
+            let mut ba = [0u64; CHUNK_WORDS];
+            let mut bb = [0u64; CHUNK_WORDS];
+            to_block(a, &mut ba);
+            to_block(b, &mut bb);
+            for (p, q) in ba.iter_mut().zip(bb.iter()) {
+                *p |= q;
+            }
+            from_block(&ba)
+        }
+    }
+}
+
+/// `a \ b` as a canonical container.
+pub(crate) fn andnot_views(a: ChunkView<'_>, b: ChunkView<'_>) -> Container {
+    use ChunkView as V;
+    match (a, b) {
+        (V::Empty, _) => Container::Empty,
+        (v, V::Empty) => to_container(v),
+        (V::Array(x), other) => {
+            let vals: Vec<u16> = x
+                .iter()
+                .copied()
+                .filter(|&v| !view_contains(other, v))
+                .collect();
+            if vals.is_empty() {
+                Container::Empty
+            } else {
+                Container::Array(vals)
+            }
+        }
+        _ => {
+            let mut ba = [0u64; CHUNK_WORDS];
+            let mut bb = [0u64; CHUNK_WORDS];
+            to_block(a, &mut ba);
+            to_block(b, &mut bb);
+            for (p, q) in ba.iter_mut().zip(bb.iter()) {
+                *p &= !q;
+            }
+            from_block(&ba)
+        }
+    }
+}
+
+/// Complement of `a` within the chunk's first `limit` bits (the last
+/// chunk of a bitmap is partial; `limit < CHUNK_BITS` masks its tail).
+pub(crate) fn not_view(a: ChunkView<'_>, limit: usize) -> Container {
+    debug_assert!(0 < limit && limit <= CHUNK_BITS);
+    match a {
+        ChunkView::Empty => Container::Runs(vec![(0, (limit - 1) as u16)]),
+        ChunkView::Runs(rs) => {
+            // Walk the gaps; the complement has at most runs+1 runs.
+            let mut out = Vec::with_capacity(rs.len() + 1);
+            let mut next = 0usize;
+            for &(s, e) in rs {
+                let s = s as usize;
+                if s >= limit {
+                    break;
+                }
+                if s > next {
+                    out.push((next as u16, (s - 1) as u16));
+                }
+                next = e as usize + 1;
+            }
+            if next < limit {
+                out.push((next as u16, (limit - 1) as u16));
+            }
+            if out.is_empty() {
+                Container::Empty
+            } else {
+                Container::Runs(out)
+            }
+        }
+        _ => {
+            let mut b = [0u64; CHUNK_WORDS];
+            to_block(a, &mut b);
+            for w in b.iter_mut() {
+                *w = !*w;
+            }
+            mask_block_tail(&mut b, limit);
+            from_block(&b)
+        }
+    }
+}
+
+/// Zero every bit at position `≥ limit` in a block.
+pub(crate) fn mask_block_tail(block: &mut [u64; CHUNK_WORDS], limit: usize) {
+    debug_assert!(limit <= CHUNK_BITS);
+    if limit == CHUNK_BITS {
+        return;
+    }
+    let wl = limit / 64;
+    if !limit.is_multiple_of(64) {
+        block[wl] &= (1u64 << (limit % 64)) - 1;
+        block[wl + 1..].fill(0);
+    } else {
+        block[wl..].fill(0);
+    }
+}
+
+/// Ascending iterator over the set-bit offsets of one chunk view.
+pub(crate) enum ContainerIter<'a> {
+    /// Nothing to yield.
+    Empty,
+    /// Walk the sorted offsets.
+    Array(std::slice::Iter<'a, u16>),
+    /// Walk the intervals, expanding each.
+    Runs {
+        /// Remaining runs (`idx` indexes into this).
+        runs: &'a [(u16, u16)],
+        /// Current run.
+        idx: usize,
+        /// Next offset to yield (clamped up to the current run's start).
+        next: u32,
+    },
+    /// Walk the words, clearing the lowest set bit of `cur`.
+    Words {
+        /// The chunk's words.
+        words: &'a [u64],
+        /// Current word index.
+        wi: usize,
+        /// Remaining bits of the current word.
+        cur: u64,
+    },
+}
+
+/// Iterate a chunk view's set bits in ascending order.
+pub(crate) fn view_iter(v: ChunkView<'_>) -> ContainerIter<'_> {
+    match v {
+        ChunkView::Empty => ContainerIter::Empty,
+        ChunkView::Array(a) => ContainerIter::Array(a.iter()),
+        ChunkView::Runs(rs) => ContainerIter::Runs {
+            runs: rs,
+            idx: 0,
+            next: 0,
+        },
+        ChunkView::Words(ws) => ContainerIter::Words {
+            words: ws,
+            wi: 0,
+            cur: ws.first().copied().unwrap_or(0),
+        },
+    }
+}
+
+impl Iterator for ContainerIter<'_> {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        match self {
+            ContainerIter::Empty => None,
+            ContainerIter::Array(it) => it.next().map(|&v| v as u32),
+            ContainerIter::Runs { runs, idx, next } => {
+                let &(s, e) = runs.get(*idx)?;
+                if *next < s as u32 {
+                    *next = s as u32;
+                }
+                let v = *next;
+                if v >= e as u32 {
+                    *idx += 1;
+                    *next = 0;
+                } else {
+                    *next = v + 1;
+                }
+                Some(v)
+            }
+            ContainerIter::Words { words, wi, cur } => {
+                while *cur == 0 {
+                    *wi += 1;
+                    if *wi >= words.len() {
+                        return None;
+                    }
+                    *cur = words[*wi];
+                }
+                let bit = cur.trailing_zeros();
+                *cur &= *cur - 1;
+                Some(*wi as u32 * 64 + bit)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block_of(bits: &[usize]) -> [u64; CHUNK_WORDS] {
+        let mut b = [0u64; CHUNK_WORDS];
+        for &i in bits {
+            b[i / 64] |= 1u64 << (i % 64);
+        }
+        b
+    }
+
+    #[test]
+    fn from_block_picks_the_smallest_shape() {
+        // Sparse scattered bits → array.
+        let sparse = block_of(&[0, 100, 9_999, 65_535]);
+        assert!(matches!(from_block(&sparse), Container::Array(a) if a.len() == 4));
+        // One solid stretch → runs (4 bytes beats 2·card as soon as card > 2).
+        let mut solid = [0u64; CHUNK_WORDS];
+        set_range_in_block(&mut solid, 10, 60_000);
+        assert!(matches!(from_block(&solid), Container::Runs(r) if r == vec![(10, 60_000)]));
+        // Everything set → a single run.
+        let full = [!0u64; CHUNK_WORDS];
+        assert!(matches!(from_block(&full), Container::Runs(r) if r == vec![(0, 65_535)]));
+        // Alternating bits → no structure, keep the words.
+        let mut alt = [0u64; CHUNK_WORDS];
+        for w in alt.iter_mut() {
+            *w = 0xAAAA_AAAA_AAAA_AAAA;
+        }
+        assert!(matches!(from_block(&alt), Container::Words(_)));
+        // Nothing set → empty.
+        assert!(matches!(from_block(&[0u64; CHUNK_WORDS]), Container::Empty));
+    }
+
+    #[test]
+    fn exactly_array_max_values_stay_an_array_one_more_promotes() {
+        let mut c = Container::Empty;
+        // 4096 widely spaced values (stride 16 keeps runs expensive).
+        for i in 0..ARRAY_MAX as u32 {
+            c.insert((i * 16) as u16);
+        }
+        assert!(matches!(&c, Container::Array(a) if a.len() == ARRAY_MAX));
+        c.insert(1); // 4097th distinct value
+        assert!(
+            !matches!(&c, Container::Array(_)),
+            "array failed to promote"
+        );
+        assert_eq!(c.card(), ARRAY_MAX + 1);
+        assert!(c.contains(1) && c.contains(16) && !c.contains(2));
+    }
+
+    #[test]
+    fn ascending_array_fill_promotes_to_runs_not_words() {
+        // 0..=4096 contiguous: after promotion the canonical shape is a
+        // single run, not an 8 KiB block.
+        let mut c = Container::Empty;
+        for i in 0..=ARRAY_MAX as u32 {
+            c.insert(i as u16);
+        }
+        assert!(matches!(&c, Container::Runs(r) if r == &vec![(0, ARRAY_MAX as u16)]));
+    }
+
+    #[test]
+    fn run_insert_merges_and_splits() {
+        let mut c = Container::Runs(vec![(10, 20), (30, 40)]);
+        c.insert(25);
+        assert!(matches!(&c, Container::Runs(r) if r == &vec![(10, 20), (25, 25), (30, 40)]));
+        c.insert(21); // extends first run
+        c.insert(24); // extends the middle singleton downward… then:
+        c.insert(22);
+        c.insert(23); // bridges 10..=25
+        assert!(matches!(&c, Container::Runs(r) if r[0] == (10, 25)));
+        c.remove(15);
+        assert!(matches!(&c, Container::Runs(r) if r[0] == (10, 14) && r[1] == (16, 25)));
+        c.remove(10);
+        c.remove(25);
+        assert!(c.contains(11) && c.contains(24) && !c.contains(10) && !c.contains(25));
+    }
+
+    #[test]
+    fn view_contains_and_card_agree_across_shapes() {
+        let bits: Vec<usize> = (0..CHUNK_BITS)
+            .filter(|i| i % 97 == 0 || i / 7 % 13 == 0)
+            .collect();
+        let block = block_of(&bits);
+        let canonical = from_block(&block);
+        let words = Container::Words(Box::new(block));
+        for c in [&canonical, &words] {
+            assert_eq!(c.card(), bits.len());
+            for &i in &bits[..200.min(bits.len())] {
+                assert!(c.contains(i as u16));
+            }
+            assert!(!c.contains(8)); // 8 % 97 != 0 and (8/7) % 13 != 0
+        }
+        assert_eq!(and_count_views(canonical.view(), words.view()), bits.len());
+    }
+
+    #[test]
+    fn and_count_matches_block_math_for_every_shape_pair() {
+        let a_bits: Vec<usize> = (0..CHUNK_BITS).step_by(3).collect();
+        let b_bits: Vec<usize> = (1000..30_000).collect();
+        let (ba, bb) = (block_of(&a_bits), block_of(&b_bits));
+        let expect: usize = ba
+            .iter()
+            .zip(bb.iter())
+            .map(|(x, y)| (x & y).count_ones() as usize)
+            .sum();
+        let shapes_a = [from_block(&ba), Container::Words(Box::new(ba))];
+        let shapes_b = [from_block(&bb), Container::Words(Box::new(bb))];
+        for x in &shapes_a {
+            for y in &shapes_b {
+                assert_eq!(and_count_views(x.view(), y.view()), expect);
+                assert_eq!(and_views(x.view(), y.view()).card(), expect);
+            }
+        }
+    }
+
+    #[test]
+    fn not_view_of_runs_walks_gaps() {
+        let c = Container::Runs(vec![(0, 9), (20, 29)]);
+        let n = not_view(c.view(), 40);
+        assert!(matches!(&n, Container::Runs(r) if r == &vec![(10, 19), (30, 39)]));
+        let full = not_view(ChunkView::Empty, CHUNK_BITS);
+        assert!(matches!(&full, Container::Runs(r) if r == &vec![(0, 65_535)]));
+        assert!(matches!(
+            not_view(full.view(), CHUNK_BITS),
+            Container::Empty
+        ));
+    }
+
+    #[test]
+    fn container_iter_is_ascending_for_every_shape() {
+        let bits: Vec<u32> = vec![0, 1, 63, 64, 65, 1000, 65_535];
+        let block = block_of(&bits.iter().map(|&b| b as usize).collect::<Vec<_>>());
+        for c in [
+            from_block(&block),
+            Container::Words(Box::new(block)),
+            Container::Runs(vec![(0, 1), (63, 65), (1000, 1000), (65_535, 65_535)]),
+        ] {
+            assert_eq!(view_iter(c.view()).collect::<Vec<_>>(), bits);
+        }
+        assert_eq!(view_iter(ChunkView::Empty).count(), 0);
+    }
+}

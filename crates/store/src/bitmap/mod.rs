@@ -1,0 +1,1356 @@
+//! Selection bitmaps: the vectorised "selection vector" of the engine.
+//!
+//! Every predicate evaluation produces a [`Bitmap`] with one bit per row of
+//! the table. Conjunctions are bitwise ANDs, segment disjointness checks
+//! are AND + count, covers are popcounts. Keeping selections as bitmaps is
+//! what makes the advisor's inner loop (thousands of intersection counts
+//! during INDEP search) cheap.
+//!
+//! # Two representations, one value
+//!
+//! A `Bitmap` stores its bits in one of two interchangeable layouts:
+//!
+//! * **Dense** — one flat `Vec<u64>`, 1 bit per addressable row. Simple
+//!   and cache-friendly, but a selection over 10⁸ rows costs ~12 MB no
+//!   matter how few rows it actually selects.
+//! * **Compressed** — Roaring-style: the row space is cut into 64 Ki-bit
+//!   chunks, each stored as a sorted `u16` array (sparse), a run list
+//!   (solid stretches — an all-set chunk is 4 bytes), or a dense word
+//!   block (no structure), whichever is smallest. A drill-down selecting
+//!   10 k of 10⁸ rows drops from ~12 MB to tens of KB. See
+//!   the `compressed` module for the container shapes and promotion
+//!   rules.
+//!
+//! The representation is **never observable through results**: equality,
+//! hashing, iteration and every set operation are defined on content, and
+//! mixed-representation operands are legal everywhere (each operation
+//! dispatches per chunk; a dense bitmap's chunks are plain word-slice
+//! views). `tests/bitmap_containers.rs` pins this with a differential
+//! battery replaying random op sequences against the dense layout as a
+//! bitwise oracle, and `tests/backend_contract.rs` pins bitwise-equal
+//! advisor output over both layouts.
+//!
+//! Which layout new bitmaps get is a process-wide default: dense, unless
+//! the `compressed-bitmap` cargo feature or `CHARLES_BITMAP=compressed`
+//! says otherwise (see [`set_compressed_selections`]). Operations follow
+//! their operands (`slice` keeps `self`'s layout, binary ops yield a
+//! compressed result iff either operand is compressed), so a process
+//! stays in one layout unless told otherwise.
+
+use std::borrow::Cow;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU8, Ordering};
+
+pub(crate) mod compressed;
+
+use compressed::{ChunkView, Container, CHUNK_BITS, CHUNK_WORDS};
+
+const WORD_BITS: usize = 64;
+
+const MODE_UNSET: u8 = 0;
+const MODE_DENSE: u8 = 1;
+const MODE_COMPRESSED: u8 = 2;
+
+/// Process-wide default layout for newly constructed bitmaps, resolved
+/// lazily from (in order) [`set_compressed_selections`], the
+/// `CHARLES_BITMAP` env var (`dense` / `compressed`), and the
+/// `compressed-bitmap` cargo feature.
+static BITMAP_MODE: AtomicU8 = AtomicU8::new(MODE_UNSET);
+
+fn compressed_default() -> bool {
+    match BITMAP_MODE.load(Ordering::Relaxed) {
+        MODE_DENSE => false,
+        MODE_COMPRESSED => true,
+        _ => {
+            let on = match std::env::var("CHARLES_BITMAP").as_deref() {
+                Ok("compressed") => true,
+                Ok("dense") => false,
+                _ => cfg!(feature = "compressed-bitmap"),
+            };
+            BITMAP_MODE.store(
+                if on { MODE_COMPRESSED } else { MODE_DENSE },
+                Ordering::Relaxed,
+            );
+            on
+        }
+    }
+}
+
+/// Override the process-wide default layout for new bitmaps:
+/// `Some(true)` → compressed, `Some(false)` → dense, `None` → forget the
+/// override and re-read `CHARLES_BITMAP` / the `compressed-bitmap`
+/// feature on next use. Existing bitmaps keep their layout; results are
+/// bitwise identical either way (that is the point — this switch trades
+/// memory against per-op constant factors, never answers).
+pub fn set_compressed_selections(mode: Option<bool>) {
+    BITMAP_MODE.store(
+        match mode {
+            Some(true) => MODE_COMPRESSED,
+            Some(false) => MODE_DENSE,
+            None => MODE_UNSET,
+        },
+        Ordering::Relaxed,
+    );
+}
+
+/// The layout newly constructed bitmaps currently get (see
+/// [`set_compressed_selections`]).
+pub fn compressed_selections() -> bool {
+    compressed_default()
+}
+
+/// A fixed-length bitmap over row indices `0..len`.
+#[derive(Clone)]
+pub struct Bitmap {
+    repr: Repr,
+    len: usize,
+}
+
+/// The two physical layouts (see the module docs).
+#[derive(Clone)]
+enum Repr {
+    /// Flat little-endian word layout: bit `i` at word `i/64`.
+    Dense(Vec<u64>),
+    /// One container per 64 Ki-bit chunk, indexed by `i >> 16`.
+    Chunks(Vec<Container>),
+}
+
+fn n_chunks(len: usize) -> usize {
+    len.div_ceil(CHUNK_BITS)
+}
+
+impl Bitmap {
+    /// All-zeros bitmap of the given length.
+    pub fn new(len: usize) -> Bitmap {
+        if compressed_default() {
+            Bitmap {
+                repr: Repr::Chunks(vec![Container::Empty; n_chunks(len)]),
+                len,
+            }
+        } else {
+            Bitmap {
+                repr: Repr::Dense(vec![0; len.div_ceil(WORD_BITS)]),
+                len,
+            }
+        }
+    }
+
+    /// All-ones bitmap of the given length.
+    pub fn ones(len: usize) -> Bitmap {
+        if compressed_default() {
+            let cs = (0..n_chunks(len))
+                .map(|ci| Container::Runs(vec![(0, (chunk_limit(len, ci) - 1) as u16)]))
+                .collect();
+            Bitmap {
+                repr: Repr::Chunks(cs),
+                len,
+            }
+        } else {
+            let mut bm = Bitmap {
+                repr: Repr::Dense(vec![u64::MAX; len.div_ceil(WORD_BITS)]),
+                len,
+            };
+            bm.clear_tail();
+            bm
+        }
+    }
+
+    /// Build from an iterator of row indices (need not be sorted).
+    pub fn from_indices(len: usize, indices: impl IntoIterator<Item = usize>) -> Bitmap {
+        let mut bm = Bitmap::new(len);
+        for i in indices {
+            bm.set(i);
+        }
+        bm
+    }
+
+    /// Number of addressable rows.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the bitmap addresses zero rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// True when this bitmap uses the compressed chunk layout.
+    pub fn is_compressed(&self) -> bool {
+        matches!(self.repr, Repr::Chunks(_))
+    }
+
+    /// Heap bytes this bitmap's payload occupies: `words·8` for the
+    /// dense layout, per-container payload plus the fixed per-chunk
+    /// container header for the compressed one. Deterministic (capacity
+    /// slack is not counted) — this is the "resident selection bytes"
+    /// figure `BENCH_store.json` gates on.
+    pub fn resident_bytes(&self) -> usize {
+        match &self.repr {
+            Repr::Dense(w) => w.len() * 8,
+            Repr::Chunks(cs) => cs
+                .iter()
+                .map(|c| std::mem::size_of::<Container>() + c.heap_bytes())
+                .sum(),
+        }
+    }
+
+    /// This bitmap's content in the compressed layout (clone if already
+    /// compressed). Canonicalises every chunk into its smallest shape.
+    pub fn compress(&self) -> Bitmap {
+        match &self.repr {
+            Repr::Chunks(_) => self.clone(),
+            Repr::Dense(w) => {
+                let mut cs = Vec::with_capacity(n_chunks(self.len));
+                let mut block = [0u64; CHUNK_WORDS];
+                for ci in 0..n_chunks(self.len) {
+                    let s = ci * CHUNK_WORDS;
+                    let e = ((ci + 1) * CHUNK_WORDS).min(w.len());
+                    block.fill(0);
+                    block[..e - s].copy_from_slice(&w[s..e]);
+                    cs.push(compressed::from_block(&block));
+                }
+                Bitmap {
+                    repr: Repr::Chunks(cs),
+                    len: self.len,
+                }
+            }
+        }
+    }
+
+    /// This bitmap's content in the dense layout (clone if already
+    /// dense).
+    pub fn to_dense(&self) -> Bitmap {
+        match &self.repr {
+            Repr::Dense(_) => self.clone(),
+            Repr::Chunks(_) => {
+                let mut words = Vec::with_capacity(self.len.div_ceil(WORD_BITS));
+                self.for_each_word(|w| words.push(w));
+                Bitmap {
+                    repr: Repr::Dense(words),
+                    len: self.len,
+                }
+            }
+        }
+    }
+
+    /// Set bit `i`. Panics if out of range (programming error).
+    pub fn set(&mut self, i: usize) {
+        assert!(i < self.len, "bit {i} out of range {}", self.len);
+        match &mut self.repr {
+            Repr::Dense(w) => w[i / WORD_BITS] |= 1u64 << (i % WORD_BITS),
+            Repr::Chunks(cs) => cs[i / CHUNK_BITS].insert((i % CHUNK_BITS) as u16),
+        }
+    }
+
+    /// Clear bit `i`.
+    pub fn unset(&mut self, i: usize) {
+        assert!(i < self.len, "bit {i} out of range {}", self.len);
+        match &mut self.repr {
+            Repr::Dense(w) => w[i / WORD_BITS] &= !(1u64 << (i % WORD_BITS)),
+            Repr::Chunks(cs) => cs[i / CHUNK_BITS].remove((i % CHUNK_BITS) as u16),
+        }
+    }
+
+    /// Read bit `i`.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit {i} out of range {}", self.len);
+        match &self.repr {
+            Repr::Dense(w) => w[i / WORD_BITS] >> (i % WORD_BITS) & 1 == 1,
+            Repr::Chunks(cs) => cs[i / CHUNK_BITS].contains((i % CHUNK_BITS) as u16),
+        }
+    }
+
+    /// Number of set bits (the *count over a predicate* of the paper).
+    pub fn count_ones(&self) -> usize {
+        match &self.repr {
+            Repr::Dense(w) => w.iter().map(|x| x.count_ones() as usize).sum(),
+            Repr::Chunks(cs) => cs.iter().map(|c| c.card()).sum(),
+        }
+    }
+
+    /// True if no bit is set.
+    pub fn none(&self) -> bool {
+        match &self.repr {
+            Repr::Dense(w) => w.iter().all(|&x| x == 0),
+            Repr::Chunks(cs) => cs.iter().all(|c| c.card() == 0),
+        }
+    }
+
+    /// One chunk's content as a layout-agnostic view (the per-chunk
+    /// dispatch point every mixed-representation operation goes
+    /// through).
+    fn chunk_view(&self, ci: usize) -> ChunkView<'_> {
+        match &self.repr {
+            Repr::Dense(w) => {
+                let start = ci * CHUNK_WORDS;
+                let end = ((ci + 1) * CHUNK_WORDS).min(w.len());
+                ChunkView::Words(&w[start..end])
+            }
+            Repr::Chunks(cs) => cs[ci].view(),
+        }
+    }
+
+    /// Chunk-wise binary operation; used whenever at least one operand
+    /// is compressed, so the result is compressed too.
+    fn zip_chunks(
+        &self,
+        other: &Bitmap,
+        op: fn(ChunkView<'_>, ChunkView<'_>) -> Container,
+    ) -> Bitmap {
+        let cs = (0..n_chunks(self.len))
+            .map(|ci| op(self.chunk_view(ci), other.chunk_view(ci)))
+            .collect();
+        Bitmap {
+            repr: Repr::Chunks(cs),
+            len: self.len,
+        }
+    }
+
+    /// In-place intersection with another bitmap of the same length.
+    pub fn and_inplace(&mut self, other: &Bitmap) {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        if let (Repr::Dense(a), Repr::Dense(b)) = (&mut self.repr, &other.repr) {
+            for (x, y) in a.iter_mut().zip(b) {
+                *x &= *y;
+            }
+        } else {
+            *self = self.zip_chunks(other, compressed::and_views);
+        }
+    }
+
+    /// New bitmap: `self ∩ other`.
+    pub fn and(&self, other: &Bitmap) -> Bitmap {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        match (&self.repr, &other.repr) {
+            (Repr::Dense(a), Repr::Dense(b)) => Bitmap {
+                repr: Repr::Dense(a.iter().zip(b).map(|(x, y)| x & y).collect()),
+                len: self.len,
+            },
+            _ => self.zip_chunks(other, compressed::and_views),
+        }
+    }
+
+    /// New bitmap: `self ∪ other`.
+    pub fn or(&self, other: &Bitmap) -> Bitmap {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        match (&self.repr, &other.repr) {
+            (Repr::Dense(a), Repr::Dense(b)) => Bitmap {
+                repr: Repr::Dense(a.iter().zip(b).map(|(x, y)| x | y).collect()),
+                len: self.len,
+            },
+            _ => self.zip_chunks(other, compressed::or_views),
+        }
+    }
+
+    /// New bitmap: `self \ other`.
+    pub fn and_not(&self, other: &Bitmap) -> Bitmap {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        match (&self.repr, &other.repr) {
+            (Repr::Dense(a), Repr::Dense(b)) => Bitmap {
+                repr: Repr::Dense(a.iter().zip(b).map(|(x, y)| x & !y).collect()),
+                len: self.len,
+            },
+            _ => self.zip_chunks(other, compressed::andnot_views),
+        }
+    }
+
+    /// New bitmap: complement within `0..len`.
+    pub fn not(&self) -> Bitmap {
+        match &self.repr {
+            Repr::Dense(w) => {
+                let mut out = Bitmap {
+                    repr: Repr::Dense(w.iter().map(|x| !x).collect()),
+                    len: self.len,
+                };
+                out.clear_tail();
+                out
+            }
+            Repr::Chunks(_) => {
+                let cs = (0..n_chunks(self.len))
+                    .map(|ci| compressed::not_view(self.chunk_view(ci), chunk_limit(self.len, ci)))
+                    .collect();
+                Bitmap {
+                    repr: Repr::Chunks(cs),
+                    len: self.len,
+                }
+            }
+        }
+    }
+
+    /// `|self ∩ other|` without materialising the intersection — the hot
+    /// operation of INDEP search (pairwise product cell counts).
+    pub fn and_count(&self, other: &Bitmap) -> usize {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        match (&self.repr, &other.repr) {
+            (Repr::Dense(a), Repr::Dense(b)) => a
+                .iter()
+                .zip(b)
+                .map(|(x, y)| (x & y).count_ones() as usize)
+                .sum(),
+            _ => (0..n_chunks(self.len))
+                .map(|ci| compressed::and_count_views(self.chunk_view(ci), other.chunk_view(ci)))
+                .sum(),
+        }
+    }
+
+    /// True if the two bitmaps share no set bit (segment disjointness).
+    pub fn is_disjoint(&self, other: &Bitmap) -> bool {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        match (&self.repr, &other.repr) {
+            (Repr::Dense(a), Repr::Dense(b)) => a.iter().zip(b).all(|(x, y)| x & y == 0),
+            _ => (0..n_chunks(self.len)).all(|ci| {
+                compressed::and_count_views(self.chunk_view(ci), other.chunk_view(ci)) == 0
+            }),
+        }
+    }
+
+    /// True if every set bit of `self` is set in `other`.
+    pub fn is_subset_of(&self, other: &Bitmap) -> bool {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        match (&self.repr, &other.repr) {
+            (Repr::Dense(a), Repr::Dense(b)) => a.iter().zip(b).all(|(x, y)| x & !y == 0),
+            _ => (0..n_chunks(self.len)).all(|ci| {
+                let a = self.chunk_view(ci);
+                compressed::and_count_views(a, other.chunk_view(ci)) == compressed::view_card(a)
+            }),
+        }
+    }
+
+    /// Append one bit, growing the bitmap by one row (amortized O(1)).
+    /// Used by load paths that build validity masks incrementally.
+    pub fn push(&mut self, value: bool) {
+        // Invariant: no bit beyond `len` may be set — otherwise the
+        // pushed position could inherit a stale bit from a previous
+        // occupant. All constructors uphold this (see `clear_tail`), so
+        // a dirty tail is a bug; restore the pushed position anyway so
+        // `push` never silently corrupts the new row.
+        debug_assert!(self.tail_is_clear(), "stale bits beyond len {}", self.len);
+        let i = self.len;
+        self.len += 1;
+        match &mut self.repr {
+            Repr::Dense(w) => {
+                // Cheap full repair for the dense layout (last word only).
+                let tail = i % WORD_BITS;
+                if tail != 0 {
+                    if let Some(last) = w.last_mut() {
+                        *last &= (1u64 << tail) - 1;
+                    }
+                }
+                if w.len() * WORD_BITS < self.len {
+                    w.push(0);
+                }
+                if value {
+                    w[i / WORD_BITS] |= 1u64 << (i % WORD_BITS);
+                }
+            }
+            Repr::Chunks(cs) => {
+                if cs.len() * CHUNK_BITS < self.len {
+                    cs.push(Container::Empty);
+                }
+                let c = &mut cs[i / CHUNK_BITS];
+                let v = (i % CHUNK_BITS) as u16;
+                if value {
+                    c.insert(v);
+                } else if c.contains(v) {
+                    c.remove(v); // repair a stale bit at the pushed row
+                }
+            }
+        }
+    }
+
+    /// Append all bits of `other` after the bits of `self` (offset-aware:
+    /// bit `i` of `other` lands at `self.len() + i`). This is the shard
+    /// concatenation primitive — per-shard selection bitmaps glue back
+    /// into one table-wide selection in shard order.
+    pub fn append(&mut self, other: &Bitmap) {
+        if other.len == 0 {
+            return;
+        }
+        if matches!(self.repr, Repr::Chunks(_)) {
+            let old_len = self.len;
+            self.len += other.len;
+            let Repr::Chunks(cs) = &mut self.repr else {
+                unreachable!()
+            };
+            cs.resize(n_chunks(old_len + other.len), Container::Empty);
+            blit(cs, old_len, other, 0, other.len);
+        } else {
+            self.append_words(&other.words(), other.len);
+        }
+    }
+
+    /// Dense-layout append: shift `olen` bits of `ow` onto the tail.
+    fn append_words(&mut self, ow: &[u64], olen: usize) {
+        let new_len = self.len + olen;
+        let shift = self.len % WORD_BITS;
+        let Repr::Dense(words) = &mut self.repr else {
+            unreachable!("append_words is only called on the dense layout")
+        };
+        if shift == 0 {
+            words.extend_from_slice(ow);
+        } else {
+            let inv = WORD_BITS - shift;
+            for &w in ow {
+                *words
+                    .last_mut()
+                    .expect("non-word-aligned len implies at least one word") // lint:allow(panic) len % 64 != 0 implies a non-empty word vec
+                    |= w << shift;
+                words.push(w >> inv);
+            }
+        }
+        words.truncate(new_len.div_ceil(WORD_BITS));
+        self.len = new_len;
+        self.clear_tail();
+    }
+
+    /// Concatenate bitmaps in order: row `i` of part `k` becomes row
+    /// `len(part 0) + … + len(part k-1) + i` of the result.
+    pub fn concat<'a>(parts: impl IntoIterator<Item = &'a Bitmap>) -> Bitmap {
+        let mut out = Bitmap::new(0);
+        for p in parts {
+            out.append(p);
+        }
+        out
+    }
+
+    /// The sub-bitmap covering rows `start..end` (bit `start + i` of
+    /// `self` becomes bit `i`). Inverse of [`Bitmap::append`]; sharded
+    /// backends use it to restrict a table-wide selection to one shard's
+    /// row range. Keeps `self`'s layout.
+    pub fn slice(&self, start: usize, end: usize) -> Bitmap {
+        assert!(
+            start <= end && end <= self.len,
+            "slice {start}..{end} out of range {}",
+            self.len
+        );
+        match &self.repr {
+            Repr::Dense(words) => {
+                let mut ow = vec![0u64; (end - start).div_ceil(WORD_BITS)];
+                let shift = start % WORD_BITS;
+                let first = start / WORD_BITS;
+                for (k, out_word) in ow.iter_mut().enumerate() {
+                    let lo = words[first + k] >> shift;
+                    let hi = if shift == 0 {
+                        0
+                    } else {
+                        words
+                            .get(first + k + 1)
+                            .map_or(0, |w| w << (WORD_BITS - shift))
+                    };
+                    *out_word = lo | hi;
+                }
+                let mut out = Bitmap {
+                    repr: Repr::Dense(ow),
+                    len: end - start,
+                };
+                out.clear_tail();
+                out
+            }
+            Repr::Chunks(_) => {
+                let mut cs = vec![Container::Empty; n_chunks(end - start)];
+                blit(&mut cs, 0, self, start, end);
+                Bitmap {
+                    repr: Repr::Chunks(cs),
+                    len: end - start,
+                }
+            }
+        }
+    }
+
+    /// The flat 64-bit word layout (bit `i` lives at word `i / 64`, bit
+    /// position `i % 64`; bits beyond `len` in the last word are zero).
+    /// This is the layout the on-disk `.charles` format serialises
+    /// verbatim — see `docs/FORMAT.md`. Borrowed for dense bitmaps,
+    /// materialised on the fly for compressed ones.
+    pub fn words(&self) -> Cow<'_, [u64]> {
+        match &self.repr {
+            Repr::Dense(w) => Cow::Borrowed(w.as_slice()),
+            Repr::Chunks(_) => {
+                let mut words = Vec::with_capacity(self.len.div_ceil(WORD_BITS));
+                self.for_each_word(|w| words.push(w));
+                Cow::Owned(words)
+            }
+        }
+    }
+
+    /// Rebuild a bitmap from its word layout (inverse of
+    /// [`Bitmap::words`]). Returns `None` when `words` is not exactly
+    /// `len.div_ceil(64)` words long or a bit beyond `len` is set — the
+    /// two ways a deserialised buffer can violate the invariants every
+    /// other operation assumes. The result follows the process-wide
+    /// default layout.
+    pub fn from_words(words: Vec<u64>, len: usize) -> Option<Bitmap> {
+        if words.len() != len.div_ceil(WORD_BITS) {
+            return None;
+        }
+        let bm = Bitmap {
+            repr: Repr::Dense(words),
+            len,
+        };
+        if !bm.tail_is_clear() {
+            return None;
+        }
+        Some(if compressed_default() {
+            bm.compress()
+        } else {
+            bm
+        })
+    }
+
+    /// Iterator over the indices of set bits, ascending.
+    pub fn iter_ones(&self) -> OnesIter<'_> {
+        OnesIter {
+            state: match &self.repr {
+                Repr::Dense(w) => IterState::Dense {
+                    words: w,
+                    word_idx: 0,
+                    current: w.first().copied().unwrap_or(0),
+                },
+                Repr::Chunks(cs) => IterState::Chunks {
+                    bitmap: self,
+                    chunk_idx: 0,
+                    inner: compressed::view_iter(cs.first().map_or(ChunkView::Empty, |c| c.view())),
+                },
+            },
+        }
+    }
+
+    /// Feed the canonical word layout to `f`, word by word (exactly
+    /// `len.div_ceil(64)` words; the basis for [`Bitmap::words`] and
+    /// the layout-independent [`Hash`]).
+    fn for_each_word(&self, mut f: impl FnMut(u64)) {
+        match &self.repr {
+            Repr::Dense(w) => w.iter().for_each(|&x| f(x)),
+            Repr::Chunks(cs) => {
+                let total = self.len.div_ceil(WORD_BITS);
+                let mut emitted = 0usize;
+                let mut block = [0u64; CHUNK_WORDS];
+                for c in cs {
+                    compressed::to_block(c.view(), &mut block);
+                    let take = (total - emitted).min(CHUNK_WORDS);
+                    for &w in &block[..take] {
+                        f(w);
+                    }
+                    emitted += take;
+                }
+            }
+        }
+    }
+
+    /// True when no bit beyond `len` is set — the invariant every public
+    /// operation must preserve (popcounts, complements and appends all
+    /// assume it). For the compressed layout this means: exactly
+    /// `len.div_ceil(2¹⁶)` chunks, and no container stores an offset at
+    /// or beyond its chunk's limit.
+    pub(crate) fn tail_is_clear(&self) -> bool {
+        match &self.repr {
+            Repr::Dense(words) => {
+                let tail = self.len % WORD_BITS;
+                tail == 0
+                    || words
+                        .last()
+                        .is_none_or(|last| last & !((1u64 << tail) - 1) == 0)
+            }
+            Repr::Chunks(cs) => {
+                cs.len() == n_chunks(self.len)
+                    && cs
+                        .iter()
+                        .enumerate()
+                        .all(|(ci, c)| c.max().is_none_or(|m| m < chunk_limit(self.len, ci)))
+            }
+        }
+    }
+
+    /// Zero out the bits beyond `len` (dense layout only — the
+    /// compressed constructors never produce a dirty tail).
+    fn clear_tail(&mut self) {
+        if let Repr::Dense(words) = &mut self.repr {
+            let tail = self.len % WORD_BITS;
+            if tail != 0 {
+                if let Some(last) = words.last_mut() {
+                    *last &= (1u64 << tail) - 1;
+                }
+            }
+        }
+    }
+}
+
+/// Valid bits in chunk `ci` of a bitmap of length `len` (the last chunk
+/// is usually partial).
+fn chunk_limit(len: usize, ci: usize) -> usize {
+    if (ci + 1) * CHUNK_BITS <= len {
+        CHUNK_BITS
+    } else {
+        len - ci * CHUNK_BITS
+    }
+}
+
+/// OR bits `src_start..src_end` of `src` into `dst` starting at bit
+/// offset `dst_off`, then re-canonicalise every touched chunk. The
+/// engine of compressed `append`/`slice`/`concat`: per touched
+/// destination chunk it materialises an 8 KiB block, ORs in the mapped
+/// source bits (word-shift fast path for dense source chunks, range
+/// fills for runs, point sets for arrays), and lets
+/// [`compressed::from_block`] pick the smallest shape again.
+fn blit(dst: &mut [Container], dst_off: usize, src: &Bitmap, src_start: usize, src_end: usize) {
+    if src_start >= src_end {
+        return;
+    }
+    let dst_start = dst_off;
+    let dst_end = dst_off + (src_end - src_start);
+    let mut block = [0u64; CHUNK_WORDS];
+    let (dc_first, dc_last) = (dst_start / CHUNK_BITS, (dst_end - 1) / CHUNK_BITS);
+    for (dc, dst_c) in dst.iter_mut().enumerate().take(dc_last + 1).skip(dc_first) {
+        let dc_base = dc * CHUNK_BITS;
+        compressed::to_block(dst_c.view(), &mut block);
+        let d_lo = dst_start.max(dc_base);
+        let d_hi = dst_end.min(dc_base + CHUNK_BITS);
+        // Bit `s` of the source lands at block bit `s + off`.
+        let off = dst_off as i64 - src_start as i64 - dc_base as i64;
+        or_src_range(
+            &mut block,
+            src,
+            d_lo - dst_off + src_start,
+            d_hi - dst_off + src_start,
+            off,
+        );
+        *dst_c = compressed::from_block(&block);
+    }
+}
+
+/// OR source bits `[s_lo, s_hi)` into `block`, where source bit `s`
+/// maps to block bit `s + off` (guaranteed in range by the caller).
+fn or_src_range(block: &mut [u64; CHUNK_WORDS], src: &Bitmap, s_lo: usize, s_hi: usize, off: i64) {
+    for sc in s_lo / CHUNK_BITS..=(s_hi - 1) / CHUNK_BITS {
+        let sc_base = sc * CHUNK_BITS;
+        let lo = s_lo.max(sc_base);
+        let hi = s_hi.min(sc_base + CHUNK_BITS);
+        match src.chunk_view(sc) {
+            ChunkView::Empty => {}
+            ChunkView::Array(vals) => {
+                let a = vals.partition_point(|&v| sc_base + (v as usize) < lo);
+                let b = vals.partition_point(|&v| sc_base + (v as usize) < hi);
+                for &v in &vals[a..b] {
+                    let bit = (sc_base + v as usize) as i64 + off;
+                    block[bit as usize / 64] |= 1u64 << (bit as usize % 64);
+                }
+            }
+            ChunkView::Runs(rs) => {
+                for &(s, e) in rs {
+                    let cs = (sc_base + s as usize).max(lo);
+                    let ce = (sc_base + e as usize).min(hi - 1);
+                    if cs > ce {
+                        continue;
+                    }
+                    compressed::set_range_in_block(
+                        block,
+                        (cs as i64 + off) as usize,
+                        (ce as i64 + off) as usize,
+                    );
+                }
+            }
+            ChunkView::Words(ws) => {
+                let w_lo = (lo - sc_base) / 64;
+                let w_hi = (hi - 1 - sc_base) / 64;
+                for wi in w_lo..=w_hi {
+                    let mut w = ws.get(wi).copied().unwrap_or(0);
+                    if w == 0 {
+                        continue;
+                    }
+                    let wbase = sc_base + wi * 64;
+                    if wbase < lo {
+                        w &= !0u64 << (lo - wbase);
+                    }
+                    if wbase + 64 > hi {
+                        w &= (1u64 << (hi - wbase)) - 1;
+                    }
+                    if w == 0 {
+                        continue;
+                    }
+                    // Two-word scatter at bit offset `p`; parts that
+                    // would land outside the block are provably zero
+                    // (their source bits were masked off above), so the
+                    // bounds guards never drop live bits.
+                    let p = wbase as i64 + off;
+                    let sh = p.rem_euclid(64) as u32;
+                    let lo_idx = p.div_euclid(64);
+                    let lo_w = if sh == 0 { w } else { w << sh };
+                    let hi_w = if sh == 0 { 0 } else { w >> (64 - sh) };
+                    if lo_w != 0 && (0..CHUNK_WORDS as i64).contains(&lo_idx) {
+                        block[lo_idx as usize] |= lo_w;
+                    }
+                    if hi_w != 0 && (0..CHUNK_WORDS as i64).contains(&(lo_idx + 1)) {
+                        block[(lo_idx + 1) as usize] |= hi_w;
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl PartialEq for Bitmap {
+    /// Content equality, independent of layout: a compressed bitmap
+    /// equals the dense bitmap with the same bits set.
+    fn eq(&self, other: &Self) -> bool {
+        if self.len != other.len {
+            return false;
+        }
+        match (&self.repr, &other.repr) {
+            (Repr::Dense(a), Repr::Dense(b)) => a == b,
+            _ => (0..n_chunks(self.len)).all(|ci| {
+                let (a, b) = (self.chunk_view(ci), other.chunk_view(ci));
+                let ca = compressed::view_card(a);
+                ca == compressed::view_card(b) && compressed::and_count_views(a, b) == ca
+            }),
+        }
+    }
+}
+
+impl Eq for Bitmap {}
+
+impl Hash for Bitmap {
+    /// Hashes the canonical word layout, so equal bitmaps hash equal
+    /// regardless of layout (required by the [`PartialEq`] contract).
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.len.hash(state);
+        self.for_each_word(|w| w.hash(state));
+    }
+}
+
+impl fmt::Debug for Bitmap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let tag = if self.is_compressed() { "~" } else { "" };
+        write!(f, "Bitmap{tag}[{}/{}]", self.count_ones(), self.len)
+    }
+}
+
+/// Iterator over set-bit indices of a [`Bitmap`].
+pub struct OnesIter<'a> {
+    state: IterState<'a>,
+}
+
+enum IterState<'a> {
+    Dense {
+        words: &'a [u64],
+        word_idx: usize,
+        current: u64,
+    },
+    Chunks {
+        bitmap: &'a Bitmap,
+        chunk_idx: usize,
+        inner: compressed::ContainerIter<'a>,
+    },
+}
+
+impl Iterator for OnesIter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        match &mut self.state {
+            IterState::Dense {
+                words,
+                word_idx,
+                current,
+            } => {
+                while *current == 0 {
+                    *word_idx += 1;
+                    if *word_idx >= words.len() {
+                        return None;
+                    }
+                    *current = words[*word_idx];
+                }
+                let bit = current.trailing_zeros() as usize;
+                *current &= *current - 1; // clear lowest set bit
+                Some(*word_idx * WORD_BITS + bit)
+            }
+            IterState::Chunks {
+                bitmap,
+                chunk_idx,
+                inner,
+            } => loop {
+                if let Some(v) = inner.next() {
+                    return Some(*chunk_idx * CHUNK_BITS + v as usize);
+                }
+                *chunk_idx += 1;
+                if *chunk_idx >= n_chunks(bitmap.len) {
+                    return None;
+                }
+                *inner = compressed::view_iter(bitmap.chunk_view(*chunk_idx));
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serialise tests that flip the process-wide layout default.
+    fn mode_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Run `f` twice: once with the dense default, once compressed.
+    fn in_both_modes(f: impl Fn()) {
+        let _guard = mode_lock();
+        for compressed in [false, true] {
+            set_compressed_selections(Some(compressed));
+            f();
+        }
+        set_compressed_selections(None);
+    }
+
+    #[test]
+    fn words_round_trip_and_reject_bad_layouts() {
+        in_both_modes(|| {
+            let bm = Bitmap::from_indices(130, [0, 63, 64, 129]);
+            let rebuilt = Bitmap::from_words(bm.words().into_owned(), 130).unwrap();
+            assert_eq!(rebuilt, bm);
+            // Wrong word count.
+            assert!(Bitmap::from_words(vec![0; 2], 130).is_none());
+            assert!(Bitmap::from_words(vec![0; 4], 130).is_none());
+            // Dirty tail: bit 130 set in the last word.
+            let mut words = bm.words().into_owned();
+            words[2] |= 1 << 2;
+            assert!(Bitmap::from_words(words, 130).is_none());
+            // Degenerate empty bitmap.
+            assert_eq!(Bitmap::from_words(Vec::new(), 0).unwrap(), Bitmap::new(0));
+        });
+    }
+
+    #[test]
+    fn new_is_all_zero_ones_is_all_one() {
+        in_both_modes(|| {
+            let z = Bitmap::new(130);
+            assert_eq!(z.count_ones(), 0);
+            let o = Bitmap::ones(130);
+            assert_eq!(o.count_ones(), 130);
+        });
+    }
+
+    #[test]
+    fn ones_tail_is_clean() {
+        in_both_modes(|| {
+            // 70 bits spans two words; second word must only have 6 bits set.
+            let o = Bitmap::ones(70);
+            assert_eq!(o.count_ones(), 70);
+            assert_eq!(o.not().count_ones(), 0);
+        });
+    }
+
+    #[test]
+    fn set_get_unset() {
+        in_both_modes(|| {
+            let mut bm = Bitmap::new(100);
+            bm.set(0);
+            bm.set(63);
+            bm.set(64);
+            bm.set(99);
+            assert!(bm.get(0) && bm.get(63) && bm.get(64) && bm.get(99));
+            assert!(!bm.get(1));
+            bm.unset(64);
+            assert!(!bm.get(64));
+            assert_eq!(bm.count_ones(), 3);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        Bitmap::new(10).get(10);
+    }
+
+    #[test]
+    fn boolean_algebra() {
+        in_both_modes(|| {
+            let a = Bitmap::from_indices(10, [0, 1, 2, 3]);
+            let b = Bitmap::from_indices(10, [2, 3, 4, 5]);
+            assert_eq!(a.and(&b).iter_ones().collect::<Vec<_>>(), vec![2, 3]);
+            assert_eq!(
+                a.or(&b).iter_ones().collect::<Vec<_>>(),
+                vec![0, 1, 2, 3, 4, 5]
+            );
+            assert_eq!(a.and_not(&b).iter_ones().collect::<Vec<_>>(), vec![0, 1]);
+            assert_eq!(a.and_count(&b), 2);
+            assert!(!a.is_disjoint(&b));
+            assert!(a.and_not(&b).is_disjoint(&b));
+        });
+    }
+
+    #[test]
+    fn complement_partitions_universe() {
+        in_both_modes(|| {
+            let a = Bitmap::from_indices(77, [0, 10, 76]);
+            let c = a.not();
+            assert_eq!(a.count_ones() + c.count_ones(), 77);
+            assert!(a.is_disjoint(&c));
+            assert_eq!(a.or(&c).count_ones(), 77);
+        });
+    }
+
+    #[test]
+    fn subset_checks() {
+        in_both_modes(|| {
+            let a = Bitmap::from_indices(20, [1, 2]);
+            let b = Bitmap::from_indices(20, [1, 2, 3]);
+            assert!(a.is_subset_of(&b));
+            assert!(!b.is_subset_of(&a));
+            assert!(Bitmap::new(20).is_subset_of(&a));
+        });
+    }
+
+    #[test]
+    fn iter_ones_crosses_word_boundaries() {
+        in_both_modes(|| {
+            let idx = vec![0usize, 63, 64, 65, 127, 128];
+            let bm = Bitmap::from_indices(200, idx.clone());
+            assert_eq!(bm.iter_ones().collect::<Vec<_>>(), idx);
+        });
+    }
+
+    #[test]
+    fn iter_ones_empty() {
+        in_both_modes(|| {
+            assert_eq!(Bitmap::new(0).iter_ones().count(), 0);
+            assert_eq!(Bitmap::new(64).iter_ones().count(), 0);
+        });
+    }
+
+    #[test]
+    fn none_detects_empty_selection() {
+        in_both_modes(|| {
+            assert!(Bitmap::new(100).none());
+            assert!(!Bitmap::from_indices(100, [50]).none());
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn and_length_mismatch_panics() {
+        let _ = Bitmap::new(10).and(&Bitmap::new(11));
+    }
+
+    #[test]
+    fn append_concat_round_trip() {
+        in_both_modes(|| {
+            // Lengths straddle word boundaries on purpose: 0, 1, 63, 64, 65, 130.
+            let lens = [0usize, 1, 63, 64, 65, 130];
+            let mut parts = Vec::new();
+            let mut expected = Vec::new();
+            let mut offset = 0usize;
+            for (p, &len) in lens.iter().enumerate() {
+                let idx: Vec<usize> = (0..len).filter(|i| (i + p) % 3 == 0).collect();
+                for &i in &idx {
+                    expected.push(offset + i);
+                }
+                offset += len;
+                parts.push(Bitmap::from_indices(len, idx));
+            }
+            let glued = Bitmap::concat(parts.iter());
+            assert_eq!(glued.len(), offset);
+            assert_eq!(glued.iter_ones().collect::<Vec<_>>(), expected);
+            // Slicing the concatenation back apart recovers every part.
+            let mut start = 0usize;
+            for part in &parts {
+                let back = glued.slice(start, start + part.len());
+                assert_eq!(&back, part);
+                start += part.len();
+            }
+        });
+    }
+
+    #[test]
+    fn append_onto_unaligned_tail() {
+        in_both_modes(|| {
+            // 70 bits of ones, then 70 more: the second append starts mid-word.
+            let mut bm = Bitmap::ones(70);
+            bm.append(&Bitmap::ones(70));
+            assert_eq!(bm.len(), 140);
+            assert_eq!(bm.count_ones(), 140);
+            assert!(bm.tail_is_clear());
+            bm.append(&Bitmap::new(3));
+            assert_eq!(bm.count_ones(), 140);
+            assert_eq!(bm.len(), 143);
+        });
+    }
+
+    #[test]
+    fn slice_matches_per_bit_extraction() {
+        in_both_modes(|| {
+            let bm = Bitmap::from_indices(200, (0..200).filter(|i| i % 7 == 0));
+            for (start, end) in [(0, 200), (1, 64), (63, 65), (64, 128), (65, 199), (50, 50)] {
+                let s = bm.slice(start, end);
+                assert_eq!(s.len(), end - start);
+                for i in 0..(end - start) {
+                    assert_eq!(s.get(i), bm.get(start + i), "bit {i} of {start}..{end}");
+                }
+                assert!(s.tail_is_clear());
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn slice_out_of_range_panics() {
+        let _ = Bitmap::new(10).slice(5, 11);
+    }
+
+    #[test]
+    fn mixed_layout_operands_agree_with_pure_dense() {
+        let _guard = mode_lock();
+        set_compressed_selections(Some(false));
+        let a = Bitmap::from_indices(200_000, (0..200_000).filter(|i| i % 13 == 0));
+        let b = Bitmap::from_indices(200_000, (0..200_000).filter(|i| i % 7 == 0));
+        let (ca, cb) = (a.compress(), b.compress());
+        for (x, y) in [(&a, &cb), (&ca, &b), (&ca, &cb)] {
+            let got = x.and(y);
+            assert!(got.is_compressed());
+            assert_eq!(got, a.and(&b));
+            assert_eq!(x.or(y), a.or(&b));
+            assert_eq!(x.and_not(y), a.and_not(&b));
+            assert_eq!(x.and_count(y), a.and_count(&b));
+            assert_eq!(x.is_disjoint(y), a.is_disjoint(&b));
+            assert_eq!(x.is_subset_of(y), a.is_subset_of(&b));
+        }
+        assert_eq!(ca.not(), a.not());
+        set_compressed_selections(None);
+    }
+
+    #[test]
+    fn equal_content_hashes_equal_across_layouts() {
+        use std::collections::hash_map::DefaultHasher;
+        let _guard = mode_lock();
+        set_compressed_selections(Some(false));
+        let a = Bitmap::from_indices(70_000, [0, 63, 64, 65_535, 65_536, 69_999]);
+        let c = a.compress();
+        assert_eq!(a, c);
+        assert_eq!(c, a);
+        let h = |bm: &Bitmap| {
+            let mut s = DefaultHasher::new();
+            bm.hash(&mut s);
+            s.finish()
+        };
+        assert_eq!(h(&a), h(&c));
+        set_compressed_selections(None);
+    }
+
+    #[test]
+    fn compress_to_dense_round_trip_preserves_everything() {
+        let _guard = mode_lock();
+        set_compressed_selections(Some(false));
+        // Mixed-structure content: a sparse chunk, a solid chunk, an
+        // unstructured chunk, and a partial tail chunk.
+        let len = 3 * (1 << 16) + 777;
+        let mut bm = Bitmap::new(len);
+        for i in (0..1 << 16).step_by(1000) {
+            bm.set(i); // chunk 0: sparse → array
+        }
+        for i in 1 << 16..2 << 16 {
+            bm.set(i); // chunk 1: solid → one run
+        }
+        for i in (2 << 16..3 << 16).step_by(2) {
+            bm.set(i); // chunk 2: alternating → words
+        }
+        bm.set(len - 1); // tail chunk
+        let c = bm.compress();
+        assert!(c.is_compressed() && !bm.is_compressed());
+        assert_eq!(c, bm);
+        assert_eq!(c.count_ones(), bm.count_ones());
+        assert_eq!(c.to_dense(), bm);
+        assert_eq!(
+            c.iter_ones().collect::<Vec<_>>(),
+            bm.iter_ones().collect::<Vec<_>>()
+        );
+        assert_eq!(c.words(), bm.words());
+        // The whole point: mixed-structure content is far smaller
+        // compressed (one solid chunk: 8 KiB dense vs 4 B as a run).
+        assert!(c.resident_bytes() < bm.resident_bytes());
+        set_compressed_selections(None);
+    }
+
+    #[test]
+    fn sparse_selection_is_at_least_4x_smaller_compressed() {
+        let _guard = mode_lock();
+        set_compressed_selections(Some(false));
+        // The sparse drill-down shape: 0.1 % of 10⁷ rows.
+        let n = 10_000_000;
+        let bm = Bitmap::from_indices(n, (0..n).step_by(1000));
+        let c = bm.compress();
+        assert_eq!(c, bm);
+        assert!(
+            c.resident_bytes() * 4 <= bm.resident_bytes(),
+            "compressed {} B vs dense {} B",
+            c.resident_bytes(),
+            bm.resident_bytes()
+        );
+        set_compressed_selections(None);
+    }
+
+    /// Manufacture an invariant violation (as a future length-mutating
+    /// refactor might): a stale bit exactly where the next push lands.
+    fn dirty_tail_bitmap() -> Bitmap {
+        let mut bm = Bitmap::ones(3).to_dense();
+        let Repr::Dense(words) = &mut bm.repr else {
+            unreachable!()
+        };
+        words[0] |= 1u64 << 3;
+        assert!(!bm.tail_is_clear());
+        bm
+    }
+
+    // `push` on a dirty tail has one pinned behaviour per build mode:
+    // debug trips the assertion, release silently repairs. Each test is
+    // compiled only into the mode whose behaviour it checks, so neither
+    // is ever a silent no-op.
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "stale bits beyond len")]
+    fn push_asserts_on_dirty_tail_in_debug() {
+        dirty_tail_bitmap().push(false);
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn push_restores_dirty_tail_in_release() {
+        let mut bm = dirty_tail_bitmap();
+        bm.push(false);
+        assert!(!bm.get(3), "stale tail bit leaked into pushed row");
+        assert_eq!(bm.count_ones(), 3);
+        assert!(bm.tail_is_clear());
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn push_restores_dirty_pushed_row_in_release_compressed() {
+        // The compressed analogue: a stale offset at the pushed row is
+        // repaired, never inherited by the new row.
+        let mut bm = Bitmap::ones(3).compress();
+        let Repr::Chunks(cs) = &mut bm.repr else {
+            unreachable!()
+        };
+        cs[0].insert(3);
+        assert!(!bm.tail_is_clear());
+        bm.push(false);
+        assert!(!bm.get(3), "stale tail bit leaked into pushed row");
+        assert_eq!(bm.count_ones(), 3);
+    }
+
+    /// Every public operation preserves "no bits set beyond len" — in
+    /// both layouts, and for every container kind the compressed layout
+    /// can produce (the structured strategy steers chunks toward
+    /// arrays, runs and word blocks).
+    mod invariant_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_bitmap() -> impl Strategy<Value = Bitmap> {
+            proptest::collection::vec(any::<bool>(), 0usize..200).prop_map(|bits| {
+                let mut bm = Bitmap::new(bits.len());
+                for (i, b) in bits.into_iter().enumerate() {
+                    if b {
+                        bm.set(i);
+                    }
+                }
+                bm
+            })
+        }
+
+        /// Bitmaps whose chunks exercise every container kind: sparse
+        /// strides (arrays), solid prefixes (runs), and alternating
+        /// noise (word blocks), over lengths that straddle the 64 Ki
+        /// chunk boundary.
+        fn arb_structured() -> impl Strategy<Value = Bitmap> {
+            (
+                0usize..3,
+                proptest::sample::select(vec![
+                    0usize, 1, 100, 65_535, 65_536, 65_537, 70_000, 131_072,
+                ]),
+            )
+                .prop_map(|(kind, len)| {
+                    let mut bm = Bitmap::new(len);
+                    match kind {
+                        0 => {
+                            for i in (0..len).step_by(97) {
+                                bm.set(i); // arrays
+                            }
+                        }
+                        1 => {
+                            for i in 0..len * 3 / 4 {
+                                bm.set(i); // runs
+                            }
+                        }
+                        _ => {
+                            for i in (0..len).step_by(2) {
+                                bm.set(i); // word blocks
+                            }
+                        }
+                    }
+                    bm
+                })
+        }
+
+        fn check_invariants(a: &Bitmap, b: &Bitmap, extra: &[bool]) -> Result<(), TestCaseError> {
+            prop_assert!(a.tail_is_clear());
+            prop_assert!(Bitmap::ones(a.len()).tail_is_clear());
+            prop_assert!(a.not().tail_is_clear());
+            // Same-length algebra on a re-sliced pair.
+            let n = a.len().min(b.len());
+            let (x, y) = (a.slice(0, n), b.slice(0, n));
+            prop_assert!(x.tail_is_clear() && y.tail_is_clear());
+            prop_assert!(x.and(&y).tail_is_clear());
+            prop_assert!(x.or(&y).tail_is_clear());
+            prop_assert!(x.and_not(&y).tail_is_clear());
+            // Append/concat across arbitrary (unaligned) offsets.
+            let mut glued = a.clone();
+            glued.append(b);
+            prop_assert!(glued.tail_is_clear());
+            prop_assert_eq!(glued.count_ones(), a.count_ones() + b.count_ones());
+            prop_assert!(Bitmap::concat([a, b, a]).tail_is_clear());
+            // Incremental pushes on top of everything above.
+            let mut grown = glued.clone();
+            for &bit in extra {
+                grown.push(bit);
+                prop_assert!(grown.tail_is_clear());
+            }
+            let pushed_ones = extra.iter().filter(|&&v| v).count();
+            prop_assert_eq!(grown.count_ones(), glued.count_ones() + pushed_ones);
+            // Slice ↔ append round-trip at an arbitrary split point.
+            let mid = glued.len() / 2;
+            let (lo, hi) = (glued.slice(0, mid), glued.slice(mid, glued.len()));
+            prop_assert!(lo.tail_is_clear() && hi.tail_is_clear());
+            let mut rejoined = lo;
+            rejoined.append(&hi);
+            prop_assert_eq!(&rejoined, &glued);
+            Ok(())
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(128))]
+
+            #[test]
+            fn every_public_op_keeps_tail_clear(
+                a in arb_bitmap(),
+                b in arb_bitmap(),
+                extra in proptest::collection::vec(any::<bool>(), 0..130),
+            ) {
+                // Dense layout (whatever the ambient default, force
+                // both layouts over the same content)…
+                check_invariants(&a.to_dense(), &b.to_dense(), &extra)?;
+                // …and the compressed layout.
+                check_invariants(&a.compress(), &b.compress(), &extra)?;
+            }
+
+            #[test]
+            fn every_container_kind_keeps_tail_clear(
+                a in arb_structured(),
+                b in arb_structured(),
+                extra in proptest::collection::vec(any::<bool>(), 0..70),
+            ) {
+                check_invariants(&a.compress(), &b.compress(), &extra)?;
+            }
+        }
+    }
+}

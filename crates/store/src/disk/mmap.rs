@@ -1,0 +1,218 @@
+//! Read-only memory mapping of a `.charles` file (the `mmap` feature).
+//!
+//! The format was designed for this access pattern from the start
+//! (`docs/FORMAT.md`): every structure is located by absolute offsets
+//! recorded in the footer, all integers are little-endian at naturally
+//! aligned offsets within their segments, and nothing requires a
+//! sequential scan — so a mapping needs no decode pass at all, and
+//! segment fetches become plain slices of the map. No format version
+//! bump is needed or taken.
+//!
+//! On unix the mapping is a `PROT_READ`/`MAP_PRIVATE` `mmap(2)` issued
+//! directly (the workspace is dependency-free, so the raw syscall is
+//! declared here rather than pulled from a libc crate). Elsewhere the
+//! type degrades to a buffered whole-file read with the same interface —
+//! correct, just without the paging win.
+//!
+//! Safety perimeter: the map is created once from a just-opened file and
+//! sliced only through [`Mmap::slice`], which bounds-checks against the
+//! length captured at map time. A file that shrinks *while mapped* can
+//! still fault on access (that is inherent to mmap on every platform);
+//! the reader therefore validates all offsets against the mapped length
+//! at open time, so ordinary corruption and truncation surface as typed
+//! errors before any mapped access happens.
+
+use std::fs::File;
+use std::io;
+
+#[cfg(unix)]
+mod sys {
+    use std::ffi::c_void;
+
+    pub const PROT_READ: i32 = 1;
+    pub const MAP_PRIVATE: i32 = 2;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> i32;
+    }
+}
+
+/// A read-only mapping of an entire file.
+pub(super) struct Mmap {
+    inner: Inner,
+}
+
+enum Inner {
+    /// A live `mmap(2)` mapping (unix). `ptr` is dangling when `len == 0`
+    /// — a zero-length mapping is invalid (`EINVAL`), so none is made.
+    #[cfg(unix)]
+    Mapped { ptr: *const u8, len: usize },
+    /// Whole-file buffer fallback for platforms without `mmap` (and for
+    /// zero-length files, vacuously).
+    #[allow(dead_code)]
+    Buffered(Vec<u8>),
+}
+
+// SAFETY: the mapping is PROT_READ + MAP_PRIVATE and never written or
+// remapped after construction; sharing immutable views across threads is
+// no different from sharing a `&[u8]`.
+unsafe impl Send for Mmap {}
+unsafe impl Sync for Mmap {}
+
+impl Mmap {
+    /// Map `len` bytes of `file` (its full current length, per the
+    /// caller's `stat`). Fails with the OS error if the kernel refuses
+    /// the mapping.
+    #[cfg(unix)]
+    pub(super) fn map(file: &File, len: u64) -> io::Result<Mmap> {
+        use std::os::unix::io::AsRawFd;
+
+        let len = usize::try_from(len).map_err(|_| {
+            io::Error::new(io::ErrorKind::OutOfMemory, "file exceeds address space")
+        })?;
+        if len == 0 {
+            return Ok(Mmap {
+                inner: Inner::Buffered(Vec::new()),
+            });
+        }
+        // SAFETY: a fresh anonymous-address read-only private mapping of
+        // a file descriptor we own; the result is checked against
+        // MAP_FAILED before use.
+        let ptr = unsafe {
+            sys::mmap(
+                std::ptr::null_mut(),
+                len,
+                sys::PROT_READ,
+                sys::MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr as isize == -1 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Mmap {
+            inner: Inner::Mapped {
+                ptr: ptr as *const u8,
+                len,
+            },
+        })
+    }
+
+    /// Buffered fallback: read the whole file once up front.
+    #[cfg(not(unix))]
+    pub(super) fn map(file: &File, len: u64) -> io::Result<Mmap> {
+        use std::io::Read;
+        let mut buf = Vec::with_capacity(usize::try_from(len).unwrap_or(0));
+        let mut f = file;
+        f.read_to_end(&mut buf)?;
+        Ok(Mmap {
+            inner: Inner::Buffered(buf),
+        })
+    }
+
+    /// The mapped bytes.
+    pub(super) fn as_slice(&self) -> &[u8] {
+        match &self.inner {
+            #[cfg(unix)]
+            // SAFETY: ptr/len describe the live mapping created in
+            // `map`; it stays valid until Drop.
+            Inner::Mapped { ptr, len } => unsafe { std::slice::from_raw_parts(*ptr, *len) },
+            Inner::Buffered(buf) => buf,
+        }
+    }
+
+    /// `len` bytes at absolute file offset `offset`, or `None` when the
+    /// range leaves the mapping (checked arithmetic — a crafted offset
+    /// near `u64::MAX` must not wrap into an accepted range).
+    pub(super) fn slice(&self, offset: u64, len: u64) -> Option<&[u8]> {
+        let bytes = self.as_slice();
+        let start = usize::try_from(offset).ok()?;
+        let len = usize::try_from(len).ok()?;
+        let end = start.checked_add(len)?;
+        bytes.get(start..end)
+    }
+}
+
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if let Inner::Mapped { ptr, len } = self.inner {
+            // SAFETY: unmapping exactly the region `map` created; the
+            // struct is being dropped, so no slice can outlive it (the
+            // borrow checker ties `as_slice` lifetimes to `&self`).
+            unsafe {
+                sys::munmap(ptr as *mut std::ffi::c_void, len);
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Mmap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let kind = match &self.inner {
+            #[cfg(unix)]
+            Inner::Mapped { .. } => "mapped",
+            Inner::Buffered(_) => "buffered",
+        };
+        write!(f, "Mmap[{kind}, {} bytes]", self.as_slice().len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(tag: &str, bytes: &[u8]) -> std::path::PathBuf {
+        let p = std::env::temp_dir().join(format!("charles-mmap-{tag}-{}", std::process::id()));
+        std::fs::write(&p, bytes).unwrap();
+        p
+    }
+
+    #[test]
+    fn maps_and_slices_with_bounds_checks() {
+        let p = tmp("basic", b"0123456789");
+        let f = File::open(&p).unwrap();
+        let m = Mmap::map(&f, 10).unwrap();
+        assert_eq!(m.as_slice(), b"0123456789");
+        assert_eq!(m.slice(3, 4).unwrap(), b"3456");
+        assert_eq!(m.slice(0, 10).unwrap(), b"0123456789");
+        assert!(m.slice(0, 11).is_none());
+        assert!(m.slice(10, 1).is_none());
+        assert!(m.slice(u64::MAX, 2).is_none(), "offset wrap");
+        assert!(m.slice(2, u64::MAX).is_none(), "length wrap");
+        assert_eq!(m.slice(10, 0).unwrap(), b"");
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn zero_length_file_maps_as_empty() {
+        let p = tmp("empty", b"");
+        let f = File::open(&p).unwrap();
+        let m = Mmap::map(&f, 0).unwrap();
+        assert_eq!(m.as_slice(), b"");
+        assert!(m.slice(0, 1).is_none());
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn drop_unmaps_without_invalidating_other_maps() {
+        let p = tmp("drop", &vec![0xAB; 8192]);
+        let f = File::open(&p).unwrap();
+        let a = Mmap::map(&f, 8192).unwrap();
+        {
+            let b = Mmap::map(&f, 8192).unwrap();
+            assert_eq!(b.as_slice()[4096], 0xAB);
+        } // b unmapped here
+        assert_eq!(a.as_slice()[8191], 0xAB, "a survives b's munmap");
+        std::fs::remove_file(&p).unwrap();
+    }
+}

@@ -1,18 +1,33 @@
-//! Writing a [`Table`] out as a `.charles` file.
+//! Writing `.charles` files: eager ([`write_table`]) and streaming
+//! ([`StreamWriter`]).
 //!
-//! The writer is eager and single-pass: header, schema block, then every
-//! column's segments in schema order, then the footer index — no seeks,
-//! so it streams through a `BufWriter`. Offsets and the whole-file CRC
-//! are tracked as bytes go out; per-segment CRCs are computed over each
-//! segment's encoded bytes before they are written.
+//! Both writers are single-pass: header, schema block, column segments,
+//! then the footer index — no seeks, so everything streams through a
+//! `BufWriter`. Offsets and the whole-file CRC are tracked as bytes go
+//! out. The eager writer computes each segment's CRC over its encoded
+//! bytes up front; the streaming writer accumulates segment CRCs
+//! incrementally as values arrive, which is what lets it emit files far
+//! larger than memory — it never holds a column's data, only the current
+//! column's validity bitmap and (for strings) dictionary.
+//!
+//! The two writers order a column's segments differently (eager:
+//! validity·data·dict; streaming: data·validity·dict, because validity
+//! is only complete after the last value). Both orders are equally valid
+//! `.charles` v1: the footer's absolute offsets are normative, segment
+//! order never was (see `docs/FORMAT.md`), and [`super::DiskTable`]
+//! reads both identically.
 
 use super::{
     io_err, type_code, ByteWriter, ColumnSegments, Crc32, SegmentRef, ENDIAN_MARKER,
     FORMAT_VERSION, MAGIC, TRAILER_MAGIC,
 };
 use crate::column::{Column, ColumnData};
-use crate::error::StoreResult;
+use crate::datatype::DataType;
+use crate::error::{StoreError, StoreResult};
+use crate::schema::Schema;
 use crate::table::Table;
+use crate::value::Value;
+use std::collections::HashMap;
 use std::io::{BufWriter, Write};
 use std::path::Path;
 
@@ -22,6 +37,11 @@ struct TrackedWriter<W: Write> {
     inner: W,
     offset: u64,
     crc: Crc32,
+    /// Incremental state of the segment currently being streamed
+    /// (between [`TrackedWriter::begin_segment`] and
+    /// [`TrackedWriter::end_segment`]).
+    seg_start: u64,
+    seg_crc: Crc32,
 }
 
 impl<W: Write> TrackedWriter<W> {
@@ -30,6 +50,8 @@ impl<W: Write> TrackedWriter<W> {
             inner,
             offset: 0,
             crc: Crc32::new(),
+            seg_start: 0,
+            seg_crc: Crc32::new(),
         }
     }
 
@@ -42,15 +64,32 @@ impl<W: Write> TrackedWriter<W> {
         Ok(())
     }
 
-    /// Write one segment and return its footer reference.
+    /// Start an incrementally-checksummed segment at the current offset.
+    fn begin_segment(&mut self) {
+        self.seg_start = self.offset;
+        self.seg_crc = Crc32::new();
+    }
+
+    /// Write bytes belonging to the open segment.
+    fn write_seg(&mut self, bytes: &[u8]) -> StoreResult<()> {
+        self.seg_crc.update(bytes);
+        self.write(bytes)
+    }
+
+    /// Close the open segment and return its footer reference.
+    fn end_segment(&mut self) -> SegmentRef {
+        SegmentRef {
+            offset: self.seg_start,
+            len: self.offset - self.seg_start,
+            crc: self.seg_crc.finish(),
+        }
+    }
+
+    /// Write one fully-materialised segment and return its reference.
     fn segment(&mut self, bytes: &[u8]) -> StoreResult<SegmentRef> {
-        let seg = SegmentRef {
-            offset: self.offset,
-            len: bytes.len() as u64,
-            crc: Crc32::of(bytes),
-        };
-        self.write(bytes)?;
-        Ok(seg)
+        self.begin_segment();
+        self.write_seg(bytes)?;
+        Ok(self.end_segment())
     }
 }
 
@@ -88,7 +127,7 @@ fn encode_data(data: &ColumnData) -> Vec<u8> {
 fn encode_validity(col: &Column) -> Vec<u8> {
     let words = col.validity().words();
     let mut out = Vec::with_capacity(words.len() * 8);
-    for w in words {
+    for w in words.iter() {
         out.extend_from_slice(&w.to_le_bytes());
     }
     out
@@ -105,12 +144,12 @@ fn encode_dict(dict: &[String]) -> Vec<u8> {
 }
 
 /// Encode the schema block: table name, row count, column names/types.
-fn encode_schema(table: &Table) -> Vec<u8> {
+fn encode_schema(name: &str, rows: usize, schema: &Schema) -> Vec<u8> {
     let mut w = ByteWriter::new();
-    w.string(table.name());
-    w.u64(table.len() as u64);
-    w.u32(table.schema().arity() as u32);
-    for c in table.schema().columns() {
+    w.string(name);
+    w.u64(rows as u64);
+    w.u32(schema.arity() as u32);
+    for c in schema.columns() {
         w.string(&c.name);
         w.u8(type_code(c.ty));
     }
@@ -169,7 +208,7 @@ pub fn write_table(table: &Table, path: impl AsRef<Path>) -> StoreResult<()> {
 
     // Schema block, length-prefixed so the reader can slurp it without
     // parsing ahead.
-    let schema = encode_schema(table);
+    let schema = encode_schema(table.name(), table.len(), table.schema());
     w.write(&(schema.len() as u32).to_le_bytes())?;
     w.write(&schema)?;
 
@@ -202,4 +241,467 @@ pub fn write_table(table: &Table, path: impl AsRef<Path>) -> StoreResult<()> {
         .flush()
         .map_err(|e| io_err("flushing .charles file", e))?;
     Ok(())
+}
+
+/// State held for the column currently being streamed — the *entire*
+/// per-column memory footprint of a [`StreamWriter`]: one validity
+/// bitmap and, for string columns, the dictionary. Data bytes go
+/// straight to disk.
+struct ColumnState {
+    rows_written: usize,
+    validity: crate::Bitmap,
+    /// Dictionary entries in first-occurrence order (string columns),
+    /// so streamed codes are identical to [`Column`]'s interning.
+    dict: Vec<String>,
+    /// `dict` lookup index — a hash map rather than `Column`'s linear
+    /// scan, because a stream may intern against the dictionary 10⁸
+    /// times.
+    dict_index: HashMap<String, u32>,
+}
+
+impl ColumnState {
+    fn new(rows_hint: usize) -> ColumnState {
+        let _ = rows_hint;
+        ColumnState {
+            rows_written: 0,
+            validity: crate::Bitmap::new(0),
+            dict: Vec::new(),
+            dict_index: HashMap::new(),
+        }
+    }
+}
+
+/// Writes a `.charles` file **one value at a time, one column at a
+/// time**, in bounded memory — the producer for datasets too large to
+/// assemble as an in-memory [`Table`] first (a 10⁸-row table is tens of
+/// GB materialised; this writer holds one validity bitmap and one
+/// string dictionary at a time).
+///
+/// The protocol is column-major, matching the file layout: declare the
+/// schema and exact row count up front, then for each schema column in
+/// order, [`StreamWriter::append`] every row's value and call
+/// [`StreamWriter::end_column`]; finally [`StreamWriter::finish`] seals
+/// the footer. The caller regenerates or re-reads the rows once per
+/// column (an *arity-pass* producer — see `charles-datagen`'s
+/// `generate_and_save_streaming`, whose deterministic generators make
+/// re-iteration free).
+///
+/// Every protocol violation is a typed error, not a panic: appending a
+/// value of the wrong type ([`StoreError::TypeMismatch`]), a NaN float
+/// ([`StoreError::Parse`], matching [`Column::push`]), more values than
+/// the declared row count ([`StoreError::LengthMismatch`]), ending a
+/// column early ([`StoreError::LengthMismatch`]), appending past the
+/// last column ([`StoreError::ArityMismatch`]), or finishing with
+/// columns missing ([`StoreError::ArityMismatch`]).
+///
+/// The streamed file is read by [`super::DiskTable`] exactly like an
+/// eagerly written one — same schema, same values, same advisor output
+/// (pinned by this module's tests and `tests/disk_persistence.rs`). The
+/// only physical difference is per-column segment order (data before
+/// validity); the footer's absolute offsets make that invisible.
+pub struct StreamWriter {
+    w: TrackedWriter<BufWriter<std::fs::File>>,
+    name: String,
+    schema: Schema,
+    rows: usize,
+    /// Completed columns' segment references, schema order.
+    columns: Vec<ColumnSegments>,
+    state: ColumnState,
+    finished: bool,
+}
+
+impl StreamWriter {
+    /// Create `path` and write the header and schema block. `rows` is
+    /// the exact row count every column must supply.
+    pub fn create(
+        path: impl AsRef<Path>,
+        name: &str,
+        schema: Schema,
+        rows: usize,
+    ) -> StoreResult<StreamWriter> {
+        let file = std::fs::File::create(path.as_ref())
+            .map_err(|e| io_err(&format!("creating {:?}", path.as_ref()), e))?;
+        let mut w = TrackedWriter::new(BufWriter::new(file));
+        w.write(&MAGIC)?;
+        w.write(&FORMAT_VERSION.to_le_bytes())?;
+        w.write(&ENDIAN_MARKER.to_le_bytes())?;
+        let schema_bytes = encode_schema(name, rows, &schema);
+        w.write(&(schema_bytes.len() as u32).to_le_bytes())?;
+        w.write(&schema_bytes)?;
+        w.begin_segment(); // first column's data segment
+        Ok(StreamWriter {
+            w,
+            name: name.to_string(),
+            schema,
+            rows,
+            columns: Vec::new(),
+            state: ColumnState::new(rows),
+            finished: false,
+        })
+    }
+
+    /// Table name the file will carry.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The column currently accepting values (schema index).
+    pub fn current_column(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Append the next row's value for the current column (`None` for
+    /// null). Data bytes are written (and checksummed) immediately.
+    pub fn append(&mut self, value: Option<Value>) -> StoreResult<()> {
+        let idx = self.columns.len();
+        if self.finished || idx >= self.schema.arity() {
+            return Err(StoreError::ArityMismatch {
+                expected: self.schema.arity(),
+                found: idx + 1,
+            });
+        }
+        if self.state.rows_written >= self.rows {
+            return Err(StoreError::LengthMismatch {
+                left: self.rows,
+                right: self.state.rows_written + 1,
+            });
+        }
+        let meta = &self.schema.columns()[idx];
+        let valid = value.is_some();
+        // Null placeholders match `Column::push_physical_default`, so a
+        // streamed file is value-identical to an eagerly built one.
+        match (meta.ty, value) {
+            (DataType::Int, v) => {
+                let x = match v {
+                    Some(Value::Int(x)) => x,
+                    None => 0,
+                    Some(other) => return Err(self.type_err(idx, &other)),
+                };
+                self.w.write_seg(&x.to_le_bytes())?;
+            }
+            (DataType::Date, v) => {
+                let x = match v {
+                    Some(Value::Date(x)) => x,
+                    None => 0,
+                    Some(other) => return Err(self.type_err(idx, &other)),
+                };
+                self.w.write_seg(&x.to_le_bytes())?;
+            }
+            (DataType::Float, v) => {
+                let x = match v {
+                    Some(Value::Float(x)) => {
+                        if x.is_nan() {
+                            return Err(StoreError::Parse(format!(
+                                "NaN rejected in column {:?}",
+                                self.schema.columns()[idx].name
+                            )));
+                        }
+                        x
+                    }
+                    None => 0.0,
+                    Some(other) => return Err(self.type_err(idx, &other)),
+                };
+                self.w.write_seg(&x.to_bits().to_le_bytes())?;
+            }
+            (DataType::Bool, v) => {
+                let x = match v {
+                    Some(Value::Bool(x)) => x,
+                    None => false,
+                    Some(other) => return Err(self.type_err(idx, &other)),
+                };
+                self.w.write_seg(&[x as u8])?;
+            }
+            (DataType::Str, v) => {
+                let code = match v {
+                    Some(Value::Str(s)) => match self.state.dict_index.get(&s) {
+                        Some(&c) => c,
+                        None => {
+                            let c = self.state.dict.len() as u32;
+                            self.state.dict.push(s.clone());
+                            self.state.dict_index.insert(s, c);
+                            c
+                        }
+                    },
+                    None => 0,
+                    Some(other) => return Err(self.type_err(idx, &other)),
+                };
+                self.w.write_seg(&code.to_le_bytes())?;
+            }
+        }
+        self.state.validity.push(valid);
+        self.state.rows_written += 1;
+        Ok(())
+    }
+
+    /// Seal the current column: close its data segment, write its
+    /// validity words and (for strings) dictionary, and advance to the
+    /// next schema column. Errs if the column is short of the declared
+    /// row count.
+    pub fn end_column(&mut self) -> StoreResult<()> {
+        let idx = self.columns.len();
+        if self.finished || idx >= self.schema.arity() {
+            return Err(StoreError::ArityMismatch {
+                expected: self.schema.arity(),
+                found: idx + 1,
+            });
+        }
+        if self.state.rows_written != self.rows {
+            return Err(StoreError::LengthMismatch {
+                left: self.rows,
+                right: self.state.rows_written,
+            });
+        }
+        let data = self.w.end_segment();
+        self.w.begin_segment();
+        for word in self.state.validity.words().iter() {
+            self.w.write_seg(&word.to_le_bytes())?;
+        }
+        let validity = self.w.end_segment();
+        let dict = if self.schema.columns()[idx].ty == DataType::Str {
+            Some(self.w.segment(&encode_dict(&self.state.dict))?)
+        } else {
+            None
+        };
+        self.columns.push(ColumnSegments {
+            validity,
+            data,
+            dict,
+        });
+        self.state = ColumnState::new(self.rows);
+        self.w.begin_segment(); // next column's data segment (unused if done)
+        Ok(())
+    }
+
+    /// Write the footer, its CRC and the trailer, and flush. Errs if any
+    /// schema column was not streamed.
+    pub fn finish(mut self) -> StoreResult<()> {
+        if self.columns.len() != self.schema.arity() {
+            return Err(StoreError::ArityMismatch {
+                expected: self.schema.arity(),
+                found: self.columns.len(),
+            });
+        }
+        self.finished = true;
+        let footer_start = self.w.offset;
+        let file_crc = self.w.crc.finish();
+        let footer = encode_footer(&self.columns, file_crc);
+        let footer_crc = Crc32::of(&footer);
+        self.w.write(&footer)?;
+        self.w.write(&footer_crc.to_le_bytes())?;
+        self.w.write(&footer_start.to_le_bytes())?;
+        self.w.write(&TRAILER_MAGIC)?;
+        self.w
+            .inner
+            .flush()
+            .map_err(|e| io_err("flushing .charles file", e))?;
+        Ok(())
+    }
+
+    fn type_err(&self, idx: usize, found: &Value) -> StoreError {
+        let meta = &self.schema.columns()[idx];
+        StoreError::TypeMismatch {
+            column: meta.name.clone(),
+            expected: meta.ty.name().into(),
+            found: found.data_type().name().into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod stream_tests {
+    use super::*;
+    use crate::backend::Backend;
+    use crate::builder::TableBuilder;
+    use crate::disk::DiskTable;
+    use crate::predicate::StorePredicate;
+
+    fn tmp_path(tag: &str) -> std::path::PathBuf {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static COUNTER: AtomicUsize = AtomicUsize::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "charles-stream-{tag}-{}-{n}.charles",
+            std::process::id()
+        ))
+    }
+
+    /// A table exercising every type, nulls, and dictionary reuse —
+    /// with a deterministic per-cell generator so the "stream" can
+    /// re-produce each column independently.
+    fn cell(row: usize, col: usize) -> Option<Value> {
+        let k = row as i64;
+        match col {
+            0 => (k % 7 != 3).then_some(Value::Int(k * 31 % 50 - 10)),
+            1 => (k % 5 != 2).then_some(Value::Float((k as f64) * 0.25 - 3.0)),
+            2 => (k % 11 != 5)
+                .then(|| Value::str(["fluit", "", "jacht", "de, lange"][(k % 4) as usize])),
+            3 => (k % 13 != 7).then_some(Value::Date(k * 372 % 1000)),
+            _ => (k % 3 != 1).then_some(Value::Bool(k % 2 == 0)),
+        }
+    }
+
+    fn schema() -> Schema {
+        let mut s = Schema::new();
+        s.add("i", DataType::Int).unwrap();
+        s.add("f", DataType::Float).unwrap();
+        s.add("s", DataType::Str).unwrap();
+        s.add("d", DataType::Date).unwrap();
+        s.add("b", DataType::Bool).unwrap();
+        s
+    }
+
+    fn eager_table(rows: usize) -> Table {
+        let mut b = TableBuilder::new("streamed");
+        b.add_column("i", DataType::Int)
+            .add_column("f", DataType::Float)
+            .add_column("s", DataType::Str)
+            .add_column("d", DataType::Date)
+            .add_column("b", DataType::Bool);
+        for r in 0..rows {
+            b.push_row_opt((0..5).map(|c| cell(r, c)).collect())
+                .unwrap();
+        }
+        b.finish()
+    }
+
+    fn stream_file(rows: usize, path: &Path) {
+        let mut w = StreamWriter::create(path, "streamed", schema(), rows).unwrap();
+        for c in 0..5 {
+            for r in 0..rows {
+                w.append(cell(r, c)).unwrap();
+            }
+            w.end_column().unwrap();
+        }
+        w.finish().unwrap();
+    }
+
+    #[test]
+    fn streamed_file_is_value_identical_to_eager_table() {
+        let rows = 113;
+        let t = eager_table(rows);
+        let path = tmp_path("diff");
+        stream_file(rows, &path);
+        let d = DiskTable::open(&path).unwrap();
+        d.verify().unwrap();
+        assert_eq!(d.len(), rows);
+        assert_eq!(d.schema(), t.schema());
+        for c in t.schema().columns() {
+            let dc = d.column(&c.name).unwrap();
+            let tc = t.column(&c.name).unwrap();
+            assert_eq!(dc.dict(), tc.dict(), "dict order of {}", c.name);
+            for i in 0..rows {
+                assert_eq!(dc.get(i), tc.get(i), "cell ({i}, {})", c.name);
+            }
+        }
+        // And the operations the advisor issues agree bitwise.
+        let pred = StorePredicate::and(vec![
+            StorePredicate::range("i", Value::Int(-5), Value::Int(30), true),
+            StorePredicate::set("s", vec![Value::str("fluit"), Value::str("")]),
+        ]);
+        assert_eq!(d.eval(&pred).unwrap(), t.eval(&pred).unwrap());
+        let sel = t.eval(&pred).unwrap();
+        assert_eq!(d.median("f", &sel).unwrap(), t.median("f", &sel).unwrap());
+        let (df, dd) = d.frequencies("s", &d.all_rows()).unwrap();
+        let (tf, td) = t.frequencies("s", &t.all_rows()).unwrap();
+        assert_eq!((df.entries(), dd), (tf.entries(), td));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn streamed_and_eager_files_read_back_identically() {
+        // Segment order differs between the writers (data-before-
+        // validity when streaming); the offset-driven reader must hide
+        // that entirely.
+        let rows = 113;
+        let t = eager_table(rows);
+        let eager_path = tmp_path("eager");
+        let stream_path = tmp_path("stream");
+        write_table(&t, &eager_path).unwrap();
+        stream_file(rows, &stream_path);
+        let de = DiskTable::open(&eager_path).unwrap();
+        let ds = DiskTable::open(&stream_path).unwrap();
+        for c in t.schema().columns() {
+            for i in 0..rows {
+                assert_eq!(
+                    de.column(&c.name).unwrap().get(i),
+                    ds.column(&c.name).unwrap().get(i)
+                );
+            }
+        }
+        std::fs::remove_file(&eager_path).unwrap();
+        std::fs::remove_file(&stream_path).unwrap();
+    }
+
+    #[test]
+    fn empty_stream_round_trips() {
+        let path = tmp_path("empty");
+        let mut w = StreamWriter::create(&path, "empty", schema(), 0).unwrap();
+        for _ in 0..5 {
+            w.end_column().unwrap();
+        }
+        w.finish().unwrap();
+        let d = DiskTable::open(&path).unwrap();
+        assert_eq!(d.len(), 0);
+        d.verify().unwrap();
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn protocol_violations_are_typed_errors() {
+        let path = tmp_path("proto");
+        let mut s = Schema::new();
+        s.add("i", DataType::Int).unwrap();
+        s.add("f", DataType::Float).unwrap();
+
+        // Wrong type.
+        let mut w = StreamWriter::create(&path, "t", s.clone(), 2).unwrap();
+        assert!(matches!(
+            w.append(Some(Value::str("oops"))),
+            Err(StoreError::TypeMismatch { .. })
+        ));
+        // NaN, exactly like `Column::push`.
+        w.append(Some(Value::Int(1))).unwrap();
+        w.append(None).unwrap();
+        w.end_column().unwrap();
+        assert!(matches!(
+            w.append(Some(Value::Float(f64::NAN))),
+            Err(StoreError::Parse(_))
+        ));
+        // Too many rows.
+        w.append(Some(Value::Float(1.0))).unwrap();
+        w.append(Some(Value::Float(2.0))).unwrap();
+        assert!(matches!(
+            w.append(Some(Value::Float(3.0))),
+            Err(StoreError::LengthMismatch { left: 2, right: 3 })
+        ));
+        w.end_column().unwrap();
+        // Appending past the last column.
+        assert!(matches!(
+            w.append(Some(Value::Int(9))),
+            Err(StoreError::ArityMismatch { .. })
+        ));
+        // Short column.
+        let path2 = tmp_path("proto-short");
+        let mut w2 = StreamWriter::create(&path2, "t", s.clone(), 2).unwrap();
+        w2.append(Some(Value::Int(1))).unwrap();
+        assert!(matches!(
+            w2.end_column(),
+            Err(StoreError::LengthMismatch { left: 2, right: 1 })
+        ));
+        // Finishing with a column missing.
+        let path3 = tmp_path("proto-missing");
+        let mut w3 = StreamWriter::create(&path3, "t", s, 1).unwrap();
+        w3.append(Some(Value::Int(1))).unwrap();
+        w3.end_column().unwrap();
+        assert!(matches!(
+            w3.finish(),
+            Err(StoreError::ArityMismatch {
+                expected: 2,
+                found: 1
+            })
+        ));
+        for p in [&path, &path2, &path3] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
 }

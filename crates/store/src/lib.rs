@@ -68,12 +68,12 @@ pub mod table;
 pub mod value;
 
 pub use backend::{Backend, BackendStats};
-pub use bitmap::Bitmap;
+pub use bitmap::{compressed_selections, set_compressed_selections, Bitmap};
 pub use builder::TableBuilder;
 pub use column::{Column, ColumnData};
 pub use csv::{read_csv_file, read_csv_str, write_csv_file, write_csv_string};
 pub use datatype::DataType;
-pub use disk::{write_table, DiskTable};
+pub use disk::{write_table, DiskTable, StreamWriter};
 pub use error::{StoreError, StoreResult};
 pub use predicate::{RangePred, SetPred, StorePredicate};
 pub use rowstore::{Row, RowTable};

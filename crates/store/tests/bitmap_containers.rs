@@ -1,0 +1,420 @@
+//! Differential battery for the compressed bitmap containers.
+//!
+//! The `Bitmap` has two representations — the flat dense word vector
+//! and the Roaring-style per-64Ki-chunk containers (array / run /
+//! bitmap) — behind one API, and the whole design rests on the claim
+//! that the representation is *unobservable*. This suite attacks that
+//! claim from outside the crate: every public operation is driven
+//! against two oracles at once —
+//!
+//! 1. a `Vec<bool>` model (ground truth for each operation's meaning);
+//! 2. the retained **dense** `Bitmap` (the pre-compression code path,
+//!    bitwise authoritative via `words()`).
+//!
+//! A compressed twin replays the identical operation sequence and must
+//! agree with both oracles after every step: same length, same
+//! cardinality, same `words()` stream bit for bit (which also proves no
+//! bit beyond `len` is ever set — the PR 2 tail invariant), same
+//! iteration order, semantic equality and equal hashes in both
+//! directions.
+//!
+//! Deterministic edge tests pin the container boundaries: exactly 4096
+//! values in a chunk (the array/bitmap promotion threshold), all-set
+//! runs, empty chunks, and chunk-straddling appends and slices.
+//!
+//! Regression seeds live in `proptest-regressions/bitmap_containers.txt`.
+
+use charles_store::Bitmap;
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// One Roaring chunk covers this many rows.
+const CHUNK: usize = 65536;
+/// An array container holds at most this many values before promotion.
+const ARRAY_MAX: usize = 4096;
+
+fn build(bits: &[bool], compressed: bool) -> Bitmap {
+    let mut bm = Bitmap::new(bits.len());
+    for (i, &b) in bits.iter().enumerate() {
+        if b {
+            bm.set(i);
+        }
+    }
+    // Pin the layout explicitly: the process default (feature- or
+    // env-selected) must not leak into which lane is which.
+    if compressed {
+        bm.compress()
+    } else {
+        bm.to_dense()
+    }
+}
+
+fn hash_of(bm: &Bitmap) -> u64 {
+    let mut h = DefaultHasher::new();
+    bm.hash(&mut h);
+    h.finish()
+}
+
+/// Assert the dense and compressed twins both match the model exactly.
+fn check(model: &[bool], dense: &Bitmap, comp: &Bitmap) -> Result<(), TestCaseError> {
+    prop_assert_eq!(dense.len(), model.len());
+    prop_assert_eq!(comp.len(), model.len());
+    prop_assert!(!dense.is_compressed());
+    prop_assert!(comp.is_compressed());
+
+    let expected_ones = model.iter().filter(|&&b| b).count();
+    prop_assert_eq!(dense.count_ones(), expected_ones, "dense count");
+    prop_assert_eq!(comp.count_ones(), expected_ones, "compressed count");
+    prop_assert_eq!(dense.none(), expected_ones == 0);
+    prop_assert_eq!(comp.none(), expected_ones == 0);
+
+    // Bitwise oracle: the dense word stream is authoritative. Building
+    // the expected words from the model also proves the tail invariant
+    // from outside the crate — a stray bit beyond `len` would differ.
+    let mut expected_words = vec![0u64; model.len().div_ceil(64)];
+    for (i, &b) in model.iter().enumerate() {
+        if b {
+            expected_words[i / 64] |= 1u64 << (i % 64);
+        }
+    }
+    prop_assert_eq!(&*dense.words(), &expected_words[..], "dense words");
+    prop_assert_eq!(&*comp.words(), &expected_words[..], "compressed words");
+
+    // Iteration agrees with the model in order.
+    let expect_iter: Vec<usize> = (0..model.len()).filter(|&i| model[i]).collect();
+    prop_assert_eq!(dense.iter_ones().collect::<Vec<_>>(), expect_iter.clone());
+    prop_assert_eq!(comp.iter_ones().collect::<Vec<_>>(), expect_iter);
+
+    // Semantic equality and hashing see through the representation.
+    prop_assert_eq!(dense, comp);
+    prop_assert_eq!(comp, dense);
+    prop_assert_eq!(hash_of(dense), hash_of(comp));
+    Ok(())
+}
+
+/// An operand bitmap shaped to land in a specific container kind:
+/// empty, full (runs), strided (arrays or bitmaps), solid runs, dense
+/// noise, or sparse noise.
+fn operand(len: usize, rng: &mut StdRng) -> Vec<bool> {
+    match rng.gen_range(0u8..6) {
+        0 => vec![false; len],
+        1 => vec![true; len],
+        2 => {
+            let stride = rng.gen_range(1usize..=130);
+            (0..len).map(|i| i % stride == 0).collect()
+        }
+        3 => {
+            let a = if len == 0 { 0 } else { rng.gen_range(0..len) };
+            let b = if len == 0 { 0 } else { rng.gen_range(a..=len) };
+            (0..len).map(|i| i >= a && i < b).collect()
+        }
+        4 => (0..len).map(|_| rng.gen_bool(0.5)).collect(),
+        _ => (0..len).map(|_| rng.gen_bool(1.0 / 400.0)).collect(),
+    }
+}
+
+/// Apply one random operation to the model and both twins.
+fn step(rng: &mut StdRng, model: &mut Vec<bool>, dense: &mut Bitmap, comp: &mut Bitmap) {
+    match rng.gen_range(0u8..10) {
+        0 => {
+            // A burst of pushes (occasionally enough to cross a chunk
+            // boundary from a near-boundary length).
+            let n = if rng.gen_bool(0.2) {
+                rng.gen_range(1..=300)
+            } else {
+                rng.gen_range(1..=48)
+            };
+            for _ in 0..n {
+                let b = rng.gen_bool(0.5);
+                model.push(b);
+                dense.push(b);
+                comp.push(b);
+            }
+        }
+        1 if !model.is_empty() => {
+            let i = rng.gen_range(0..model.len());
+            model[i] = true;
+            dense.set(i);
+            comp.set(i);
+        }
+        2 if !model.is_empty() => {
+            let i = rng.gen_range(0..model.len());
+            model[i] = false;
+            dense.unset(i);
+            comp.unset(i);
+        }
+        op @ 3..=5 => {
+            let other = operand(model.len(), rng);
+            let other_dense = build(&other, false);
+            // Mixed-representation coverage: the compressed twin sees a
+            // compressed or dense operand at random.
+            let other_for_comp = build(&other, rng.gen_bool(0.5));
+            match op {
+                3 => {
+                    for (m, &o) in model.iter_mut().zip(&other) {
+                        *m = *m && o;
+                    }
+                    *dense = dense.and(&other_dense);
+                    *comp = comp.and(&other_for_comp);
+                }
+                4 => {
+                    for (m, &o) in model.iter_mut().zip(&other) {
+                        *m = *m || o;
+                    }
+                    *dense = dense.or(&other_dense);
+                    *comp = comp.or(&other_for_comp);
+                }
+                _ => {
+                    for (m, &o) in model.iter_mut().zip(&other) {
+                        *m = *m && !o;
+                    }
+                    *dense = dense.and_not(&other_dense);
+                    *comp = comp.and_not(&other_for_comp);
+                }
+            }
+        }
+        6 => {
+            for m in model.iter_mut() {
+                *m = !*m;
+            }
+            *dense = dense.not();
+            *comp = comp.not();
+        }
+        7 => {
+            // Append; one time in four, big enough to straddle a chunk.
+            let extra = if rng.gen_bool(0.25) {
+                rng.gen_range(CHUNK - 100..CHUNK + 100)
+            } else {
+                rng.gen_range(0..2000)
+            };
+            let other = operand(extra, rng);
+            model.extend_from_slice(&other);
+            dense.append(&build(&other, false));
+            comp.append(&build(&other, rng.gen_bool(0.5)));
+        }
+        8 if !model.is_empty() => {
+            let a = rng.gen_range(0..=model.len());
+            let b = rng.gen_range(a..=model.len());
+            *model = model[a..b].to_vec();
+            *dense = dense.slice(a, b);
+            *comp = comp.slice(a, b);
+        }
+        9 => {
+            // Concat with a fresh part (result representation follows
+            // the process default, so re-pin the compressed twin).
+            let extra = rng.gen_range(0..1500);
+            let other = operand(extra, rng);
+            model.extend_from_slice(&other);
+            let jd = Bitmap::concat([&dense.clone(), &build(&other, false)]);
+            *dense = if jd.is_compressed() {
+                jd.to_dense()
+            } else {
+                jd
+            };
+            let parts = [comp.clone(), build(&other, true)];
+            let joined = Bitmap::concat(parts.iter());
+            *comp = if joined.is_compressed() {
+                joined
+            } else {
+                joined.compress()
+            };
+        }
+        _ => {} // set/unset/slice on an empty bitmap: no-op round
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The headline differential property: a random sequence of every
+    /// public mutating operation leaves the compressed twin bitwise
+    /// identical to the retained dense representation and to the model.
+    #[test]
+    fn random_op_sequences_match_the_dense_oracle(
+        seed in any::<u64>(),
+        start_len in 0usize..1200,
+        steps in 1usize..24,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut model = operand(start_len, &mut rng);
+        let mut dense = build(&model, false);
+        let mut comp = build(&model, true);
+        check(&model, &dense, &comp)?;
+        for _ in 0..steps {
+            step(&mut rng, &mut model, &mut dense, &mut comp);
+            check(&model, &dense, &comp)?;
+        }
+        // Round-tripping the final state through the other layout is
+        // lossless in both directions.
+        check(&model, &comp.to_dense(), &dense.compress())?;
+    }
+
+    /// The query surface (no mutation): counting, subset and
+    /// disjointness tests agree across every representation pairing.
+    #[test]
+    fn query_ops_agree_across_representation_pairings(
+        seed in any::<u64>(),
+        len in 0usize..(2 * CHUNK + 500),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = operand(len, &mut rng);
+        let b = operand(len, &mut rng);
+        let expected_and = a.iter().zip(&b).filter(|(&x, &y)| x && y).count();
+        let expected_subset = a.iter().zip(&b).all(|(&x, &y)| !x || y);
+        let ad = build(&a, false);
+        let ac = build(&a, true);
+        let bd = build(&b, false);
+        let bc = build(&b, true);
+        for x in [&ad, &ac] {
+            for y in [&bd, &bc] {
+                prop_assert_eq!(x.and_count(y), expected_and);
+                prop_assert_eq!(x.is_disjoint(y), expected_and == 0);
+                prop_assert_eq!(x.is_subset_of(y), expected_subset);
+                prop_assert_eq!(x.and(y).count_ones(), expected_and);
+            }
+        }
+        // Random-access reads agree everywhere.
+        for _ in 0..64.min(len) {
+            let i = rng.gen_range(0..len.max(1));
+            prop_assert_eq!(ad.get(i), a[i]);
+            prop_assert_eq!(ac.get(i), a[i]);
+        }
+    }
+
+    /// `from_words` round-trips `words()` for both layouts and rejects
+    /// malformed streams identically.
+    #[test]
+    fn word_streams_round_trip_for_both_layouts(
+        seed in any::<u64>(),
+        len in 0usize..(CHUNK + 500),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bits = operand(len, &mut rng);
+        for compressed in [false, true] {
+            let bm = build(&bits, compressed);
+            let round = Bitmap::from_words(bm.words().into_owned(), len)
+                .expect("words() output is always a valid stream");
+            prop_assert_eq!(&round, &bm);
+            // Wrong word count is rejected.
+            let mut long = bm.words().into_owned();
+            long.push(0);
+            prop_assert!(Bitmap::from_words(long, len).is_none());
+            // A bit beyond len is rejected.
+            if len % 64 != 0 {
+                let mut dirty = bm.words().into_owned();
+                *dirty.last_mut().unwrap() |= 1u64 << (len % 64);
+                prop_assert!(Bitmap::from_words(dirty, len).is_none());
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Deterministic container-boundary edges.
+// ---------------------------------------------------------------------
+
+/// Exactly `ARRAY_MAX` values in a chunk sits on the array/bitmap
+/// promotion threshold; one more crosses it. Both sides must be
+/// invisible to every observer.
+#[test]
+fn array_promotion_threshold_is_invisible() {
+    for extra in [0usize, 1, 2] {
+        let n = ARRAY_MAX + extra;
+        let bits: Vec<bool> = (0..CHUNK).map(|i| i % 16 == 0 && i / 16 < n).collect();
+        assert_eq!(bits.iter().filter(|&&b| b).count(), n.min(CHUNK / 16));
+        let dense = build(&bits, false);
+        let comp = build(&bits, true);
+        check(&bits, &dense, &comp).unwrap();
+        // Mutating across the threshold in both directions.
+        let mut up = comp.clone();
+        up.set(1); // one more value: promotes at the boundary
+        let mut model = bits.clone();
+        model[1] = true;
+        let mut dup = dense.clone();
+        dup.set(1);
+        check(&model, &dup, &up).unwrap();
+        let mut down = up;
+        down.unset(1);
+        let mut ddown = dup;
+        ddown.unset(1);
+        check(&bits, &ddown, &down).unwrap();
+    }
+}
+
+#[test]
+fn all_set_runs_and_empty_chunks_round_trip() {
+    // Three chunks: full · empty · half-full — run, empty and dense
+    // containers side by side, with a ragged tail.
+    let len = 2 * CHUNK + CHUNK / 2 + 17;
+    let bits: Vec<bool> = (0..len)
+        .map(|i| i < CHUNK || (i >= 2 * CHUNK && i % 2 == 0))
+        .collect();
+    let dense = build(&bits, false);
+    let comp = build(&bits, true);
+    check(&bits, &dense, &comp).unwrap();
+
+    // The all-set bitmap is a run container per chunk; `ones` must agree
+    // with the compressed constructor output.
+    let ones_model = vec![true; len];
+    check(
+        &ones_model,
+        &Bitmap::ones(len).to_dense(),
+        &Bitmap::ones(len).compress(),
+    )
+    .unwrap();
+
+    // Complement flips full ↔ empty chunks.
+    let inv_model: Vec<bool> = bits.iter().map(|&b| !b).collect();
+    check(&inv_model, &dense.not(), &comp.not()).unwrap();
+}
+
+#[test]
+fn chunk_straddling_appends_and_slices() {
+    // Build a three-chunk bitmap by appending parts whose seams land
+    // off-boundary, then slice windows that straddle every seam.
+    let seam_lens = [CHUNK - 3, 7, CHUNK + 11, 40];
+    let mut rng = StdRng::seed_from_u64(0xC1D2);
+    let mut model: Vec<bool> = Vec::new();
+    let mut dense = Bitmap::new(0).to_dense();
+    let mut comp = Bitmap::new(0).compress();
+    for (k, &n) in seam_lens.iter().enumerate() {
+        let part = operand(n, &mut rng);
+        model.extend_from_slice(&part);
+        dense.append(&build(&part, false));
+        comp.append(&build(&part, k % 2 == 0));
+        check(&model, &dense, &comp).unwrap();
+    }
+    let len = model.len();
+    for (a, b) in [
+        (0, len),
+        (CHUNK - 5, CHUNK + 5),
+        (CHUNK, 2 * CHUNK),
+        (1, 2 * CHUNK + 13),
+        (2 * CHUNK + 1, len),
+        (len / 2, len / 2),
+    ] {
+        let m = model[a..b].to_vec();
+        check(&m, &dense.slice(a, b), &comp.slice(a, b)).unwrap();
+    }
+}
+
+#[test]
+fn sparse_selections_compress_small() {
+    // The scaling claim in miniature: a 0.1% selection over two chunks
+    // must cost far less compressed than dense.
+    let len = 2 * CHUNK;
+    let bits: Vec<bool> = (0..len).map(|i| i % 1000 == 0).collect();
+    let dense = build(&bits, false);
+    let comp = build(&bits, true);
+    check(&bits, &dense, &comp).unwrap();
+    assert!(
+        comp.resident_bytes() * 4 <= dense.resident_bytes(),
+        "compressed {} B vs dense {} B",
+        comp.resident_bytes(),
+        dense.resident_bytes()
+    );
+}

@@ -7,13 +7,19 @@
 //!
 //! `lint` enforces three source-level rules `rustc` and clippy do not:
 //!
-//! 1. **No panicking calls in server request paths.** `.unwrap()` and
+//! 1. **No panicking calls in server request paths or the store's
+//!    untrusted-input/selection hot paths.** `.unwrap()` and
 //!    `.expect(` are forbidden in the non-test portions of
-//!    `crates/serve/src/server.rs`, `crates/serve/src/http.rs` and
-//!    `crates/serve/src/wire.rs`: a panic there kills a pool worker
-//!    mid-connection instead of answering 5xx (or an error frame).
-//!    Lines may opt out with a trailing `// lint:allow(panic)` comment
-//!    stating why.
+//!    `crates/serve/src/server.rs`, `crates/serve/src/http.rs`,
+//!    `crates/serve/src/wire.rs` (a panic there kills a pool worker
+//!    mid-connection instead of answering 5xx or an error frame),
+//!    `crates/store/src/bitmap/mod.rs`,
+//!    `crates/store/src/bitmap/compressed.rs` (every selection the
+//!    advisor evaluates flows through these; a panic takes the whole
+//!    advise down) and `crates/store/src/disk/mmap.rs` (mapped bytes
+//!    come from disk — corruption must surface as `StoreError`, never
+//!    a panic). Lines may opt out with a trailing
+//!    `// lint:allow(panic)` comment stating why.
 //! 2. **No ambient clocks in the core.** `Instant::now`/`SystemTime::now`
 //!    are forbidden in `crates/core/src/*.rs`: the advisor is a
 //!    deterministic function of (backend, config, context), and clock
@@ -77,6 +83,9 @@ fn run_lint(root: &Path) -> Vec<Violation> {
         "crates/serve/src/server.rs",
         "crates/serve/src/http.rs",
         "crates/serve/src/wire.rs",
+        "crates/store/src/bitmap/mod.rs",
+        "crates/store/src/bitmap/compressed.rs",
+        "crates/store/src/disk/mmap.rs",
     ] {
         match fs::read_to_string(root.join(rel)) {
             Ok(src) => check_no_panics(rel, &src, &mut violations),

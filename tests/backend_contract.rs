@@ -11,7 +11,11 @@
 //!    `Table`, `RowTable` and `ShardedTable` (shard counts {1, 3, 7},
 //!    plus an optional `CHARLES_SHARDS` env-driven count for CI smoke
 //!    runs), with shard boundaries deliberately unaligned to 64-bit
-//!    bitmap words.
+//!    bitmap words. Two storage-layout axes ride the same matrix: the
+//!    `mmap` feature adds a memory-mapped `DiskTable` row, and the
+//!    selection-bitmap layout tests flip the process-wide compressed
+//!    override to demand bitwise-identical advisor output under dense
+//!    and Roaring-container selection bitmaps.
 
 use charles::advisor::Explorer;
 use charles::{voc_table, Advisor, Config};
@@ -232,6 +236,25 @@ mod contract_harness {
         disk
     }
 
+    /// Like [`disk_fixture`], but memory-mapped: segment fetches are
+    /// slices of one read-only mapping instead of positioned reads.
+    #[cfg(feature = "mmap")]
+    fn mmap_fixture(t: &Table) -> DiskTable {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static COUNTER: AtomicUsize = AtomicUsize::new(0);
+        let path = std::env::temp_dir().join(format!(
+            "charles-contract-mmap-{}-{}.charles",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        write_table(t, &path).expect("write .charles fixture");
+        let disk = DiskTable::open_mmap(&path).expect("map .charles fixture");
+        assert!(disk.is_mapped());
+        #[cfg(unix)]
+        let _ = std::fs::remove_file(&path);
+        disk
+    }
+
     /// All backends under test, with the reference `Table` first. The
     /// disk-backed entries prove the persistence tentpole: a lazily
     /// loaded `.charles` file, and a `ShardedTable` over its
@@ -242,6 +265,8 @@ mod contract_harness {
             ("rowstore".into(), Box::new(RowTable::from_table(t))),
             ("disk".into(), Box::new(disk_fixture(t))),
         ];
+        #[cfg(feature = "mmap")]
+        out.push(("disk-mmap".into(), Box::new(mmap_fixture(t))));
         for n in shard_counts() {
             out.push((
                 format!("sharded-{n}"),
@@ -504,6 +529,91 @@ mod contract_harness {
             assert_eq!(
                 got, reference,
                 "advisor output diverged on disk→sharded at {n} shards"
+            );
+        }
+    }
+
+    /// The advisor's ranked output — segmentations plus entropy bits —
+    /// for one backend. This is the bitwise fingerprint the layout
+    /// matrix compares.
+    fn ranked_fingerprint(b: &dyn Backend) -> Vec<(String, u64)> {
+        let context = "(type_of_boat: , tonnage: , departure_harbour: )";
+        Advisor::new(b)
+            .advise_str(context)
+            .unwrap()
+            .ranked
+            .iter()
+            .map(|r| (r.segmentation.to_string(), r.score.entropy.to_bits()))
+            .collect()
+    }
+
+    /// Run `f` with the process-wide selection-bitmap layout pinned.
+    /// The override is global, so flips are serialized behind a mutex
+    /// and always restored (even on panic) to keep the rest of the
+    /// binary's tests on the build's default layout.
+    fn with_bitmap_layout<T>(compressed: bool, f: impl FnOnce() -> T) -> T {
+        use std::sync::Mutex;
+        static LAYOUT: Mutex<()> = Mutex::new(());
+        let _guard = LAYOUT.lock().unwrap_or_else(|p| p.into_inner());
+        struct Restore;
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                charles_store::set_compressed_selections(None);
+            }
+        }
+        let _restore = Restore;
+        charles_store::set_compressed_selections(Some(compressed));
+        f()
+    }
+
+    /// The compressed-bitmap row of the matrix: every backend must
+    /// produce bitwise-identical advisor output whether its selection
+    /// bitmaps are dense words or Roaring containers.
+    #[test]
+    fn advisor_output_bitwise_identical_dense_vs_compressed_bitmaps() {
+        let t = fixture();
+        let dense: Vec<(String, Vec<(String, u64)>)> = with_bitmap_layout(false, || {
+            backends(&t)
+                .into_iter()
+                .map(|(name, b)| (name, ranked_fingerprint(b.as_ref())))
+                .collect()
+        });
+        assert!(!dense.is_empty() && dense.iter().all(|(_, r)| !r.is_empty()));
+        let compressed: Vec<(String, Vec<(String, u64)>)> = with_bitmap_layout(true, || {
+            backends(&t)
+                .into_iter()
+                .map(|(name, b)| (name, ranked_fingerprint(b.as_ref())))
+                .collect()
+        });
+        for ((dn, dr), (cn, cr)) in dense.iter().zip(&compressed) {
+            assert_eq!(dn, cn, "backend matrix drifted between runs");
+            assert_eq!(
+                dr, cr,
+                "advisor output diverged on {dn} under compressed bitmaps"
+            );
+        }
+    }
+
+    /// The mmap row of the matrix, stated directly: advising over the
+    /// mapped file is bitwise identical to the in-memory table and the
+    /// `pread` DiskTable — under both selection-bitmap layouts.
+    #[cfg(feature = "mmap")]
+    #[test]
+    fn advisor_output_bitwise_identical_table_vs_mmap() {
+        let t = fixture();
+        for compressed in [false, true] {
+            let (reference, pread, mapped) = with_bitmap_layout(compressed, || {
+                (
+                    ranked_fingerprint(&t),
+                    ranked_fingerprint(&disk_fixture(&t)),
+                    ranked_fingerprint(&mmap_fixture(&t)),
+                )
+            });
+            assert!(!reference.is_empty());
+            assert_eq!(pread, reference, "pread drifted (compressed={compressed})");
+            assert_eq!(
+                mapped, reference,
+                "advisor output diverged on mmap (compressed={compressed})"
             );
         }
     }
