@@ -1128,7 +1128,7 @@ fn begin_frame(buf: &mut Vec<u8>, opcode: u8) -> usize {
 /// Patch the payload length of the frame opened at `start`.
 fn end_frame(buf: &mut [u8], start: usize) {
     let len = (buf.len() - start - HEADER_LEN) as u32;
-    buf[start + 6..start + HEADER_LEN].copy_from_slice(&len.to_le_bytes()); // lint:allow(panic)
+    buf[start + 6..start + HEADER_LEN].copy_from_slice(&len.to_le_bytes()); // lint:allow(panic) start was returned by begin_frame, so the header span exists
 }
 
 fn put_u8(buf: &mut Vec<u8>, v: u8) {
@@ -1173,7 +1173,7 @@ fn put_display(buf: &mut Vec<u8>, v: &dyn std::fmt::Display) {
     // Writes into a Vec are infallible.
     let _ = write!(buf, "{v}");
     let len = (buf.len() - start) as u32;
-    buf[patch..patch + 4].copy_from_slice(&len.to_le_bytes()); // lint:allow(panic)
+    buf[patch..patch + 4].copy_from_slice(&len.to_le_bytes()); // lint:allow(panic) patch points at the 4-byte length slot this fn reserved
 }
 
 /// Bounds-checked cursor over one frame payload. Every read is

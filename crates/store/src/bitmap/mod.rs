@@ -471,7 +471,7 @@ impl Bitmap {
             let old_len = self.len;
             self.len += other.len;
             let Repr::Chunks(cs) = &mut self.repr else {
-                unreachable!()
+                unreachable!() // lint:allow(panic) the matches! guard on this branch proves the layout
             };
             cs.resize(n_chunks(old_len + other.len), Container::Empty);
             blit(cs, old_len, other, 0, other.len);
@@ -485,7 +485,7 @@ impl Bitmap {
         let new_len = self.len + olen;
         let shift = self.len % WORD_BITS;
         let Repr::Dense(words) = &mut self.repr else {
-            unreachable!("append_words is only called on the dense layout")
+            unreachable!("append_words is only called on the dense layout") // lint:allow(panic) sole caller is the dense branch of append
         };
         if shift == 0 {
             words.extend_from_slice(ow);

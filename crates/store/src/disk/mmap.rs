@@ -62,9 +62,13 @@ enum Inner {
 }
 
 // SAFETY: the mapping is PROT_READ + MAP_PRIVATE and never written or
-// remapped after construction; sharing immutable views across threads is
-// no different from sharing a `&[u8]`.
+// remapped after construction, and `Drop` is the sole unmap site — the
+// owning thread can hand the value to another thread without any
+// thread-affine state left behind.
 unsafe impl Send for Mmap {}
+// SAFETY: all access after construction is read-only (`as_slice` /
+// `slice` take `&self` and the kernel mapping is immutable), so
+// concurrent shared views are no different from sharing a `&[u8]`.
 unsafe impl Sync for Mmap {}
 
 impl Mmap {

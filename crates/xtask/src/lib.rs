@@ -1,0 +1,180 @@
+//! charles-lint: the workspace's own static analysis engine.
+//!
+//! `cargo xtask lint` runs a multi-pass, token-level analysis over
+//! every crate in the tree. It is dependency-free by design (this
+//! workspace vendors its few deps; the lint must never be a reason to
+//! add one) and deliberately *not* a Rust parser: a hand-rolled lexer
+//! ([`lexer`]) plus a lightweight item model ([`model`]) answer every
+//! question the passes ask, with well-documented over-approximations
+//! instead of grammar chasing (see `docs/adr/0002-token-level-lint.md`).
+//!
+//! The passes ([`passes`]):
+//!
+//! | code | guarantee |
+//! |------|-----------|
+//! | `panic` | no panicking calls in protected request/selection files |
+//! | `panic_reachable` | no panics reachable from serve's entry fns |
+//! | `clock` | no ambient clock reads in the deterministic core |
+//! | `feature_asymmetry` | every `parallel` gate has a `not(...)` twin |
+//! | `unsafe_module` / `unsafe_undocumented` | unsafe is allowlisted and argued |
+//! | `lock_io` | no mutex guard held across blocking I/O in serve |
+//! | `spec_drift` / `readme_drift` | wire consts + error codes match `docs/lint/registry.txt` and the README |
+//! | `api_snapshot` | `pub` surface matches `docs/api/<crate>.txt` |
+//!
+//! Suppression is per-line and must be justified:
+//! `// lint:allow(<code>) <reason>`. An empty reason is itself a
+//! diagnostic (`allow_unreasoned`), as is a code the engine does not
+//! know (`allow_unknown`). Suppressions are applied centrally here, not
+//! in the passes, so every pass stays a pure `workspace -> findings`
+//! function.
+
+pub mod diag;
+pub mod lexer;
+pub mod model;
+pub mod passes;
+
+use diag::{codes, Diagnostic};
+use model::WorkspaceFiles;
+use std::path::{Path, PathBuf};
+
+/// The workspace root, from this crate's own manifest location.
+pub fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("xtask lives two levels under the workspace root")
+        .to_path_buf()
+}
+
+/// Load the workspace under `root` and run every pass, returning the
+/// post-suppression diagnostics sorted by (file, line, code).
+pub fn run_lint(root: &Path) -> Vec<Diagnostic> {
+    let ws = WorkspaceFiles::load(root);
+    run_lint_on(&ws)
+}
+
+/// Run every pass over an already-loaded workspace model.
+pub fn run_lint_on(ws: &WorkspaceFiles) -> Vec<Diagnostic> {
+    let mut raw = Vec::new();
+    passes::panics::check_direct(ws, &mut raw);
+    passes::panics::check_reachable(ws, &mut raw);
+    passes::clocks::check(ws, &mut raw);
+    passes::features::check(ws, &mut raw);
+    passes::unsafe_audit::check(ws, &mut raw);
+    passes::locks::check(ws, &mut raw);
+    passes::spec::check(ws, &mut raw);
+    passes::api::check(ws, &mut raw);
+    apply_suppressions(ws, raw)
+}
+
+/// Central suppression filter + suppression audit.
+///
+/// A diagnostic is dropped when its line carries a
+/// `// lint:allow(<its code>) <reason>` comment with non-empty reason.
+/// Every suppression comment in the tree is audited regardless of
+/// whether it matched: unknown codes and missing reasons are findings.
+fn apply_suppressions(ws: &WorkspaceFiles, raw: Vec<Diagnostic>) -> Vec<Diagnostic> {
+    let mut out: Vec<Diagnostic> = raw
+        .into_iter()
+        .filter(|d| {
+            let suppressed = ws
+                .file(&d.file)
+                .and_then(|f| f.suppression_for(d.line, d.code))
+                .is_some_and(|s| !s.reason.is_empty());
+            !suppressed
+        })
+        .collect();
+    for file in &ws.files {
+        for s in &file.suppressions {
+            if !codes::ALL.contains(&s.code.as_str()) {
+                out.push(Diagnostic::new(
+                    codes::ALLOW_UNKNOWN,
+                    file.path.clone(),
+                    s.line,
+                    format!(
+                        "`lint:allow({})` names a code this lint does not emit — see \
+                         docs/LINTS.md for the list",
+                        s.code
+                    ),
+                ));
+            } else if s.reason.is_empty() {
+                out.push(Diagnostic::new(
+                    codes::ALLOW_UNREASONED,
+                    file.path.clone(),
+                    s.line,
+                    format!(
+                        "`lint:allow({})` without a reason — suppressions must say *why* \
+                         the finding is acceptable: `// lint:allow({}) <reason>`",
+                        s.code, s.code
+                    ),
+                ));
+            }
+        }
+    }
+    out.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.code, a.detail.as_str()).cmp(&(
+            b.file.as_str(),
+            b.line,
+            b.code,
+            b.detail.as_str(),
+        ))
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_workspace_root_is_a_workspace() {
+        assert!(workspace_root().join("Cargo.toml").is_file());
+    }
+
+    #[test]
+    fn reasoned_suppressions_drop_the_diagnostic_and_nothing_else() {
+        let ws = WorkspaceFiles {
+            root: PathBuf::new(),
+            files: vec![model::SourceFile::parse(
+                "a.rs",
+                "fn f() {\n    x(); // lint:allow(lock_io) guard is request-local\n}\n",
+            )],
+        };
+        let raw = vec![
+            Diagnostic::new(codes::LOCK_IO, "a.rs", 2, "blocking"),
+            Diagnostic::new(codes::LOCK_IO, "a.rs", 3, "other line"),
+        ];
+        let out = apply_suppressions(&ws, raw);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].line, 3);
+    }
+
+    #[test]
+    fn unreasoned_and_unknown_allows_are_findings() {
+        let ws = WorkspaceFiles {
+            root: PathBuf::new(),
+            files: vec![model::SourceFile::parse(
+                "a.rs",
+                "fn f() {\n    x(); // lint:allow(panic)\n    y(); // lint:allow(bogus_code) because\n}\n",
+            )],
+        };
+        let out = apply_suppressions(&ws, Vec::new());
+        let codes_seen: Vec<&str> = out.iter().map(|d| d.code).collect();
+        assert_eq!(codes_seen, [codes::ALLOW_UNREASONED, codes::ALLOW_UNKNOWN]);
+    }
+
+    #[test]
+    fn unreasoned_allow_does_not_suppress() {
+        let ws = WorkspaceFiles {
+            root: PathBuf::new(),
+            files: vec![model::SourceFile::parse(
+                "a.rs",
+                "fn f() {\n    x.unwrap(); // lint:allow(panic)\n}\n",
+            )],
+        };
+        let raw = vec![Diagnostic::new(codes::PANIC, "a.rs", 2, "panicking call")];
+        let out = apply_suppressions(&ws, raw);
+        assert!(out.iter().any(|d| d.code == codes::PANIC));
+        assert!(out.iter().any(|d| d.code == codes::ALLOW_UNREASONED));
+    }
+}

@@ -1,57 +1,67 @@
-//! Workspace hygiene tasks, dependency-free by design (this crate must
-//! build in environments where crates.io is unreachable).
+//! Thin CLI over the `charles_xtask` lint engine.
 //!
 //! ```text
-//! cargo run -p charles-xtask -- lint
+//! cargo run -p charles-xtask -- lint                        # human output
+//! cargo run -p charles-xtask -- lint --json                 # machine output (CI artefact)
+//! cargo run -p charles-xtask -- lint --write-api-snapshots  # regenerate docs/api/*.txt
 //! ```
 //!
-//! `lint` enforces three source-level rules `rustc` and clippy do not:
-//!
-//! 1. **No panicking calls in server request paths or the store's
-//!    untrusted-input/selection hot paths.** `.unwrap()` and
-//!    `.expect(` are forbidden in the non-test portions of
-//!    `crates/serve/src/server.rs`, `crates/serve/src/http.rs`,
-//!    `crates/serve/src/wire.rs` (a panic there kills a pool worker
-//!    mid-connection instead of answering 5xx or an error frame),
-//!    `crates/store/src/bitmap/mod.rs`,
-//!    `crates/store/src/bitmap/compressed.rs` (every selection the
-//!    advisor evaluates flows through these; a panic takes the whole
-//!    advise down) and `crates/store/src/disk/mmap.rs` (mapped bytes
-//!    come from disk — corruption must surface as `StoreError`, never
-//!    a panic). Lines may opt out with a trailing
-//!    `// lint:allow(panic)` comment stating why.
-//! 2. **No ambient clocks in the core.** `Instant::now`/`SystemTime::now`
-//!    are forbidden in `crates/core/src/*.rs`: the advisor is a
-//!    deterministic function of (backend, config, context), and clock
-//!    reads are where nondeterminism sneaks in. Timing belongs to the
-//!    bench/serve layers.
-//! 3. **Feature-gate symmetry.** Any source file using
-//!    `#[cfg(feature = "parallel")]` must also contain
-//!    `#[cfg(not(feature = "parallel"))]` — a gated item without a
-//!    sequential sibling breaks `--no-default-features` builds, which CI
-//!    only catches for code paths its tests happen to exercise.
-//!
-//! Exit status is the number of violations (0 = clean), so CI can run
-//! it as a plain step.
+//! Exit status: 0 when clean, 1 when any diagnostic survives
+//! suppression (or on bad usage). `--json` prints a single JSON array
+//! of `{code, file, line, detail}` objects on stdout — empty array when
+//! clean — so CI can both gate on the exit code and upload the output.
+//! The rules themselves are documented in `docs/LINTS.md`.
 
-use std::fs;
-use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     match args.next().as_deref() {
         Some("lint") => {
-            let root = workspace_root();
-            let violations = run_lint(&root);
-            for v in &violations {
-                eprintln!("{v}");
+            let mut json = false;
+            let mut write_snapshots = false;
+            for arg in args {
+                match arg.as_str() {
+                    "--json" => json = true,
+                    "--write-api-snapshots" => write_snapshots = true,
+                    other => {
+                        eprintln!(
+                            "unknown flag {other:?}; available: --json --write-api-snapshots"
+                        );
+                        return ExitCode::FAILURE;
+                    }
+                }
             }
-            if violations.is_empty() {
-                println!("xtask lint: clean");
+            let root = charles_xtask::workspace_root();
+            if write_snapshots {
+                let ws = charles_xtask::model::WorkspaceFiles::load(&root);
+                match charles_xtask::passes::api::write_snapshots(&ws) {
+                    Ok(written) => {
+                        for path in written {
+                            eprintln!("wrote {path}");
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!("failed to write API snapshots: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            let diagnostics = charles_xtask::run_lint(&root);
+            if json {
+                println!("{}", charles_xtask::diag::to_json_array(&diagnostics));
+            } else {
+                for d in &diagnostics {
+                    eprintln!("{d}");
+                }
+            }
+            if diagnostics.is_empty() {
+                if !json {
+                    println!("xtask lint: clean");
+                }
                 ExitCode::SUCCESS
             } else {
-                eprintln!("xtask lint: {} violation(s)", violations.len());
+                eprintln!("xtask lint: {} diagnostic(s)", diagnostics.len());
                 ExitCode::FAILURE
             }
         }
@@ -60,198 +70,8 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
         None => {
-            eprintln!("usage: cargo run -p charles-xtask -- lint");
+            eprintln!("usage: cargo run -p charles-xtask -- lint [--json] [--write-api-snapshots]");
             ExitCode::FAILURE
         }
-    }
-}
-
-/// The workspace root, two levels up from this crate's manifest.
-fn workspace_root() -> PathBuf {
-    Path::new(env!("CARGO_MANIFEST_DIR"))
-        .join("../..")
-        .canonicalize()
-        .expect("workspace root exists")
-}
-
-/// One violation, already formatted for the terminal.
-type Violation = String;
-
-fn run_lint(root: &Path) -> Vec<Violation> {
-    let mut violations = Vec::new();
-    for rel in [
-        "crates/serve/src/server.rs",
-        "crates/serve/src/http.rs",
-        "crates/serve/src/wire.rs",
-        "crates/store/src/bitmap/mod.rs",
-        "crates/store/src/bitmap/compressed.rs",
-        "crates/store/src/disk/mmap.rs",
-    ] {
-        match fs::read_to_string(root.join(rel)) {
-            Ok(src) => check_no_panics(rel, &src, &mut violations),
-            Err(e) => violations.push(format!("{rel}: unreadable: {e}")),
-        }
-    }
-    for (rel, src) in read_sources(&root.join("crates/core/src"), "crates/core/src") {
-        check_no_clocks(&rel, &src, &mut violations);
-    }
-    for (rel, src) in read_sources(&root.join("crates"), "crates") {
-        check_feature_symmetry(&rel, &src, &mut violations);
-    }
-    violations
-}
-
-/// All `.rs` files under `dir` (recursively), as `(repo-relative path,
-/// contents)` pairs in sorted order.
-fn read_sources(dir: &Path, rel: &str) -> Vec<(String, String)> {
-    let mut out = Vec::new();
-    let Ok(entries) = fs::read_dir(dir) else {
-        return out;
-    };
-    let mut entries: Vec<_> = entries.flatten().collect();
-    entries.sort_by_key(|e| e.file_name());
-    for entry in entries {
-        let path = entry.path();
-        let name = entry.file_name().to_string_lossy().into_owned();
-        let rel_child = format!("{rel}/{name}");
-        if path.is_dir() {
-            // `target/` never appears under crates/*/src, so no skip
-            // list is needed here.
-            out.extend(read_sources(&path, &rel_child));
-        } else if name.ends_with(".rs") {
-            if let Ok(src) = fs::read_to_string(&path) {
-                out.push((rel_child, src));
-            }
-        }
-    }
-    out
-}
-
-/// The non-test prefix of a source file: everything before the first
-/// `#[cfg(test)]` line (the repo convention keeps one trailing test
-/// module per file).
-fn non_test_prefix(src: &str) -> impl Iterator<Item = (usize, &str)> {
-    src.lines()
-        .enumerate()
-        .take_while(|(_, line)| !line.trim_start().starts_with("#[cfg(test)]"))
-}
-
-/// Strip the commented tail of a line (naive: `//` outside quotes is
-/// rare enough in this codebase that string-literal `//` is not worth
-/// handling).
-fn uncommented(line: &str) -> &str {
-    match line.find("//") {
-        Some(i) => &line[..i],
-        None => line,
-    }
-}
-
-fn check_no_panics(rel: &str, src: &str, violations: &mut Vec<Violation>) {
-    for (idx, line) in non_test_prefix(src) {
-        if line.contains("lint:allow(panic)") {
-            continue;
-        }
-        let code = uncommented(line);
-        // `.unwrap()` exactly — `unwrap_or_else`/`unwrap_or_default`
-        // don't panic and stay legal.
-        let panicking = code.contains(".unwrap()") || code.contains(".expect(");
-        if panicking {
-            violations.push(format!(
-                "{rel}:{}: panicking call in a request path (answer an error response instead, \
-                 or annotate the line with `// lint:allow(panic)` and a reason): {}",
-                idx + 1,
-                line.trim()
-            ));
-        }
-    }
-}
-
-fn check_no_clocks(rel: &str, src: &str, violations: &mut Vec<Violation>) {
-    for (idx, line) in non_test_prefix(src) {
-        let code = uncommented(line);
-        if code.contains("Instant::now") || code.contains("SystemTime::now") {
-            violations.push(format!(
-                "{rel}:{}: ambient clock read in the deterministic core \
-                 (timing belongs to bench/serve): {}",
-                idx + 1,
-                line.trim()
-            ));
-        }
-    }
-}
-
-fn check_feature_symmetry(rel: &str, src: &str, violations: &mut Vec<Violation>) {
-    let gated = src.contains("#[cfg(feature = \"parallel\")]");
-    let sibling = src.contains("#[cfg(not(feature = \"parallel\"))]");
-    if gated && !sibling {
-        violations.push(format!(
-            "{rel}: has #[cfg(feature = \"parallel\")] items but no \
-             #[cfg(not(feature = \"parallel\"))] sibling — \
-             --no-default-features builds lose the item entirely"
-        ));
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn the_workspace_is_clean() {
-        // The lint's real assertion: running it over the repo finds
-        // nothing. (CI runs the binary; this keeps `cargo test` enough
-        // locally.)
-        let violations = run_lint(&workspace_root());
-        assert!(violations.is_empty(), "{violations:#?}");
-    }
-
-    #[test]
-    fn panicking_calls_are_flagged_outside_tests() {
-        let src = "fn f() {\n    x.unwrap();\n    y.expect(\"m\");\n}\n\
-                   #[cfg(test)]\nmod tests {\n    fn g() { z.unwrap(); }\n}\n";
-        let mut v = Vec::new();
-        check_no_panics("f.rs", src, &mut v);
-        assert_eq!(v.len(), 2, "{v:#?}");
-        assert!(v[0].contains("f.rs:2"));
-        assert!(v[1].contains("f.rs:3"));
-    }
-
-    #[test]
-    fn non_panicking_unwrap_variants_pass() {
-        let src = "fn f() {\n    a.unwrap_or_else(|| 1);\n    b.unwrap_or_default();\n\
-                   // c.unwrap() in a comment\n}\n";
-        let mut v = Vec::new();
-        check_no_panics("f.rs", src, &mut v);
-        assert!(v.is_empty(), "{v:#?}");
-    }
-
-    #[test]
-    fn allow_comment_opts_a_line_out() {
-        let src = "fn f() {\n    x.unwrap(); // lint:allow(panic) startup, before serving\n}\n";
-        let mut v = Vec::new();
-        check_no_panics("f.rs", src, &mut v);
-        assert!(v.is_empty(), "{v:#?}");
-    }
-
-    #[test]
-    fn clock_reads_are_flagged() {
-        let src = "fn f() {\n    let t = std::time::Instant::now();\n}\n";
-        let mut v = Vec::new();
-        check_no_clocks("core.rs", src, &mut v);
-        assert_eq!(v.len(), 1);
-        assert!(v[0].contains("core.rs:2"));
-    }
-
-    #[test]
-    fn asymmetric_feature_gates_are_flagged() {
-        let gated_only = "#[cfg(feature = \"parallel\")]\nfn par() {}\n";
-        let mut v = Vec::new();
-        check_feature_symmetry("a.rs", gated_only, &mut v);
-        assert_eq!(v.len(), 1);
-        let symmetric =
-            "#[cfg(feature = \"parallel\")]\nfn par() {}\n#[cfg(not(feature = \"parallel\"))]\nfn seq() {}\n";
-        let mut v = Vec::new();
-        check_feature_symmetry("a.rs", symmetric, &mut v);
-        assert!(v.is_empty());
     }
 }

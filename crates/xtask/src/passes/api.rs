@@ -1,0 +1,177 @@
+//! Public-API snapshot (`api_snapshot`).
+//!
+//! Every crate's `pub` surface — fns, types, consts, re-exports, fully
+//! qualified by module path and `impl` owner — is rendered to a
+//! normalized, sorted listing and diffed against the committed snapshot
+//! in `docs/api/<crate>.txt`. Adding, removing or renaming a `pub` item
+//! without touching the snapshot fails the lint, which turns every API
+//! change into an explicit, reviewable diff line. Regenerate with
+//! `cargo xtask lint --write-api-snapshots`.
+//!
+//! Scope rules: `pub(crate)`/`pub(super)` items are not API; items in
+//! test scopes are not API; `main.rs`/`bin/` files have no API.
+
+use crate::diag::{codes, Diagnostic};
+use crate::model::{Item, ItemKind, Vis, WorkspaceFiles};
+use std::collections::BTreeMap;
+
+/// Repo-relative directory the snapshots live in.
+pub const SNAPSHOT_DIR: &str = "docs/api";
+
+/// The crates whose API is snapshotted: (snapshot name, src prefix).
+pub const CRATES: &[(&str, &str)] = &[
+    ("charles", "src"),
+    ("charles-bench", "crates/bench/src"),
+    ("charles-core", "crates/core/src"),
+    ("charles-datagen", "crates/datagen/src"),
+    ("charles-parallel", "crates/parallel/src"),
+    ("charles-sdl", "crates/sdl/src"),
+    ("charles-serve", "crates/serve/src"),
+    ("charles-store", "crates/store/src"),
+    ("charles-viz", "crates/viz/src"),
+    ("charles-xtask", "crates/xtask/src"),
+];
+
+/// Render one crate's public surface as sorted snapshot lines.
+pub fn snapshot(ws: &WorkspaceFiles, src_prefix: &str) -> String {
+    let mut lines: Vec<String> = Vec::new();
+    for file in ws.crate_src(src_prefix) {
+        let rel = &file.path[src_prefix.len() + 1..];
+        if rel == "main.rs" || rel.starts_with("bin/") {
+            continue;
+        }
+        // File path → leading module path (lib.rs/mod.rs add nothing).
+        let mut base: Vec<String> = rel
+            .trim_end_matches(".rs")
+            .split('/')
+            .map(str::to_string)
+            .collect();
+        if matches!(base.last().map(String::as_str), Some("lib") | Some("mod")) {
+            base.pop();
+        }
+        for item in &file.items {
+            if item.vis != Vis::Pub || item.is_test {
+                continue;
+            }
+            if let Some(line) = render(item, &base) {
+                lines.push(line);
+            }
+        }
+    }
+    lines.sort();
+    lines.dedup();
+    let mut out = lines.join("\n");
+    if !out.is_empty() {
+        out.push('\n');
+    }
+    out
+}
+
+fn render(item: &Item, base: &[String]) -> Option<String> {
+    let kind = match item.kind {
+        ItemKind::Fn => "fn",
+        ItemKind::Struct => "struct",
+        ItemKind::Enum => "enum",
+        ItemKind::Trait => "trait",
+        ItemKind::TypeAlias => "type",
+        ItemKind::Const => "const",
+        ItemKind::Static => "static",
+        ItemKind::Mod => "mod",
+        ItemKind::Use => "use",
+        // Impl blocks are not named API; their pub methods are listed
+        // individually with the owner. Exported macros are rare enough
+        // here to list like items.
+        ItemKind::Impl => return None,
+        ItemKind::MacroRules => "macro",
+    };
+    let mut path: Vec<&str> = base.iter().map(String::as_str).collect();
+    path.extend(item.mod_path.iter().map(String::as_str));
+    let mut qualified = path.join("::");
+    if let Some(owner) = &item.owner {
+        if !qualified.is_empty() {
+            qualified.push_str("::");
+        }
+        qualified.push_str(owner);
+    }
+    if item.name.is_empty() {
+        return None;
+    }
+    if !qualified.is_empty() {
+        qualified.push_str("::");
+    }
+    // `use` names already carry their own path text.
+    qualified.push_str(&item.name);
+    Some(format!("pub {kind} {qualified}"))
+}
+
+/// Run the pass: compare each crate's live surface to its snapshot.
+pub fn check(ws: &WorkspaceFiles, out: &mut Vec<Diagnostic>) {
+    for (name, src_prefix) in CRATES {
+        let live = snapshot(ws, src_prefix);
+        let snap_rel = format!("{SNAPSHOT_DIR}/{name}.txt");
+        let committed = std::fs::read_to_string(ws.root.join(&snap_rel)).unwrap_or_default();
+        if committed.is_empty() && !live.is_empty() {
+            out.push(Diagnostic::new(
+                codes::API_SNAPSHOT,
+                snap_rel,
+                0,
+                format!(
+                    "no committed API snapshot for crate `{name}` — run \
+                     `cargo xtask lint --write-api-snapshots` and commit the result"
+                ),
+            ));
+            continue;
+        }
+        if committed == live {
+            continue;
+        }
+        for line in diff_lines(&committed, &live) {
+            out.push(Diagnostic::new(
+                codes::API_SNAPSHOT,
+                snap_rel.clone(),
+                0,
+                line,
+            ));
+        }
+    }
+}
+
+/// Set-diff of snapshot lines (both sides are sorted and deduped, so a
+/// line-set diff is the whole story).
+fn diff_lines(committed: &str, live: &str) -> Vec<String> {
+    let mut counts: BTreeMap<&str, (bool, bool)> = BTreeMap::new();
+    for l in committed.lines().filter(|l| !l.is_empty()) {
+        counts.entry(l).or_default().0 = true;
+    }
+    for l in live.lines().filter(|l| !l.is_empty()) {
+        counts.entry(l).or_default().1 = true;
+    }
+    counts
+        .into_iter()
+        .filter_map(|(line, (in_snap, in_live))| match (in_snap, in_live) {
+            (true, false) => Some(format!(
+                "`{line}` is in the committed snapshot but gone from the source — removing \
+                 public API needs a snapshot update (and a changelog line)"
+            )),
+            (false, true) => Some(format!(
+                "`{line}` is public in the source but absent from the committed snapshot — \
+                 run `cargo xtask lint --write-api-snapshots` and commit the diff"
+            )),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Regenerate every snapshot on disk. Returns the repo-relative paths
+/// written.
+pub fn write_snapshots(ws: &WorkspaceFiles) -> std::io::Result<Vec<String>> {
+    let dir = ws.root.join(SNAPSHOT_DIR);
+    std::fs::create_dir_all(&dir)?;
+    let mut written = Vec::new();
+    for (name, src_prefix) in CRATES {
+        let rel = format!("{SNAPSHOT_DIR}/{name}.txt");
+        std::fs::write(dir.join(format!("{name}.txt")), snapshot(ws, src_prefix))?;
+        written.push(rel);
+    }
+    Ok(written)
+}

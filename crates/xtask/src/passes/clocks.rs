@@ -1,0 +1,44 @@
+//! No ambient clocks in the deterministic core (`clock`).
+//!
+//! The advisor is a pure function of (backend, config, context);
+//! `Instant::now` / `SystemTime::now` in `crates/core` is where
+//! nondeterminism sneaks in. Timing belongs to bench/serve. The lexer
+//! keeps mentions in doc comments, strings and `#[cfg(test)]` modules
+//! from tripping the ban.
+
+use super::{at, code_indices};
+use crate::diag::{codes, Diagnostic};
+use crate::model::WorkspaceFiles;
+
+/// The directory under the clock ban.
+pub const CORE_SRC: &str = "crates/core/src";
+
+/// Run the pass.
+pub fn check(ws: &WorkspaceFiles, out: &mut Vec<Diagnostic>) {
+    for file in ws.crate_src(CORE_SRC) {
+        let c = code_indices(file);
+        for i in 0..c.len() {
+            if file.is_test_tok(c[i]) {
+                continue;
+            }
+            let t = &file.toks[c[i]];
+            if !(t.is_ident("Instant") || t.is_ident("SystemTime")) {
+                continue;
+            }
+            let colon2 = at(file, &c, i + 1).is_some_and(|t| t.is_punct(':'))
+                && at(file, &c, i + 2).is_some_and(|t| t.is_punct(':'));
+            if colon2 && at(file, &c, i + 3).is_some_and(|t| t.is_ident("now")) {
+                out.push(Diagnostic::new(
+                    codes::CLOCK,
+                    file.path.clone(),
+                    t.line,
+                    format!(
+                        "ambient clock read `{}::now` in the deterministic core — timing \
+                         belongs to the bench/serve layers",
+                        t.text
+                    ),
+                ));
+            }
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Feature-gate symmetry (`feature_asymmetry`).
+//!
+//! Any file with a `#[cfg(feature = "parallel")]` item must also carry
+//! a `#[cfg(not(feature = "parallel"))]` sibling: a gated item without
+//! a sequential twin breaks `--no-default-features` builds, which CI
+//! only catches for code paths its tests happen to exercise. Rebased
+//! onto the lexer so the attribute inside a string or doc example does
+//! not count.
+
+use super::{at, code_indices};
+use crate::diag::{codes, Diagnostic};
+use crate::lexer::TokKind;
+use crate::model::WorkspaceFiles;
+
+/// The feature whose gates must be symmetric.
+const FEATURE: &str = "parallel";
+
+/// Run the pass over every file under `crates/`.
+pub fn check(ws: &WorkspaceFiles, out: &mut Vec<Diagnostic>) {
+    for file in ws.crate_src("crates") {
+        let c = code_indices(file);
+        let mut gated_line = None;
+        let mut has_sibling = false;
+        for i in 0..c.len() {
+            let t = &file.toks[c[i]];
+            // `cfg ( … feature = "parallel" … )` — scan the cfg(...)
+            // span; a `not` ident before the feature test negates it.
+            if !t.is_ident("cfg") || !at(file, &c, i + 1).is_some_and(|t| t.is_punct('(')) {
+                continue;
+            }
+            let mut depth = 0i64;
+            let mut negated = false;
+            let mut j = i + 1;
+            while let Some(tok) = at(file, &c, j) {
+                if tok.is_punct('(') {
+                    depth += 1;
+                } else if tok.is_punct(')') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else if tok.is_ident("not") {
+                    negated = true;
+                } else if tok.is_ident("feature")
+                    && at(file, &c, j + 1).is_some_and(|t| t.is_punct('='))
+                    && at(file, &c, j + 2)
+                        .is_some_and(|t| t.kind == TokKind::Str && t.str_value() == FEATURE)
+                {
+                    if negated {
+                        has_sibling = true;
+                    } else {
+                        gated_line.get_or_insert(t.line);
+                    }
+                }
+                j += 1;
+            }
+        }
+        if let Some(line) = gated_line {
+            if !has_sibling {
+                out.push(Diagnostic::new(
+                    codes::FEATURE_ASYMMETRY,
+                    file.path.clone(),
+                    line,
+                    format!(
+                        "has `#[cfg(feature = \"{FEATURE}\")]` items but no \
+                         `#[cfg(not(feature = \"{FEATURE}\"))]` sibling — \
+                         --no-default-features builds lose the item entirely"
+                    ),
+                ));
+            }
+        }
+    }
+}

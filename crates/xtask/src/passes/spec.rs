@@ -1,0 +1,575 @@
+//! Spec consistency (`spec_drift`, `readme_drift`).
+//!
+//! `docs/lint/registry.txt` is the single machine-readable registry of
+//! the constants the serve/wire surface promises: wire magic/version/
+//! header size/payload bounds, every request and response opcode, and
+//! every stable error-code string with its HTTP status. This pass
+//! *extracts the same facts from the source* — const declarations in
+//! `wire.rs`, `ApiError` construction sites and the `core_error` /
+//! `http_error_code` mapping fns in `server.rs`, the `HttpError::status`
+//! mapping in `http.rs` — and cross-checks both directions, then checks
+//! the README tables mention every registry entry. Code/doc drift fails
+//! CI instead of waiting for a human to notice.
+
+use super::{at, code_indices, code_indices_in};
+use crate::diag::{codes, Diagnostic};
+use crate::lexer::TokKind;
+use crate::model::{ItemKind, SourceFile, WorkspaceFiles};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Repo-relative path of the registry.
+pub const REGISTRY_PATH: &str = "docs/lint/registry.txt";
+
+/// The parsed registry: section name → key → value (value may be empty).
+pub type Registry = BTreeMap<String, BTreeMap<String, String>>;
+
+/// Parse the `[section]` / `key = value` registry format. Lines
+/// starting with `#` and blank lines are ignored.
+pub fn parse_registry(text: &str) -> Registry {
+    let mut out = Registry::new();
+    let mut section = String::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            section = name.to_string();
+            out.entry(section.clone()).or_default();
+            continue;
+        }
+        let (key, value) = match line.split_once('=') {
+            Some((k, v)) => (k.trim().to_string(), v.trim().to_string()),
+            None => (line.to_string(), String::new()),
+        };
+        out.entry(section.clone()).or_default().insert(key, value);
+    }
+    out
+}
+
+/// Run the pass.
+pub fn check(ws: &WorkspaceFiles, out: &mut Vec<Diagnostic>) {
+    let registry_file = ws.root.join(REGISTRY_PATH);
+    let Ok(text) = std::fs::read_to_string(&registry_file) else {
+        out.push(Diagnostic::new(
+            codes::SPEC_DRIFT,
+            REGISTRY_PATH,
+            0,
+            "registry file is missing — it is the committed source of truth for wire \
+             constants and error codes",
+        ));
+        return;
+    };
+    let registry = parse_registry(&text);
+    let registered = |section: &str| registry.get(section).is_some_and(|s| !s.is_empty());
+    match ws.file("crates/serve/src/wire.rs") {
+        Some(wire) => check_wire_consts(wire, &registry, out),
+        None if registered("wire.constants") || registered("wire.request_opcodes") => {
+            out.push(Diagnostic::new(
+                codes::SPEC_DRIFT,
+                "crates/serve/src/wire.rs",
+                0,
+                "the registry has wire entries but wire.rs is gone from the tree",
+            ));
+        }
+        None => {}
+    }
+    match ws.file("crates/serve/src/server.rs") {
+        Some(server) => {
+            check_error_codes(server, ws.file("crates/serve/src/http.rs"), &registry, out);
+        }
+        None if registered("serve.error_codes") => {
+            out.push(Diagnostic::new(
+                codes::SPEC_DRIFT,
+                "crates/serve/src/server.rs",
+                0,
+                "the registry has error-code entries but server.rs is gone from the tree",
+            ));
+        }
+        None => {}
+    }
+    check_readme(&ws.root, &registry, out);
+}
+
+/// Value of a simple const initializer: integer literal, `a << b`,
+/// `a * b`, or a (possibly `*`-deref'd) byte-string literal.
+fn eval_const(file: &SourceFile, c: &[usize], mut i: usize, end: usize) -> Option<String> {
+    let mut nums: Vec<u64> = Vec::new();
+    let mut op: Option<char> = None;
+    while i < end {
+        let t = &file.toks[c[i]];
+        match t.kind {
+            TokKind::Number => nums.push(parse_int(&t.text)?),
+            TokKind::Str => return Some(t.str_value()),
+            TokKind::Punct => match t.text.as_str() {
+                "<" => op = Some('<'),
+                ">" => {}
+                "*" if nums.is_empty() && op.is_none() => {} // deref of b"…"
+                "*" => op = Some('*'),
+                ";" => break,
+                _ => {}
+            },
+            _ => {}
+        }
+        i += 1;
+    }
+    match (nums.as_slice(), op) {
+        ([a], None) => Some(a.to_string()),
+        ([a, b], Some('<')) => Some((a << b).to_string()),
+        ([a, b], Some('*')) => Some((a * b).to_string()),
+        _ => None,
+    }
+}
+
+fn parse_int(text: &str) -> Option<u64> {
+    let t = text.replace('_', "");
+    let t = t
+        .trim_end_matches(|c: char| c.is_ascii_alphabetic())
+        .to_string();
+    // Suffix-stripping above also eats the `x` of a bare `0x…` hex
+    // literal's digits only if they are alphabetic — re-detect prefix
+    // from the original text instead.
+    let orig = text.replace('_', "");
+    if let Some(hex) = orig.strip_prefix("0x").or_else(|| orig.strip_prefix("0X")) {
+        let hex: String = hex.chars().take_while(|c| c.is_ascii_hexdigit()).collect();
+        return u64::from_str_radix(&hex, 16).ok();
+    }
+    t.parse().ok()
+}
+
+/// Registry values: `0x…` hex or decimal, compared numerically where
+/// both parse, else as strings.
+fn values_match(registry: &str, source: &str) -> bool {
+    let reg_num = registry
+        .strip_prefix("0x")
+        .or_else(|| registry.strip_prefix("0X"))
+        .map_or_else(
+            || registry.parse::<u64>().ok(),
+            |h| u64::from_str_radix(h, 16).ok(),
+        );
+    match (reg_num, source.parse::<u64>().ok()) {
+        (Some(a), Some(b)) => a == b,
+        _ => registry == source,
+    }
+}
+
+fn check_wire_consts(wire: &SourceFile, registry: &Registry, out: &mut Vec<Diagnostic>) {
+    // Extract every `const NAME: … = …;` with its line + value.
+    let c = code_indices(wire);
+    let mut consts: BTreeMap<String, (u32, Option<String>)> = BTreeMap::new();
+    for i in 0..c.len() {
+        let t = &wire.toks[c[i]];
+        if !t.is_ident("const") || wire.is_test_tok(c[i]) {
+            continue;
+        }
+        // `const fn` is not a const item; `NAME` must follow.
+        let Some(name) = at(wire, &c, i + 1).filter(|t| t.kind == TokKind::Ident && t.text != "fn")
+        else {
+            continue;
+        };
+        // Find the top-level `=` before the terminating `;` — the type
+        // ascription may itself contain `;` (e.g. `[u8; 4]`).
+        let mut j = i + 2;
+        let mut eq = None;
+        let mut bracket = 0i64;
+        while j < c.len() {
+            let tk = &wire.toks[c[j]];
+            if tk.is_punct('[') {
+                bracket += 1;
+            } else if tk.is_punct(']') {
+                bracket -= 1;
+            } else if tk.is_punct('=') && bracket == 0 {
+                eq = Some(j + 1);
+                break;
+            } else if tk.is_punct(';') && bracket == 0 {
+                break;
+            }
+            j += 1;
+        }
+        let value = eq.and_then(|start| {
+            let mut end = start;
+            while end < c.len() && !wire.toks[c[end]].is_punct(';') {
+                end += 1;
+            }
+            eval_const(wire, &c, start, end)
+        });
+        consts.insert(name.text.clone(), (name.line, value));
+    }
+
+    let empty = BTreeMap::new();
+    let named = registry.get("wire.constants").unwrap_or(&empty);
+    let req = registry.get("wire.request_opcodes").unwrap_or(&empty);
+    let resp = registry.get("wire.response_opcodes").unwrap_or(&empty);
+
+    for (section, entries) in [
+        ("wire.constants", named),
+        ("wire.request_opcodes", req),
+        ("wire.response_opcodes", resp),
+    ] {
+        for (key, reg_value) in entries {
+            match consts.get(key) {
+                None => out.push(Diagnostic::new(
+                    codes::SPEC_DRIFT,
+                    "crates/serve/src/wire.rs",
+                    0,
+                    format!(
+                        "registry [{section}] lists `{key} = {reg_value}` but wire.rs declares \
+                         no such const"
+                    ),
+                )),
+                Some((line, Some(src_value))) if !values_match(reg_value, src_value) => {
+                    out.push(Diagnostic::new(
+                        codes::SPEC_DRIFT,
+                        "crates/serve/src/wire.rs",
+                        *line,
+                        format!(
+                            "`{key}` is {src_value} in source but {reg_value} in the registry \
+                             [{section}] — update whichever is wrong (the registry is the spec)"
+                        ),
+                    ));
+                }
+                Some((line, None)) => out.push(Diagnostic::new(
+                    codes::SPEC_DRIFT,
+                    "crates/serve/src/wire.rs",
+                    *line,
+                    format!(
+                        "`{key}` has an initializer the lint cannot evaluate — keep registry \
+                         consts to literals, shifts and products"
+                    ),
+                )),
+                Some(_) => {}
+            }
+        }
+    }
+    // Reverse direction: every opcode const in source must be registered.
+    for (name, (line, _)) in &consts {
+        let section = if name.starts_with("OP_") {
+            Some(("wire.request_opcodes", req))
+        } else if name.starts_with("RESP_") {
+            Some(("wire.response_opcodes", resp))
+        } else {
+            None
+        };
+        if let Some((section, entries)) = section {
+            if !entries.contains_key(name) {
+                out.push(Diagnostic::new(
+                    codes::SPEC_DRIFT,
+                    "crates/serve/src/wire.rs",
+                    *line,
+                    format!(
+                        "opcode const `{name}` is not in the registry [{section}] — new \
+                         opcodes are a protocol change and must be registered (and documented \
+                         in the README table)"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Extract `(status, code)` pairs from `server.rs` + the transport
+/// variant→code/status mappings, and check them against the registry.
+fn check_error_codes(
+    server: &SourceFile,
+    http: Option<&SourceFile>,
+    registry: &Registry,
+    out: &mut Vec<Diagnostic>,
+) {
+    let mut extracted: BTreeMap<String, (u16, u32)> = BTreeMap::new(); // code -> (status, line)
+    let c = code_indices(server);
+    let snake = |s: &str| {
+        !s.is_empty()
+            && s.chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+            && s.contains('_')
+    };
+    for i in 0..c.len() {
+        if server.is_test_tok(c[i]) {
+            continue;
+        }
+        let t = &server.toks[c[i]];
+        // A: ApiError :: new ( NUM , STR
+        if t.is_ident("ApiError")
+            && at(server, &c, i + 1).is_some_and(|t| t.is_punct(':'))
+            && at(server, &c, i + 2).is_some_and(|t| t.is_punct(':'))
+            && at(server, &c, i + 3).is_some_and(|t| t.is_ident("new"))
+            && at(server, &c, i + 4).is_some_and(|t| t.is_punct('('))
+        {
+            if let (Some(num), Some(code)) = (at(server, &c, i + 5), at(server, &c, i + 7)) {
+                if num.kind == TokKind::Number && code.kind == TokKind::Str {
+                    if let Ok(status) = num.text.parse() {
+                        extracted
+                            .entry(code.str_value())
+                            .or_insert((status, code.line));
+                    }
+                }
+            }
+        }
+        // B: struct literal `status: NUM, … code: STR`
+        if t.is_ident("code") && at(server, &c, i + 1).is_some_and(|t| t.is_punct(':')) {
+            if let Some(code) = at(server, &c, i + 2).filter(|t| t.kind == TokKind::Str) {
+                let mut status = None;
+                for back in (i.saturating_sub(8)..i).rev() {
+                    if server.toks[c[back]].is_ident("status")
+                        && at(server, &c, back + 1).is_some_and(|t| t.is_punct(':'))
+                    {
+                        if let Some(num) =
+                            at(server, &c, back + 2).filter(|t| t.kind == TokKind::Number)
+                        {
+                            status = num.text.parse().ok();
+                        }
+                        break;
+                    }
+                }
+                if let Some(status) = status {
+                    extracted
+                        .entry(code.str_value())
+                        .or_insert((status, code.line));
+                }
+            }
+        }
+        // C: `( NUM , STR )` status/code tuples (core_error match arms)
+        // D: `( NUM , encode_error ( STR` (route()'s direct responses)
+        if t.is_punct('(') {
+            if let (Some(num), Some(comma)) = (at(server, &c, i + 1), at(server, &c, i + 2)) {
+                if num.kind == TokKind::Number && comma.is_punct(',') {
+                    let code_tok = match at(server, &c, i + 3) {
+                        Some(t3)
+                            if t3.kind == TokKind::Str
+                                && at(server, &c, i + 4).is_some_and(|t| t.is_punct(')')) =>
+                        {
+                            Some(t3)
+                        }
+                        Some(t3)
+                            if t3.is_ident("encode_error")
+                                && at(server, &c, i + 4).is_some_and(|t| t.is_punct('(')) =>
+                        {
+                            at(server, &c, i + 5).filter(|t| t.kind == TokKind::Str)
+                        }
+                        _ => None,
+                    };
+                    if let Some(code) = code_tok {
+                        let value = code.str_value();
+                        if snake(&value) {
+                            if let Ok(status) = num.text.parse::<u16>() {
+                                if (400..600).contains(&status) {
+                                    extracted.entry(value).or_insert((status, code.line));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let empty = BTreeMap::new();
+    let reg_codes = registry.get("serve.error_codes").unwrap_or(&empty);
+    for (code, status) in reg_codes {
+        match extracted.get(code) {
+            None => out.push(Diagnostic::new(
+                codes::SPEC_DRIFT,
+                "crates/serve/src/server.rs",
+                0,
+                format!(
+                    "registry [serve.error_codes] lists `{code} = {status}` but server.rs \
+                     never constructs that code"
+                ),
+            )),
+            Some((src_status, line)) if status != &src_status.to_string() => {
+                out.push(Diagnostic::new(
+                    codes::SPEC_DRIFT,
+                    "crates/serve/src/server.rs",
+                    *line,
+                    format!(
+                        "error code `{code}` answers {src_status} in source but the registry \
+                         says {status}"
+                    ),
+                ));
+            }
+            Some(_) => {}
+        }
+    }
+    for (code, (status, line)) in &extracted {
+        if !reg_codes.contains_key(code) {
+            out.push(Diagnostic::new(
+                codes::SPEC_DRIFT,
+                "crates/serve/src/server.rs",
+                *line,
+                format!(
+                    "error code `{code}` ({status}) is constructed in server.rs but missing \
+                     from the registry [serve.error_codes] — stable codes are API and must be \
+                     registered (and listed in the README)"
+                ),
+            ));
+        }
+    }
+
+    // Transport codes: join http_error_code's variant→code map with
+    // HttpError::status's variant→status map.
+    let reg_transport = registry
+        .get("serve.transport_error_codes")
+        .unwrap_or(&empty);
+    let variant_code = match_arms(server, "http_error_code");
+    let variant_status = http.map(|f| match_arms(f, "status")).unwrap_or_default();
+    let mut transport: BTreeMap<String, (String, u32)> = BTreeMap::new();
+    for (variants, (code, line)) in &variant_code {
+        for v in variants {
+            let status = variant_status
+                .iter()
+                .find(|(vs, _)| vs.contains(v))
+                .map(|(_, (s, _))| s.clone());
+            let entry = transport
+                .entry(code.clone())
+                .or_insert((status.clone().unwrap_or_default(), *line));
+            // `_ => "bad_request"` has no variant list; keep first status.
+            if entry.0.is_empty() {
+                if let Some(s) = status {
+                    entry.0 = s;
+                }
+            }
+        }
+        if variants.is_empty() {
+            // Wildcard arm: status is whatever http.rs's wildcard-free
+            // grouping answers for the remaining variants (400 here);
+            // registry value is authoritative, only presence is checked.
+            transport
+                .entry(code.clone())
+                .or_insert((String::new(), *line));
+        }
+    }
+    for (code, status) in reg_transport {
+        match transport.get(code) {
+            None => out.push(Diagnostic::new(
+                codes::SPEC_DRIFT,
+                "crates/serve/src/server.rs",
+                0,
+                format!(
+                    "registry [serve.transport_error_codes] lists `{code} = {status}` but \
+                     `http_error_code` never returns it"
+                ),
+            )),
+            Some((src_status, line)) if !src_status.is_empty() && status != src_status => {
+                out.push(Diagnostic::new(
+                    codes::SPEC_DRIFT,
+                    "crates/serve/src/server.rs",
+                    *line,
+                    format!(
+                        "transport code `{code}` maps to status {src_status} in source but \
+                         the registry says {status}"
+                    ),
+                ));
+            }
+            Some(_) => {}
+        }
+    }
+    for (code, (_, line)) in &transport {
+        if !reg_transport.contains_key(code) {
+            out.push(Diagnostic::new(
+                codes::SPEC_DRIFT,
+                "crates/serve/src/server.rs",
+                *line,
+                format!(
+                    "transport code `{code}` is returned by `http_error_code` but missing \
+                     from the registry [serve.transport_error_codes]"
+                ),
+            ));
+        }
+    }
+}
+
+/// The arms of the single `match` in fn `name`: for each arm, the
+/// `HttpError::Variant` names on the pattern side and the result token
+/// (a string's value or a number's text) with its line.
+fn match_arms(file: &SourceFile, fn_name: &str) -> Vec<(Vec<String>, (String, u32))> {
+    let mut out = Vec::new();
+    let Some(item) = file
+        .items
+        .iter()
+        .find(|i| i.kind == ItemKind::Fn && i.name == fn_name && !i.is_test)
+    else {
+        return out;
+    };
+    let Some(body) = item.body else { return out };
+    let c = code_indices_in(file, body);
+    let mut i = 0;
+    let mut variants: Vec<String> = Vec::new();
+    while i < c.len() {
+        let t = &file.toks[c[i]];
+        if t.is_ident("HttpError")
+            && at(file, &c, i + 1).is_some_and(|t| t.is_punct(':'))
+            && at(file, &c, i + 2).is_some_and(|t| t.is_punct(':'))
+        {
+            if let Some(v) = at(file, &c, i + 3).filter(|t| t.kind == TokKind::Ident) {
+                variants.push(v.text.clone());
+            }
+            i += 4;
+            continue;
+        }
+        // `=> result` ends an arm.
+        if t.is_punct('=') && at(file, &c, i + 1).is_some_and(|t| t.is_punct('>')) {
+            if let Some(result) = at(file, &c, i + 2) {
+                let value = match result.kind {
+                    TokKind::Str => Some(result.str_value()),
+                    TokKind::Number => Some(result.text.clone()),
+                    _ => None,
+                };
+                if let Some(value) = value {
+                    out.push((std::mem::take(&mut variants), (value, result.line)));
+                } else {
+                    variants.clear();
+                }
+            }
+            i += 3;
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// README drift: every registered error code must appear as `` `code` ``
+/// and every opcode's hex value must appear somewhere in README.md.
+fn check_readme(root: &Path, registry: &Registry, out: &mut Vec<Diagnostic>) {
+    let Ok(readme) = std::fs::read_to_string(root.join("README.md")) else {
+        out.push(Diagnostic::new(
+            codes::README_DRIFT,
+            "README.md",
+            0,
+            "README.md missing",
+        ));
+        return;
+    };
+    let empty = BTreeMap::new();
+    for section in ["serve.error_codes", "serve.transport_error_codes"] {
+        for code in registry.get(section).unwrap_or(&empty).keys() {
+            if !readme.contains(&format!("`{code}`")) {
+                out.push(Diagnostic::new(
+                    codes::README_DRIFT,
+                    "README.md",
+                    0,
+                    format!(
+                        "registered error code `{code}` ([{section}]) is not documented in \
+                         the README error-code table"
+                    ),
+                ));
+            }
+        }
+    }
+    for section in ["wire.request_opcodes", "wire.response_opcodes"] {
+        for (name, value) in registry.get(section).unwrap_or(&empty) {
+            if !readme.contains(value.as_str()) {
+                out.push(Diagnostic::new(
+                    codes::README_DRIFT,
+                    "README.md",
+                    0,
+                    format!(
+                        "opcode `{name}` = {value} ([{section}]) is not documented in the \
+                         README opcode table"
+                    ),
+                ));
+            }
+        }
+    }
+}

@@ -1,0 +1,5 @@
+// Fixture: suppression naming a code the engine does not emit
+// (`allow_unknown`).
+pub fn handle() -> u32 {
+    41 + 1 // lint:allow(made_up_code) this code does not exist
+}

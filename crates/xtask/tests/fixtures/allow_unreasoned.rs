@@ -1,0 +1,5 @@
+// Fixture: suppression without a reason (`allow_unreasoned`) — and the
+// suppressed diagnostic must still fire.
+pub fn handle(input: Option<u32>) -> u32 {
+    input.unwrap() // lint:allow(panic)
+}

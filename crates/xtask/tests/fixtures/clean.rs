@@ -1,0 +1,30 @@
+//! Fixture: the false-positive regression file. Everything in here
+//! *looks* like a violation to a substring scanner and must produce
+//! ZERO diagnostics from the token-level engine. The harness places it
+//! at a protected serve path AND at a core path.
+//!
+//! Doc-comment mentions: call `.unwrap()` or `Instant::now()` — not code.
+//! Doc-comment suppression mention: `lint:allow(panic)` — not a suppression.
+
+/// Returns the message, never calls `.unwrap()` despite saying so.
+pub fn handle(input: Option<u32>) -> u32 {
+    // A comment may say x.unwrap() or .expect("boom") or panic!("x").
+    // A comment may also say Instant::now() without reading a clock.
+    let s = "error: .unwrap() failed at Instant::now(), SystemTime::now()";
+    let r = r#"raw: .expect("oops") unreachable!() todo!()"#;
+    let c = '!';
+    input.unwrap_or(s.len() as u32 + r.len() as u32 + c as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_panic_freely() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+        let _t = std::time::Instant::now();
+        let g = std::sync::Mutex::new(0u32);
+        let held = g.lock().unwrap();
+        assert_eq!(*held, 0);
+    }
+}

@@ -1,0 +1,6 @@
+// Fixture: ambient clock ban (`clock`). Placed under crates/core/src.
+use std::time::Instant;
+
+pub fn decide() -> Instant {
+    Instant::now()
+}

@@ -1,0 +1,6 @@
+// Fixture: feature-gate symmetry (`feature_asymmetry`): a `parallel`
+// gate with no `not(feature = "parallel")` sibling anywhere in the file.
+#[cfg(feature = "parallel")]
+pub fn evaluate() -> u32 {
+    42
+}

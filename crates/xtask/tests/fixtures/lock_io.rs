@@ -1,0 +1,14 @@
+// Fixture: mutex guard across blocking I/O (`lock_io`). Placed in the
+// serve crate. The write on line 8 happens while `sessions` is live;
+// the read on line 13 happens after the guard's block ended and is fine.
+use std::io::Write;
+pub fn respond(stream: &mut std::net::TcpStream, lock: &std::sync::Mutex<u32>) {
+    {
+        let sessions = lock.lock().unwrap_or_else(|p| p.into_inner());
+        stream.write_all(&sessions.to_le_bytes()).ok();
+    }
+    let early = lock.lock().unwrap_or_else(|p| p.into_inner());
+    drop(early);
+    let mut buf = [0u8; 4];
+    std::io::Read::read(stream, &mut buf).ok();
+}

@@ -1,0 +1,6 @@
+// Fixture: direct panic ban (`panic`). Placed at a protected path by
+// the test harness; the unwrap on line 5 must be flagged.
+pub fn handle(input: Option<u32>) -> u32 {
+    let v = input;
+    v.unwrap()
+}

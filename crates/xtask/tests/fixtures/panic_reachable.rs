@@ -1,0 +1,15 @@
+// Fixture: transitive panic ban (`panic_reachable`). Placed in the
+// serve crate at a NON-protected path: the panic lives two hops from
+// the entry fn and only the call graph can see it.
+fn handle_connection(stream: u32) {
+    dispatch(stream);
+}
+
+fn dispatch(stream: u32) {
+    decode(stream);
+}
+
+fn decode(stream: u32) -> u32 {
+    let v: Option<u32> = Some(stream);
+    v.expect("decode failure") // line 14: reachable via handle_connection -> dispatch -> decode
+}

@@ -1,0 +1,6 @@
+// Fixture: spec registry cross-check (`spec_drift`). Placed at the
+// wire.rs path with a VERSION that disagrees with the fixture registry
+// (which says VERSION = 2).
+pub const MAGIC: [u8; 4] = *b"CHRW";
+pub const VERSION: u8 = 1;
+pub const HEADER_LEN: usize = 10;

@@ -1,0 +1,8 @@
+// Fixture: unsafe allowlist (`unsafe_module`). Placed OUTSIDE the
+// allowlisted mmap module; the SAFETY comment is present so only the
+// allowlist rule fires.
+pub fn peek(bytes: &[u8]) -> u8 {
+    // SAFETY: caller guarantees bytes is non-empty (it is not; that is
+    // the point of the ban).
+    unsafe { *bytes.as_ptr() }
+}
